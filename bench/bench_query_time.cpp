@@ -1,0 +1,124 @@
+// QT — the "constant query time" claims of Theorems 1.1/1.3 (word-RAM):
+// wall-clock query latency per scheme as n grows. Latency should stay flat
+// (up to cache effects) — queries decode two O(polylog)-bit labels and do
+// word operations; nothing scales with n.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "tree/generators.hpp"
+
+using namespace treelab;
+
+namespace {
+
+tree::Tree make_tree(std::int64_t n) {
+  return tree::random_tree(static_cast<tree::NodeId>(n), 123);
+}
+
+template <typename Scheme>
+void bench_exact(benchmark::State& state) {
+  const tree::Tree t = make_tree(state.range(0));
+  const Scheme s(t);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<tree::NodeId> pick(0, t.size() - 1);
+  for (auto _ : state) {
+    const auto d = Scheme::query(s.label(pick(rng)), s.label(pick(rng)));
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void bench_kdist(benchmark::State& state) {
+  const tree::Tree t = make_tree(state.range(0));
+  const std::uint64_t k = static_cast<std::uint64_t>(state.range(1));
+  const core::KDistanceScheme s(t, k);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<tree::NodeId> pick(0, t.size() - 1);
+  for (auto _ : state) {
+    const auto d =
+        core::KDistanceScheme::query(k, s.label(pick(rng)), s.label(pick(rng)));
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void bench_approx(benchmark::State& state) {
+  const tree::Tree t = make_tree(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const core::ApproxScheme s(t, eps);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<tree::NodeId> pick(0, t.size() - 1);
+  for (auto _ : state) {
+    const auto d =
+        core::ApproxScheme::query(eps, s.label(pick(rng)), s.label(pick(rng)));
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void bench_fgnw_attached(benchmark::State& state) {
+  const tree::Tree t = make_tree(state.range(0));
+  const core::FgnwScheme s(t);
+  std::vector<core::FgnwAttachedLabel> attached;
+  attached.reserve(static_cast<std::size_t>(t.size()));
+  for (tree::NodeId v = 0; v < t.size(); ++v)
+    attached.push_back(core::FgnwScheme::attach(s.label(v)));
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<tree::NodeId> pick(0, t.size() - 1);
+  for (auto _ : state) {
+    const auto d =
+        core::FgnwScheme::query(attached[pick(rng)], attached[pick(rng)]);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void bench_build_fgnw(benchmark::State& state) {
+  const tree::Tree t = make_tree(state.range(0));
+  for (auto _ : state) {
+    const core::FgnwScheme s(t);
+    benchmark::DoNotOptimize(s.stats().max_bits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(bench_exact<core::FgnwScheme>)
+    ->Name("query/fgnw")
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+BENCHMARK(bench_exact<core::AlstrupScheme>)
+    ->Name("query/alstrup")
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+BENCHMARK(bench_exact<core::PelegScheme>)
+    ->Name("query/peleg")
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+BENCHMARK(bench_fgnw_attached)
+    ->Name("query/fgnw-attached")
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18);
+BENCHMARK(bench_kdist)
+    ->Name("query/kdist")
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 1 << 12})
+    ->Args({1 << 18, 4});
+BENCHMARK(bench_approx)
+    ->Name("query/approx")
+    ->Args({1 << 14, 8})
+    ->Args({1 << 18, 8});
+BENCHMARK(bench_build_fgnw)
+    ->Name("build/fgnw")
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

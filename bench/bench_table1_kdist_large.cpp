@@ -1,0 +1,32 @@
+// T1-klarge — the "k >= log n" row of the summary table:
+// label size O(log n * log(k / log n)). Reported against that curve as k
+// sweeps from log n to n.
+#include "bench_util.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "tree/generators.hpp"
+
+using namespace treelab;
+using bench::num;
+using bench::row;
+
+int main() {
+  std::printf("== T1-klarge: k-distance labels, k >= log n ==\n");
+  row({"workload", "k", "max_bits", "avg_bits", "lgn*lg(k/lgn)", "lg^2 n"});
+  for (int lg : {12, 16}) {
+    const tree::NodeId n = tree::NodeId{1} << lg;
+    const tree::Tree t = tree::random_tree(n, 9);
+    const double lgn = bench::log2d(static_cast<double>(n));
+    for (std::uint64_t k = static_cast<std::uint64_t>(lgn);
+         k <= static_cast<std::uint64_t>(n); k *= 4) {
+      const core::KDistanceScheme s(t, k);
+      row({"random/n=2^" + std::to_string(lg), num(k),
+           num(s.stats().max_bits), num(s.stats().avg_bits()),
+           num(lgn * std::log2(std::max(2.0, static_cast<double>(k) / lgn)), 1),
+           num(lgn * lgn, 0)});
+    }
+  }
+  std::printf(
+      "\nshape check: max_bits tracks lgn*lg(k/lgn) and approaches the "
+      "unbounded-distance lg^2 n regime as k -> n.\n");
+  return 0;
+}

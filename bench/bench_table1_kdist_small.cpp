@@ -1,0 +1,42 @@
+// T1-ksmall — the "k < log n" row of the summary table:
+// label size log n + O(k log(log n / k)). We report max label bits minus
+// log n (the additive overhead the theorem bounds) against the k log(log
+// n/k) curve, across k and n, on the shapes that stress significant-ancestor
+// chains.
+#include "bench_util.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "tree/generators.hpp"
+
+using namespace treelab;
+using bench::num;
+using bench::row;
+
+int main() {
+  std::printf("== T1-ksmall: k-distance labels, k < log n ==\n");
+  row({"workload", "k", "max_bits", "avg_bits", "max-lgn",
+       "k*lg(lgn/k)", "lgn"});
+  for (int lg : {12, 16}) {
+    const tree::NodeId n = tree::NodeId{1} << lg;
+    for (const char* kind : {"random", "spider", "caterpillar"}) {
+      tree::Tree t = std::string(kind) == "random"
+                         ? tree::random_tree(n, 5)
+                         : (std::string(kind) == "spider"
+                                ? tree::spider(1 << (lg / 2), 1 << (lg / 2))
+                                : tree::caterpillar(n / 4, 3));
+      const double lgn = bench::log2d(static_cast<double>(t.size()));
+      for (std::uint64_t k : {1, 2, 4, 8}) {
+        if (static_cast<double>(k) >= lgn) continue;
+        const core::KDistanceScheme s(t, k);
+        const double kd = static_cast<double>(k);
+        row({std::string(kind) + "/n=2^" + std::to_string(lg), num(k),
+             num(s.stats().max_bits), num(s.stats().avg_bits()),
+             num(static_cast<double>(s.stats().max_bits) - lgn, 1),
+             num(kd * std::log2(std::max(2.0, lgn / kd)), 1), num(lgn, 1)});
+      }
+    }
+  }
+  std::printf(
+      "\nshape check: (max-lgn) grows roughly linearly in k with a "
+      "log(log n/k) factor, far below k*lgn.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harness: aligned table printing and the
+// theoretical curves the measured points are compared against.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace treelab::bench {
+
+/// Prints a row of right-aligned cells (12 chars each, first cell 26).
+inline void row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::printf(i == 0 ? "%-26s" : "%12s", cells[i].c_str());
+  std::printf("\n");
+}
+
+inline std::string num(double x, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, x);
+  return buf;
+}
+
+template <typename T>
+  requires std::integral<T>
+inline std::string num(T x) {
+  return std::to_string(x);
+}
+
+inline double log2d(double x) { return std::log2(x); }
+
+/// 1/4 log^2 n and 1/2 log^2 n — the paper's headline curves.
+inline double quarter_log2(double n) {
+  const double l = log2d(n);
+  return 0.25 * l * l;
+}
+inline double half_log2(double n) {
+  const double l = log2d(n);
+  return 0.5 * l * l;
+}
+
+}  // namespace treelab::bench

@@ -1,0 +1,61 @@
+// graph_oracle — the introduction's motivating application: distance
+// oracles for general graphs from distance labelings of spanning trees
+// rooted at judiciously chosen vertices (cf. pruned landmark labeling).
+//
+// core::SpanningOracle packs, per node, the FGNW labels of that node in k
+// BFS spanning trees; the estimate is the minimum tree distance, which
+// upper-bounds (and with enough landmarks usually equals) the true graph
+// distance. This example sweeps the landmark budget and reports per-node
+// state size and the stretch distribution.
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "core/spanning_oracle.hpp"
+#include "tree/graph.hpp"
+
+using namespace treelab;
+using core::SpanningOracle;
+using tree::Graph;
+using tree::NodeId;
+
+int main() {
+  const NodeId n = 2000;
+  const Graph g = Graph::random_connected(n, 2 * n, 17);
+  std::printf("random connected graph: %d nodes, %zu edges\n\n", n,
+              g.num_edges());
+
+  std::printf("%-10s %-14s %-10s %-10s %-10s\n", "landmarks", "bits/node",
+              "exact%", "avg_str", "max_str");
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<NodeId> pick(0, n - 1);
+  for (int landmarks : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    const SpanningOracle oracle(g, landmarks);
+
+    double sum_stretch = 0, max_stretch = 0;
+    int exact = 0, total = 0;
+    for (int trial = 0; trial < 250; ++trial) {
+      const NodeId u = pick(rng);
+      const auto du = g.bfs_distances(u);
+      for (int trial2 = 0; trial2 < 6; ++trial2) {
+        const NodeId v = pick(rng);
+        if (u == v) continue;
+        const std::uint64_t est =
+            SpanningOracle::query(oracle.state(u), oracle.state(v));
+        const double truth = du[v];
+        sum_stretch += static_cast<double>(est) / truth;
+        max_stretch = std::max(max_stretch, static_cast<double>(est) / truth);
+        exact += est == static_cast<std::uint64_t>(truth);
+        ++total;
+      }
+    }
+    std::printf("%-10d %-14zu %-10.1f %-10.3f %-10.3f\n", landmarks,
+                oracle.stats().max_bits, 100.0 * exact / total,
+                sum_stretch / total, max_stretch);
+  }
+  std::printf(
+      "\nEach node's state is self-contained (its tree labels only); "
+      "estimates never undershoot and converge toward exact as landmarks "
+      "are added.\n");
+  return 0;
+}

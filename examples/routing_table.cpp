@@ -1,0 +1,83 @@
+// routing_table — k-distance labels as compact per-device state in a
+// distributed network.
+//
+// Scenario: a spanning tree of a campus network (core switches, building
+// aggregation, access switches, hosts). Each device stores only its own
+// k-hop label. Any device can decide, from two labels alone, whether
+// another device is within its k-hop maintenance zone — no routing tables,
+// no shared state, no coordinator. This is the "distributed settings, nodes
+// processed using only locally stored data" use the paper's introduction
+// motivates.
+#include <cinttypes>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/kdistance_scheme.hpp"
+#include "tree/nca_index.hpp"
+#include "tree/tree.hpp"
+
+using namespace treelab;
+using tree::NodeId;
+
+namespace {
+
+/// Campus spanning tree: 1 core, `agg` aggregation switches, each with
+/// `acc` access switches, each with `hosts` hosts.
+tree::Tree campus(int agg, int acc, int hosts) {
+  std::vector<NodeId> parent{tree::kNoNode};
+  for (int a = 0; a < agg; ++a) {
+    const auto agg_id = static_cast<NodeId>(parent.size());
+    parent.push_back(0);
+    for (int s = 0; s < acc; ++s) {
+      const auto acc_id = static_cast<NodeId>(parent.size());
+      parent.push_back(agg_id);
+      for (int h = 0; h < hosts; ++h) parent.push_back(acc_id);
+    }
+  }
+  return tree::Tree(std::move(parent));
+}
+
+}  // namespace
+
+int main() {
+  const tree::Tree net = campus(16, 12, 24);
+  std::printf("campus spanning tree: %d devices (1 core, 16 agg, 192 access, "
+              "4608 hosts)\n\n",
+              net.size());
+
+  std::printf("%-6s %-12s %-12s %-14s\n", "k", "max_bits", "avg_bits",
+              "bytes/device");
+  for (std::uint64_t k : {1, 2, 4, 6}) {
+    const core::KDistanceScheme s(net, k);
+    std::printf("%-6" PRIu64 " %-12zu %-12.1f %-14.1f\n", k,
+                s.stats().max_bits, s.stats().avg_bits(),
+                s.stats().avg_bits() / 8);
+  }
+
+  // Simulate the maintenance-zone decision at k = 4 (host <-> host within
+  // the same aggregation domain is 4 hops: host-access-agg-access-host).
+  const std::uint64_t k = 4;
+  const core::KDistanceScheme s(net, k);
+  const tree::NcaIndex oracle(net);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<NodeId> pick(0, net.size() - 1);
+  int in_zone = 0, agree = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const NodeId a = pick(rng), b = pick(rng);
+    const auto r = core::KDistanceScheme::query(k, s.label(a), s.label(b));
+    const std::uint64_t truth = oracle.distance(a, b);
+    in_zone += r.within;
+    agree += r.within == (truth <= k) && (!r.within || r.distance == truth);
+  }
+  std::printf(
+      "\nzone decisions at k=%" PRIu64 ": %d/%d sampled pairs in-zone, "
+      "%d/%d label-only decisions agree with ground truth\n",
+      k, in_zone, trials, agree, trials);
+  std::printf(
+      "each device carries ~%.0f bytes of immutable state and answers zone "
+      "queries with no network round-trips.\n",
+      s.stats().avg_bits() / 8);
+  return 0;
+}

@@ -1,0 +1,173 @@
+// treelab_cli — command-line front end for the library, demonstrating the
+// ship-labels-then-query-locally workflow end to end:
+//
+//   treelab_cli gen <shape> <n> <seed>          > tree.txt
+//   treelab_cli label <scheme> tree.txt out.lbl   (scheme: fgnw|alstrup|
+//                                                  peleg|kdist:<k>|
+//                                                  approx:<1/eps>)
+//   treelab_cli query out.lbl <u> <v>             (labels only; the tree
+//                                                  file is NOT read)
+//   treelab_cli stats out.lbl
+//
+// Example:
+//   treelab_cli gen random 1000 7 > t.txt
+//   treelab_cli label fgnw t.txt t.lbl
+//   treelab_cli query t.lbl 12 900
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/label_store.hpp"
+#include "core/peleg_scheme.hpp"
+#include "tree/generators.hpp"
+#include "tree/io.hpp"
+
+using namespace treelab;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  treelab_cli gen <shape> <n> <seed>\n"
+               "  treelab_cli label <scheme> <tree.txt> <out.lbl>\n"
+               "  treelab_cli query <labels.lbl> <u> <v>\n"
+               "  treelab_cli stats <labels.lbl>\n"
+               "shapes: path star caterpillar broom spider balanced-binary "
+               "random random-binary\n"
+               "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const std::string shape = argv[2];
+  const auto n = static_cast<tree::NodeId>(std::stol(argv[3]));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(argv[4]));
+  for (const auto& s : tree::standard_shapes())
+    if (s.name == shape) {
+      tree::write_text(std::cout, s.make(n, seed));
+      return 0;
+    }
+  std::fprintf(stderr, "unknown shape '%s'\n", shape.c_str());
+  return 2;
+}
+
+int cmd_label(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const std::string scheme = argv[2];
+  std::ifstream in(argv[3]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 1;
+  }
+  const tree::Tree t = tree::read_text(in);
+  std::ofstream out(argv[4], std::ios::binary);
+
+  if (scheme == "fgnw") {
+    core::LabelStore::save(out, "fgnw", core::FgnwScheme(t).labels());
+  } else if (scheme == "alstrup") {
+    core::LabelStore::save(out, "alstrup", core::AlstrupScheme(t).labels());
+  } else if (scheme == "peleg") {
+    core::LabelStore::save(out, "peleg", core::PelegScheme(t).labels());
+  } else if (scheme.rfind("kdist:", 0) == 0) {
+    const std::uint64_t k = std::stoull(scheme.substr(6));
+    core::LabelStore::save(out, "kdist", core::KDistanceScheme(t, k).labels(),
+                           "k=" + std::to_string(k));
+  } else if (scheme.rfind("approx:", 0) == 0) {
+    const std::uint64_t inv = std::stoull(scheme.substr(7));
+    core::LabelStore::save(
+        out, "approx",
+        core::ApproxScheme(t, 1.0 / static_cast<double>(inv)).labels(),
+        "inv_eps=" + std::to_string(inv));
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    return 2;
+  }
+  std::printf("labeled %d nodes with %s -> %s\n", t.size(), scheme.c_str(),
+              argv[4]);
+  return 0;
+}
+
+core::LabelStore::Loaded load_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  return core::LabelStore::load(in);
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const auto store = load_file(argv[2]);
+  const auto u = static_cast<std::size_t>(std::stoull(argv[3]));
+  const auto v = static_cast<std::size_t>(std::stoull(argv[4]));
+  if (u >= store.labels.size() || v >= store.labels.size()) {
+    std::fprintf(stderr, "node out of range (have %zu labels)\n",
+                 store.labels.size());
+    return 1;
+  }
+  const auto& lu = store.labels[u];
+  const auto& lv = store.labels[v];
+  if (store.scheme == "fgnw") {
+    std::printf("d = %llu\n",
+                static_cast<unsigned long long>(core::FgnwScheme::query(lu, lv)));
+  } else if (store.scheme == "alstrup") {
+    std::printf("d = %llu\n", static_cast<unsigned long long>(
+                                  core::AlstrupScheme::query(lu, lv)));
+  } else if (store.scheme == "peleg") {
+    std::printf("d = %llu\n", static_cast<unsigned long long>(
+                                  core::PelegScheme::query(lu, lv)));
+  } else if (store.scheme == "kdist") {
+    const std::uint64_t k = std::stoull(store.params.substr(2));
+    const auto r = core::KDistanceScheme::query(k, lu, lv);
+    if (r.within)
+      std::printf("d = %llu (<= k = %llu)\n",
+                  static_cast<unsigned long long>(r.distance),
+                  static_cast<unsigned long long>(k));
+    else
+      std::printf("d > k = %llu\n", static_cast<unsigned long long>(k));
+  } else if (store.scheme == "approx") {
+    const double eps = 1.0 / std::stod(store.params.substr(8));
+    std::printf("d ~ %llu (within factor %.4f)\n",
+                static_cast<unsigned long long>(
+                    core::ApproxScheme::query(eps, lu, lv)),
+                1 + eps);
+  } else {
+    std::fprintf(stderr, "unknown scheme tag '%s'\n", store.scheme.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const auto store = load_file(argv[2]);
+  core::LabelStats st;
+  for (const auto& l : store.labels) st.add(l.size());
+  std::printf("scheme=%s params='%s' labels=%zu max=%zu bits avg=%.1f bits\n",
+              store.scheme.c_str(), store.params.c_str(), st.count,
+              st.max_bits, st.avg_bits());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+    if (std::strcmp(argv[1], "label") == 0) return cmd_label(argc, argv);
+    if (std::strcmp(argv[1], "query") == 0) return cmd_query(argc, argv);
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,36 @@
+#include "bits/alphabetic.hpp"
+
+#include <stdexcept>
+
+#include "bits/wordops.hpp"
+
+namespace treelab::bits {
+
+std::vector<Codeword> alphabetic_code(std::span<const std::uint64_t> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("alphabetic_code: no symbols");
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) {
+    if (w == 0) throw std::invalid_argument("alphabetic_code: zero weight");
+    total += w;
+  }
+
+  std::vector<Codeword> out;
+  out.reserve(weights.size());
+  std::uint64_t cum = 0;
+  for (std::uint64_t w : weights) {
+    // Midpoint of the symbol's interval: (cum + w/2) / total, kept exactly
+    // as the fraction num / (2 * total).
+    const unsigned __int128 num = 2 * static_cast<unsigned __int128>(cum) + w;
+    const unsigned __int128 den = 2 * static_cast<unsigned __int128>(total);
+    // len = ceil(log2(total / w)) + 1
+    const int len = ceil_log2((total + w - 1) / w) + 1;
+    const std::uint64_t code =
+        static_cast<std::uint64_t>((num << len) / den);
+    out.push_back(Codeword{code, len});
+    cum += w;
+  }
+  return out;
+}
+
+}  // namespace treelab::bits

@@ -1,0 +1,36 @@
+// Order-preserving prefix-free codes (Gilbert–Moore alphabetic codes).
+//
+// Given positive weights w_1..w_m with total W, symbol j receives a codeword
+// of length ceil(log2(W / w_j)) + 1 bits, no codeword is a prefix of another,
+// and codewords compare lexicographically in symbol order. This is the
+// standard tool behind O(log n)-bit heavy-path labels (Lemma 2.1): encoding
+// the branch at a path position with ~log(parent size / child size) bits
+// telescopes to O(log n) over a root-to-leaf sequence of light edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bitio.hpp"
+
+namespace treelab::bits {
+
+struct Codeword {
+  std::uint64_t bits = 0;  // MSB-aligned within `len`: bit (len-1-i) is the
+                           // i-th bit of the codeword
+  int len = 0;
+
+  /// Appends MSB-first (so that bitwise comparison of concatenated labels
+  /// equals lexicographic comparison of codeword sequences).
+  void write_to(BitWriter& w) const {
+    for (int i = len - 1; i >= 0; --i) w.put_bit((bits >> i) & 1u);
+  }
+};
+
+/// Builds the Gilbert–Moore code for `weights` (each >= 1).
+/// Throws std::invalid_argument on empty input or zero weights.
+[[nodiscard]] std::vector<Codeword> alphabetic_code(
+    std::span<const std::uint64_t> weights);
+
+}  // namespace treelab::bits

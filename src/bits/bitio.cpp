@@ -1,0 +1,47 @@
+#include "bits/bitio.hpp"
+
+#include <cassert>
+
+#include "bits/wordops.hpp"
+
+namespace treelab::bits {
+
+void BitWriter::put_gamma(std::uint64_t x) {
+  assert(x >= 1);
+  const int len = bitwidth(x);  // >= 1
+  put_unary(static_cast<std::uint64_t>(len - 1));
+  if (len > 1) put_bits(x & low_mask(len - 1), len - 1);
+}
+
+void BitWriter::put_delta(std::uint64_t x) {
+  assert(x >= 1);
+  const int len = bitwidth(x);
+  put_gamma(static_cast<std::uint64_t>(len));
+  if (len > 1) put_bits(x & low_mask(len - 1), len - 1);
+}
+
+std::uint64_t BitReader::get_unary() {
+  std::uint64_t x = 0;
+  while (!get_bit()) ++x;
+  return x;
+}
+
+std::uint64_t BitReader::get_gamma() {
+  const std::uint64_t lm1 = get_unary();
+  if (lm1 >= 64) throw DecodeError("gamma code too long");
+  const int len = static_cast<int>(lm1) + 1;
+  std::uint64_t x = std::uint64_t{1} << (len - 1);
+  if (len > 1) x |= get_bits(len - 1);
+  return x;
+}
+
+std::uint64_t BitReader::get_delta() {
+  const std::uint64_t len64 = get_gamma();
+  if (len64 == 0 || len64 > 64) throw DecodeError("delta code length invalid");
+  const int len = static_cast<int>(len64);
+  std::uint64_t x = std::uint64_t{1} << (len - 1);
+  if (len > 1) x |= get_bits(len - 1);
+  return x;
+}
+
+}  // namespace treelab::bits

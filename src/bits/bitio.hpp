@@ -1,0 +1,113 @@
+// BitWriter / BitReader: streaming construction and decoding of labels.
+//
+// Every labeling scheme encodes its label as a sequence of self-delimiting
+// fields (Elias codes, unary runs, fixed-width words); these two classes are
+// the only way label bits are produced and consumed, which keeps encode and
+// decode symmetric by construction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "bits/bitvec.hpp"
+
+namespace treelab::bits {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void put_bit(bool b) { out_.push_back(b); }
+
+  /// Append the `width` lowest bits of `value`, LSB first.
+  void put_bits(std::uint64_t value, int width) { out_.append_bits(value, width); }
+
+  /// Unary code for x >= 0: x zeros followed by a one.
+  void put_unary(std::uint64_t x) {
+    for (std::uint64_t i = 0; i < x; ++i) out_.push_back(false);
+    out_.push_back(true);
+  }
+
+  /// Elias gamma code for x >= 1: unary(len-1) then the low len-1 bits of x.
+  void put_gamma(std::uint64_t x);
+
+  /// Elias gamma shifted to accept x >= 0 (encodes x+1).
+  void put_gamma0(std::uint64_t x) { put_gamma(x + 1); }
+
+  /// Elias delta code for x >= 1: gamma(len) then the low len-1 bits of x.
+  void put_delta(std::uint64_t x);
+
+  /// Elias delta shifted to accept x >= 0 (encodes x+1).
+  void put_delta0(std::uint64_t x) { put_delta(x + 1); }
+
+  void append(const BitVec& v) { out_.append(v); }
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return out_.size(); }
+
+  /// Finish and take the encoded bits.
+  [[nodiscard]] BitVec take() { return std::move(out_); }
+
+  [[nodiscard]] const BitVec& bits() const noexcept { return out_; }
+
+ private:
+  BitVec out_;
+};
+
+/// Thrown when a label does not decode (truncated / corrupt input). Queries
+/// must fail loudly on malformed labels rather than reading out of bounds.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const char* what) : std::runtime_error(what) {}
+};
+
+class BitReader {
+ public:
+  /// Reads from `v`, which must outlive the reader.
+  explicit BitReader(const BitVec& v) noexcept : v_(&v) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return v_->size() - pos_;
+  }
+
+  void seek(std::size_t pos) {
+    if (pos > v_->size()) throw DecodeError("BitReader::seek past end");
+    pos_ = pos;
+  }
+
+  [[nodiscard]] bool get_bit() {
+    require(1);
+    return v_->get(pos_++);
+  }
+
+  [[nodiscard]] std::uint64_t get_bits(int width) {
+    require(static_cast<std::size_t>(width));
+    const std::uint64_t x = v_->read_bits(pos_, width);
+    pos_ += static_cast<std::size_t>(width);
+    return x;
+  }
+
+  [[nodiscard]] std::uint64_t get_unary();
+  [[nodiscard]] std::uint64_t get_gamma();
+  [[nodiscard]] std::uint64_t get_gamma0() { return get_gamma() - 1; }
+  [[nodiscard]] std::uint64_t get_delta();
+  [[nodiscard]] std::uint64_t get_delta0() { return get_delta() - 1; }
+
+  /// Extract `len` bits starting at the cursor as a BitVec and advance.
+  [[nodiscard]] BitVec get_vec(std::size_t len) {
+    require(len);
+    BitVec out = v_->slice(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > v_->size()) throw DecodeError("BitReader: truncated input");
+  }
+
+  const BitVec* v_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace treelab::bits

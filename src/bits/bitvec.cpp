@@ -1,0 +1,85 @@
+#include "bits/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace treelab::bits {
+
+void BitVec::append_bits(std::uint64_t value, int width) {
+  assert(width >= 0 && width <= 64);
+  if (width < 64) value &= low_mask(width);
+  int done = 0;
+  while (done < width) {
+    const int off = static_cast<int>(size_ & 63);
+    if (off == 0) words_.push_back(0);
+    const int take = std::min(64 - off, width - done);
+    words_[size_ >> 6] |= (value >> done) << off;
+    size_ += static_cast<std::size_t>(take);
+    done += take;
+  }
+}
+
+void BitVec::append(const BitVec& other) {
+  std::size_t pos = 0;
+  while (pos < other.size_) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, other.size_ - pos));
+    append_bits(other.read_bits(pos, take), take);
+    pos += static_cast<std::size_t>(take);
+  }
+}
+
+std::uint64_t BitVec::read_bits(std::size_t pos, int width) const {
+  assert(width >= 0 && width <= 64);
+  assert(pos + static_cast<std::size_t>(width) <= size_);
+  if (width == 0) return 0;
+  const std::size_t w = pos >> 6;
+  const int off = static_cast<int>(pos & 63);
+  std::uint64_t out = words_[w] >> off;
+  const int have = 64 - off;
+  if (have < width) out |= words_[w + 1] << have;
+  if (width < 64) out &= low_mask(width);
+  return out;
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  assert(pos + len <= size_);
+  BitVec out;
+  std::size_t done = 0;
+  while (done < len) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, len - done));
+    out.append_bits(read_bits(pos + done, take), take);
+    done += static_cast<std::size_t>(take);
+  }
+  return out;
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i + 1 < words_.size(); ++i)
+    c += static_cast<std::size_t>(std::popcount(words_[i]));
+  if (!words_.empty()) {
+    std::uint64_t last = words_.back();
+    const int rem = static_cast<int>(size_ & 63);
+    if (rem != 0) last &= low_mask(rem);
+    c += static_cast<std::size_t>(std::popcount(last));
+  }
+  return c;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; i += 64) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, size_ - i));
+    if (read_bits(i, take) != other.read_bits(i, take)) return false;
+  }
+  return true;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace treelab::bits

@@ -1,0 +1,81 @@
+// BitVec: a growable, packed bit string. Labels produced by every scheme in
+// treelab are BitVecs; all size accounting in the benches is in BitVec bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bits/wordops.hpp"
+
+namespace treelab::bits {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// A bit vector of `n` zero bits.
+  explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Bit at position i (0 = first appended). Precondition: i < size().
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Bounds-checked bit access; throws std::out_of_range.
+  [[nodiscard]] bool at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("BitVec::at: index out of range");
+    return get(i);
+  }
+
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= m;
+    else
+      words_[i >> 6] &= ~m;
+  }
+
+  void push_back(bool v) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (v) words_[size_ >> 6] |= std::uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  /// Append the `width` lowest bits of `value`, least significant bit first.
+  /// width in [0, 64].
+  void append_bits(std::uint64_t value, int width);
+
+  /// Append all bits of another bit vector.
+  void append(const BitVec& other);
+
+  /// Read `width` (<= 64) bits starting at position `pos`, LSB-first, i.e.
+  /// the inverse of append_bits. Precondition: pos + width <= size().
+  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, int width) const;
+
+  /// The contiguous sub-vector [pos, pos+len).
+  [[nodiscard]] BitVec slice(std::size_t pos, std::size_t len) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  bool operator==(const BitVec& other) const noexcept;
+
+  /// "0101..." debug rendering (first bit leftmost).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace treelab::bits

@@ -1,0 +1,130 @@
+#include "bits/monotone.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bits/wordops.hpp"
+
+namespace treelab::bits {
+
+MonotoneSeq MonotoneSeq::encode(std::span<const std::uint64_t> xs,
+                                std::uint64_t universe) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > universe)
+      throw std::invalid_argument("MonotoneSeq: element exceeds universe");
+    if (i > 0 && xs[i] < xs[i - 1])
+      throw std::invalid_argument("MonotoneSeq: sequence not monotone");
+  }
+
+  const std::size_t s = xs.size();
+  const std::uint64_t b =
+      s == 0 ? 1 : std::max<std::uint64_t>(1, (universe + s) / s);  // ceil(M/s), >=1
+
+  BitWriter w;
+  w.put_delta0(static_cast<std::uint64_t>(s));
+  w.put_delta0(universe);
+  w.put_delta0(b);
+  const int low_width = b > 1 ? ceil_log2(b) : 0;
+  for (std::uint64_t x : xs) w.put_bits(x % b, low_width);
+  std::uint64_t prev_hi = 0;
+  for (std::uint64_t x : xs) {
+    const std::uint64_t hi = x / b;
+    w.put_unary(hi - prev_hi);
+    prev_hi = hi;
+  }
+
+  MonotoneSeq out;
+  out.enc_ = w.take();
+  out.attach();
+  return out;
+}
+
+MonotoneSeq MonotoneSeq::read_from(BitReader& r) {
+  // Decode the header to learn the total length, then slice it out.
+  const std::size_t start = r.pos();
+  const std::uint64_t s = r.get_delta0();
+  const std::uint64_t m = r.get_delta0();
+  const std::uint64_t b = r.get_delta0();
+  if (b == 0) throw DecodeError("MonotoneSeq: zero block length");
+  const int low_width = b > 1 ? ceil_log2(b) : 0;
+  std::size_t pos = r.pos() + static_cast<std::size_t>(s) * low_width;
+  // Skip s unary codes in the high vector.
+  std::uint64_t hi_total = 0;
+  r.seek(pos);
+  for (std::uint64_t i = 0; i < s; ++i) hi_total += r.get_unary();
+  if (hi_total > m / b + 1) throw DecodeError("MonotoneSeq: high parts overflow");
+  const std::size_t end = r.pos();
+
+  MonotoneSeq out;
+  r.seek(start);
+  out.enc_ = r.get_vec(end - start);
+  out.attach();
+  return out;
+}
+
+void MonotoneSeq::attach() {
+  BitReader r(enc_);
+  s_ = static_cast<std::size_t>(r.get_delta0());
+  m_ = r.get_delta0();
+  b_ = r.get_delta0();
+  low_width_ = b_ > 1 ? ceil_log2(b_) : 0;
+  lows_off_ = r.pos();
+  highs_off_ = lows_off_ + s_ * static_cast<std::size_t>(low_width_);
+  highs_ = RankSelect(enc_.slice(highs_off_, enc_.size() - highs_off_));
+}
+
+std::uint64_t MonotoneSeq::get(std::size_t i) const {
+  if (i >= s_) throw std::out_of_range("MonotoneSeq::get");
+  const std::uint64_t low =
+      low_width_ == 0
+          ? 0
+          : enc_.read_bits(lows_off_ + i * static_cast<std::size_t>(low_width_),
+                           low_width_);
+  // y_i = (position of i-th one in the unary vector) - i
+  const std::uint64_t hi =
+      static_cast<std::uint64_t>(highs_.select1(i)) - i;
+  return hi * b_ + low;
+}
+
+std::size_t MonotoneSeq::successor(std::uint64_t x) const {
+  // Binary search over positions; get() is O(1), so this is O(log s). When
+  // s = O(log n) the paper replaces this with a Patrascu–Thorup predecessor
+  // structure; the asymptotic label size is unchanged.
+  std::size_t lo = 0, hi = s_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (get(mid) >= x)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+std::size_t MonotoneSeq::predecessor(std::uint64_t x) const {
+  const std::size_t succ_gt = [&] {
+    std::size_t lo = 0, hi = s_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (get(mid) > x)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }();
+  return succ_gt == 0 ? s_ : succ_gt - 1;
+}
+
+std::size_t MonotoneSeq::lcs_of_prefixes(const MonotoneSeq& a, std::size_t pa,
+                                         const MonotoneSeq& b,
+                                         std::size_t pb) {
+  assert(pa <= a.size() && pb <= b.size());
+  std::size_t t = 0;
+  const std::size_t lim = std::min(pa, pb);
+  while (t < lim && a.get(pa - 1 - t) == b.get(pb - 1 - t)) ++t;
+  return t;
+}
+
+}  // namespace treelab::bits

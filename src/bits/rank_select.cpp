@@ -1,0 +1,107 @@
+#include "bits/rank_select.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "bits/wordops.hpp"
+
+namespace treelab::bits {
+namespace {
+
+/// Position (0-based) of the k-th set bit of word w; k < popcount(w).
+int select_in_word(std::uint64_t w, int k) noexcept {
+  for (int i = 0; i < k; ++i) w &= w - 1;  // clear k lowest ones
+  return lsb(w);
+}
+
+}  // namespace
+
+RankSelect::RankSelect(BitVec v) : bits_(std::move(v)) {
+  const std::size_t n = bits_.size();
+  const std::size_t n_super = n / kSuper + 1;
+  super_rank_.assign(n_super + 1, 0);
+
+  std::size_t ones = 0;
+  for (std::size_t s = 0; s < n_super; ++s) {
+    super_rank_[s] = ones;
+    const std::size_t lo = s * kSuper;
+    const std::size_t hi = std::min(n, lo + kSuper);
+    for (std::size_t p = lo; p < hi; p += 64) {
+      const int take = static_cast<int>(std::min<std::size_t>(64, hi - p));
+      ones += static_cast<std::size_t>(
+          std::popcount(bits_.read_bits(p, take)));
+    }
+    if ((s + 1) * kSuper <= n) {
+      // hints: record the superblock containing every kSuper-th one/zero
+      const std::size_t zeros = (s + 1) * kSuper - ones;
+      while (sel1_hint_.size() * kSuper < ones)
+        sel1_hint_.push_back(static_cast<std::uint32_t>(s));
+      while (sel0_hint_.size() * kSuper < zeros)
+        sel0_hint_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  super_rank_[n_super] = ones;
+  ones_ = ones;
+}
+
+std::size_t RankSelect::rank1(std::size_t i) const noexcept {
+  assert(i <= bits_.size());
+  const std::size_t s = i / kSuper;
+  std::size_t r = super_rank_[s];
+  std::size_t p = s * kSuper;
+  while (p + 64 <= i) {
+    r += static_cast<std::size_t>(std::popcount(bits_.read_bits(p, 64)));
+    p += 64;
+  }
+  if (p < i)
+    r += static_cast<std::size_t>(
+        std::popcount(bits_.read_bits(p, static_cast<int>(i - p))));
+  return r;
+}
+
+std::size_t RankSelect::select1(std::size_t k) const noexcept {
+  assert(k < ones_);
+  // Start from the hinted superblock, then walk superblocks.
+  std::size_t s = 0;
+  const std::size_t h = k / kSuper;
+  if (h < sel1_hint_.size()) s = sel1_hint_[h];
+  while (super_rank_[s + 1] <= k) ++s;
+  std::size_t remaining = k - super_rank_[s];
+  std::size_t p = s * kSuper;
+  const std::size_t n = bits_.size();
+  for (;;) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
+    const std::uint64_t w = bits_.read_bits(p, take);
+    const std::size_t c = static_cast<std::size_t>(std::popcount(w));
+    if (remaining < c)
+      return p + static_cast<std::size_t>(
+                     select_in_word(w, static_cast<int>(remaining)));
+    remaining -= c;
+    p += 64;
+  }
+}
+
+std::size_t RankSelect::select0(std::size_t k) const noexcept {
+  assert(k < bits_.size() - ones_);
+  std::size_t s = 0;
+  const std::size_t h = k / kSuper;
+  if (h < sel0_hint_.size()) s = sel0_hint_[h];
+  while ((s + 1) * kSuper - super_rank_[s + 1] <= k &&
+         (s + 1) * kSuper <= bits_.size())
+    ++s;
+  std::size_t remaining = k - (s * kSuper - super_rank_[s]);
+  std::size_t p = s * kSuper;
+  const std::size_t n = bits_.size();
+  for (;;) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
+    const std::uint64_t w = ~bits_.read_bits(p, take) & low_mask(take);
+    const std::size_t c = static_cast<std::size_t>(std::popcount(w));
+    if (remaining < c)
+      return p + static_cast<std::size_t>(
+                     select_in_word(w, static_cast<int>(remaining)));
+    remaining -= c;
+    p += 64;
+  }
+}
+
+}  // namespace treelab::bits

@@ -1,0 +1,56 @@
+// Succinct rank/select directories over a BitVec.
+//
+// Lemma 2.2 of the paper augments its unary high-part vector with the select
+// structure of Clark and the rank structure of Jacobson (o(n) extra bits,
+// constant-time queries in the word-RAM). We implement the classic two-level
+// rank directory (superblocks of 512 bits + 64-bit blocks) and a sampled
+// select with block scanning: rank is O(1); select is O(1) amortized for the
+// label sizes that occur here (the scan is over at most one superblock).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvec.hpp"
+
+namespace treelab::bits {
+
+class RankSelect {
+ public:
+  RankSelect() = default;
+
+  /// Builds directories for `v`. The BitVec is copied so the structure is
+  /// self-contained (labels are small; copying keeps lifetimes simple).
+  explicit RankSelect(BitVec v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+  [[nodiscard]] const BitVec& bits() const noexcept { return bits_; }
+  [[nodiscard]] bool get(std::size_t i) const noexcept { return bits_.get(i); }
+
+  /// Number of set bits in [0, i). rank1(size()) == total ones.
+  [[nodiscard]] std::size_t rank1(std::size_t i) const noexcept;
+
+  /// Number of zero bits in [0, i).
+  [[nodiscard]] std::size_t rank0(std::size_t i) const noexcept {
+    return i - rank1(i);
+  }
+
+  [[nodiscard]] std::size_t ones() const noexcept { return ones_; }
+
+  /// Position of the k-th set bit, k in [0, ones()).
+  [[nodiscard]] std::size_t select1(std::size_t k) const noexcept;
+
+  /// Position of the k-th zero bit, k in [0, size() - ones()).
+  [[nodiscard]] std::size_t select0(std::size_t k) const noexcept;
+
+ private:
+  static constexpr std::size_t kSuper = 512;  // bits per superblock
+
+  BitVec bits_;
+  std::vector<std::uint64_t> super_rank_;  // ones before each superblock
+  std::vector<std::uint32_t> sel1_hint_;   // superblock of every 512th one
+  std::vector<std::uint32_t> sel0_hint_;   // superblock of every 512th zero
+  std::size_t ones_ = 0;
+};
+
+}  // namespace treelab::bits

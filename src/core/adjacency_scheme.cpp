@@ -1,0 +1,56 @@
+#include "core/adjacency_scheme.hpp"
+
+#include "bits/bitio.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+struct Rec {
+  std::uint64_t pre = 0;
+  bool has_parent = false;
+  std::uint64_t parent_pre = 0;
+};
+
+Rec parse(const BitVec& l) {
+  BitReader r(l);
+  Rec rec;
+  rec.pre = r.get_delta0();
+  rec.has_parent = r.get_bit();
+  if (rec.has_parent) rec.parent_pre = r.get_delta0();
+  return rec;
+}
+
+}  // namespace
+
+AdjacencyScheme::AdjacencyScheme(const Tree& t) {
+  std::vector<std::uint64_t> pre(static_cast<std::size_t>(t.size()));
+  std::uint64_t c = 0;
+  for (NodeId v : t.preorder()) pre[static_cast<std::size_t>(v)] = c++;
+
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    BitWriter w;
+    w.put_delta0(pre[static_cast<std::size_t>(v)]);
+    const NodeId p = t.parent(v);
+    w.put_bit(p != kNoNode);
+    if (p != kNoNode) w.put_delta0(pre[static_cast<std::size_t>(p)]);
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+bool AdjacencyScheme::adjacent(const BitVec& lu, const BitVec& lv) {
+  const Rec u = parse(lu);
+  const Rec v = parse(lv);
+  return (u.has_parent && u.parent_pre == v.pre) ||
+         (v.has_parent && v.parent_pre == u.pre);
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,42 @@
+// AdjacencyScheme — adjacency labeling for trees (the k = 1 member of the
+// labeling family; cf. Alstrup–Dahlgaard–Knudsen [FOCS'15] for the optimal
+// log n + O(1) bound).
+//
+// treelab's scheme stores (pre(v), pre(parent(v))): two nodes are adjacent
+// iff one's preorder equals the other's parent-preorder. ~2 log n bits and
+// constant-time queries — the simple classical scheme; the k-distance
+// labels of Section 4 specialize to adjacency at k = 1 with the
+// asymptotically optimal log n + O(log log n) size (see
+// bench_table1_kdist_small), so this class exists as the trivially
+// auditable baseline and for the examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class AdjacencyScheme {
+ public:
+  explicit AdjacencyScheme(const tree::Tree& t);
+
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// True iff the two labeled nodes are joined by an edge.
+  [[nodiscard]] static bool adjacent(const bits::BitVec& lu,
+                                     const bits::BitVec& lv);
+
+ private:
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

@@ -1,0 +1,85 @@
+#include "core/alstrup_scheme.hpp"
+
+#include <algorithm>
+
+#include "bits/bitio.hpp"
+#include "bits/monotone.hpp"
+#include "nca/nca_labeling.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using bits::MonotoneSeq;
+using nca::NcaLabeling;
+using nca::NcaResult;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+AlstrupScheme::AlstrupScheme(const Tree& t) {
+  const HeavyPathDecomposition hpd(t);
+  const NcaLabeling nca(hpd);
+
+  // Per heavy path: root distances of the branch nodes above it.
+  const std::int32_t m = hpd.num_paths();
+  std::vector<std::vector<std::uint64_t>> branch_rd(
+      static_cast<std::size_t>(m));
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m));
+  for (std::int32_t p = 0; p < m; ++p) order[static_cast<std::size_t>(p)] = p;
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return hpd.light_depth(hpd.head(a)) < hpd.light_depth(hpd.head(b));
+  });
+  for (std::int32_t p : order) {
+    const NodeId h = hpd.head(p);
+    const NodeId b = t.parent(h);
+    if (b == kNoNode) continue;
+    auto rs = branch_rd[static_cast<std::size_t>(hpd.path_of(b))];
+    rs.push_back(t.root_distance(b));
+    branch_rd[static_cast<std::size_t>(p)] = std::move(rs);
+  }
+
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto& rs = branch_rd[static_cast<std::size_t>(hpd.path_of(v))];
+    BitWriter w;
+    w.put_delta0(t.root_distance(v));
+    const BitVec& nl = nca.label(v);
+    w.put_delta0(nl.size());
+    w.append(nl);
+    const MonotoneSeq seq = MonotoneSeq::encode(rs, t.root_distance(v));
+    seq.write_to(w);
+    payload_.add(seq.bit_size());
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+std::uint64_t AlstrupScheme::query(const BitVec& lu, const BitVec& lv) {
+  BitReader ru(lu), rv(lv);
+  const std::uint64_t rd_u = ru.get_delta0();
+  const std::uint64_t rd_v = rv.get_delta0();
+  const BitVec nu = ru.get_vec(static_cast<std::size_t>(ru.get_delta0()));
+  const BitVec nv = rv.get_vec(static_cast<std::size_t>(rv.get_delta0()));
+  const NcaResult res = NcaLabeling::query(nu, nv);
+  switch (res.rel) {
+    case NcaResult::Rel::kEqual:
+      return 0;
+    case NcaResult::Rel::kUAncestor:
+      return rd_v - rd_u;
+    case NcaResult::Rel::kVAncestor:
+      return rd_u - rd_v;
+    case NcaResult::Rel::kDiverge:
+      break;
+  }
+  // The dominating node's branch at level lightdepth+1 is the NCA.
+  BitReader& rd_reader = res.u_first ? ru : rv;
+  const MonotoneSeq rs = MonotoneSeq::read_from(rd_reader);
+  const std::uint64_t rd_nca =
+      rs.get(static_cast<std::size_t>(res.lightdepth));
+  return rd_u + rd_v - 2 * rd_nca;
+}
+
+}  // namespace treelab::core

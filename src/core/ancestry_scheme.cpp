@@ -1,0 +1,56 @@
+#include "core/ancestry_scheme.hpp"
+
+#include "bits/bitio.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t len = 0;  // subtree size; interval is [lo, lo + len)
+};
+
+Interval parse(const BitVec& l) {
+  BitReader r(l);
+  Interval iv;
+  iv.lo = r.get_delta0();
+  iv.len = r.get_delta0();
+  return iv;
+}
+
+}  // namespace
+
+AncestryScheme::AncestryScheme(const Tree& t) {
+  std::vector<std::uint64_t> pre(static_cast<std::size_t>(t.size()));
+  std::uint64_t c = 0;
+  for (NodeId v : t.preorder()) pre[static_cast<std::size_t>(v)] = c++;
+
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    BitWriter w;
+    w.put_delta0(pre[static_cast<std::size_t>(v)]);
+    w.put_delta0(static_cast<std::uint64_t>(t.subtree_size(v)));
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+bool AncestryScheme::is_ancestor(const BitVec& lu, const BitVec& lv) {
+  const Interval u = parse(lu);
+  const Interval v = parse(lv);
+  return u.lo <= v.lo && v.lo < u.lo + u.len;
+}
+
+bool AncestryScheme::same_node(const BitVec& lu, const BitVec& lv) {
+  const Interval u = parse(lu);
+  const Interval v = parse(lv);
+  return u.lo == v.lo && u.len == v.len;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,47 @@
+// AncestryScheme — ancestry labeling for rooted trees.
+//
+// The paper's introduction places distance labeling in a family of tree
+// labeling problems whose optimal bounds were settled earlier: adjacency
+// [FOCS'15], NCA [SODA'14], and ancestry [SICOMP'06, Abiteboul et al.].
+// treelab ships simple, correct schemes for those companions so that the
+// library covers the whole family; for ancestry this is the classic
+// interval scheme: label(v) = (pre(v), pre(v) + |T_v|), and u is an
+// ancestor of v iff pre(v) lies in u's interval. 2 log n bits (the optimal
+// scheme sharpens this to log n + O(log log n); the interval form is the
+// textbook variant this library needs for its examples and tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class AncestryScheme {
+ public:
+  explicit AncestryScheme(const tree::Tree& t);
+
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// True iff the node labeled `lu` is an ancestor of (or equal to) the
+  /// node labeled `lv`.
+  [[nodiscard]] static bool is_ancestor(const bits::BitVec& lu,
+                                        const bits::BitVec& lv);
+
+  /// Strict descendant test and equality, from labels alone.
+  [[nodiscard]] static bool same_node(const bits::BitVec& lu,
+                                      const bits::BitVec& lv);
+
+ private:
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

@@ -1,0 +1,148 @@
+#include "core/approx_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bits/bitio.hpp"
+#include "bits/monotone.hpp"
+#include "nca/nca_labeling.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using bits::MonotoneSeq;
+using nca::NcaLabeling;
+using nca::NcaResult;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+/// Smallest integer e with (1+eps)^e >= x (x >= 1).
+std::uint32_t round_up_exp(double eps, std::uint64_t x) {
+  if (x <= 1) return 0;
+  const long double base = 1.0L + static_cast<long double>(eps);
+  auto e = static_cast<std::int64_t>(
+      std::ceil(std::log(static_cast<long double>(x)) / std::log(base)));
+  // Guard against floating point drift on both sides.
+  while (e > 0 && std::pow(base, static_cast<long double>(e - 1)) >=
+                      static_cast<long double>(x))
+    --e;
+  while (std::pow(base, static_cast<long double>(e)) <
+         static_cast<long double>(x))
+    ++e;
+  return static_cast<std::uint32_t>(std::max<std::int64_t>(0, e));
+}
+
+/// (1+eps)^e exactly as a real (a valid over-estimate, by a factor of at
+/// most 1+eps, of any x whose rounding exponent is e). Kept real-valued:
+/// rounding it up to an integer here would add +1 absolute error and break
+/// the multiplicative guarantee on small distances.
+long double exp_value(double eps, std::uint32_t e) {
+  const long double base = 1.0L + static_cast<long double>(eps);
+  return std::pow(base, static_cast<long double>(e));
+}
+
+}  // namespace
+
+ApproxScheme::ApproxScheme(const Tree& t, double eps, Encoding enc)
+    : eps_(eps) {
+  if (!(eps > 0.0) || eps > 1.0)
+    throw std::invalid_argument("ApproxScheme: eps must be in (0, 1]");
+  const double half = eps / 2;  // the rounding uses eps/2 (see header)
+  const HeavyPathDecomposition hpd(t);
+  const NcaLabeling nca(hpd);
+
+  // Per path: rounding exponents of d(v, v_i) depend on v, so they are
+  // computed per node by walking its significant ancestor chain.
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    std::vector<std::uint64_t> exps;
+    NodeId cur = v;
+    std::uint64_t dist = 0;
+    for (;;) {
+      const NodeId head = hpd.head_of(cur);
+      const NodeId up = t.parent(head);
+      if (up == kNoNode) break;
+      dist += t.root_distance(cur) - t.root_distance(head) + t.weight(head);
+      exps.push_back(round_up_exp(half, std::max<std::uint64_t>(1, dist)));
+      cur = up;
+    }
+
+    BitWriter w;
+    w.put_delta0(t.root_distance(v));
+    const BitVec& nl = nca.label(v);
+    w.put_delta0(nl.size());
+    w.append(nl);
+    w.put_bit(enc == Encoding::kUnary);
+    if (enc == Encoding::kUnary) {
+      // [ICALP'16]-style: first exponent, then unary deltas.
+      w.put_delta0(exps.size());
+      std::uint64_t prev = 0;
+      for (std::uint64_t e : exps) {
+        w.put_unary(e - prev);
+        prev = e;
+      }
+    } else {
+      MonotoneSeq::encode(exps, exps.empty() ? 0 : exps.back()).write_to(w);
+    }
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+std::uint64_t ApproxScheme::query(double eps, const BitVec& lu,
+                                  const BitVec& lv) {
+  const double half = eps / 2;
+  BitReader ru(lu), rv(lv);
+  const std::uint64_t rd_u = ru.get_delta0();
+  const std::uint64_t rd_v = rv.get_delta0();
+  const BitVec nu = ru.get_vec(static_cast<std::size_t>(ru.get_delta0()));
+  const BitVec nv = rv.get_vec(static_cast<std::size_t>(rv.get_delta0()));
+  const NcaResult res = NcaLabeling::query(nu, nv);
+  switch (res.rel) {
+    case NcaResult::Rel::kEqual:
+      return 0;
+    case NcaResult::Rel::kUAncestor:
+      return rd_v - rd_u;
+    case NcaResult::Rel::kVAncestor:
+      return rd_u - rd_v;
+    case NcaResult::Rel::kDiverge:
+      break;
+  }
+  // w = NCA is the j-th significant ancestor of the dominating node, where
+  // j = lightdepth(dominator) - lightdepth(w).
+  BitReader& rd = res.u_first ? ru : rv;
+  const BitVec& nl = res.u_first ? nu : nv;
+  const std::size_t j = static_cast<std::size_t>(
+      NcaLabeling::lightdepth_of_label(nl) - res.lightdepth);
+  if (j == 0) throw bits::DecodeError("approx label: dominator at NCA");
+  std::uint32_t e = 0;
+  if (rd.get_bit()) {  // unary encoding
+    const std::uint64_t cnt = rd.get_delta0();
+    if (j > cnt) throw bits::DecodeError("approx label: chain too short");
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < j; ++i) acc += rd.get_unary();
+    e = static_cast<std::uint32_t>(acc);
+  } else {
+    const MonotoneSeq seq = MonotoneSeq::read_from(rd);
+    if (j > seq.size()) throw bits::DecodeError("approx label: chain too short");
+    e = static_cast<std::uint32_t>(seq.get(j - 1));
+  }
+  const long double approx_dw = exp_value(half, e);  // >= d(dominator, w)
+  const auto rd_dom = static_cast<std::int64_t>(res.u_first ? rd_u : rd_v);
+  const auto rd_oth = static_cast<std::int64_t>(res.u_first ? rd_v : rd_u);
+  // d(u,v) = 2 d(dom,w) + rd_oth - rd_dom; the rounding only inflates the
+  // first term, by a factor <= 1 + eps/2 <= 1 + eps/(2 d(dom,w)/d), hence
+  // the floored result stays in [d, (1+eps) d].
+  const long double estimate =
+      2.0L * approx_dw + static_cast<long double>(rd_oth - rd_dom);
+  return static_cast<std::uint64_t>(std::floor(estimate));
+}
+
+}  // namespace treelab::core

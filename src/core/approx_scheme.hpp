@@ -1,0 +1,57 @@
+// ApproxScheme — (1+eps)-approximate distance labeling (Section 5,
+// Theorem 1.4): O(log(1/eps) * log n)-bit labels returning a value in
+// [d(u,v), (1+eps) d(u,v)].
+//
+// Per Alstrup et al. [ICALP'16], the label of v stores d(v, root), an NCA
+// label, and the rounded distances |~ d(v, v_i) ~|_{1+eps/2} to each
+// significant ancestor v_i. For a query with NCA w, w is a significant
+// ancestor of the dominating endpoint u, so
+//     2 * |~ d(u,w) ~|  + d(v,root) - d(u,root)
+// over-estimates d(u,v) by at most eps * d(u,v).
+//
+// The paper's improvement over [ICALP'16] is purely in the encoding of the
+// rounding exponents e_i = ceil(log_{1+eps/2} d(v, v_i)): the original
+// stores them in unary (Theta(1/eps * log n) bits); using Lemma 2.2 costs
+// O(log(1/eps) * log n). Both encodings are implemented; the bench compares
+// them (the T1-approx ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class ApproxScheme {
+ public:
+  enum class Encoding : std::uint8_t {
+    kMonotone,  // Lemma 2.2 (this paper): O(log(1/eps) log n)
+    kUnary,     // [ICALP'16] baseline:    Theta(1/eps log n)
+  };
+
+  /// Builds (1+eps)-approximate labels; eps in (0, 1].
+  ApproxScheme(const tree::Tree& t, double eps,
+               Encoding enc = Encoding::kMonotone);
+
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// A value in [d(u,v), (1+eps) d(u,v)], from labels alone (eps is the
+  /// scheme-wide constant the labels were built with).
+  [[nodiscard]] static std::uint64_t query(double eps, const bits::BitVec& lu,
+                                           const bits::BitVec& lv);
+
+ private:
+  double eps_;
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

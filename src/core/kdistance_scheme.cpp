@@ -1,0 +1,361 @@
+#include "core/kdistance_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bits/bitio.hpp"
+#include "bits/monotone.hpp"
+#include "bits/wordops.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using bits::MonotoneSeq;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+/// Height of the binary-trie NCA of the (inclusive) range [a, b].
+int range_height(std::uint64_t a, std::uint64_t b) {
+  return a == b ? 0 : bits::msb(a ^ b) + 1;
+}
+
+/// Integer range identifier: a canonical point inside the dyadic span of the
+/// trie node at height h above pre (Section 4.4's "clear the h trailing bits
+/// of pre and set the h-th bit").
+std::uint64_t id_int(std::uint64_t pre, int h) {
+  const std::uint64_t base = (pre >> h) << h;
+  return h > 0 ? base | (std::uint64_t{1} << (h - 1)) : base;
+}
+
+/// Identifier equality from (member, height) pairs: the trie nodes coincide
+/// iff the heights agree and the members share all bits above the height.
+bool id_equal(std::uint64_t pre_a, int ha, std::uint64_t pre_b, int hb) {
+  return ha == hb && (pre_a >> ha) == (pre_b >> hb);
+}
+
+struct Parsed {
+  std::uint64_t pre = 0;
+  std::uint64_t lightdepth = 0;
+  bool small_k = false;
+  MonotoneSeq hl_seq;                // encoded form of hl (for Section 4.4)
+  std::vector<std::uint64_t> hl;     // heights of L_{u_i}, i = 0..r
+  std::vector<std::uint64_t> hc;     // heights of T_{head(P(u_i))}, i = 0..r
+  std::vector<std::uint64_t> dist;   // d(u, u_i), i = 0..r
+  std::uint64_t alpha = 0;           // d(u_r, head(P(u_r))), capped if small
+  std::uint64_t i_mod = 0;           // pos(u_r) mod (k+1)      (small only)
+  std::vector<std::uint64_t> fwd;    // msb(a_{i+t} - a_i), t = 1..Tf (small)
+  std::vector<std::uint64_t> bwd;    // msb(a_i - a_{i-t}), t = 1..Tb (small)
+
+  [[nodiscard]] std::size_t r() const { return hl.size() - 1; }
+};
+
+std::vector<std::uint64_t> read_seq(BitReader& r) {
+  const MonotoneSeq s = MonotoneSeq::read_from(r);
+  std::vector<std::uint64_t> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = s.get(i);
+  return out;
+}
+
+Parsed parse(std::uint64_t k, const BitVec& l) {
+  BitReader r(l);
+  Parsed p;
+  p.pre = r.get_delta0();
+  p.lightdepth = r.get_delta0();
+  p.small_k = r.get_bit();
+  p.hl_seq = MonotoneSeq::read_from(r);
+  p.hl.resize(p.hl_seq.size());
+  for (std::size_t i = 0; i < p.hl.size(); ++i) p.hl[i] = p.hl_seq.get(i);
+  p.hc = read_seq(r);
+  p.dist = read_seq(r);
+  if (p.hl.empty() || p.hl.size() != p.hc.size() ||
+      p.hl.size() != p.dist.size())
+    throw bits::DecodeError("k-dist label: chain arrays inconsistent");
+  p.alpha = r.get_delta0();
+  if (p.small_k) {
+    p.i_mod = r.get_delta0();
+    if (p.i_mod > k) throw bits::DecodeError("k-dist label: bad i_mod");
+    p.fwd = read_seq(r);
+    p.bwd = read_seq(r);
+  }
+  return p;
+}
+
+/// The aligned index in `other`'s chain of the node at the same light depth
+/// as `mine`'s chain entry `s`, or -1 if negative.
+std::int64_t aligned_index(const Parsed& mine, std::size_t s,
+                           const Parsed& other) {
+  return static_cast<std::int64_t>(other.lightdepth) -
+         static_cast<std::int64_t>(mine.lightdepth) +
+         static_cast<std::int64_t>(s);
+}
+
+BoundedDistance within(std::uint64_t k, std::uint64_t d) {
+  return d <= k ? BoundedDistance{true, d} : BoundedDistance{false, 0};
+}
+
+constexpr BoundedDistance kExceeds{false, 0};
+
+/// Both-top case: u1 at position i (mod K known), v1 at position j on the
+/// same heavy path; computes |j - i| via Lemma 4.5 or detects > k.
+BoundedDistance path_distance_small(std::uint64_t k, const Parsed& u,
+                                    const Parsed& v) {
+  const std::uint64_t a_u = id_int(u.pre, static_cast<int>(u.hl.back()));
+  const std::uint64_t a_v = id_int(v.pre, static_cast<int>(v.hl.back()));
+  // Orient so that `lo` is the higher node (smaller identifier/position).
+  const Parsed& lo = a_u < a_v ? u : v;
+  const Parsed& hi = a_u < a_v ? v : u;
+  const std::uint64_t a_i = std::min(a_u, a_v), a_j = std::max(a_u, a_v);
+  const std::uint64_t K = k + 1;
+  const std::uint64_t t = (hi.i_mod + K - lo.i_mod % K) % K;
+  if (t == 0) return kExceeds;  // a_i != a_j, so j - i >= K > k
+  if (t > lo.fwd.size() || t > hi.bwd.size()) return kExceeds;
+  const auto e = static_cast<std::uint64_t>(bits::msb(a_j - a_i));
+  if (lo.fwd[t - 1] != e || hi.bwd[t - 1] != e) return kExceeds;  // Lemma 4.4
+  return within(k, t);
+}
+
+}  // namespace
+
+KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k) : k_(k) {
+  if (k < 1) throw std::invalid_argument("KDistanceScheme: k < 1");
+  if (!t.is_unit_weighted())
+    throw std::invalid_argument("KDistanceScheme: requires unit weights");
+  const NodeId n = t.size();
+  const HeavyPathDecomposition hpd(t);
+  const bool small_k =
+      k < static_cast<std::uint64_t>(bits::ceil_log2(
+              static_cast<std::uint64_t>(std::max<NodeId>(2, n))));
+
+  // Preorder with the heavy child rightmost, so that the light range of v is
+  // the contiguous block [pre(v), pre(heavy(v))) (or all of T_v at a path
+  // tail).
+  std::vector<std::uint64_t> pre(static_cast<std::size_t>(n));
+  {
+    std::uint64_t c = 0;
+    std::vector<NodeId> stack{t.root()};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      pre[static_cast<std::size_t>(v)] = c++;
+      const NodeId hv = hpd.heavy_child(v);
+      if (hv != kNoNode) stack.push_back(hv);  // popped last -> visited last
+      const auto cs = t.children(v);
+      for (std::size_t i = cs.size(); i-- > 0;)
+        if (cs[i] != hv) stack.push_back(cs[i]);
+    }
+  }
+
+  // Per node: height of its light range and of its path head's full range;
+  // per path: the increasing identifier sequence a(q_1), ..., a(q_s).
+  std::vector<int> hl(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId hv = hpd.heavy_child(v);
+    const std::uint64_t lo = pre[static_cast<std::size_t>(v)];
+    const std::uint64_t hi =
+        hv == kNoNode
+            ? lo + static_cast<std::uint64_t>(t.subtree_size(v)) - 1
+            : pre[static_cast<std::size_t>(hv)] - 1;
+    hl[static_cast<std::size_t>(v)] = range_height(lo, hi);
+  }
+  std::vector<int> hc(static_cast<std::size_t>(n));  // indexed by path head
+  for (std::int32_t p = 0; p < hpd.num_paths(); ++p) {
+    const NodeId h = hpd.head(p);
+    const std::uint64_t lo = pre[static_cast<std::size_t>(h)];
+    const std::uint64_t hi =
+        lo + static_cast<std::uint64_t>(t.subtree_size(h)) - 1;
+    hc[static_cast<std::size_t>(h)] = range_height(lo, hi);
+  }
+  std::vector<std::vector<std::uint64_t>> path_ids(
+      static_cast<std::size_t>(hpd.num_paths()));
+  for (std::int32_t p = 0; p < hpd.num_paths(); ++p) {
+    auto& ids = path_ids[static_cast<std::size_t>(p)];
+    for (NodeId q : hpd.path_nodes(p))
+      ids.push_back(id_int(pre[static_cast<std::size_t>(q)],
+                           hl[static_cast<std::size_t>(q)]));
+  }
+
+  labels_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    // Significant ancestor chain v = u_0, u_1, ... up to distance k.
+    std::vector<NodeId> chain{v};
+    std::vector<std::uint64_t> dist{0};
+    for (;;) {
+      const NodeId cur = chain.back();
+      const NodeId head = hpd.head_of(cur);
+      const NodeId up = t.parent(head);
+      if (up == kNoNode) break;
+      const std::uint64_t d =
+          dist.back() +
+          static_cast<std::uint64_t>(t.depth(cur) - t.depth(head)) + 1;
+      if (d > k) break;
+      chain.push_back(up);
+      dist.push_back(d);
+    }
+    const NodeId top = chain.back();
+    const std::int32_t top_path = hpd.path_of(top);
+    const auto top_pos =
+        static_cast<std::uint64_t>(hpd.pos_in_path(top));
+
+    BitWriter w;
+    w.put_delta0(pre[static_cast<std::size_t>(v)]);
+    w.put_delta0(static_cast<std::uint64_t>(hpd.light_depth(v)));
+    w.put_bit(small_k);
+    std::vector<std::uint64_t> seq;
+    for (NodeId c : chain)
+      seq.push_back(static_cast<std::uint64_t>(hl[static_cast<std::size_t>(c)]));
+    MonotoneSeq::encode(seq, 64).write_to(w);
+    seq.clear();
+    for (NodeId c : chain)
+      seq.push_back(static_cast<std::uint64_t>(
+          hc[static_cast<std::size_t>(hpd.head_of(c))]));
+    MonotoneSeq::encode(seq, 64).write_to(w);
+    MonotoneSeq::encode(dist, k).write_to(w);
+
+    const std::uint64_t alpha = small_k ? std::min(top_pos, 2 * k + 1) : top_pos;
+    w.put_delta0(alpha);
+    if (small_k) {
+      w.put_delta0(top_pos % (k + 1));
+      const auto& ids = path_ids[static_cast<std::size_t>(top_path)];
+      const std::uint64_t a_i = ids[top_pos];
+      std::vector<std::uint64_t> fwd, bwd;
+      for (std::uint64_t tt = 1; tt <= k && top_pos + tt < ids.size(); ++tt)
+        fwd.push_back(
+            static_cast<std::uint64_t>(bits::msb(ids[top_pos + tt] - a_i)));
+      for (std::uint64_t tt = 1; tt <= k && tt <= top_pos; ++tt)
+        bwd.push_back(
+            static_cast<std::uint64_t>(bits::msb(a_i - ids[top_pos - tt])));
+      MonotoneSeq::encode(fwd, 64).write_to(w);
+      MonotoneSeq::encode(bwd, 64).write_to(w);
+    }
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+namespace {
+
+/// Linear-scan NCSA locator (the reference): smallest aligned index s in
+/// u's chain with matching (id, lightdepth), or -1 (Lemma 4.3 makes the
+/// first match the NCSA).
+std::int64_t find_match_scan(const Parsed& u, const Parsed& v) {
+  std::int64_t s = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(u.lightdepth) -
+             static_cast<std::int64_t>(v.lightdepth));
+  std::int64_t tt = aligned_index(u, static_cast<std::size_t>(s), v);
+  for (; s <= static_cast<std::int64_t>(u.r()) &&
+         tt <= static_cast<std::int64_t>(v.r());
+       ++s, ++tt) {
+    if (tt < 0) continue;
+    if (id_equal(u.pre, static_cast<int>(u.hl[static_cast<std::size_t>(s)]),
+                 v.pre, static_cast<int>(v.hl[static_cast<std::size_t>(tt)])))
+      return s;
+  }
+  return -1;
+}
+
+/// Section 4.4 NCSA locator: identical answers in O(1)-per-word time.
+/// Matched levels form a suffix of the aligned window (node equality at a
+/// level forces it above), so the longest common suffix of the two height
+/// sequences bounds the candidates; within it, id(L) equality is exactly
+/// "height >= l" for l = |common low bits of pre(u), pre(v)|, found with a
+/// successor query on the monotone height sequence.
+std::int64_t find_match_fast(const Parsed& u, const Parsed& v) {
+  const std::int64_t delta = static_cast<std::int64_t>(u.lightdepth) -
+                             static_cast<std::int64_t>(v.lightdepth);
+  const std::int64_t lo_s = std::max<std::int64_t>(0, delta);
+  const std::int64_t hi_s =
+      std::min(static_cast<std::int64_t>(u.r()),
+               static_cast<std::int64_t>(v.r()) + delta);
+  if (hi_s < lo_s) return -1;
+  const std::size_t lcs = MonotoneSeq::lcs_of_prefixes(
+      u.hl_seq, static_cast<std::size_t>(hi_s) + 1, v.hl_seq,
+      static_cast<std::size_t>(hi_s - delta) + 1);
+  if (lcs == 0) return -1;
+  const std::int64_t first_eq = hi_s + 1 - static_cast<std::int64_t>(lcs);
+  // Identifiers can only coincide once the range height covers every bit in
+  // which the two preorders differ.
+  const int l = u.pre == v.pre ? 0 : bits::bitwidth(u.pre ^ v.pre);
+  const auto first_high = static_cast<std::int64_t>(
+      u.hl_seq.successor(static_cast<std::uint64_t>(l)));
+  const std::int64_t s = std::max({first_eq, first_high, lo_s});
+  return s <= hi_s ? s : -1;
+}
+
+BoundedDistance resolve(std::uint64_t k, const Parsed& u, const Parsed& v,
+                        std::int64_t match_s) {
+  if (match_s >= 0) {
+    const auto s = static_cast<std::size_t>(match_s);
+    const auto tt = static_cast<std::size_t>(aligned_index(u, s, v));
+    // Matched: w = u_s = v_tt is the NCSA.
+    if (s == 0) return within(k, v.dist[tt]);  // u is an ancestor of v
+    if (tt == 0) return within(k, u.dist[s]);  // v is an ancestor of u
+    const std::uint64_t du = u.dist[s] - u.dist[s - 1];  // d(u1, w)
+    const std::uint64_t dv = v.dist[tt] - v.dist[tt - 1];
+    const bool same_path =
+        id_equal(u.pre, static_cast<int>(u.hc[s - 1]), v.pre,
+                 static_cast<int>(v.hc[tt - 1]));
+    const std::uint64_t near = same_path ? std::min(du, dv) : 0;
+    return within(k, u.dist[s] + v.dist[tt] - 2 * near);
+  }
+
+  // No stored common significant ancestor: the branch of at least one side
+  // is at its top significant ancestor. Check both orientations.
+  const auto try_top = [&](const Parsed& a, const Parsed& b) -> BoundedDistance {
+    // a's branch is a_top; b's aligned chain entry shares a_top's level.
+    const std::int64_t bi = aligned_index(a, a.r(), b);
+    if (bi < 0 || bi > static_cast<std::int64_t>(b.r())) return kExceeds;
+    if (!id_equal(a.pre, static_cast<int>(a.hc[a.r()]), b.pre,
+                  static_cast<int>(b.hc[bi])))
+      return kExceeds;  // not on the same heavy path
+    if (static_cast<std::size_t>(bi) == b.r()) {
+      // Both tops on the shared path.
+      BoundedDistance mid;
+      if (a.small_k) {
+        mid = path_distance_small(k, a, b);
+      } else {
+        const std::uint64_t da = a.alpha, db = b.alpha;
+        mid = within(k, da > db ? da - db : db - da);
+      }
+      if (!mid.within) return kExceeds;
+      return within(k, a.dist[a.r()] + mid.distance + b.dist[b.r()]);
+    }
+    // a at top, b's branch strictly below its top: d(a1, w) = alpha_a + 1,
+    // d(b1, w) = b.dist[bi+1] - b.dist[bi], both measured to the parent w of
+    // the shared path's head.
+    if (a.small_k && a.alpha >= 2 * k + 1) return kExceeds;
+    const std::uint64_t da = a.alpha + 1;
+    const std::uint64_t db = b.dist[bi + 1] - b.dist[bi];
+    const std::uint64_t mid = da > db ? da - db : db - da;
+    return within(k, a.dist[a.r()] + mid + b.dist[bi]);
+  };
+
+  const BoundedDistance via_u = try_top(u, v);
+  if (via_u.within) return via_u;
+  return try_top(v, u);
+}
+
+}  // namespace
+
+BoundedDistance KDistanceScheme::query(std::uint64_t k, const BitVec& lu,
+                                       const BitVec& lv) {
+  const Parsed u = parse(k, lu);
+  const Parsed v = parse(k, lv);
+  return resolve(k, u, v, find_match_fast(u, v));
+}
+
+BoundedDistance KDistanceScheme::query_linear(std::uint64_t k,
+                                              const BitVec& lu,
+                                              const BitVec& lv) {
+  const Parsed u = parse(k, lu);
+  const Parsed v = parse(k, lv);
+  return resolve(k, u, v, find_match_scan(u, v));
+}
+
+}  // namespace treelab::core

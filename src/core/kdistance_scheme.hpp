@@ -1,0 +1,74 @@
+// KDistanceScheme — bounded-distance labeling (Section 4, Theorem 1.3).
+//
+// Given the labels of u and v, decide whether d(u, v) <= k and if so return
+// it exactly. Label sizes: log n + O(k log(log n / k)) for k < log n, and
+// O(log n * log(k / log n)) for k >= log n.
+//
+// Machinery (Sections 4.3-4.4):
+//  * Light ranges L_u (preorder taken with the heavy child rightmost) and
+//    significant ancestors u = u_0, u_1, ..., truncated at the top
+//    significant ancestor u_r (the last one within distance k).
+//  * Range identifiers id(L) — the binary-trie ancestor of the range — are
+//    *not stored*: each is recomputed from pre(u) and the stored height
+//    (Observation 4.2.1), so a single log n field (pre) plus a monotone
+//    height sequence (Lemma 2.2) identifies the whole chain.
+//  * The nearest common significant ancestor is found by aligning the two
+//    chains on light depth and matching (id, lightdepth) pairs (Lemma 4.3).
+//  * If the branch of one side sits at its top significant ancestor, the
+//    distance along the shared heavy path is recovered either from the
+//    capped head-distance alpha (<= 2k+1) or — when both sides are at their
+//    top — via positions mod (k+1) and the monotone sequences of
+//    2-approximations |_ a_{i+t} - a_i _|_2 of range-identifier differences
+//    (Lemmas 4.4-4.5).
+//  * For k >= log n the 2-approximation machinery is unnecessary: alpha is
+//    stored uncapped (the "simple O(log k log n) scheme" of Section 4.3).
+//
+// Defined for unit-weight trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class KDistanceScheme {
+ public:
+  /// Builds k-distance labels for every node of the unit-weighted tree `t`.
+  /// Throws std::invalid_argument for k < 1 or weighted input.
+  KDistanceScheme(const tree::Tree& t, std::uint64_t k);
+
+  [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// Decides d(u,v) <= k and returns the exact distance if so. `k` must be
+  /// the value the labels were built with (a scheme-wide constant).
+  /// Locates the NCSA with the Section 4.4 constant-time method: longest
+  /// common suffix of the two height sequences (Lemma 2.2 op. 3), then the
+  /// MSB of pre(u) XOR pre(v) and a successor query pick the first level
+  /// whose range identifier can coincide.
+  [[nodiscard]] static BoundedDistance query(std::uint64_t k,
+                                             const bits::BitVec& lu,
+                                             const bits::BitVec& lv);
+
+  /// Reference implementation that finds the NCSA by linearly scanning the
+  /// aligned chains. Same answers as query() by construction; kept public
+  /// so the test suite can differentially test the Section 4.4 machinery.
+  [[nodiscard]] static BoundedDistance query_linear(std::uint64_t k,
+                                                    const bits::BitVec& lu,
+                                                    const bits::BitVec& lv);
+
+ private:
+  std::uint64_t k_;
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

@@ -1,0 +1,97 @@
+#include "core/label_store.hpp"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace treelab::core {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& os, T x) {
+  // Little-endian fixed-width integer.
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    os.put(static_cast<char>((x >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T x = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = is.get();
+    if (c < 0) throw std::runtime_error("LabelStore: truncated input");
+    x |= static_cast<T>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  return x;
+}
+
+void put_string(std::ostream& os, std::string_view s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is, std::uint32_t max_len) {
+  const auto len = get<std::uint32_t>(is);
+  if (len > max_len) throw std::runtime_error("LabelStore: oversized string");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("LabelStore: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void LabelStore::save(std::ostream& os, std::string_view scheme,
+                      std::span<const bits::BitVec> labels,
+                      std::string_view params) {
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(os, kVersion);
+  put_string(os, scheme);
+  put_string(os, params);
+  put<std::uint64_t>(os, labels.size());
+  for (const auto& l : labels) {
+    put<std::uint64_t>(os, l.size());
+    for (std::size_t i = 0; i < l.size(); i += 8) {
+      const int take = static_cast<int>(std::min<std::size_t>(8, l.size() - i));
+      os.put(static_cast<char>(l.read_bits(i, take)));
+    }
+  }
+}
+
+LabelStore::Loaded LabelStore::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("LabelStore: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("LabelStore: unsupported version");
+
+  Loaded out;
+  out.scheme = get_string(is, 256);
+  out.params = get_string(is, 4096);
+  const auto count = get<std::uint64_t>(is);
+  if (count > (std::uint64_t{1} << 32))
+    throw std::runtime_error("LabelStore: implausible label count");
+  out.labels.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto bitlen = get<std::uint64_t>(is);
+    if (bitlen > (std::uint64_t{1} << 32))
+      throw std::runtime_error("LabelStore: implausible label length");
+    bits::BitVec l;
+    for (std::uint64_t b = 0; b < bitlen; b += 8) {
+      const int c = is.get();
+      if (c < 0) throw std::runtime_error("LabelStore: truncated label");
+      const int take = static_cast<int>(std::min<std::uint64_t>(8, bitlen - b));
+      l.append_bits(static_cast<std::uint64_t>(static_cast<unsigned char>(c)),
+                    take);
+    }
+    out.labels.push_back(std::move(l));
+  }
+  return out;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,43 @@
+// LabelStore — a versioned on-disk container for a labeling.
+//
+// Labels are meant to be *shipped*: computed once centrally, then handed to
+// the nodes/devices/processes that will answer queries locally. LabelStore
+// is the wire format for that hand-off: a magic/version header, the scheme
+// name and its scheme-wide parameters (k, eps, ...) as strings, then
+// length-prefixed label bit strings. Loading validates the header and every
+// length field and throws std::runtime_error on any corruption.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bits/bitvec.hpp"
+
+namespace treelab::core {
+
+class LabelStore {
+ public:
+  struct Loaded {
+    std::string scheme;               ///< e.g. "fgnw", "kdistance"
+    std::string params;               ///< e.g. "k=4"; scheme-defined
+    std::vector<bits::BitVec> labels; ///< indexed by node id
+  };
+
+  /// Writes all labels with the given scheme tag and parameter string.
+  static void save(std::ostream& os, std::string_view scheme,
+                   std::span<const bits::BitVec> labels,
+                   std::string_view params = {});
+
+  /// Parses a container written by save(). Throws std::runtime_error on
+  /// bad magic, unsupported version, or truncated/oversized fields.
+  [[nodiscard]] static Loaded load(std::istream& is);
+
+ private:
+  static constexpr char kMagic[4] = {'T', 'L', 'A', 'B'};
+  static constexpr std::uint32_t kVersion = 1;
+};
+
+}  // namespace treelab::core

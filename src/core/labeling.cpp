@@ -1,0 +1,11 @@
+#include "core/labeling.hpp"
+
+namespace treelab::core {
+
+LabelStats stats_of(const std::vector<bits::BitVec>& labels) {
+  LabelStats s;
+  for (const auto& l : labels) s.add(l.size());
+  return s;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,43 @@
+// Common vocabulary for all labeling schemes.
+//
+// Every scheme in treelab assigns a BitVec label to each node of a tree and
+// answers queries *from labels alone* (plus the scheme-wide constants that
+// define the scheme: n, k, epsilon). LabelStats is the quantity the paper's
+// theorems bound and the benches report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvec.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+struct LabelStats {
+  std::size_t count = 0;
+  std::size_t max_bits = 0;
+  std::size_t total_bits = 0;
+
+  void add(std::size_t bits) {
+    ++count;
+    max_bits = std::max(max_bits, bits);
+    total_bits += bits;
+  }
+
+  [[nodiscard]] double avg_bits() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_bits) /
+                                  static_cast<double>(count);
+  }
+};
+
+/// Stats over a set of labels.
+[[nodiscard]] LabelStats stats_of(const std::vector<bits::BitVec>& labels);
+
+/// Result of a bounded-distance (k-distance) query.
+struct BoundedDistance {
+  bool within = false;          ///< true iff d(u,v) <= k
+  std::uint64_t distance = 0;   ///< valid iff within
+};
+
+}  // namespace treelab::core

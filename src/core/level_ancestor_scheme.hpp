@@ -1,0 +1,65 @@
+// LevelAncestorScheme — the effective level-ancestor labeling of Section
+// 3.6: distinct ~1/2 log^2 n bit labels such that, from the label of u
+// alone, the label of parent(u) (and hence of any k-th ancestor) can be
+// produced.
+//
+// The label of u on heavy path P stores
+//   * d(u, root(T)),
+//   * d(u, head(P)),
+//   * the path identifier pi(P): the alternating position/light-choice
+//     codes of the light edges above P (the "h0.l1.h1..." part of the
+//     paper's NCA labels), with component boundaries, and
+//   * the monotone array R_i = d(root, head(P_i)) over the heavy paths on
+//     the root-to-u chain (the suffix-sum form of the distance array D(u)).
+//
+// A parent step either decrements d(u, head(P)), or — at the head — jumps
+// to the branch node: pi is truncated by one (position, light) component
+// pair, the new d(·, head) is R_k - R_{k-1} - 1, and R loses its last entry.
+// Everything is recomputed from the label alone, which is exactly what
+// Theorem 1.2 proves forces ~1/2 log^2 n bits (Lemma 3.6: such a scheme
+// yields a universal tree of size 2^|label|).
+//
+// Defined for unit-weight trees (a parent step is a unit of distance).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class LevelAncestorScheme {
+ public:
+  /// Throws std::invalid_argument if `t` is not unit-weighted.
+  explicit LevelAncestorScheme(const tree::Tree& t);
+
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// The label of the parent of the labeled node, or nullopt at the root.
+  [[nodiscard]] static std::optional<bits::BitVec> parent(
+      const bits::BitVec& l);
+
+  /// The label of the k-th ancestor (k = 0 returns a copy), or nullopt if
+  /// the node is fewer than k levels deep.
+  [[nodiscard]] static std::optional<bits::BitVec> level_ancestor(
+      const bits::BitVec& l, std::uint64_t k);
+
+  /// Depth recorded in a label (= d(u, root)); handy for tests.
+  [[nodiscard]] static std::uint64_t depth_of_label(const bits::BitVec& l);
+
+ private:
+  static std::optional<bits::BitVec> parent_impl(const bits::BitVec& l);
+
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

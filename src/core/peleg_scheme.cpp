@@ -1,0 +1,115 @@
+#include "core/peleg_scheme.hpp"
+
+#include <algorithm>
+
+#include "bits/bitio.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+struct Entry {
+  std::uint64_t head_pre;  // identifier of the heavy path
+  std::uint64_t b_depth;   // depth of the branch node
+  std::uint64_t b_rd;      // root distance of the branch node
+};
+
+struct Parsed {
+  std::uint64_t rd;
+  std::uint64_t depth;
+  std::vector<Entry> entries;
+};
+
+Parsed parse(const BitVec& l) {
+  BitReader r(l);
+  Parsed p;
+  p.rd = r.get_delta0();
+  p.depth = r.get_delta0();
+  const std::uint64_t k = r.get_delta0();
+  // Each entry needs at least three code bits; a corrupt length field must
+  // not drive a huge allocation.
+  if (k > l.size())
+    throw bits::DecodeError("Peleg label: implausible entry count");
+  p.entries.resize(static_cast<std::size_t>(k));
+  for (auto& e : p.entries) {
+    e.head_pre = r.get_delta0();
+    e.b_depth = r.get_delta0();
+    e.b_rd = r.get_delta0();
+  }
+  return p;
+}
+
+}  // namespace
+
+PelegScheme::PelegScheme(const Tree& t) {
+  const HeavyPathDecomposition hpd(t);
+  // Preorder numbers for path-head identifiers.
+  std::vector<std::uint32_t> pre(static_cast<std::size_t>(t.size()));
+  {
+    std::uint32_t c = 0;
+    for (NodeId v : t.preorder()) pre[static_cast<std::size_t>(v)] = c++;
+  }
+
+  // Per heavy path, the entry list of its head (shared by all its nodes).
+  const std::int32_t m = hpd.num_paths();
+  std::vector<std::vector<Entry>> path_entries(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m));
+  for (std::int32_t p = 0; p < m; ++p) order[static_cast<std::size_t>(p)] = p;
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return hpd.light_depth(hpd.head(a)) < hpd.light_depth(hpd.head(b));
+  });
+  for (std::int32_t p : order) {
+    const NodeId h = hpd.head(p);
+    const NodeId b = t.parent(h);
+    if (b == kNoNode) continue;  // root path
+    auto es = path_entries[static_cast<std::size_t>(hpd.path_of(b))];
+    es.push_back(Entry{pre[static_cast<std::size_t>(h)],
+                       static_cast<std::uint64_t>(t.depth(b)),
+                       t.root_distance(b)});
+    path_entries[static_cast<std::size_t>(p)] = std::move(es);
+  }
+
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto& es = path_entries[static_cast<std::size_t>(hpd.path_of(v))];
+    BitWriter w;
+    w.put_delta0(t.root_distance(v));
+    w.put_delta0(static_cast<std::uint64_t>(t.depth(v)));
+    w.put_delta0(es.size());
+    for (const Entry& e : es) {
+      w.put_delta0(e.head_pre);
+      w.put_delta0(e.b_depth);
+      w.put_delta0(e.b_rd);
+    }
+    labels_[static_cast<std::size_t>(v)] = w.take();
+  }
+}
+
+std::uint64_t PelegScheme::query(const BitVec& lu, const BitVec& lv) {
+  const Parsed u = parse(lu);
+  const Parsed v = parse(lv);
+  // Longest shared prefix of heavy-path identifier sequences.
+  std::size_t j = 0;
+  while (j < u.entries.size() && j < v.entries.size() &&
+         u.entries[j].head_pre == v.entries[j].head_pre)
+    ++j;
+  // Branch candidates on the deepest shared path.
+  const std::uint64_t du =
+      j < u.entries.size() ? u.entries[j].b_depth : u.depth;
+  const std::uint64_t ru = j < u.entries.size() ? u.entries[j].b_rd : u.rd;
+  const std::uint64_t dv =
+      j < v.entries.size() ? v.entries[j].b_depth : v.depth;
+  const std::uint64_t rv = j < v.entries.size() ? v.entries[j].b_rd : v.rd;
+  const std::uint64_t rd_nca = du <= dv ? ru : rv;
+  return u.rd + v.rd - 2 * rd_nca;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,43 @@
+// PelegScheme — the historical O(log^2 n) distance labeling baseline
+// (Peleg, J. Graph Theory 2000), phrased over a heavy path decomposition.
+//
+// The label of u records, for every heavy path P_1, ..., P_k met on the
+// root-to-u path (below the root path P_0), the triple
+//     ( pre(head(P_i)), depth(b_i), root_distance(b_i) )
+// where b_i = parent(head(P_i)) is the branch node, plus u's own depth and
+// root distance. Two labels are matched on the pre(head) identifiers to find
+// the deepest shared heavy path; the NCA is the shallower of the two branch
+// candidates on it. ~3 log^2 n bits; the simple comparator the paper's
+// Section 1 history starts from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::core {
+
+class PelegScheme {
+ public:
+  /// Labels every node of `t`.
+  explicit PelegScheme(const tree::Tree& t);
+
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
+
+  /// Exact weighted distance from labels alone.
+  [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
+                                           const bits::BitVec& lv);
+
+ private:
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::core

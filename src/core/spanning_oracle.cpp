@@ -1,0 +1,72 @@
+#include "core/spanning_oracle.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "bits/bitio.hpp"
+#include "core/fgnw_scheme.hpp"
+
+namespace treelab::core {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using tree::Graph;
+using tree::NodeId;
+
+SpanningOracle::SpanningOracle(const Graph& g, int landmarks,
+                               LandmarkPolicy policy, std::uint64_t seed)
+    : landmarks_(landmarks) {
+  if (landmarks < 1 || landmarks > g.size())
+    throw std::invalid_argument("SpanningOracle: bad landmark count");
+  if (!g.connected())
+    throw std::invalid_argument("SpanningOracle: graph must be connected");
+
+  std::vector<NodeId> order(static_cast<std::size_t>(g.size()));
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == LandmarkPolicy::kHighestDegree) {
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return g.neighbors(a).size() > g.neighbors(b).size();
+    });
+  } else {
+    std::mt19937_64 rng(seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  std::vector<FgnwScheme> schemes;
+  schemes.reserve(static_cast<std::size_t>(landmarks));
+  for (int l = 0; l < landmarks; ++l)
+    schemes.emplace_back(g.bfs_tree(order[static_cast<std::size_t>(l)]));
+
+  // State of v: count, then length-prefixed per-tree labels.
+  states_.resize(static_cast<std::size_t>(g.size()));
+  for (NodeId v = 0; v < g.size(); ++v) {
+    BitWriter w;
+    w.put_delta0(static_cast<std::uint64_t>(landmarks));
+    for (const auto& s : schemes) {
+      const BitVec& l = s.label(v);
+      w.put_delta0(l.size());
+      w.append(l);
+    }
+    states_[v] = w.take();
+  }
+}
+
+std::uint64_t SpanningOracle::query(const BitVec& su, const BitVec& sv) {
+  BitReader ru(su), rv(sv);
+  const std::uint64_t cu = ru.get_delta0();
+  const std::uint64_t cv = rv.get_delta0();
+  if (cu != cv || cu == 0)
+    throw bits::DecodeError("SpanningOracle: state mismatch");
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::uint64_t i = 0; i < cu; ++i) {
+    const BitVec lu = ru.get_vec(static_cast<std::size_t>(ru.get_delta0()));
+    const BitVec lv = rv.get_vec(static_cast<std::size_t>(rv.get_delta0()));
+    best = std::min(best, FgnwScheme::query(lu, lv));
+  }
+  return best;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,56 @@
+// SpanningOracle — a distance oracle for general graphs assembled from
+// exact tree-distance labelings of spanning trees (the application the
+// paper's introduction motivates, in the spirit of landmark / pruned
+// landmark labeling).
+//
+// Build: choose `landmarks` roots (highest-degree-first by default), take a
+// BFS spanning tree from each, label each tree with FgnwScheme, and pack
+// every node's per-tree labels into one self-contained state bit string.
+// Query: from two states alone, the minimum over trees of the exact tree
+// distance — an upper bound on the graph distance that is tight whenever
+// some shortest path is preserved by one of the trees (and always tight on
+// graphs that are trees).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "tree/graph.hpp"
+
+namespace treelab::core {
+
+class SpanningOracle {
+ public:
+  enum class LandmarkPolicy : std::uint8_t {
+    kHighestDegree,  // default: hub roots preserve many shortest paths
+    kRandom,
+  };
+
+  /// Builds per-node states from `landmarks` BFS spanning trees of `g`.
+  /// Requires a connected graph and 1 <= landmarks <= n.
+  SpanningOracle(const tree::Graph& g, int landmarks,
+                 LandmarkPolicy policy = LandmarkPolicy::kHighestDegree,
+                 std::uint64_t seed = 0);
+
+  /// The self-contained oracle state of node v (all its tree labels).
+  [[nodiscard]] const bits::BitVec& state(tree::NodeId v) const noexcept {
+    return states_[v];
+  }
+  [[nodiscard]] const std::vector<bits::BitVec>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] LabelStats stats() const { return stats_of(states_); }
+  [[nodiscard]] int landmarks() const noexcept { return landmarks_; }
+
+  /// Upper bound on d_G(u, v) from the two states alone; exact when some
+  /// spanning tree preserves a shortest u-v path.
+  [[nodiscard]] static std::uint64_t query(const bits::BitVec& su,
+                                           const bits::BitVec& sv);
+
+ private:
+  int landmarks_;
+  std::vector<bits::BitVec> states_;
+};
+
+}  // namespace treelab::core

@@ -1,0 +1,49 @@
+// Universal trees and the Lemma 3.6 reduction (Section 3.5, Fig. 4).
+//
+// Theorem 1.2's proof converts any parent-labeling scheme with S(n)-bit
+// labels into a universal rooted tree with O(2^S(n)) nodes: take all labels
+// as vertices and the label -> parent-label map as edges; cut cycles by
+// duplication; add a global root. We execute that construction over the
+// exhaustive family of rooted trees on <= n nodes using our
+// LevelAncestorScheme, and compare the resulting universal tree against
+// (a) the 2^S(n) bound and (b) the brute-force minimal universal tree
+// (feasible for tiny n), reproducing the separation the paper proves:
+// distance labels (1/4 log^2 n) beat anything universal-tree-derived
+// (1/2 log^2 n - log n log log n, Lemma 3.7).
+#pragma once
+
+#include <cstdint>
+
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+/// Rooted-subtree embedding: does `pattern` appear in `host` as a subtree
+/// (some host node's descendants contain an injective, child-to-child,
+/// root-preserving copy of `pattern`)?
+[[nodiscard]] bool embeds(const tree::Tree& host, const tree::Tree& pattern);
+
+/// True if `host` contains every rooted tree on exactly n nodes.
+[[nodiscard]] bool is_universal_for(const tree::Tree& host, tree::NodeId n);
+
+/// Size of the smallest rooted tree containing all rooted trees on exactly
+/// n nodes (brute force over enumerated candidates; n <= 4).
+[[nodiscard]] tree::NodeId minimal_universal_tree_size(tree::NodeId n);
+
+struct UniversalFromLabelsResult {
+  std::size_t trees_labeled = 0;    ///< trees in the family (sizes 1..n)
+  std::size_t num_labels = 0;       ///< distinct labels == |V| of the graph
+  std::size_t universal_size = 0;   ///< |G'| after the Lemma 3.6 conversion
+  std::size_t max_label_bits = 0;   ///< S(n)
+  bool had_cycles = false;          ///< whether duplication was needed
+};
+
+/// Executes Lemma 3.6: labels every rooted tree on up to `max_n` nodes with
+/// LevelAncestorScheme, forms the functional label -> parent-label graph,
+/// and converts it to a universal rooted tree. (With our scheme the graph
+/// is a forest — parent labels strictly decrease in depth — so no
+/// duplication occurs and |G'| = #labels + 1.)
+[[nodiscard]] UniversalFromLabelsResult universal_tree_from_parent_labels(
+    tree::NodeId max_n);
+
+}  // namespace treelab::core

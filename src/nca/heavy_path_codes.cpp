@@ -1,0 +1,89 @@
+#include "nca/heavy_path_codes.hpp"
+
+#include <algorithm>
+
+#include "bits/bitio.hpp"
+
+namespace treelab::nca {
+
+using bits::BitVec;
+using bits::BitWriter;
+using bits::Codeword;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+HeavyPathCodes::HeavyPathCodes(const HeavyPathDecomposition& hpd)
+    : hpd_(&hpd) {
+  const Tree& t = hpd.tree();
+  const std::int32_t m = hpd.num_paths();
+  pos_code_.resize(static_cast<std::size_t>(m));
+
+  struct Branch {
+    Codeword pos;
+    Codeword light;
+  };
+  std::vector<Branch> branch_of(static_cast<std::size_t>(m));
+
+  for (std::int32_t p = 0; p < m; ++p) {
+    const auto nodes = hpd.path_nodes(p);
+    std::vector<std::uint64_t> wts;
+    wts.reserve(nodes.size());
+    for (NodeId w : nodes) {
+      std::uint64_t mass = 1;
+      for (NodeId c : t.children(w))
+        if (c != hpd.heavy_child(w))
+          mass += static_cast<std::uint64_t>(t.subtree_size(c));
+      wts.push_back(mass);
+    }
+    pos_code_[static_cast<std::size_t>(p)] = bits::alphabetic_code(wts);
+
+    for (std::size_t q = 0; q < nodes.size(); ++q) {
+      std::vector<NodeId> lights;
+      for (NodeId c : t.children(nodes[q]))
+        if (c != hpd.heavy_child(nodes[q])) lights.push_back(c);
+      if (lights.empty()) continue;
+      // Same ordering as CollapsedTree (ascending subtree size, stable), so
+      // light-choice code order == domination order.
+      std::stable_sort(lights.begin(), lights.end(),
+                       [&](NodeId a, NodeId b) {
+                         return t.subtree_size(a) < t.subtree_size(b);
+                       });
+      std::vector<std::uint64_t> lw;
+      for (NodeId c : lights)
+        lw.push_back(static_cast<std::uint64_t>(t.subtree_size(c)));
+      const auto lcodes = bits::alphabetic_code(lw);
+      for (std::size_t i = 0; i < lights.size(); ++i) {
+        const std::int32_t cp = hpd.path_of(lights[i]);
+        branch_of[static_cast<std::size_t>(cp)] =
+            Branch{pos_code_[static_cast<std::size_t>(p)][q], lcodes[i]};
+      }
+    }
+  }
+
+  prefix_.resize(static_cast<std::size_t>(m));
+  bounds_.resize(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m));
+  for (std::int32_t p = 0; p < m; ++p) order[static_cast<std::size_t>(p)] = p;
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return hpd.light_depth(hpd.head(a)) < hpd.light_depth(hpd.head(b));
+  });
+  for (std::int32_t p : order) {
+    const NodeId h = hpd.head(p);
+    if (t.parent(h) == kNoNode) continue;  // root path: empty prefix
+    const std::int32_t pp = hpd.path_of(t.parent(h));
+    const Branch& br = branch_of[static_cast<std::size_t>(p)];
+    BitWriter w;
+    w.append(prefix_[static_cast<std::size_t>(pp)]);
+    br.pos.write_to(w);
+    std::vector<std::uint64_t> bs = bounds_[static_cast<std::size_t>(pp)];
+    bs.push_back(w.bit_count());
+    br.light.write_to(w);
+    bs.push_back(w.bit_count());
+    prefix_[static_cast<std::size_t>(p)] = w.take();
+    bounds_[static_cast<std::size_t>(p)] = std::move(bs);
+  }
+}
+
+}  // namespace treelab::nca

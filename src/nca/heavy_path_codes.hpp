@@ -1,0 +1,54 @@
+// HeavyPathCodes — the shared code machinery behind Lemma 2.1 labels and
+// the Section 3.6 level-ancestor labels.
+//
+// For every heavy path it builds Gilbert–Moore position codes (weighted by
+// the light mass at each path node) and per-node light-choice codes
+// (weighted by subtree sizes, ordered exactly like CollapsedTree's
+// domination order). For every path it exposes the concatenated *prefix*:
+// the alternating (position, light-choice) codewords of the light edges
+// leading to it from the root, together with the component end boundaries.
+// A node's full NCA label is prefix(path) + terminal position code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/alphabetic.hpp"
+#include "bits/bitvec.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::nca {
+
+class HeavyPathCodes {
+ public:
+  explicit HeavyPathCodes(const tree::HeavyPathDecomposition& hpd);
+
+  /// Concatenated branch codewords above path p (2 components per level).
+  [[nodiscard]] const bits::BitVec& prefix(std::int32_t p) const noexcept {
+    return prefix_[p];
+  }
+
+  /// End bit positions of each component of prefix(p).
+  [[nodiscard]] const std::vector<std::uint64_t>& prefix_bounds(
+      std::int32_t p) const noexcept {
+    return bounds_[p];
+  }
+
+  /// Terminal position codeword of node v within its path.
+  [[nodiscard]] bits::Codeword terminal(tree::NodeId v) const noexcept {
+    const std::int32_t p = hpd_->path_of(v);
+    return pos_code_[p][static_cast<std::size_t>(hpd_->pos_in_path(v))];
+  }
+
+  [[nodiscard]] const tree::HeavyPathDecomposition& hpd() const noexcept {
+    return *hpd_;
+  }
+
+ private:
+  const tree::HeavyPathDecomposition* hpd_;
+  std::vector<std::vector<bits::Codeword>> pos_code_;  // per path, per pos
+  std::vector<bits::BitVec> prefix_;
+  std::vector<std::vector<std::uint64_t>> bounds_;
+};
+
+}  // namespace treelab::nca

@@ -1,0 +1,185 @@
+#include "nca/nca_labeling.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bits/bitio.hpp"
+#include "nca/heavy_path_codes.hpp"
+
+namespace treelab::nca {
+
+using bits::BitReader;
+using bits::BitVec;
+using bits::BitWriter;
+using bits::MonotoneSeq;
+using tree::HeavyPathDecomposition;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+/// Encoded label layout: MonotoneSeq of component end positions (in code
+/// bits), then the code bits themselves.
+BitVec pack_label(const std::vector<std::uint64_t>& bounds,
+                  const BitVec& code) {
+  BitWriter w;
+  MonotoneSeq::encode(bounds, code.size()).write_to(w);
+  w.append(code);
+  return w.take();
+}
+
+/// A non-owning view of a parsed label (the attached or freshly parsed
+/// boundary sequence plus the code area location).
+struct View {
+  const MonotoneSeq* bounds = nullptr;
+  std::size_t code_off = 0;
+  std::size_t code_len = 0;
+  const BitVec* raw = nullptr;
+
+  [[nodiscard]] bool code_bit(std::size_t i) const {
+    return raw->get(code_off + i);
+  }
+};
+
+/// Parses the boundary sequence out of `l` into `store` and returns a view.
+View parse_into(const BitVec& l, MonotoneSeq& store) {
+  BitReader r(l);
+  store = MonotoneSeq::read_from(r);
+  if (store.size() == 0) throw bits::DecodeError("NCA label: no components");
+  View v;
+  v.bounds = &store;
+  v.code_off = r.pos();
+  v.code_len = store.get(store.size() - 1);
+  if (v.code_off + v.code_len > l.size())
+    throw bits::DecodeError("NCA label: truncated code area");
+  v.raw = &l;
+  return v;
+}
+
+/// First bit position where the code areas differ, or min length if one is a
+/// prefix of the other.
+std::size_t first_diff(const View& a, const View& b) {
+  const std::size_t lim = std::min(a.code_len, b.code_len);
+  std::size_t i = 0;
+  while (i + 64 <= lim) {
+    const std::uint64_t wa = a.raw->read_bits(a.code_off + i, 64);
+    const std::uint64_t wb = b.raw->read_bits(b.code_off + i, 64);
+    if (wa != wb) return i + static_cast<std::size_t>(bits::lsb(wa ^ wb));
+    i += 64;
+  }
+  if (i < lim) {
+    const int rem = static_cast<int>(lim - i);
+    const std::uint64_t wa = a.raw->read_bits(a.code_off + i, rem);
+    const std::uint64_t wb = b.raw->read_bits(b.code_off + i, rem);
+    if (wa != wb) return i + static_cast<std::size_t>(bits::lsb(wa ^ wb));
+  }
+  return lim;
+}
+
+NcaResult query_impl(const View& u, const View& v) {
+  const std::size_t d = first_diff(u, v);
+
+  NcaResult out;
+  if (d == u.code_len && d == v.code_len) {
+    out.rel = NcaResult::Rel::kEqual;
+    out.lightdepth = static_cast<std::int32_t>((u.bounds->size() - 1) / 2);
+    return out;
+  }
+  if (d == u.code_len || d == v.code_len) {
+    // One code area is a strict prefix of the other. By prefix-freeness of
+    // the per-level codes this means the shorter label's terminal position
+    // code equals the longer one's position code at the same level, i.e. the
+    // shorter label's node lies on the other's root path: proper ancestor.
+    const bool u_shorter = u.code_len < v.code_len;
+    out.rel =
+        u_shorter ? NcaResult::Rel::kUAncestor : NcaResult::Rel::kVAncestor;
+    const View& anc = u_shorter ? u : v;
+    out.lightdepth = static_cast<std::int32_t>((anc.bounds->size() - 1) / 2);
+    return out;
+  }
+
+  // Map the differing bit to a component index: the number of boundaries <= d
+  // in either label (they agree on all boundaries before the divergence).
+  const std::size_t comp = u.bounds->successor(d + 1);
+  const std::int32_t level = static_cast<std::int32_t>(comp / 2);
+  const bool in_pos_code = (comp % 2) == 0;
+  const bool u_first = !u.code_bit(d);  // order-preserving codes: 0 sorts first
+
+  // If the divergence is inside a position code and the smaller position is
+  // a terminal component (last component of its label), that node lies on
+  // the shared heavy path above the other's branch: proper ancestor.
+  if (in_pos_code) {
+    const bool u_terminal = u.bounds->size() == comp + 1;
+    const bool v_terminal = v.bounds->size() == comp + 1;
+    if (u_first && u_terminal) {
+      out.rel = NcaResult::Rel::kUAncestor;
+      out.lightdepth = level;
+      return out;
+    }
+    if (!u_first && v_terminal) {
+      out.rel = NcaResult::Rel::kVAncestor;
+      out.lightdepth = level;
+      return out;
+    }
+  }
+  out.rel = NcaResult::Rel::kDiverge;
+  out.lightdepth = level;
+  out.u_first = u_first;
+  out.same_branch_node = !in_pos_code;
+  return out;
+}
+
+}  // namespace
+
+std::int32_t AttachedNcaLabel::lightdepth() const noexcept {
+  return static_cast<std::int32_t>((bounds_.size() - 1) / 2);
+}
+
+NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd) {
+  const Tree& t = hpd.tree();
+  const HeavyPathCodes codes(hpd);
+
+  labels_.resize(static_cast<std::size_t>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const std::int32_t p = hpd.path_of(v);
+    BitWriter w;
+    w.append(codes.prefix(p));
+    codes.terminal(v).write_to(w);
+    std::vector<std::uint64_t> bs = codes.prefix_bounds(p);
+    bs.push_back(w.bit_count());
+    labels_[static_cast<std::size_t>(v)] = pack_label(bs, w.bits());
+  }
+}
+
+std::int32_t NcaLabeling::lightdepth_of_label(const BitVec& l) {
+  MonotoneSeq store;
+  const View v = parse_into(l, store);
+  return static_cast<std::int32_t>((v.bounds->size() - 1) / 2);
+}
+
+AttachedNcaLabel NcaLabeling::attach(const BitVec& l) {
+  AttachedNcaLabel out;
+  out.raw_ = l;
+  MonotoneSeq store;
+  const View v = parse_into(out.raw_, store);
+  out.bounds_ = std::move(store);
+  out.code_off_ = v.code_off;
+  out.code_len_ = v.code_len;
+  return out;
+}
+
+NcaResult NcaLabeling::query(const BitVec& lu, const BitVec& lv) {
+  MonotoneSeq su, sv;
+  const View u = parse_into(lu, su);
+  const View v = parse_into(lv, sv);
+  return query_impl(u, v);
+}
+
+NcaResult NcaLabeling::query(const AttachedNcaLabel& lu,
+                             const AttachedNcaLabel& lv) {
+  View u{&lu.bounds_, lu.code_off_, lu.code_len_, &lu.raw_};
+  View v{&lv.bounds_, lv.code_off_, lv.code_len_, &lv.raw_};
+  return query_impl(u, v);
+}
+
+}  // namespace treelab::nca

@@ -1,0 +1,99 @@
+// NCA labeling scheme (Lemma 2.1): O(log n)-bit labels from which, given the
+// labels of u and v alone, one computes lightdepth(u, v) (the light depth of
+// NCA(u, v)), the ancestor/descendant relationship, and the relative order
+// of the two branches — everything the distance schemes of Sections 3-5
+// consume.
+//
+// Construction (Alstrup et al. style, adapted to the paper's heavy path
+// variant): a node's label is the concatenation, over the light levels of
+// its root path, of
+//     <position code> <light-choice code> ... <position code>,
+// where the position code locates the branch (or the node itself, at the
+// last level) on the current heavy path and the light-choice code selects
+// the light child. Both codes are Gilbert–Moore alphabetic codes weighted by
+// subtree sizes, so each level costs ~log(level size / next level size) + O(1)
+// bits and the whole label telescopes to O(log n). Codes are prefix-free and
+// order-preserving, so two labels can be compared by locating their first
+// differing bit; a MonotoneSeq of component boundaries (Lemma 2.2) maps that
+// bit position back to a light level in constant time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitvec.hpp"
+#include "bits/monotone.hpp"
+#include "tree/hpd.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::nca {
+
+struct NcaResult {
+  enum class Rel : std::uint8_t {
+    kEqual,      // identical labels: u == v
+    kUAncestor,  // u is a proper ancestor of v
+    kVAncestor,  // v is a proper ancestor of u
+    kDiverge,    // NCA is a proper ancestor of both
+  };
+  Rel rel = Rel::kEqual;
+  /// lightdepth(NCA(u, v)); for ancestor cases this is the ancestor's light
+  /// depth.
+  std::int32_t lightdepth = 0;
+  /// In the kDiverge case: true if u's branch symbol sorts before v's
+  /// (u branches strictly higher on the shared heavy path, or at the same
+  /// node with an earlier light child).
+  bool u_first = false;
+  /// In the kDiverge case: true if both branch at the same path node (their
+  /// first differing component is a light-choice code).
+  bool same_branch_node = false;
+};
+
+/// A pre-parsed NCA label: component boundaries attached once so that each
+/// subsequent query is a first-differing-bit scan plus O(1) boundary
+/// lookups — the word-RAM constant-time regime of Lemma 2.1. Produced by
+/// NcaLabeling::attach().
+class AttachedNcaLabel {
+ public:
+  [[nodiscard]] const bits::BitVec& bits() const noexcept { return raw_; }
+  [[nodiscard]] std::int32_t lightdepth() const noexcept;
+
+ private:
+  friend class NcaLabeling;
+  bits::BitVec raw_;
+  bits::MonotoneSeq bounds_;
+  std::size_t code_off_ = 0;
+  std::size_t code_len_ = 0;
+};
+
+class NcaLabeling {
+ public:
+  /// Builds labels for every node of `hpd.tree()`.
+  explicit NcaLabeling(const tree::HeavyPathDecomposition& hpd);
+
+  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
+    return labels_[v];
+  }
+
+  [[nodiscard]] std::size_t num_labels() const noexcept {
+    return labels_.size();
+  }
+
+  /// Decodes two labels. Throws bits::DecodeError on malformed input.
+  [[nodiscard]] static NcaResult query(const bits::BitVec& lu,
+                                       const bits::BitVec& lv);
+
+  /// Light depth recorded in a single label (number of levels - 1).
+  [[nodiscard]] static std::int32_t lightdepth_of_label(const bits::BitVec& l);
+
+  /// One-time parse of a label for repeated queries.
+  [[nodiscard]] static AttachedNcaLabel attach(const bits::BitVec& l);
+
+  /// Same result as query(BitVec, BitVec) without re-parsing.
+  [[nodiscard]] static NcaResult query(const AttachedNcaLabel& lu,
+                                       const AttachedNcaLabel& lv);
+
+ private:
+  std::vector<bits::BitVec> labels_;
+};
+
+}  // namespace treelab::nca

@@ -1,0 +1,76 @@
+#include "tree/binarize.hpp"
+
+#include <cassert>
+
+namespace treelab::tree {
+
+BinarizedTree binarize(const Tree& t) {
+  const NodeId n = t.size();
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> weight;
+  std::vector<NodeId> origin;
+  std::vector<NodeId> leaf_of(static_cast<std::size_t>(n), kNoNode);
+  parent.reserve(static_cast<std::size_t>(3) * n);
+  weight.reserve(static_cast<std::size_t>(3) * n);
+  origin.reserve(static_cast<std::size_t>(3) * n);
+
+  const auto add_node = [&](NodeId par, std::uint32_t w, NodeId orig) {
+    parent.push_back(par);
+    weight.push_back(w);
+    origin.push_back(orig);
+    return static_cast<NodeId>(parent.size() - 1);
+  };
+
+  // Work items: original node to emit, its attach point in the output, and
+  // the weight of the connecting edge.
+  struct Item {
+    NodeId orig;
+    NodeId attach;
+    std::uint32_t w;
+  };
+  std::vector<Item> stack{{t.root(), kNoNode, 0}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const NodeId img = add_node(it.attach, it.w, it.orig);
+    const auto cs = t.children(it.orig);
+    if (cs.empty()) {
+      leaf_of[it.orig] = img;
+      continue;
+    }
+    // Internal node: items to hang are the proxy leaf plus each child.
+    // Attach them along a chain of weight-0 intermediates so that every
+    // output node has at most two children. The proxy goes first; children
+    // follow in their original order.
+    NodeId hook = img;
+    int free_slots = 2;
+    const auto ensure_slot = [&](std::size_t remaining_after) {
+      // If the current hook has one slot left but more than one item still
+      // needs attaching, spend the slot on a new intermediate hook.
+      if (free_slots == 1 && remaining_after > 0) {
+        hook = add_node(hook, 0, kNoNode);
+        free_slots = 2;
+      }
+    };
+    std::size_t remaining = cs.size();  // children still to attach
+    ensure_slot(remaining);
+    leaf_of[it.orig] = add_node(hook, 0, kNoNode);  // proxy leaf u+
+    --free_slots;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      --remaining;
+      ensure_slot(remaining);
+      stack.push_back({cs[i], hook, t.weight(cs[i])});
+      --free_slots;
+    }
+  }
+
+  BinarizedTree out{Tree(std::move(parent), std::move(weight)),
+                    std::move(leaf_of), std::move(origin)};
+#ifndef NDEBUG
+  for (NodeId v = 0; v < out.tree.size(); ++v)
+    assert(out.tree.children(v).size() <= 2);
+#endif
+  return out;
+}
+
+}  // namespace treelab::tree

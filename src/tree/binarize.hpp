@@ -1,0 +1,30 @@
+// Section 2 preprocessing: reduce distance labeling on an arbitrary
+// unit-weighted tree to labeling the *leaves* of a *binary* tree with edge
+// weights in {0,1}.
+//
+//  * Every internal node u gets a proxy leaf u+ attached by a weight-0 edge,
+//    so every original node is represented by a leaf.
+//  * Nodes with more than two children are binarized by inserting chains of
+//    intermediate nodes attached with weight-0 edges.
+//
+// Distances are preserved: d_T(u, v) == d_B(leaf_of[u], leaf_of[v]).
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treelab::tree {
+
+struct BinarizedTree {
+  Tree tree;                    ///< binary; weights {0, original weights}
+  std::vector<NodeId> leaf_of;  ///< original node -> representative leaf
+  std::vector<NodeId> origin;   ///< new node -> original node, or kNoNode
+                                ///< for inserted intermediates/proxies
+};
+
+/// Applies the Section 2 reduction. Works for weighted inputs too (original
+/// edge weights are kept; inserted edges have weight 0).
+[[nodiscard]] BinarizedTree binarize(const Tree& t);
+
+}  // namespace treelab::tree

@@ -1,0 +1,78 @@
+#include "tree/collapsed.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treelab::tree {
+
+CollapsedTree::CollapsedTree(const HeavyPathDecomposition& hpd) : hpd_(&hpd) {
+  const Tree& t = hpd.tree();
+  const std::int32_t m = hpd.num_paths();
+  cparent_.assign(static_cast<std::size_t>(m), -1);
+  exceptional_.assign(static_cast<std::size_t>(m), 0);
+  cchild_off_.assign(static_cast<std::size_t>(m) + 1, 0);
+
+  // Collect the children of every C(T) node in order: walk each heavy path
+  // top to bottom; at each path node gather the light children (subtree
+  // heads). Several light children at one node are ordered by ascending
+  // subtree size so the largest lands rightmost; if the node also has a
+  // heavy child there is no tie to break (a light child at a non-terminal
+  // node is alone for binary T). An exceptional edge exists only where two
+  // or more light edges leave the terminal node of a path.
+  std::vector<std::vector<std::int32_t>> kids(static_cast<std::size_t>(m));
+  for (std::int32_t p = 0; p < m; ++p) {
+    for (NodeId w : hpd.path_nodes(p)) {
+      std::vector<NodeId> light;
+      for (NodeId c : t.children(w))
+        if (c != hpd.heavy_child(w)) light.push_back(c);
+      std::stable_sort(light.begin(), light.end(),
+                       [&](NodeId a, NodeId b) {
+                         return t.subtree_size(a) < t.subtree_size(b);
+                       });
+      const bool at_tail = hpd.heavy_child(w) == kNoNode;
+      for (std::size_t i = 0; i < light.size(); ++i) {
+        const std::int32_t cp = hpd.path_of(light[i]);
+        cparent_[cp] = p;
+        kids[static_cast<std::size_t>(p)].push_back(cp);
+        if (at_tail && light.size() >= 2 && i + 1 == light.size())
+          exceptional_[cp] = 1;
+      }
+    }
+  }
+
+  for (std::int32_t p = 0; p < m; ++p)
+    cchild_off_[static_cast<std::size_t>(p) + 1] =
+        cchild_off_[p] + static_cast<std::int32_t>(kids[p].size());
+  cchild_.reserve(static_cast<std::size_t>(m) - 1);
+  for (std::int32_t p = 0; p < m; ++p)
+    for (std::int32_t c : kids[static_cast<std::size_t>(p)])
+      cchild_.push_back(c);
+
+  // Domination numbering: children-before-parent, children left-to-right.
+  // Iterative post-order from the root path (path containing t.root()).
+  order_.assign(static_cast<std::size_t>(m), -1);
+  const std::int32_t croot = hpd.path_of(t.root());
+  std::int32_t counter = 0;
+  height_ = 0;
+  struct Frame {
+    std::int32_t c;
+    std::size_t next_child;
+    std::int32_t depth;
+  };
+  std::vector<Frame> stack{{croot, 0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto cs = cchildren(f.c);
+    if (f.next_child < cs.size()) {
+      const std::int32_t child = cs[f.next_child++];
+      stack.push_back({child, 0, f.depth + 1});
+    } else {
+      order_[f.c] = counter++;
+      height_ = std::max(height_, f.depth);
+      stack.pop_back();
+    }
+  }
+  assert(counter == m);
+}
+
+}  // namespace treelab::tree

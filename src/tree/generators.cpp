@@ -1,0 +1,378 @@
+#include "tree/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace treelab::tree {
+
+Tree path(NodeId n) {
+  if (n <= 0) throw std::invalid_argument("path: n <= 0");
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  for (NodeId i = 1; i < n; ++i) parent[i] = i - 1;
+  return Tree(std::move(parent));
+}
+
+Tree star(NodeId n) {
+  if (n <= 0) throw std::invalid_argument("star: n <= 0");
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), 0);
+  parent[0] = kNoNode;
+  return Tree(std::move(parent));
+}
+
+Tree caterpillar(NodeId spine, NodeId legs) {
+  if (spine <= 0 || legs < 0) throw std::invalid_argument("caterpillar: bad args");
+  const NodeId n = spine * (1 + legs);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  for (NodeId i = 1; i < spine; ++i) parent[i] = i - 1;
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s)
+    for (NodeId l = 0; l < legs; ++l) parent[next++] = s;
+  return Tree(std::move(parent));
+}
+
+Tree broom(NodeId handle, NodeId bristles) {
+  if (handle <= 0 || bristles < 0) throw std::invalid_argument("broom: bad args");
+  const NodeId n = handle + bristles;
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  for (NodeId i = 1; i < handle; ++i) parent[i] = i - 1;
+  for (NodeId i = handle; i < n; ++i) parent[i] = handle - 1;
+  return Tree(std::move(parent));
+}
+
+Tree spider(NodeId legs, NodeId leg_len) {
+  if (legs < 0 || leg_len < 0) throw std::invalid_argument("spider: bad args");
+  const NodeId n = 1 + legs * leg_len;
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  NodeId next = 1;
+  for (NodeId l = 0; l < legs; ++l) {
+    NodeId prev = 0;
+    for (NodeId i = 0; i < leg_len; ++i) {
+      parent[next] = prev;
+      prev = next++;
+    }
+  }
+  return Tree(std::move(parent));
+}
+
+Tree balanced(NodeId arity, NodeId height) {
+  if (arity <= 0 || height < 0) throw std::invalid_argument("balanced: bad args");
+  std::vector<NodeId> parent{kNoNode};
+  NodeId level_begin = 0, level_end = 1;
+  for (NodeId h = 0; h < height; ++h) {
+    for (NodeId v = level_begin; v < level_end; ++v)
+      for (NodeId c = 0; c < arity; ++c)
+        parent.push_back(v);
+    level_begin = level_end;
+    level_end = static_cast<NodeId>(parent.size());
+  }
+  return Tree(std::move(parent));
+}
+
+Tree random_tree(NodeId n, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("random_tree: n <= 0");
+  if (n == 1) return path(1);
+  if (n == 2) return path(2);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, n - 1);
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = pick(rng);
+
+  // Textbook linear-time Prüfer decode with a moving pointer.
+  std::vector<NodeId> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId x : prufer) ++deg[static_cast<std::size_t>(x)];
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  NodeId ptr = 0;
+  while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId x : prufer) {
+    edges.emplace_back(leaf, x);
+    deg[static_cast<std::size_t>(leaf)] = 0;
+    if (--deg[static_cast<std::size_t>(x)] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, n - 1);
+  return Tree::from_edges(n, edges, 0);
+}
+
+Tree random_binary_tree(NodeId n, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("random_binary_tree: n <= 0");
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  // Nodes with < 2 children, stored with multiplicity of free slots.
+  std::vector<NodeId> slots{0, 0};
+  for (NodeId v = 1; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, slots.size() - 1);
+    const std::size_t i = pick(rng);
+    parent[v] = slots[i];
+    slots[i] = slots.back();
+    slots.pop_back();
+    slots.push_back(v);
+    slots.push_back(v);
+  }
+  return Tree(std::move(parent));
+}
+
+Tree random_windowed_tree(NodeId n, NodeId window, std::uint64_t seed) {
+  if (n <= 0 || window <= 0)
+    throw std::invalid_argument("random_windowed_tree: bad args");
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId lo = std::max<NodeId>(0, v - window);
+    std::uniform_int_distribution<NodeId> pick(lo, v - 1);
+    parent[v] = pick(rng);
+  }
+  return Tree(std::move(parent));
+}
+
+Tree preferential_tree(NodeId n, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("preferential_tree: n <= 0");
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  parent[0] = kNoNode;
+  // Attachment urn: node v appears deg(v)+1 times.
+  std::vector<NodeId> urn{0};
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = urn[rng() % urn.size()];
+    parent[v] = p;
+    urn.push_back(p);
+    urn.push_back(v);
+  }
+  return Tree(std::move(parent));
+}
+
+namespace {
+
+// Recursive (h,M)-tree construction; split node at heap position `heap`
+// (1-based) uses xs[heap-1].
+void build_hm(int h, std::uint32_t M, std::span<const std::uint32_t> xs,
+              std::size_t heap, NodeId attach_to, std::uint32_t attach_weight,
+              std::vector<NodeId>& parent, std::vector<std::uint32_t>& weight) {
+  const NodeId top = static_cast<NodeId>(parent.size());
+  parent.push_back(attach_to);
+  weight.push_back(attach_weight);
+  if (h == 0) return;
+  const std::uint32_t x = xs[heap - 1];
+  assert(x < M);
+  const NodeId mid = static_cast<NodeId>(parent.size());
+  parent.push_back(top);
+  weight.push_back(M - x);
+  build_hm(h - 1, M, xs, 2 * heap, mid, x, parent, weight);
+  build_hm(h - 1, M, xs, 2 * heap + 1, mid, x, parent, weight);
+}
+
+}  // namespace
+
+Tree hm_tree_explicit(int h, std::uint32_t M,
+                      std::span<const std::uint32_t> xs) {
+  if (h < 0 || M < 1) throw std::invalid_argument("hm_tree: bad args");
+  const std::size_t splits = (std::size_t{1} << h) - 1;
+  if (xs.size() != splits)
+    throw std::invalid_argument("hm_tree_explicit: need 2^h - 1 x-values");
+  for (std::uint32_t x : xs)
+    if (x >= M) throw std::invalid_argument("hm_tree_explicit: x >= M");
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> weight;
+  parent.reserve(3 * (std::size_t{1} << h));
+  build_hm(h, M, xs, 1, kNoNode, 0, parent, weight);
+  return Tree(std::move(parent), std::move(weight));
+}
+
+Tree hm_tree(int h, std::uint32_t M, std::uint64_t seed) {
+  if (h < 0 || M < 1) throw std::invalid_argument("hm_tree: bad args");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> pick(0, M - 1);
+  std::vector<std::uint32_t> xs((std::size_t{1} << h) - 1);
+  for (auto& x : xs) x = pick(rng);
+  return hm_tree_explicit(h, M, xs);
+}
+
+Tree subdivide(const Tree& t, std::vector<NodeId>* image) {
+  // newid[v]: id of the node representing v in the output (after contracting
+  // weight-0 edges and inserting subdivision nodes).
+  std::vector<NodeId> newid(static_cast<std::size_t>(t.size()), kNoNode);
+  std::vector<NodeId> parent;
+  parent.push_back(kNoNode);
+  newid[t.root()] = 0;
+  for (NodeId v : t.preorder()) {
+    if (v == t.root()) continue;
+    const NodeId p = newid[t.parent(v)];
+    const std::uint32_t w = t.weight(v);
+    if (w == 0) {
+      newid[v] = p;  // contract
+      continue;
+    }
+    NodeId prev = p;
+    for (std::uint32_t i = 1; i < w; ++i) {
+      parent.push_back(prev);
+      prev = static_cast<NodeId>(parent.size() - 1);
+    }
+    parent.push_back(prev);
+    newid[v] = static_cast<NodeId>(parent.size() - 1);
+  }
+  if (image) *image = newid;
+  return Tree(std::move(parent));
+}
+
+Tree stretch(const Tree& t, double eps) {
+  if (eps <= 0) throw std::invalid_argument("stretch: eps <= 0");
+  const Tree unit = subdivide(t);
+  NodeId height = 0;
+  for (NodeId v = 0; v < unit.size(); ++v)
+    height = std::max(height, unit.depth(v));
+
+  std::vector<NodeId> newid(static_cast<std::size_t>(unit.size()), kNoNode);
+  std::vector<NodeId> parent;
+  parent.push_back(kNoNode);
+  newid[unit.root()] = 0;
+  for (NodeId v : unit.preorder()) {
+    if (v == unit.root()) continue;
+    const NodeId d = unit.depth(unit.parent(v));  // depth of the edge
+    const auto copies = static_cast<std::uint64_t>(
+        std::floor(std::pow(1.0 + eps, static_cast<double>(height - d))));
+    assert(copies >= 1);
+    NodeId prev = newid[unit.parent(v)];
+    for (std::uint64_t i = 1; i < copies; ++i) {
+      parent.push_back(prev);
+      prev = static_cast<NodeId>(parent.size() - 1);
+    }
+    parent.push_back(prev);
+    newid[v] = static_cast<NodeId>(parent.size() - 1);
+  }
+  return Tree(std::move(parent));
+}
+
+Tree regular_tree(std::span<const int> xs, int h, int d) {
+  if (h < 1 || d < 1) throw std::invalid_argument("regular_tree: bad args");
+  const auto ipow = [](std::uint64_t base, int e) {
+    std::uint64_t r = 1;
+    while (e-- > 0) r *= base;
+    return r;
+  };
+  std::vector<std::uint64_t> degs;
+  for (int x : xs) {
+    if (x < 1 || x > h) throw std::invalid_argument("regular_tree: x out of [1,h]");
+    degs.push_back(ipow(static_cast<std::uint64_t>(d), x));
+    degs.push_back(ipow(static_cast<std::uint64_t>(d), h - x));
+  }
+  // Size guard: total nodes = 1 + sum of products of degree prefixes.
+  std::uint64_t total = 1, layer = 1;
+  for (std::uint64_t deg : degs) {
+    layer *= deg;
+    total += layer;
+    if (total > 4'000'000)
+      throw std::invalid_argument("regular_tree: instance too large");
+  }
+  std::vector<NodeId> parent{kNoNode};
+  NodeId level_begin = 0, level_end = 1;
+  for (std::uint64_t deg : degs) {
+    for (NodeId v = level_begin; v < level_end; ++v)
+      for (std::uint64_t c = 0; c < deg; ++c)
+        parent.push_back(v);
+    level_begin = level_end;
+    level_end = static_cast<NodeId>(parent.size());
+  }
+  return Tree(std::move(parent));
+}
+
+namespace {
+
+// AHU canonical encoding of the subtree of v: "(" + sorted child codes + ")".
+std::string ahu(const Tree& t, NodeId v) {
+  std::vector<std::string> cs;
+  for (NodeId c : t.children(v)) cs.push_back(ahu(t, c));
+  std::sort(cs.begin(), cs.end());
+  std::string out = "(";
+  for (const auto& s : cs) out += s;
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tree> all_rooted_trees(NodeId n) {
+  if (n <= 0) throw std::invalid_argument("all_rooted_trees: n <= 0");
+  if (n > 10) throw std::invalid_argument("all_rooted_trees: n > 10 infeasible");
+  std::vector<Tree> out;
+  std::unordered_set<std::string> seen;
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), 0);
+  parent[0] = kNoNode;
+  // Odometer over parent[i] in [0, i-1]; (n-1)! combinations.
+  for (;;) {
+    Tree t(parent);
+    std::string code = ahu(t, t.root());
+    if (seen.insert(std::move(code)).second) out.push_back(std::move(t));
+    // increment
+    NodeId i = n - 1;
+    while (i >= 1) {
+      if (parent[static_cast<std::size_t>(i)] + 1 < i) {
+        ++parent[static_cast<std::size_t>(i)];
+        break;
+      }
+      parent[static_cast<std::size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 1) break;
+  }
+  return out;
+}
+
+std::size_t count_rooted_trees(NodeId n) {
+  // OEIS A000081 (rooted trees on n unlabeled nodes).
+  static constexpr std::size_t table[] = {0, 1, 1, 2, 4, 9, 20, 48, 115, 286, 719};
+  if (n < 1 || n > 10)
+    throw std::invalid_argument("count_rooted_trees: n out of [1,10]");
+  return table[n];
+}
+
+const std::vector<ShapeSpec>& standard_shapes() {
+  static const std::vector<ShapeSpec> shapes = {
+      {"path", [](NodeId n, std::uint64_t) { return path(n); }},
+      {"star", [](NodeId n, std::uint64_t) { return star(n); }},
+      {"caterpillar",
+       [](NodeId n, std::uint64_t) {
+         return caterpillar(std::max<NodeId>(1, n / 4), 3);
+       }},
+      {"broom",
+       [](NodeId n, std::uint64_t) {
+         return broom(std::max<NodeId>(1, n / 2), n - std::max<NodeId>(1, n / 2));
+       }},
+      {"spider",
+       [](NodeId n, std::uint64_t) {
+         const NodeId legs = std::max<NodeId>(
+             1, static_cast<NodeId>(std::sqrt(static_cast<double>(n))));
+         return spider(legs, std::max<NodeId>(1, (n - 1) / legs));
+       }},
+      {"balanced-binary",
+       [](NodeId n, std::uint64_t) {
+         NodeId h = 0;
+         while (((NodeId{2} << (h + 1)) - 1) <= n) ++h;
+         return balanced(2, h);
+       }},
+      {"random", [](NodeId n, std::uint64_t s) { return random_tree(n, s); }},
+      {"random-binary",
+       [](NodeId n, std::uint64_t s) { return random_binary_tree(n, s); }},
+      {"preferential",
+       [](NodeId n, std::uint64_t s) { return preferential_tree(n, s); }},
+  };
+  return shapes;
+}
+
+}  // namespace treelab::tree

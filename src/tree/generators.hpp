@@ -1,0 +1,120 @@
+// Tree generators: benchmark/test workloads and the paper's lower-bound
+// instance families.
+//
+//  * Elementary shapes (paths, stars, caterpillars, brooms, spiders,
+//    balanced d-ary) exercise the extremes of heavy-path structure.
+//  * Random trees via Prüfer sequences and random binary trees are the
+//    "typical" workloads of the benches.
+//  * (h,M)-trees (Section 2, Fig. 2) are the Gavoille et al. lower-bound
+//    family for exact distances and the Section 4.2 / 5.1 reductions.
+//  * (x,h,d)-regular trees (Section 4.1, Fig. 5) are the lower-bound family
+//    for k-distance labeling.
+//  * stretched subdivision (Section 5.1) turns an (h,M)-tree into the
+//    (1+eps)-approximate lower-bound instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treelab::tree {
+
+/// A path with n nodes rooted at one end: one heavy path, no light edges.
+[[nodiscard]] Tree path(NodeId n);
+
+/// A star: root with n-1 leaf children — maximal branching, depth 1.
+[[nodiscard]] Tree star(NodeId n);
+
+/// Spine of `spine` nodes, each with `legs` leaf children.
+[[nodiscard]] Tree caterpillar(NodeId spine, NodeId legs);
+
+/// A path of `handle` nodes whose far end carries `bristles` leaves.
+[[nodiscard]] Tree broom(NodeId handle, NodeId bristles);
+
+/// Root with `legs` paths of length `leg_len` hanging off it.
+[[nodiscard]] Tree spider(NodeId legs, NodeId leg_len);
+
+/// Complete d-ary tree of the given height (height 0 = single node).
+[[nodiscard]] Tree balanced(NodeId arity, NodeId height);
+
+/// Uniformly random labeled tree on n nodes (Prüfer decode), rooted at 0.
+[[nodiscard]] Tree random_tree(NodeId n, std::uint64_t seed);
+
+/// Random binary tree built by uniform attachment to nodes of degree < 2.
+[[nodiscard]] Tree random_binary_tree(NodeId n, std::uint64_t seed);
+
+/// Random caterpillar-ish "degenerate" tree: each node's parent is chosen
+/// among the last `window` nodes — produces long-path-heavy shapes.
+[[nodiscard]] Tree random_windowed_tree(NodeId n, NodeId window,
+                                        std::uint64_t seed);
+
+/// Preferential attachment ("rich get richer"): each new node picks its
+/// parent with probability proportional to degree+1 — shallow, hub-heavy
+/// trees resembling web/citation hierarchies.
+[[nodiscard]] Tree preferential_tree(NodeId n, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Lower-bound families
+// ---------------------------------------------------------------------------
+
+/// Weighted (h,M)-tree (Section 2, Fig. 2) with per-level parameters x drawn
+/// uniformly from [0, M). For h = 0 this is a single node; otherwise the
+/// root has one child via an edge of weight M - x, and that child carries two
+/// recursively built (h-1,M)-trees attached with weight-x edges.
+/// Node count: 3 * 2^h - 2.
+[[nodiscard]] Tree hm_tree(int h, std::uint32_t M, std::uint64_t seed);
+
+/// Deterministic variant with explicit x parameters, one per "split" node in
+/// BFS order (2^h - 1 values required, each < M).
+[[nodiscard]] Tree hm_tree_explicit(int h, std::uint32_t M,
+                                    std::span<const std::uint32_t> xs);
+
+/// Replaces every weight-w edge by w unit edges (w >= 1) and contracts
+/// weight-0 edges, yielding a unit-weighted tree that preserves all
+/// distances. This is the "subdividing edges" step of Sections 4.2 / 5.1.
+/// If `image` is non-null it receives, per original node, the node of the
+/// result representing it (d(u,v) == d(image[u], image[v])).
+[[nodiscard]] Tree subdivide(const Tree& t,
+                             std::vector<NodeId>* image = nullptr);
+
+/// Section 5.1 stretched instance: subdivide() the (weighted) tree, then
+/// replace each unit edge at depth d (0-based from the root) with
+/// floor((1+eps)^(D-d)) unit edges, where D is the height of the subdivided
+/// tree. Exact distances in the source become recoverable from
+/// (1+eps)-approximate distances in the result.
+[[nodiscard]] Tree stretch(const Tree& t, double eps);
+
+/// (x,h,d)-regular tree of Section 4.1 (Fig. 5): a y-regular tree with
+/// y = (d^{x_1}, d^{h-x_1}, ..., d^{x_k}, d^{h-x_k}); x_i in [1, h].
+/// Leaf count d^{k*h}; keep parameters tiny.
+[[nodiscard]] Tree regular_tree(std::span<const int> xs, int h, int d);
+
+// ---------------------------------------------------------------------------
+// Exhaustive enumeration (oracle tests, Fig. 4 universal-tree experiments)
+// ---------------------------------------------------------------------------
+
+/// All rooted trees on exactly n nodes, up to isomorphism (canonical AHU
+/// dedup). Feasible for n <= 10 (719 trees at n = 10).
+[[nodiscard]] std::vector<Tree> all_rooted_trees(NodeId n);
+
+/// Number of rooted trees on n nodes (OEIS A000081): 1, 1, 2, 4, 9, 20, ...
+[[nodiscard]] std::size_t count_rooted_trees(NodeId n);
+
+// ---------------------------------------------------------------------------
+// Named shape registry for parameterized tests and benches
+// ---------------------------------------------------------------------------
+
+struct ShapeSpec {
+  std::string name;
+  std::function<Tree(NodeId n, std::uint64_t seed)> make;
+};
+
+/// The standard workload mix used across benches/tests: path, star,
+/// caterpillar, broom, spider, balanced-binary, random, random-binary.
+[[nodiscard]] const std::vector<ShapeSpec>& standard_shapes();
+
+}  // namespace treelab::tree

@@ -1,0 +1,88 @@
+#include "tree/graph.hpp"
+
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+namespace treelab::tree {
+
+Graph::Graph(NodeId n) {
+  if (n <= 0) throw std::invalid_argument("Graph: n <= 0");
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+Graph Graph::from_edges(NodeId n,
+                        std::span<const std::pair<NodeId, NodeId>> edges) {
+  Graph g(n);
+  for (auto [a, b] : edges) g.add_edge(a, b);
+  return g;
+}
+
+Graph Graph::random_connected(NodeId n, NodeId extra_edges,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>(rng() % static_cast<std::uint64_t>(v)));
+  std::uniform_int_distribution<NodeId> pick(0, n - 1);
+  for (NodeId e = 0; e < extra_edges; ++e) {
+    const NodeId a = pick(rng), b = pick(rng);
+    if (a != b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  if (a < 0 || b < 0 || a >= size() || b >= size() || a == b)
+    throw std::invalid_argument("Graph::add_edge: bad endpoints");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++edges_;
+}
+
+bool Graph::connected() const {
+  const auto d = bfs_distances(0);
+  for (std::int32_t x : d)
+    if (x < 0) return false;
+  return true;
+}
+
+std::vector<std::int32_t> Graph::bfs_distances(NodeId src) const {
+  std::vector<std::int32_t> d(static_cast<std::size_t>(size()), -1);
+  std::queue<NodeId> q;
+  d[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : adj_[v])
+      if (d[w] < 0) {
+        d[w] = d[v] + 1;
+        q.push(w);
+      }
+  }
+  return d;
+}
+
+Tree Graph::bfs_tree(NodeId src) const {
+  std::vector<NodeId> parent(static_cast<std::size_t>(size()), kNoNode);
+  std::vector<char> seen(static_cast<std::size_t>(size()), 0);
+  std::queue<NodeId> q;
+  seen[src] = 1;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : adj_[v])
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = v;
+        q.push(w);
+      }
+  }
+  for (char s : seen)
+    if (!s) throw std::invalid_argument("Graph::bfs_tree: graph disconnected");
+  return Tree(std::move(parent));
+}
+
+}  // namespace treelab::tree

@@ -1,0 +1,51 @@
+// Minimal undirected graph support for the distance-oracle application
+// (Section 1: "distance oracles for general graphs use distance labelings
+// for spanning trees rooted at judiciously chosen vertices").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treelab::tree {
+
+class Graph {
+ public:
+  /// n isolated vertices.
+  explicit Graph(NodeId n);
+
+  /// Builds from an edge list (self-loops rejected, multi-edges kept).
+  static Graph from_edges(NodeId n,
+                          std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Uniform random connected graph: a random spanning tree plus
+  /// `extra_edges` uniform chords.
+  static Graph random_connected(NodeId n, NodeId extra_edges,
+                                std::uint64_t seed);
+
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId size() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return adj_[v];
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_; }
+  [[nodiscard]] bool connected() const;
+
+  /// Hop distances from src to every vertex (-1 if unreachable). O(n + m).
+  [[nodiscard]] std::vector<std::int32_t> bfs_distances(NodeId src) const;
+
+  /// BFS spanning tree rooted at src. Requires a connected graph.
+  [[nodiscard]] Tree bfs_tree(NodeId src) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace treelab::tree

@@ -1,0 +1,72 @@
+#include "tree/hpd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treelab::tree {
+
+HeavyPathDecomposition::HeavyPathDecomposition(const Tree& t, Variant variant)
+    : t_(&t), variant_(variant) {
+  const NodeId n = t.size();
+  heavy_child_.assign(static_cast<std::size_t>(n), kNoNode);
+  path_of_.assign(static_cast<std::size_t>(n), -1);
+  light_depth_.assign(static_cast<std::size_t>(n), 0);
+  pos_in_path_.assign(static_cast<std::size_t>(n), 0);
+  path_off_.push_back(0);
+
+  // Each stack entry starts a new heavy path at `start` with light depth ld.
+  struct PathStart {
+    NodeId start;
+    std::int32_t ld;
+  };
+  std::vector<PathStart> stack{{t.root(), 0}};
+  while (!stack.empty()) {
+    const auto [start, ld] = stack.back();
+    stack.pop_back();
+    const std::int32_t pid = static_cast<std::int32_t>(path_head_.size());
+    path_head_.push_back(start);
+    const NodeId path_start_size = t.subtree_size(start);
+
+    NodeId cur = start;
+    std::int32_t pos = 0;
+    for (;;) {
+      path_of_[cur] = pid;
+      light_depth_[cur] = ld;
+      pos_in_path_[cur] = pos++;
+      path_nodes_.push_back(cur);
+
+      NodeId next = kNoNode;
+      if (variant_ == Variant::kPaperHalf) {
+        for (NodeId c : t.children(cur))
+          if (2 * static_cast<std::int64_t>(t.subtree_size(c)) >=
+              path_start_size) {
+            next = c;
+            break;
+          }
+      } else {
+        NodeId best = 0;
+        for (NodeId c : t.children(cur))
+          if (t.subtree_size(c) > best) {
+            best = t.subtree_size(c);
+            next = c;
+          }
+      }
+      heavy_child_[cur] = next;
+      // Every non-heavy child starts its own path one light level deeper.
+      for (NodeId c : t.children(cur))
+        if (c != next) stack.push_back({c, ld + 1});
+      if (next == kNoNode) break;
+      cur = next;
+    }
+    path_off_.push_back(static_cast<std::int32_t>(path_nodes_.size()));
+  }
+  assert(static_cast<NodeId>(path_nodes_.size()) == n);
+}
+
+std::int32_t HeavyPathDecomposition::max_light_depth() const noexcept {
+  std::int32_t m = 0;
+  for (std::int32_t d : light_depth_) m = std::max(m, d);
+  return m;
+}
+
+}  // namespace treelab::tree

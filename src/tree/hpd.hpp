@@ -1,0 +1,96 @@
+// Heavy path decomposition (Section 2).
+//
+// The paper's variant: starting at the root of each (sub)tree of size N,
+// repeatedly descend to the (unique) child whose subtree has size >= N/2,
+// for as long as such a child exists. N is fixed per path (the size at the
+// path's start), which is what the Slack/Thin lemma accounting of Section
+// 3.2 relies on. Every subtree hanging off a path by a light edge is
+// decomposed recursively; light depth is at most log2 n.
+//
+// The classic variant (descend to the largest child until reaching a leaf)
+// is provided for the ablation bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treelab::tree {
+
+class HeavyPathDecomposition {
+ public:
+  enum class Variant {
+    kPaperHalf,  // descend while a child has size >= (path-start size)/2
+    kClassic,    // descend to the largest child until a leaf
+  };
+
+  explicit HeavyPathDecomposition(const Tree& t,
+                                  Variant variant = Variant::kPaperHalf);
+
+  [[nodiscard]] const Tree& tree() const noexcept { return *t_; }
+  [[nodiscard]] Variant variant() const noexcept { return variant_; }
+
+  /// The heavy child of v, or kNoNode.
+  [[nodiscard]] NodeId heavy_child(NodeId v) const noexcept {
+    return heavy_child_[v];
+  }
+
+  /// True if the edge (v, parent(v)) is heavy. False at the root.
+  [[nodiscard]] bool is_heavy_edge(NodeId v) const noexcept {
+    const NodeId p = t_->parent(v);
+    return p != kNoNode && heavy_child_[p] == v;
+  }
+
+  /// Index of the heavy path containing v (paths are numbered in the order
+  /// their heads appear in a preorder of T; path 0 contains the root).
+  [[nodiscard]] std::int32_t path_of(NodeId v) const noexcept {
+    return path_of_[v];
+  }
+
+  [[nodiscard]] std::int32_t num_paths() const noexcept {
+    return static_cast<std::int32_t>(path_head_.size());
+  }
+
+  /// Topmost node of path p.
+  [[nodiscard]] NodeId head(std::int32_t p) const noexcept {
+    return path_head_[p];
+  }
+
+  /// Head of the path containing v.
+  [[nodiscard]] NodeId head_of(NodeId v) const noexcept {
+    return path_head_[path_of_[v]];
+  }
+
+  /// Nodes of path p, top to bottom.
+  [[nodiscard]] std::span<const NodeId> path_nodes(std::int32_t p) const noexcept {
+    return {path_nodes_.data() + path_off_[p],
+            static_cast<std::size_t>(path_off_[p + 1] - path_off_[p])};
+  }
+
+  /// Number of light edges on the root-to-v path; <= log2(n).
+  [[nodiscard]] std::int32_t light_depth(NodeId v) const noexcept {
+    return light_depth_[v];
+  }
+
+  /// Position of v within its path (0 = head).
+  [[nodiscard]] std::int32_t pos_in_path(NodeId v) const noexcept {
+    return pos_in_path_[v];
+  }
+
+  /// Maximum light depth over all nodes.
+  [[nodiscard]] std::int32_t max_light_depth() const noexcept;
+
+ private:
+  const Tree* t_;
+  Variant variant_;
+  std::vector<NodeId> heavy_child_;
+  std::vector<std::int32_t> path_of_;
+  std::vector<NodeId> path_head_;
+  std::vector<std::int32_t> path_off_;  // CSR offsets into path_nodes_
+  std::vector<NodeId> path_nodes_;
+  std::vector<std::int32_t> light_depth_;
+  std::vector<std::int32_t> pos_in_path_;
+};
+
+}  // namespace treelab::tree

@@ -1,0 +1,52 @@
+#include "tree/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace treelab::tree {
+
+void write_dot(std::ostream& os, const Tree& t,
+               const HeavyPathDecomposition* hpd) {
+  os << "digraph T {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < t.size(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (hpd) os << "\\nP" << hpd->path_of(v);
+    os << "\"];\n";
+  }
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const NodeId p = t.parent(v);
+    if (p == kNoNode) continue;
+    os << "  n" << p << " -> n" << v;
+    const bool heavy = hpd && hpd->is_heavy_edge(v);
+    os << " [label=\"" << t.weight(v) << '"';
+    if (heavy) os << ", penwidth=2.5";
+    if (hpd && !heavy) os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+void write_text(std::ostream& os, const Tree& t) {
+  os << t.size() << '\n';
+  for (NodeId v = 0; v < t.size(); ++v)
+    os << t.parent(v) << ' ' << t.weight(v) << '\n';
+}
+
+Tree read_text(std::istream& is) {
+  std::int64_t n = 0;
+  if (!(is >> n) || n <= 0)
+    throw std::invalid_argument("read_text: bad node count");
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> weight(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::int64_t p = 0;
+    std::uint32_t w = 0;
+    if (!(is >> p >> w)) throw std::invalid_argument("read_text: truncated");
+    parent[static_cast<std::size_t>(v)] = static_cast<NodeId>(p);
+    weight[static_cast<std::size_t>(v)] = w;
+  }
+  return Tree(std::move(parent), std::move(weight));
+}
+
+}  // namespace treelab::tree

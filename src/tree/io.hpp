@@ -1,0 +1,25 @@
+// Small I/O helpers: Graphviz export (optionally colored by heavy path) and
+// a line-based parent-array text format for examples.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "tree/hpd.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::tree {
+
+/// Writes DOT. If an HPD is given, heavy edges are drawn bold and nodes are
+/// annotated with their heavy path id (matches Fig. 1's styling).
+void write_dot(std::ostream& os, const Tree& t,
+               const HeavyPathDecomposition* hpd = nullptr);
+
+/// Text format: first line n, then n lines "parent weight" (root: -1 0).
+void write_text(std::ostream& os, const Tree& t);
+
+/// Parses the write_text format. Throws std::invalid_argument on bad input.
+[[nodiscard]] Tree read_text(std::istream& is);
+
+}  // namespace treelab::tree

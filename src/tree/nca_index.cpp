@@ -1,0 +1,69 @@
+#include "tree/nca_index.hpp"
+
+#include <algorithm>
+
+namespace treelab::tree {
+
+NcaIndex::NcaIndex(const Tree& t) : t_(&t) {
+  const NodeId n = t.size();
+  first_.assign(static_cast<std::size_t>(n), -1);
+  euler_.reserve(2 * static_cast<std::size_t>(n));
+
+  // Iterative Euler tour.
+  struct Frame {
+    NodeId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{t.root(), 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child == 0) {
+      first_[f.v] = static_cast<std::int32_t>(euler_.size());
+      euler_.push_back(f.v);
+    }
+    const auto cs = t.children(f.v);
+    if (f.next_child < cs.size()) {
+      const NodeId c = cs[f.next_child++];
+      stack.push_back({c, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) euler_.push_back(stack.back().v);
+    }
+  }
+
+  const std::size_t m = euler_.size();
+  log2_.assign(m + 1, 0);
+  for (std::size_t i = 2; i <= m; ++i) log2_[i] = log2_[i / 2] + 1;
+
+  const int levels = log2_[m] + 1;
+  table_.assign(static_cast<std::size_t>(levels), {});
+  table_[0].resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    table_[0][i] = static_cast<std::int32_t>(i);
+  const auto depth_at = [&](std::int32_t pos) {
+    return t_->depth(euler_[static_cast<std::size_t>(pos)]);
+  };
+  for (int k = 1; k < levels; ++k) {
+    const std::size_t len = std::size_t{1} << k;
+    table_[k].resize(m - len + 1);
+    for (std::size_t i = 0; i + len <= m; ++i) {
+      const std::int32_t a = table_[k - 1][i];
+      const std::int32_t b = table_[k - 1][i + len / 2];
+      table_[k][i] = depth_at(a) <= depth_at(b) ? a : b;
+    }
+  }
+}
+
+NodeId NcaIndex::nca(NodeId u, NodeId v) const noexcept {
+  std::int32_t lo = first_[u], hi = first_[v];
+  if (lo > hi) std::swap(lo, hi);
+  const int k = log2_[static_cast<std::size_t>(hi - lo + 1)];
+  const std::int32_t a = table_[k][static_cast<std::size_t>(lo)];
+  const std::int32_t b =
+      table_[k][static_cast<std::size_t>(hi) - (std::size_t{1} << k) + 1];
+  const NodeId na = euler_[static_cast<std::size_t>(a)];
+  const NodeId nb = euler_[static_cast<std::size_t>(b)];
+  return t_->depth(na) <= t_->depth(nb) ? na : nb;
+}
+
+}  // namespace treelab::tree

@@ -1,0 +1,133 @@
+#include "tree/tree.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace treelab::tree {
+
+Tree::Tree(std::vector<NodeId> parent, std::vector<std::uint32_t> weights)
+    : parent_(std::move(parent)), weights_(std::move(weights)) {
+  const NodeId n = static_cast<NodeId>(parent_.size());
+  if (n == 0) throw std::invalid_argument("Tree: empty parent array");
+  if (weights_.empty()) weights_.assign(static_cast<std::size_t>(n), 1);
+  if (static_cast<NodeId>(weights_.size()) != n)
+    throw std::invalid_argument("Tree: weights size mismatch");
+  finish_init();
+}
+
+Tree Tree::from_edges(NodeId n,
+                      std::span<const std::pair<NodeId, NodeId>> edges,
+                      NodeId root) {
+  if (n <= 0) throw std::invalid_argument("Tree::from_edges: n <= 0");
+  if (static_cast<NodeId>(edges.size()) != n - 1)
+    throw std::invalid_argument("Tree::from_edges: need exactly n-1 edges");
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (auto [a, b] : edges) {
+    if (a < 0 || a >= n || b < 0 || b >= n || a == b)
+      throw std::invalid_argument("Tree::from_edges: bad edge");
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> stack{root};
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        parent[static_cast<std::size_t>(w)] = v;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (char s : seen)
+    if (!s) throw std::invalid_argument("Tree::from_edges: not connected");
+  return Tree(std::move(parent));
+}
+
+void Tree::finish_init() {
+  const NodeId n = size();
+  root_ = kNoNode;
+  std::vector<std::int32_t> deg(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent_[v];
+    if (p == kNoNode) {
+      if (root_ != kNoNode)
+        throw std::invalid_argument("Tree: multiple roots");
+      root_ = v;
+      weights_[v] = 0;
+    } else if (p < 0 || p >= n || p == v) {
+      throw std::invalid_argument("Tree: bad parent id");
+    } else {
+      ++deg[static_cast<std::size_t>(p)];
+    }
+  }
+  if (root_ == kNoNode) throw std::invalid_argument("Tree: no root");
+
+  child_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    child_off_[static_cast<std::size_t>(v) + 1] =
+        child_off_[v] + deg[static_cast<std::size_t>(v)];
+  children_.resize(static_cast<std::size_t>(n) - 1);
+  std::vector<std::int32_t> fill(child_off_.begin(), child_off_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent_[v];
+    if (p != kNoNode) children_[fill[static_cast<std::size_t>(p)]++] = v;
+  }
+
+  // Topological order (parents before children) via BFS from the root; this
+  // also detects cycles (unreached nodes).
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(root_);
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  root_dist_.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId v = order[i];
+    for (NodeId c : children(v)) {
+      depth_[c] = depth_[v] + 1;
+      root_dist_[c] = root_dist_[v] + weights_[c];
+      order.push_back(c);
+    }
+  }
+  if (static_cast<NodeId>(order.size()) != n)
+    throw std::invalid_argument("Tree: parent array contains a cycle");
+
+  subtree_size_.assign(static_cast<std::size_t>(n), 1);
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const NodeId v = order[i];
+    subtree_size_[parent_[v]] += subtree_size_[v];
+  }
+}
+
+std::vector<NodeId> Tree::preorder() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    const auto cs = children(v);
+    for (std::size_t i = cs.size(); i-- > 0;) stack.push_back(cs[i]);
+  }
+  return out;
+}
+
+bool Tree::is_unit_weighted() const noexcept {
+  for (NodeId v = 0; v < size(); ++v)
+    if (v != root_ && weights_[v] != 1) return false;
+  return true;
+}
+
+std::uint64_t Tree::total_weight() const noexcept {
+  std::uint64_t s = 0;
+  for (NodeId v = 0; v < size(); ++v)
+    if (v != root_) s += weights_[v];
+  return s;
+}
+
+}  // namespace treelab::tree

@@ -1,0 +1,94 @@
+// Tree: the rooted, edge-weighted tree type every treelab component works on.
+//
+// Nodes are dense integers [0, n). Each non-root node stores the weight of
+// the edge to its parent (the paper's preprocessing, Section 2, produces
+// binary trees with {0,1} edge weights; generators for lower-bound families
+// produce larger weights). The constructor computes children lists, subtree
+// sizes, depths and weighted root distances once, in O(n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace treelab::tree {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+class Tree {
+ public:
+  /// Builds from a parent array; parent[root] == kNoNode, exactly one root.
+  /// `weights[v]` is the weight of the edge (v, parent[v]); ignored at the
+  /// root. An empty weight vector means all edges have weight 1.
+  /// Throws std::invalid_argument unless `parent` describes a rooted tree.
+  explicit Tree(std::vector<NodeId> parent,
+                std::vector<std::uint32_t> weights = {});
+
+  /// Builds from an undirected edge list, rooted at `root`.
+  static Tree from_edges(NodeId n,
+                         std::span<const std::pair<NodeId, NodeId>> edges,
+                         NodeId root = 0);
+
+  [[nodiscard]] NodeId size() const noexcept {
+    return static_cast<NodeId>(parent_.size());
+  }
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parent_[v]; }
+
+  /// Weight of the edge (v, parent(v)); 0 for the root.
+  [[nodiscard]] std::uint32_t weight(NodeId v) const noexcept {
+    return weights_[v];
+  }
+
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const noexcept {
+    return {children_.data() + child_off_[v],
+            static_cast<std::size_t>(child_off_[v + 1] - child_off_[v])};
+  }
+
+  [[nodiscard]] NodeId subtree_size(NodeId v) const noexcept {
+    return subtree_size_[v];
+  }
+
+  /// Number of edges on the root-to-v path.
+  [[nodiscard]] NodeId depth(NodeId v) const noexcept { return depth_[v]; }
+
+  /// Weighted distance from the root to v.
+  [[nodiscard]] std::uint64_t root_distance(NodeId v) const noexcept {
+    return root_dist_[v];
+  }
+
+  [[nodiscard]] bool is_leaf(NodeId v) const noexcept {
+    return children(v).empty();
+  }
+
+  /// Nodes in a preorder consistent with the children() ordering.
+  [[nodiscard]] std::vector<NodeId> preorder() const;
+
+  /// True if every edge weight is 1.
+  [[nodiscard]] bool is_unit_weighted() const noexcept;
+
+  /// Sum of all edge weights (the weighted diameter upper bound used by
+  /// generators when choosing integer widths).
+  [[nodiscard]] std::uint64_t total_weight() const noexcept;
+
+ private:
+  Tree() = default;
+  void finish_init();  // fills children/subtree/depth/root_dist; validates
+
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> weights_;
+  NodeId root_ = kNoNode;
+
+  // Children in CSR layout: children of v are children_[child_off_[v] ..
+  // child_off_[v+1]). Order: ascending node id (generators control ids).
+  std::vector<NodeId> children_;
+  std::vector<std::int32_t> child_off_;
+
+  std::vector<NodeId> subtree_size_;
+  std::vector<NodeId> depth_;
+  std::vector<std::uint64_t> root_dist_;
+};
+
+}  // namespace treelab::tree

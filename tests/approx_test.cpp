@@ -1,0 +1,65 @@
+// ApproxScheme (Section 5): every answer must lie in [d, (1+eps) d], for
+// both encodings, across eps values, shapes and weighted trees.
+#include <gtest/gtest.h>
+
+#include "core/approx_scheme.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using core::ApproxScheme;
+
+void expect_approx(const tree::Tree& t, double eps,
+                   ApproxScheme::Encoding enc) {
+  const ApproxScheme s(t, eps, enc);
+  const tree::NcaIndex oracle(t);
+  for (tree::NodeId u = 0; u < t.size(); ++u)
+    for (tree::NodeId v = 0; v < t.size(); ++v) {
+      const std::uint64_t got = ApproxScheme::query(eps, s.label(u), s.label(v));
+      const std::uint64_t want = oracle.distance(u, v);
+      ASSERT_GE(got, want) << "u=" << u << " v=" << v << " eps=" << eps;
+      ASSERT_LE(static_cast<double>(got),
+                (1.0 + eps) * static_cast<double>(want) + 1e-9)
+          << "u=" << u << " v=" << v << " eps=" << eps << " d=" << want;
+    }
+}
+
+TEST(Approx, RandomMonotone) {
+  for (double eps : {1.0, 0.5, 0.25, 0.1, 0.03125})
+    for (std::uint64_t seed = 0; seed < 3; ++seed)
+      expect_approx(tree::random_tree(60, seed), eps,
+                    ApproxScheme::Encoding::kMonotone);
+}
+
+TEST(Approx, RandomUnary) {
+  for (double eps : {1.0, 0.5, 0.125})
+    for (std::uint64_t seed = 0; seed < 3; ++seed)
+      expect_approx(tree::random_tree(60, seed), eps,
+                    ApproxScheme::Encoding::kUnary);
+}
+
+TEST(Approx, Shapes) {
+  for (const auto& shape : tree::standard_shapes())
+    expect_approx(shape.make(64, 5), 0.2, ApproxScheme::Encoding::kMonotone);
+}
+
+TEST(Approx, Weighted) {
+  expect_approx(tree::hm_tree(4, 32, 11), 0.25,
+                ApproxScheme::Encoding::kMonotone);
+}
+
+TEST(Approx, MonotoneBeatsUnaryForSmallEps) {
+  const auto t = tree::random_tree(4096, 7);
+  const ApproxScheme mono(t, 1.0 / 64, ApproxScheme::Encoding::kMonotone);
+  const ApproxScheme unary(t, 1.0 / 64, ApproxScheme::Encoding::kUnary);
+  EXPECT_LT(mono.stats().max_bits, unary.stats().max_bits);
+}
+
+TEST(Approx, RejectsBadEps) {
+  EXPECT_THROW(ApproxScheme(tree::path(4), 0.0), std::invalid_argument);
+  EXPECT_THROW(ApproxScheme(tree::path(4), 1.5), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Exhaustive and randomized oracle tests for the three exact distance
+// labeling schemes (Peleg, Alstrup, FGNW): every rooted tree on <= 9 nodes,
+// every node pair; plus larger randomized sweeps, weighted lower-bound
+// instances, and cross-scheme agreement.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bits/bitio.hpp"
+#include "core/alstrup_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "tree/binarize.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::NodeId;
+using tree::Tree;
+
+template <typename Scheme>
+class ExactSchemeTest : public ::testing::Test {};
+
+using Schemes =
+    ::testing::Types<core::PelegScheme, core::AlstrupScheme, core::FgnwScheme>;
+TYPED_TEST_SUITE(ExactSchemeTest, Schemes);
+
+template <typename Scheme>
+void expect_all_pairs(const Tree& t) {
+  const Scheme s(t);
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < t.size(); ++u)
+    for (NodeId v = 0; v < t.size(); ++v)
+      ASSERT_EQ(Scheme::query(s.label(u), s.label(v)), oracle.distance(u, v))
+          << "u=" << u << " v=" << v << " n=" << t.size();
+}
+
+template <typename Scheme>
+void expect_sampled_pairs(const Tree& t, int samples, std::uint64_t seed) {
+  const Scheme s(t);
+  const tree::NcaIndex oracle(t);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, t.size() - 1);
+  for (int i = 0; i < samples; ++i) {
+    const NodeId u = pick(rng), v = pick(rng);
+    ASSERT_EQ(Scheme::query(s.label(u), s.label(v)), oracle.distance(u, v))
+        << "u=" << u << " v=" << v << " n=" << t.size();
+  }
+}
+
+TYPED_TEST(ExactSchemeTest, ExhaustiveAllTreesUpTo9) {
+  for (NodeId n = 1; n <= 9; ++n)
+    for (const Tree& t : tree::all_rooted_trees(n)) expect_all_pairs<TypeParam>(t);
+}
+
+TYPED_TEST(ExactSchemeTest, RandomMediumTrees) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed)
+    expect_all_pairs<TypeParam>(tree::random_tree(120, seed));
+}
+
+TYPED_TEST(ExactSchemeTest, AllShapes) {
+  for (const auto& shape : tree::standard_shapes())
+    expect_all_pairs<TypeParam>(shape.make(100, 41));
+}
+
+TYPED_TEST(ExactSchemeTest, WeightedHmTrees) {
+  for (int h : {1, 2, 3, 4})
+    for (std::uint32_t m : {2u, 7u, 64u})
+      expect_all_pairs<TypeParam>(tree::hm_tree(h, m, h * 100 + m));
+}
+
+TYPED_TEST(ExactSchemeTest, SubdividedHmTrees) {
+  // The unit-weight forms of the lower-bound family exercise deep heavy
+  // paths with large per-level distances (where the accumulator machinery
+  // actually fires).
+  expect_all_pairs<TypeParam>(tree::subdivide(tree::hm_tree(4, 12, 3)));
+}
+
+TYPED_TEST(ExactSchemeTest, LargeRandomSampled) {
+  expect_sampled_pairs<TypeParam>(tree::random_tree(20000, 9), 4000, 10);
+  expect_sampled_pairs<TypeParam>(tree::random_binary_tree(20000, 11), 4000, 12);
+  expect_sampled_pairs<TypeParam>(tree::random_windowed_tree(20000, 8, 13),
+                                  4000, 14);
+}
+
+TYPED_TEST(ExactSchemeTest, SingleAndTinyTrees) {
+  expect_all_pairs<TypeParam>(tree::path(1));
+  expect_all_pairs<TypeParam>(tree::path(2));
+  expect_all_pairs<TypeParam>(tree::star(2));
+}
+
+TEST(SchemesAgree, OnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Tree t = tree::random_tree(80, seed);
+    const core::PelegScheme p(t);
+    const core::AlstrupScheme a(t);
+    const core::FgnwScheme f(t);
+    for (NodeId u = 0; u < t.size(); ++u)
+      for (NodeId v = 0; v < t.size(); ++v) {
+        const auto d = core::PelegScheme::query(p.label(u), p.label(v));
+        ASSERT_EQ(core::AlstrupScheme::query(a.label(u), a.label(v)), d);
+        ASSERT_EQ(core::FgnwScheme::query(f.label(u), f.label(v)), d);
+      }
+  }
+}
+
+TEST(Fgnw, OptionVariantsStayExact) {
+  const Tree t = tree::subdivide(tree::hm_tree(4, 8, 5));
+  const tree::NcaIndex oracle(t);
+  for (const core::FgnwOptions opt :
+       {core::FgnwOptions{0, 8, false}, core::FgnwOptions{1, 8, false},
+        core::FgnwOptions{4, 8, false}, core::FgnwOptions{0, 2, false},
+        core::FgnwOptions{0, 12, false}, core::FgnwOptions{0, 8, true}}) {
+    const core::FgnwScheme f(t, opt);
+    for (NodeId u = 0; u < t.size(); ++u)
+      for (NodeId v = 0; v < t.size(); v += 3)
+        ASSERT_EQ(core::FgnwScheme::query(f.label(u), f.label(v)),
+                  oracle.distance(u, v))
+            << "frag=" << opt.fragment_exponent
+            << " thin=" << opt.thin_exponent;
+  }
+}
+
+TEST(Fgnw, PushesBitsOnAdversarialShapes) {
+  // On subdivided (h,M)-trees the fat/accumulator machinery must actually
+  // fire; otherwise we are silently testing a degenerate configuration.
+  const core::FgnwScheme f(tree::subdivide(tree::hm_tree(6, 32, 7)));
+  EXPECT_GT(f.build_info().fat_edges, 0u);
+  EXPECT_GT(f.build_info().total_pushed_bits, 0u);
+  EXPECT_GT(f.build_info().max_accumulator_bits, 0u);
+}
+
+TEST(Fgnw, DistancePayloadBeatsAlstrupOnQuadraticFamily) {
+  // The theorems bound the distance-array encoding (the Theta(log^2 n)
+  // term). On the lower-bound family, where that term is exercised, FGNW's
+  // truncated-distance payload must be well below Alstrup's full distance
+  // arrays — ideally approaching the paper's factor 2. Totals at feasible n
+  // remain dominated by shared O(log n)-per-level bookkeeping; the benches
+  // report both.
+  const Tree raw = tree::subdivide(tree::hm_tree(7, 64, 3));
+  // Compare apples to apples: Alstrup on the same binarized tree FGNW
+  // labels internally.
+  const core::FgnwScheme f(raw);
+  const core::AlstrupScheme a(tree::binarize(raw).tree);
+  EXPECT_LT(2 * f.distance_payload_stats().total_bits,
+            3 * a.distance_payload_stats().total_bits)
+      << "fgnw payload " << f.distance_payload_stats().avg_bits()
+      << " alstrup payload " << a.distance_payload_stats().avg_bits();
+  EXPECT_LT(f.distance_payload_stats().max_bits,
+            a.distance_payload_stats().max_bits);
+}
+
+TEST(Fgnw, AttachedQueryMatchesPlain) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Tree t = tree::subdivide(tree::hm_tree(5, 16, seed));
+    const core::FgnwScheme f(t);
+    std::vector<core::FgnwAttachedLabel> attached;
+    for (NodeId v = 0; v < t.size(); ++v)
+      attached.push_back(core::FgnwScheme::attach(f.label(v)));
+    const tree::NcaIndex oracle(t);
+    for (NodeId u = 0; u < t.size(); u += 2)
+      for (NodeId v = 0; v < t.size(); v += 3) {
+        ASSERT_EQ(core::FgnwScheme::query(attached[u], attached[v]),
+                  oracle.distance(u, v))
+            << u << " " << v;
+      }
+  }
+}
+
+TEST(Fgnw, MalformedLabelsThrowNotCrash) {
+  const Tree t = tree::random_tree(60, 2);
+  const core::FgnwScheme f(t);
+  bits::BitVec empty;
+  EXPECT_THROW((void)core::FgnwScheme::query(empty, f.label(1)),
+               bits::DecodeError);
+  const auto& l = f.label(5);
+  for (std::size_t cut : {l.size() / 4, l.size() / 2, l.size() - 1}) {
+    const bits::BitVec trunc = l.slice(0, cut);
+    try {
+      (void)core::FgnwScheme::query(trunc, f.label(9));
+    } catch (const bits::DecodeError&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST(LabelStats, Aggregation) {
+  core::LabelStats s;
+  s.add(10);
+  s.add(30);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max_bits, 30u);
+  EXPECT_DOUBLE_EQ(s.avg_bits(), 20.0);
+}
+
+}  // namespace

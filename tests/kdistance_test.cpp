@@ -1,0 +1,94 @@
+// KDistanceScheme (Section 4) against the brute-force oracle: for every
+// node pair, the scheme must report d(u,v) exactly when d(u,v) <= k and
+// "exceeds" otherwise — over shapes, sizes, seeds and the full range of k
+// regimes (k < log n and k >= log n).
+#include <gtest/gtest.h>
+
+#include "core/kdistance_scheme.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+
+void expect_kdist_exact(const tree::Tree& t, std::uint64_t k) {
+  const core::KDistanceScheme s(t, k);
+  const tree::NcaIndex oracle(t);
+  for (tree::NodeId u = 0; u < t.size(); ++u)
+    for (tree::NodeId v = 0; v < t.size(); ++v) {
+      const auto got = core::KDistanceScheme::query(k, s.label(u), s.label(v));
+      const std::uint64_t want = oracle.distance(u, v);
+      if (want <= k) {
+        ASSERT_TRUE(got.within) << "u=" << u << " v=" << v << " k=" << k
+                                << " d=" << want << " n=" << t.size();
+        ASSERT_EQ(got.distance, want)
+            << "u=" << u << " v=" << v << " k=" << k << " n=" << t.size();
+      } else {
+        ASSERT_FALSE(got.within) << "u=" << u << " v=" << v << " k=" << k
+                                 << " d=" << want << " n=" << t.size();
+      }
+    }
+}
+
+TEST(KDistance, RandomSmallK) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed)
+    for (std::uint64_t k : {1, 2, 3, 5})
+      expect_kdist_exact(tree::random_tree(70, seed), k);
+}
+
+TEST(KDistance, RandomLargeK) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed)
+    for (std::uint64_t k : {8, 16, 40, 200})
+      expect_kdist_exact(tree::random_tree(70, seed), k);
+}
+
+TEST(KDistance, Shapes) {
+  for (const auto& shape : tree::standard_shapes())
+    for (std::uint64_t k : {1, 2, 4, 9, 64})
+      expect_kdist_exact(shape.make(64, 3), k);
+}
+
+TEST(KDistance, PathBoundaries) {
+  // Distances exactly at k and k+1 along a single heavy path.
+  for (std::uint64_t k : {1, 2, 5, 31, 32})
+    expect_kdist_exact(tree::path(40), k);
+}
+
+TEST(KDistance, DeepSpider) {
+  expect_kdist_exact(tree::spider(6, 12), 7);
+  expect_kdist_exact(tree::spider(6, 12), 24);
+}
+
+TEST(KDistance, FastNcsaLocatorMatchesLinearReference) {
+  // Differential test of the Section 4.4 machinery (longest common suffix
+  // of height sequences + MSB + successor) against the linear scan, over
+  // every pair — the two must agree bit-for-bit on within/distance.
+  for (const auto& shape : tree::standard_shapes()) {
+    const tree::Tree t = shape.make(72, 19);
+    for (std::uint64_t k : {1, 3, 7, 20, 200}) {
+      const core::KDistanceScheme s(t, k);
+      for (tree::NodeId u = 0; u < t.size(); ++u)
+        for (tree::NodeId v = 0; v < t.size(); ++v) {
+          const auto fast =
+              core::KDistanceScheme::query(k, s.label(u), s.label(v));
+          const auto ref =
+              core::KDistanceScheme::query_linear(k, s.label(u), s.label(v));
+          ASSERT_EQ(fast.within, ref.within)
+              << shape.name << " k=" << k << " u=" << u << " v=" << v;
+          if (fast.within) {
+            ASSERT_EQ(fast.distance, ref.distance)
+                << shape.name << " k=" << k << " u=" << u << " v=" << v;
+          }
+        }
+    }
+  }
+}
+
+TEST(KDistance, RejectsWeighted) {
+  EXPECT_THROW(core::KDistanceScheme(tree::hm_tree(2, 4, 1), 3),
+               std::invalid_argument);
+  EXPECT_THROW(core::KDistanceScheme(tree::path(5), 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Scale stress: half-million-node builds with sampled oracle verification,
+// checking that label sizes, build paths and queries hold up well beyond
+// the exhaustive-test regime.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::NodeId;
+
+TEST(LargeScale, FgnwHalfMillion) {
+  const auto t = tree::random_tree(500'000, 77);
+  const core::FgnwScheme f(t);
+  const tree::NcaIndex oracle(t);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<NodeId> pick(0, t.size() - 1);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = pick(rng), v = pick(rng);
+    ASSERT_EQ(core::FgnwScheme::query(f.label(u), f.label(v)),
+              oracle.distance(u, v));
+  }
+  // Label size sanity at scale: ~19 light levels, comfortably sub-log^2.
+  const double lg = 19.0;
+  EXPECT_LE(static_cast<double>(f.stats().max_bits), 2.0 * lg * lg + 200.0);
+}
+
+TEST(LargeScale, KDistanceDeepSkewedTree) {
+  const auto t = tree::random_windowed_tree(200'000, 6, 3);  // deep + skewed
+  const std::uint64_t k = 12;
+  const core::KDistanceScheme s(t, k);
+  const tree::NcaIndex oracle(t);
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<NodeId> pick(0, t.size() - 1);
+  int within_seen = 0;
+  for (int i = 0; i < 4000; ++i) {
+    // Mix random pairs with nearby pairs so both outcomes are exercised.
+    const NodeId u = pick(rng);
+    const NodeId v = i % 2 == 0 ? pick(rng)
+                                : std::max<NodeId>(0, u - static_cast<NodeId>(
+                                                            rng() % 40));
+    const auto got = core::KDistanceScheme::query(k, s.label(u), s.label(v));
+    const auto want = oracle.distance(u, v);
+    if (want <= k) {
+      ASSERT_TRUE(got.within) << u << " " << v;
+      ASSERT_EQ(got.distance, want);
+      ++within_seen;
+    } else {
+      ASSERT_FALSE(got.within) << u << " " << v;
+    }
+  }
+  EXPECT_GT(within_seen, 100);  // the workload must exercise the within path
+}
+
+TEST(LargeScale, KDistanceOnSubdividedHmTree) {
+  // The Section 4.2 reduction instance: an (h,M)-tree subdivided to unit
+  // edges, queried with k around the leaf-to-leaf distances.
+  const auto t = tree::subdivide(tree::hm_tree(6, 24, 9));
+  const tree::NcaIndex oracle(t);
+  for (const std::uint64_t k : {20, 100, 288}) {
+    const core::KDistanceScheme s(t, k);
+    std::mt19937_64 rng(3);
+    std::uniform_int_distribution<NodeId> pick(0, t.size() - 1);
+    for (int i = 0; i < 3000; ++i) {
+      const NodeId u = pick(rng), v = pick(rng);
+      const auto got = core::KDistanceScheme::query(k, s.label(u), s.label(v));
+      const auto want = oracle.distance(u, v);
+      if (want <= k) {
+        ASSERT_TRUE(got.within) << "k=" << k << " " << u << " " << v;
+        ASSERT_EQ(got.distance, want);
+      } else {
+        ASSERT_FALSE(got.within) << "k=" << k << " " << u << " " << v;
+      }
+    }
+  }
+}
+
+}  // namespace

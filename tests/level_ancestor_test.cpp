@@ -1,0 +1,121 @@
+// LevelAncestorScheme (Section 3.6): labels are distinct, the parent map
+// computed from a label alone must equal the true parent's label, and k-th
+// ancestors follow. Also the Lemma 3.6 / Fig. 4 universal-tree construction
+// and the brute-force minimal universal trees (Lemma 3.7 ground truth).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/level_ancestor_scheme.hpp"
+#include "core/universal_tree.hpp"
+#include "tree/generators.hpp"
+
+namespace {
+
+using namespace treelab;
+using core::LevelAncestorScheme;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+void expect_parent_map_exact(const Tree& t) {
+  const LevelAncestorScheme s(t);
+  std::set<std::string> seen;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    ASSERT_TRUE(seen.insert(s.label(v).to_string()).second)
+        << "duplicate label at " << v;
+    const auto p = LevelAncestorScheme::parent(s.label(v));
+    if (t.parent(v) == kNoNode) {
+      EXPECT_FALSE(p.has_value());
+    } else {
+      ASSERT_TRUE(p.has_value()) << v;
+      EXPECT_TRUE(*p == s.label(t.parent(v)))
+          << "v=" << v << " got " << p->to_string() << " want "
+          << s.label(t.parent(v)).to_string();
+    }
+  }
+}
+
+class LaShapeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LaShapeTest, ParentMap) {
+  const auto& shape = tree::standard_shapes()[GetParam()];
+  expect_parent_map_exact(shape.make(120, 29));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LaShapeTest,
+                         ::testing::Range<std::size_t>(0, 9));
+
+TEST(LevelAncestor, ExhaustiveSmallTrees) {
+  for (NodeId n = 1; n <= 7; ++n)
+    for (const Tree& t : tree::all_rooted_trees(n)) expect_parent_map_exact(t);
+}
+
+TEST(LevelAncestor, KthAncestor) {
+  const Tree t = tree::random_tree(150, 5);
+  const LevelAncestorScheme s(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    NodeId anc = v;
+    for (std::uint64_t k = 0;; ++k) {
+      const auto got = LevelAncestorScheme::level_ancestor(s.label(v), k);
+      if (anc == kNoNode) {
+        EXPECT_FALSE(got.has_value());
+        break;
+      }
+      ASSERT_TRUE(got.has_value());
+      EXPECT_TRUE(*got == s.label(anc)) << "v=" << v << " k=" << k;
+      anc = t.parent(anc);
+    }
+  }
+}
+
+TEST(LevelAncestor, DepthOfLabel) {
+  const Tree t = tree::random_tree(80, 2);
+  const LevelAncestorScheme s(t);
+  for (NodeId v = 0; v < t.size(); ++v)
+    EXPECT_EQ(LevelAncestorScheme::depth_of_label(s.label(v)),
+              static_cast<std::uint64_t>(t.depth(v)));
+}
+
+TEST(LevelAncestor, RejectsWeighted) {
+  EXPECT_THROW(LevelAncestorScheme(tree::hm_tree(2, 4, 1)),
+               std::invalid_argument);
+}
+
+TEST(UniversalTree, EmbedsBasics) {
+  // A path embeds in anything with sufficient depth; a star needs degree.
+  EXPECT_TRUE(core::embeds(tree::path(6), tree::path(4)));
+  EXPECT_FALSE(core::embeds(tree::path(3), tree::path(4)));
+  EXPECT_TRUE(core::embeds(tree::star(7), tree::star(4)));
+  EXPECT_FALSE(core::embeds(tree::star(3), tree::star(4)));
+  EXPECT_FALSE(core::embeds(tree::star(10), tree::path(3)));
+  EXPECT_TRUE(core::embeds(tree::balanced(2, 3), tree::balanced(2, 2)));
+  // Embedding maps children to children: a deeper caterpillar pattern.
+  EXPECT_TRUE(core::embeds(tree::caterpillar(4, 2), tree::caterpillar(3, 1)));
+  EXPECT_FALSE(core::embeds(tree::caterpillar(3, 1), tree::caterpillar(3, 2)));
+}
+
+TEST(UniversalTree, MinimalSizesMatchKnownValues) {
+  // Smallest rooted trees containing all rooted trees on n nodes.
+  EXPECT_EQ(core::minimal_universal_tree_size(1), 1);
+  EXPECT_EQ(core::minimal_universal_tree_size(2), 2);
+  EXPECT_EQ(core::minimal_universal_tree_size(3), 4);
+  // Witness of size 6: -1 0 1 1 1 2 (a spine node with three children, one
+  // extended) embeds all four rooted trees on 4 nodes; sizes 4-5 fail.
+  EXPECT_EQ(core::minimal_universal_tree_size(4), 6);
+}
+
+TEST(UniversalTree, ParentLabelsGiveUniversalTree) {
+  const auto res = core::universal_tree_from_parent_labels(6);
+  EXPECT_EQ(res.trees_labeled, 1u + 1 + 2 + 4 + 9 + 20);
+  EXPECT_FALSE(res.had_cycles);  // parent labels strictly decrease in depth
+  EXPECT_GE(res.num_labels, 6u);
+  // Lemma 3.6: the derived universal tree has at most 2^S(n) + 1 nodes.
+  EXPECT_LE(res.universal_size,
+            (std::size_t{1} << std::min<std::size_t>(40, res.max_label_bits)) + 1);
+  // And it must be at least as large as the true minimal universal tree.
+  EXPECT_GE(res.universal_size,
+            static_cast<std::size_t>(core::minimal_universal_tree_size(4)));
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Graph substrate and SpanningOracle: BFS correctness, the oracle's
+// upper-bound guarantee, exactness on trees, and improvement with landmarks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bits/bitio.hpp"
+#include "core/spanning_oracle.hpp"
+#include "tree/generators.hpp"
+#include "tree/graph.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using core::SpanningOracle;
+using tree::Graph;
+using tree::NodeId;
+
+TEST(Graph, BasicsAndValidation) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.connected());
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 9), std::invalid_argument);
+  EXPECT_THROW(Graph(0), std::invalid_argument);
+}
+
+TEST(Graph, BfsDistancesAgainstFloydWarshall) {
+  const Graph g = Graph::random_connected(60, 50, 3);
+  const int n = g.size();
+  std::vector<std::vector<int>> d(static_cast<std::size_t>(n),
+                                  std::vector<int>(static_cast<std::size_t>(n),
+                                                   1 << 20));
+  for (NodeId v = 0; v < n; ++v) {
+    d[v][v] = 0;
+    for (NodeId w : g.neighbors(v)) d[v][w] = 1;
+  }
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+  for (NodeId src = 0; src < n; src += 7) {
+    const auto got = g.bfs_distances(src);
+    for (NodeId v = 0; v < n; ++v)
+      EXPECT_EQ(got[v], d[src][v]) << src << "->" << v;
+  }
+}
+
+TEST(Graph, BfsTreePreservesRootDistances) {
+  const Graph g = Graph::random_connected(200, 300, 5);
+  for (NodeId root : {0, 57, 199}) {
+    const tree::Tree t = g.bfs_tree(root);
+    const auto d = g.bfs_distances(root);
+    // In the tree, node ids are preserved and the root's distances match.
+    const tree::NcaIndex oracle(t);
+    EXPECT_EQ(t.root(), root);
+    for (NodeId v = 0; v < t.size(); ++v)
+      EXPECT_EQ(oracle.distance(root, v), static_cast<std::uint64_t>(d[v]));
+  }
+}
+
+TEST(SpanningOracleTest, NeverUndershootsAndImproves) {
+  const Graph g = Graph::random_connected(300, 600, 11);
+  std::vector<std::vector<std::int32_t>> truth;
+  for (NodeId v = 0; v < g.size(); ++v) truth.push_back(g.bfs_distances(v));
+
+  double prev_total = 1e18;
+  for (int landmarks : {1, 3, 6}) {
+    const SpanningOracle o(g, landmarks);
+    double total = 0;
+    for (NodeId u = 0; u < g.size(); u += 5)
+      for (NodeId v = 0; v < g.size(); v += 7) {
+        const auto est = SpanningOracle::query(o.state(u), o.state(v));
+        ASSERT_GE(est, static_cast<std::uint64_t>(truth[u][v]))
+            << u << " " << v;
+        total += static_cast<double>(est);
+      }
+    EXPECT_LE(total, prev_total);  // more landmarks never hurt (same roots
+                                   // prefix under the degree policy)
+    prev_total = total;
+  }
+}
+
+TEST(SpanningOracleTest, ExactOnTrees) {
+  // If the graph is a tree, one landmark suffices for exactness.
+  const tree::Tree t = tree::random_tree(150, 9);
+  Graph g(t.size());
+  for (NodeId v = 0; v < t.size(); ++v)
+    if (t.parent(v) != tree::kNoNode) g.add_edge(v, t.parent(v));
+  const SpanningOracle o(g, 1);
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < t.size(); ++u)
+    for (NodeId v = 0; v < t.size(); v += 3)
+      ASSERT_EQ(SpanningOracle::query(o.state(u), o.state(v)),
+                oracle.distance(u, v));
+}
+
+TEST(SpanningOracleTest, PoliciesAndValidation) {
+  const Graph g = Graph::random_connected(80, 100, 2);
+  const SpanningOracle deg(g, 4, SpanningOracle::LandmarkPolicy::kHighestDegree);
+  const SpanningOracle rnd(g, 4, SpanningOracle::LandmarkPolicy::kRandom, 7);
+  for (NodeId u = 0; u < g.size(); u += 11)
+    for (NodeId v = 0; v < g.size(); v += 13) {
+      const auto truth = g.bfs_distances(u);
+      EXPECT_GE(SpanningOracle::query(rnd.state(u), rnd.state(v)),
+                static_cast<std::uint64_t>(truth[v]));
+    }
+  EXPECT_THROW(SpanningOracle(g, 0), std::invalid_argument);
+  EXPECT_THROW(SpanningOracle(g, g.size() + 1), std::invalid_argument);
+  Graph disconnected(3);
+  EXPECT_THROW(SpanningOracle(disconnected, 1), std::invalid_argument);
+  // Mismatched states (different landmark counts) must throw.
+  const SpanningOracle other(g, 2);
+  EXPECT_THROW(
+      (void)SpanningOracle::query(deg.state(0), other.state(1)),
+      bits::DecodeError);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// End-to-end smoke checks: every implemented scheme against the brute-force
+// oracle on a mix of small trees. Deeper per-module suites live in the
+// dedicated test files.
+#include <gtest/gtest.h>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "nca/nca_labeling.hpp"
+#include "tree/binarize.hpp"
+#include "tree/collapsed.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+
+template <typename Scheme>
+void expect_all_pairs_exact(const tree::Tree& t) {
+  const Scheme s(t);
+  const tree::NcaIndex oracle(t);
+  for (tree::NodeId u = 0; u < t.size(); ++u)
+    for (tree::NodeId v = 0; v < t.size(); ++v)
+      ASSERT_EQ(Scheme::query(s.label(u), s.label(v)), oracle.distance(u, v))
+          << "u=" << u << " v=" << v << " n=" << t.size();
+}
+
+TEST(Smoke, PelegRandom) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed)
+    expect_all_pairs_exact<core::PelegScheme>(tree::random_tree(60, seed));
+}
+
+TEST(Smoke, AlstrupRandom) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed)
+    expect_all_pairs_exact<core::AlstrupScheme>(tree::random_tree(60, seed));
+}
+
+TEST(Smoke, AlstrupShapes) {
+  for (const auto& shape : tree::standard_shapes())
+    expect_all_pairs_exact<core::AlstrupScheme>(shape.make(80, 1));
+}
+
+TEST(Smoke, AlstrupWeighted) {
+  expect_all_pairs_exact<core::AlstrupScheme>(tree::hm_tree(4, 16, 7));
+}
+
+TEST(Smoke, FgnwRandom) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed)
+    expect_all_pairs_exact<core::FgnwScheme>(tree::random_tree(60, seed));
+}
+
+TEST(Smoke, FgnwShapes) {
+  for (const auto& shape : tree::standard_shapes())
+    expect_all_pairs_exact<core::FgnwScheme>(shape.make(80, 1));
+}
+
+TEST(Smoke, FgnwWeighted) {
+  expect_all_pairs_exact<core::FgnwScheme>(tree::hm_tree(4, 16, 7));
+}
+
+TEST(Smoke, NcaLightdepth) {
+  const auto t = tree::random_tree(120, 3);
+  const tree::HeavyPathDecomposition hpd(t);
+  const nca::NcaLabeling labels(hpd);
+  const tree::NcaIndex oracle(t);
+  for (tree::NodeId u = 0; u < t.size(); ++u)
+    for (tree::NodeId v = 0; v < t.size(); ++v) {
+      const auto res = nca::NcaLabeling::query(labels.label(u), labels.label(v));
+      const tree::NodeId w = oracle.nca(u, v);
+      ASSERT_EQ(res.lightdepth, hpd.light_depth(w)) << u << " " << v;
+      using Rel = nca::NcaResult::Rel;
+      if (u == v)
+        ASSERT_EQ(res.rel, Rel::kEqual);
+      else if (w == u)
+        ASSERT_EQ(res.rel, Rel::kUAncestor);
+      else if (w == v)
+        ASSERT_EQ(res.rel, Rel::kVAncestor);
+      else
+        ASSERT_EQ(res.rel, Rel::kDiverge);
+    }
+}
+
+}  // namespace

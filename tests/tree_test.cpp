@@ -1,0 +1,377 @@
+// Tests for the tree substrate: Tree construction/validation, generators
+// (including the paper's lower-bound families), binarization, heavy path
+// decomposition invariants, collapsed tree / domination order, and the
+// ground-truth NCA index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "tree/binarize.hpp"
+#include "tree/collapsed.hpp"
+#include "tree/generators.hpp"
+#include "tree/hpd.hpp"
+#include "tree/io.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+// Brute-force distance by walking parents.
+std::uint64_t slow_distance(const Tree& t, NodeId u, NodeId v) {
+  std::map<NodeId, std::uint64_t> up;
+  std::uint64_t d = 0;
+  for (NodeId x = u; x != kNoNode; x = t.parent(x)) {
+    up[x] = d;
+    if (x != t.root()) d += t.weight(x);
+  }
+  d = 0;
+  for (NodeId x = v; x != kNoNode; x = t.parent(x)) {
+    if (auto it = up.find(x); it != up.end()) return it->second + d;
+    if (x != t.root()) d += t.weight(x);
+  }
+  ADD_FAILURE() << "no common ancestor";
+  return 0;
+}
+
+TEST(Tree, ValidationRejectsBadInput) {
+  EXPECT_THROW(Tree(std::vector<NodeId>{}), std::invalid_argument);
+  EXPECT_THROW(Tree({0}), std::invalid_argument);           // self-root loop
+  EXPECT_THROW(Tree({kNoNode, kNoNode}), std::invalid_argument);  // two roots
+  EXPECT_THROW(Tree({1, 0}), std::invalid_argument);        // cycle, no root
+  EXPECT_THROW(Tree({kNoNode, 5}), std::invalid_argument);  // bad parent id
+  EXPECT_THROW(Tree({kNoNode, 0}, {1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tree, BasicAccessors) {
+  // 0 -> {1, 2}, 1 -> {3}
+  const Tree t({kNoNode, 0, 0, 1}, {0, 2, 3, 4});
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.subtree_size(0), 4);
+  EXPECT_EQ(t.subtree_size(1), 2);
+  EXPECT_EQ(t.depth(3), 2);
+  EXPECT_EQ(t.root_distance(3), 6u);
+  EXPECT_FALSE(t.is_unit_weighted());
+  EXPECT_EQ(t.total_weight(), 9u);
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_FALSE(t.is_leaf(1));
+  const auto pre = t.preorder();
+  EXPECT_EQ(pre.size(), 4u);
+  EXPECT_EQ(pre[0], 0);
+}
+
+TEST(Tree, FromEdges) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {2, 1}, {2, 3}};
+  const Tree t = Tree::from_edges(4, edges, 1);
+  EXPECT_EQ(t.root(), 1);
+  EXPECT_EQ(t.depth(3), 2);
+  EXPECT_THROW(Tree::from_edges(3, edges, 0), std::invalid_argument);
+}
+
+TEST(Generators, Shapes) {
+  EXPECT_EQ(tree::path(5).depth(4), 4);
+  EXPECT_EQ(tree::star(5).subtree_size(0), 5);
+  EXPECT_EQ(tree::caterpillar(3, 2).size(), 9);
+  EXPECT_EQ(tree::broom(3, 4).size(), 7);
+  EXPECT_EQ(tree::spider(3, 4).size(), 13);
+  EXPECT_EQ(tree::balanced(2, 3).size(), 15);
+  EXPECT_EQ(tree::balanced(3, 2).size(), 13);
+}
+
+TEST(Generators, RandomTreesAreValidAndVaried) {
+  std::set<std::uint64_t> sigs;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = tree::random_tree(50, seed);
+    ASSERT_EQ(t.size(), 50);
+    std::uint64_t sig = 0;
+    for (NodeId v = 0; v < t.size(); ++v)
+      sig = sig * 31 + static_cast<std::uint64_t>(t.depth(v));
+    sigs.insert(sig);
+  }
+  EXPECT_GT(sigs.size(), 15u) << "random trees look degenerate";
+  for (NodeId n : {1, 2, 3, 4}) EXPECT_EQ(tree::random_tree(n, 1).size(), n);
+}
+
+TEST(Generators, RandomBinaryIsBinary) {
+  const Tree t = tree::random_binary_tree(500, 9);
+  for (NodeId v = 0; v < t.size(); ++v)
+    EXPECT_LE(t.children(v).size(), 2u);
+}
+
+TEST(Generators, HmTreeStructure) {
+  for (int h : {0, 1, 2, 3, 5}) {
+    const Tree t = tree::hm_tree(h, 16, 3);
+    EXPECT_EQ(t.size(), 3 * (1 << h) - 2) << h;
+    // All leaves at the same weighted distance h*M from the root.
+    for (NodeId v = 0; v < t.size(); ++v)
+      if (t.is_leaf(v))
+        EXPECT_EQ(t.root_distance(v), static_cast<std::uint64_t>(h) * 16);
+  }
+}
+
+TEST(Generators, HmTreeExplicitValidation) {
+  const std::vector<std::uint32_t> xs{3, 1, 2};
+  EXPECT_EQ(tree::hm_tree_explicit(2, 4, xs).size(), 10);
+  EXPECT_THROW(tree::hm_tree_explicit(2, 4, std::vector<std::uint32_t>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      tree::hm_tree_explicit(2, 4, std::vector<std::uint32_t>{4, 0, 0}),
+      std::invalid_argument);
+}
+
+TEST(Generators, SubdividePreservesDistances) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Tree weighted = tree::hm_tree(3, 8, seed);  // weight-0 edges occur
+    std::vector<NodeId> image;
+    const Tree unit = tree::subdivide(weighted, &image);
+    EXPECT_TRUE(unit.is_unit_weighted());
+    const tree::NcaIndex ow(weighted);
+    const tree::NcaIndex ou(unit);
+    for (NodeId u = 0; u < weighted.size(); ++u)
+      for (NodeId v = 0; v < weighted.size(); ++v)
+        ASSERT_EQ(ow.distance(u, v), ou.distance(image[u], image[v]))
+            << "seed=" << seed << " u=" << u << " v=" << v;
+  }
+}
+
+TEST(Generators, StretchMakesApproxRecoverable) {
+  // Section 5.1: in the stretched tree, the (1+eps)-intervals of distinct
+  // leaf distances f(k) are disjoint: (1+eps) f(k) < f(k+1).
+  const double eps = 0.5;
+  const Tree t = tree::hm_tree(3, 3, 2);
+  const Tree s = tree::stretch(t, eps);
+  const tree::NcaIndex oracle(s);
+  std::vector<NodeId> leaves;
+  for (NodeId v = 0; v < s.size(); ++v)
+    if (s.is_leaf(v)) leaves.push_back(v);
+  std::set<std::uint64_t> dists;
+  for (NodeId a : leaves)
+    for (NodeId b : leaves)
+      if (a != b) dists.insert(oracle.distance(a, b));
+  ASSERT_GE(dists.size(), 2u);
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (std::uint64_t d : dists) {
+    if (!first)
+      EXPECT_GT(static_cast<double>(d), (1 + eps) * static_cast<double>(prev));
+    prev = d;
+    first = false;
+  }
+}
+
+TEST(Generators, RegularTree) {
+  const std::vector<int> xs{1, 2};
+  const Tree t = tree::regular_tree(xs, 2, 2);
+  // y = (2^1, 2^1, 2^2, 2^0): leaves = 2*2*4*1 = 16 = d^{k*h}.
+  NodeId leaves = 0;
+  for (NodeId v = 0; v < t.size(); ++v) leaves += t.is_leaf(v);
+  EXPECT_EQ(leaves, 16);
+  EXPECT_THROW(tree::regular_tree(std::vector<int>{3}, 2, 2),
+               std::invalid_argument);
+}
+
+TEST(Generators, EnumerationCountsMatchOeis) {
+  for (NodeId n = 1; n <= 8; ++n)
+    EXPECT_EQ(tree::all_rooted_trees(n).size(), tree::count_rooted_trees(n))
+        << n;
+}
+
+TEST(Generators, StandardShapesProduceValidTrees) {
+  for (const auto& shape : tree::standard_shapes()) {
+    const Tree t = shape.make(100, 7);
+    EXPECT_GE(t.size(), 25) << shape.name;
+    EXPECT_LE(t.size(), 140) << shape.name;
+  }
+}
+
+TEST(Binarize, StructureAndDistances) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Tree t = tree::random_tree(40, seed);
+    const auto bt = tree::binarize(t);
+    for (NodeId v = 0; v < bt.tree.size(); ++v)
+      ASSERT_LE(bt.tree.children(v).size(), 2u);
+    // Every original node is represented by a leaf; distances preserved.
+    const tree::NcaIndex ot(t);
+    const tree::NcaIndex ob(bt.tree);
+    for (NodeId u = 0; u < t.size(); ++u) {
+      ASSERT_NE(bt.leaf_of[u], kNoNode);
+      ASSERT_TRUE(bt.tree.is_leaf(bt.leaf_of[u]));
+      for (NodeId v = 0; v < t.size(); ++v)
+        ASSERT_EQ(ot.distance(u, v),
+                  ob.distance(bt.leaf_of[u], bt.leaf_of[v]))
+            << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Binarize, WeightsArePreservedOrZero) {
+  const Tree t = tree::hm_tree(3, 8, 1);
+  const auto bt = tree::binarize(t);
+  std::multiset<std::uint32_t> orig, got;
+  for (NodeId v = 0; v < t.size(); ++v)
+    if (v != t.root() && t.weight(v) > 0) orig.insert(t.weight(v));
+  for (NodeId v = 0; v < bt.tree.size(); ++v)
+    if (v != bt.tree.root() && bt.tree.weight(v) > 0)
+      got.insert(bt.tree.weight(v));
+  EXPECT_EQ(orig, got);
+}
+
+class HpdParamTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, tree::HeavyPathDecomposition::Variant>> {};
+
+TEST_P(HpdParamTest, Invariants) {
+  const auto [shape_idx, variant] = GetParam();
+  const auto& shape = tree::standard_shapes()[shape_idx];
+  const Tree t = shape.make(300, 13);
+  const tree::HeavyPathDecomposition hpd(t, variant);
+
+  // Every node on exactly one path; paths are vertical heavy chains.
+  std::vector<int> seen(static_cast<std::size_t>(t.size()), 0);
+  for (std::int32_t p = 0; p < hpd.num_paths(); ++p) {
+    const auto nodes = hpd.path_nodes(p);
+    ASSERT_FALSE(nodes.empty());
+    EXPECT_EQ(nodes.front(), hpd.head(p));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ++seen[static_cast<std::size_t>(nodes[i])];
+      EXPECT_EQ(hpd.path_of(nodes[i]), p);
+      EXPECT_EQ(hpd.pos_in_path(nodes[i]), static_cast<std::int32_t>(i));
+      if (i > 0) {
+        EXPECT_EQ(t.parent(nodes[i]), nodes[i - 1]);
+        EXPECT_EQ(hpd.heavy_child(nodes[i - 1]), nodes[i]);
+        EXPECT_TRUE(hpd.is_heavy_edge(nodes[i]));
+      }
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+
+  // Light depth: consistent with parents, and bounded by log2 n.
+  const double bound = std::log2(static_cast<double>(t.size()));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_LE(hpd.light_depth(v), static_cast<std::int32_t>(bound) + 1);
+    if (v != t.root()) {
+      const int expect = hpd.light_depth(t.parent(v)) +
+                         (hpd.is_heavy_edge(v) ? 0 : 1);
+      EXPECT_EQ(hpd.light_depth(v), expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HpdParamTest,
+    ::testing::Combine(
+        ::testing::Range<std::size_t>(0, 9),
+        ::testing::Values(tree::HeavyPathDecomposition::Variant::kPaperHalf,
+                          tree::HeavyPathDecomposition::Variant::kClassic)));
+
+TEST(Hpd, PaperVariantHalfThreshold) {
+  // In the paper variant, every light subtree hanging off a path started at
+  // size N has size < N/2.
+  const Tree t = tree::random_tree(500, 3);
+  const tree::HeavyPathDecomposition hpd(t);
+  for (std::int32_t p = 0; p < hpd.num_paths(); ++p) {
+    const NodeId start_size = t.subtree_size(hpd.head(p));
+    for (NodeId w : hpd.path_nodes(p))
+      for (NodeId c : t.children(w))
+        if (c != hpd.heavy_child(w))
+          EXPECT_LT(2 * t.subtree_size(c), start_size);
+  }
+}
+
+TEST(Collapsed, HeightAndParents) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Tree t = tree::random_binary_tree(400, seed);
+    const tree::HeavyPathDecomposition hpd(t);
+    const tree::CollapsedTree ct(hpd);
+    EXPECT_EQ(ct.size(), hpd.num_paths());
+    EXPECT_LE(ct.height(),
+              static_cast<std::int32_t>(
+                  std::log2(static_cast<double>(t.size()))) + 1);
+    for (std::int32_t c = 0; c < ct.size(); ++c) {
+      if (c == ct.cnode_of(t.root())) {
+        EXPECT_EQ(ct.cparent(c), -1);
+        continue;
+      }
+      const NodeId h = ct.head(c);
+      EXPECT_EQ(ct.cparent(c), ct.cnode_of(t.parent(h)));
+    }
+  }
+}
+
+TEST(Collapsed, DominationMatchesPaperObservations) {
+  const Tree raw = tree::random_tree(120, 17);
+  const auto bt = tree::binarize(raw);
+  const Tree& t = bt.tree;
+  const tree::HeavyPathDecomposition hpd(t);
+  const tree::CollapsedTree ct(hpd);
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    if (!t.is_leaf(u)) continue;
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (!t.is_leaf(v) || u == v) continue;
+      const NodeId w = oracle.nca(u, v);
+      // First edges of the w->u and w->v paths.
+      NodeId cu = u, cv = v;
+      while (t.parent(cu) != w) cu = t.parent(cu);
+      while (t.parent(cv) != w) cv = t.parent(cv);
+      const bool u_light = hpd.heavy_child(w) != cu;
+      const bool v_light = hpd.heavy_child(w) != cv;
+      if (u_light && !v_light)
+        EXPECT_TRUE(ct.dominates(u, v)) << u << " " << v;  // Observation (1)
+      if (!u_light && v_light) EXPECT_TRUE(ct.dominates(v, u));
+      if (u_light && v_light) {
+        // Observation (2): the exceptional side is dominated.
+        const bool u_exc = ct.is_exceptional(ct.cnode_of(cu) == hpd.path_of(cu)
+                                                 ? hpd.path_of(cu)
+                                                 : hpd.path_of(cu));
+        const bool v_exc = ct.is_exceptional(hpd.path_of(cv));
+        ASSERT_NE(u_exc, v_exc);
+        EXPECT_EQ(ct.dominates(u, v), v_exc);
+      }
+    }
+  }
+}
+
+TEST(NcaIndexTest, AgainstSlowDistance) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Tree t = tree::hm_tree(3, 5, seed);
+    const tree::NcaIndex oracle(t);
+    for (NodeId u = 0; u < t.size(); ++u)
+      for (NodeId v = 0; v < t.size(); ++v) {
+        EXPECT_EQ(oracle.distance(u, v), slow_distance(t, u, v));
+        const NodeId w = oracle.nca(u, v);
+        EXPECT_TRUE(oracle.is_ancestor(w, u));
+        EXPECT_TRUE(oracle.is_ancestor(w, v));
+      }
+  }
+}
+
+TEST(Io, TextRoundtrip) {
+  const Tree t = tree::hm_tree(2, 7, 4);
+  std::stringstream ss;
+  tree::write_text(ss, t);
+  const Tree back = tree::read_text(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(back.parent(v), t.parent(v));
+    EXPECT_EQ(back.weight(v), t.weight(v));
+  }
+}
+
+TEST(Io, DotContainsAllEdges) {
+  const Tree t = tree::path(5);
+  const tree::HeavyPathDecomposition hpd(t);
+  std::stringstream ss;
+  tree::write_dot(ss, t, &hpd);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);  // heavy edges styled
+}
+
+}  // namespace
