@@ -2,13 +2,34 @@
 // theoretical curves the measured points are compared against.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <concepts>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace treelab::bench {
+
+/// Shared throughput harness: runs `f(batch)` repeatedly (after one warmup
+/// call) until `min_seconds` elapsed; returns operations/sec assuming each
+/// call performs `batch` operations.
+template <typename F>
+inline double measure_qps(F&& f, std::size_t batch = 4096,
+                          double min_seconds = 0.2) {
+  using clock = std::chrono::steady_clock;
+  f(batch / 4 + 1);  // warmup
+  const auto t0 = clock::now();
+  std::size_t done = 0;
+  double dt = 0;
+  do {
+    f(batch);
+    done += batch;
+    dt = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (dt < min_seconds);
+  return static_cast<double>(done) / dt;
+}
 
 /// Prints a row of right-aligned cells (12 chars each, first cell 26).
 inline void row(const std::vector<std::string>& cells) {

@@ -1,5 +1,6 @@
 #include "bits/bitio.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "bits/wordops.hpp"
@@ -21,8 +22,51 @@ void BitWriter::put_delta(std::uint64_t x) {
 }
 
 std::uint64_t BitReader::get_unary() {
-  std::uint64_t x = 0;
-  while (!get_bit()) ++x;
+  const std::size_t one = find_one();
+  if (one == kNoPos) throw DecodeError("BitReader: truncated input");
+  const std::uint64_t x = one - pos_;
+  pos_ = one + 1;
+  return x;
+}
+
+std::size_t BitReader::find_one() const noexcept {
+  const std::size_t n = v_->size();
+  std::size_t p = pos_;
+  while (p < n) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
+    const std::uint64_t w = v_->read_bits(p, take);
+    if (w != 0) return p + static_cast<std::size_t>(lsb(w));
+    p += static_cast<std::size_t>(take);
+  }
+  return kNoPos;
+}
+
+std::uint64_t BitReader::get_unary_unchecked() noexcept {
+  const std::size_t one = find_one();
+  if (one == kNoPos) {
+    // Precondition violated (no terminating one in bounds): terminate with
+    // a garbage value like any other unchecked read, never spin.
+    assert(false && "get_unary_unchecked: no terminator");
+    const std::uint64_t x = v_->size() - pos_;
+    pos_ = v_->size();
+    return x;
+  }
+  const std::uint64_t x = one - pos_;
+  pos_ = one + 1;
+  return x;
+}
+
+std::uint64_t BitReader::get_gamma_unchecked() noexcept {
+  const int len = static_cast<int>(get_unary_unchecked()) + 1;
+  std::uint64_t x = std::uint64_t{1} << (len - 1);
+  if (len > 1) x |= get_bits_unchecked(len - 1);
+  return x;
+}
+
+std::uint64_t BitReader::get_delta_unchecked() noexcept {
+  const int len = static_cast<int>(get_gamma_unchecked());
+  std::uint64_t x = std::uint64_t{1} << (len - 1);
+  if (len > 1) x |= get_bits_unchecked(len - 1);
   return x;
 }
 

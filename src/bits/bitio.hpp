@@ -87,6 +87,30 @@ class BitReader {
     return x;
   }
 
+  /// Unchecked variants for pre-validated decodes: a caller that has already
+  /// bounded the section it is about to read (attach()-style re-parses of a
+  /// buffer it validated once) skips the per-read bounds check. Precondition:
+  /// the read stays within the underlying BitVec.
+  [[nodiscard]] bool get_bit_unchecked() noexcept { return v_->get(pos_++); }
+
+  [[nodiscard]] std::uint64_t get_bits_unchecked(int width) noexcept {
+    const std::uint64_t x = v_->read_bits(pos_, width);
+    pos_ += static_cast<std::size_t>(width);
+    return x;
+  }
+
+  /// Unchecked Elias decodes for the same pre-validated regime: used when
+  /// re-attaching to a buffer whose codes were already walked once (e.g.
+  /// MonotoneSeq::attach over its own validated encoding).
+  [[nodiscard]] std::uint64_t get_unary_unchecked() noexcept;
+  [[nodiscard]] std::uint64_t get_gamma_unchecked() noexcept;
+  [[nodiscard]] std::uint64_t get_delta_unchecked() noexcept;
+  [[nodiscard]] std::uint64_t get_delta0_unchecked() noexcept {
+    return get_delta_unchecked() - 1;
+  }
+
+  /// Word-wise unary decode: scans for the terminating one 64 bits at a
+  /// time with a ctz instead of bit-by-bit probing.
   [[nodiscard]] std::uint64_t get_unary();
   [[nodiscard]] std::uint64_t get_gamma();
   [[nodiscard]] std::uint64_t get_gamma0() { return get_gamma() - 1; }
@@ -105,6 +129,12 @@ class BitReader {
   void require(std::size_t n) const {
     if (pos_ + n > v_->size()) throw DecodeError("BitReader: truncated input");
   }
+
+  static constexpr std::size_t kNoPos = ~std::size_t{0};
+
+  /// Position of the next set bit at or after the cursor (word-wise scan),
+  /// or kNoPos if the rest of the vector is all zeros.
+  [[nodiscard]] std::size_t find_one() const noexcept;
 
   const BitVec* v_;
   std::size_t pos_ = 0;

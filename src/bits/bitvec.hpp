@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bits/wordops.hpp"
@@ -18,6 +19,24 @@ class BitVec {
 
   /// A bit vector of `n` zero bits.
   explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  BitVec(const BitVec&) = default;
+  BitVec& operator=(const BitVec&) = default;
+  // Moves leave the source empty (a defaulted move would strand size_ != 0
+  // over a gutted word array); attach()-style sinks rely on this to take
+  // label storage without deep-copying it.
+  BitVec(BitVec&& other) noexcept
+      : size_(std::exchange(other.size_, 0)), words_(std::move(other.words_)) {
+    other.words_.clear();
+  }
+  BitVec& operator=(BitVec&& other) noexcept {
+    if (this != &other) {  // self-move (e.g. std::swap(x, x)) must be a no-op
+      size_ = std::exchange(other.size_, 0);
+      words_ = std::move(other.words_);
+      other.words_.clear();
+    }
+    return *this;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }

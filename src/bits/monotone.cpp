@@ -64,10 +64,12 @@ MonotoneSeq MonotoneSeq::read_from(BitReader& r) {
 }
 
 void MonotoneSeq::attach() {
+  // enc_ is our own buffer, validated by encode()/read_from(); the header
+  // re-decode skips per-read bounds checks.
   BitReader r(enc_);
-  s_ = static_cast<std::size_t>(r.get_delta0());
-  m_ = r.get_delta0();
-  b_ = r.get_delta0();
+  s_ = static_cast<std::size_t>(r.get_delta0_unchecked());
+  m_ = r.get_delta0_unchecked();
+  b_ = r.get_delta0_unchecked();
   low_width_ = b_ > 1 ? ceil_log2(b_) : 0;
   lows_off_ = r.pos();
   highs_off_ = lows_off_ + s_ * static_cast<std::size_t>(low_width_);

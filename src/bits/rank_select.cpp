@@ -1,43 +1,55 @@
 #include "bits/rank_select.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
 #include "bits/wordops.hpp"
 
 namespace treelab::bits {
-namespace {
-
-/// Position (0-based) of the k-th set bit of word w; k < popcount(w).
-int select_in_word(std::uint64_t w, int k) noexcept {
-  for (int i = 0; i < k; ++i) w &= w - 1;  // clear k lowest ones
-  return lsb(w);
-}
-
-}  // namespace
 
 RankSelect::RankSelect(BitVec v) : bits_(std::move(v)) {
   const std::size_t n = bits_.size();
+  const std::size_t n_words = (n + 63) / 64;
   const std::size_t n_super = n / kSuper + 1;
   super_rank_.assign(n_super + 1, 0);
+  block_rank_.assign(n_super * kWordsPerSuper, 0);
 
+  const auto words = bits_.words();
   std::size_t ones = 0;
+  std::size_t zeros = 0;
   for (std::size_t s = 0; s < n_super; ++s) {
     super_rank_[s] = ones;
-    const std::size_t lo = s * kSuper;
-    const std::size_t hi = std::min(n, lo + kSuper);
-    for (std::size_t p = lo; p < hi; p += 64) {
-      const int take = static_cast<int>(std::min<std::size_t>(64, hi - p));
-      ones += static_cast<std::size_t>(
-          std::popcount(bits_.read_bits(p, take)));
-    }
-    if ((s + 1) * kSuper <= n) {
-      // hints: record the superblock containing every kSuper-th one/zero
-      const std::size_t zeros = (s + 1) * kSuper - ones;
-      while (sel1_hint_.size() * kSuper < ones)
-        sel1_hint_.push_back(static_cast<std::uint32_t>(s));
-      while (sel0_hint_.size() * kSuper < zeros)
-        sel0_hint_.push_back(static_cast<std::uint32_t>(s));
+    std::uint16_t in_super = 0;
+    for (std::size_t j = 0; j < kWordsPerSuper; ++j) {
+      const std::size_t wi = s * kWordsPerSuper + j;
+      block_rank_[wi] = in_super;
+      if (wi >= n_words) continue;
+      const std::size_t base = wi * 64;
+      const int take = static_cast<int>(std::min<std::size_t>(64, n - base));
+      std::uint64_t w = words[wi];
+      if (take < 64) w &= low_mask(take);
+      const int pc = std::popcount(w);
+      const int zc = take - pc;
+      // Record the exact position of every kSelSample-th one/zero as it is
+      // crossed (the next sample index is the vector's current size).
+      while (sel1_pos_.size() * kSelSample <
+             ones + static_cast<std::size_t>(pc)) {
+        const auto rem = static_cast<int>(sel1_pos_.size() * kSelSample - ones);
+        sel1_pos_.push_back(base +
+                            static_cast<std::size_t>(select_in_word(w, rem)));
+      }
+      const std::uint64_t z = ~w & low_mask(take);
+      while (sel0_pos_.size() * kSelSample <
+             zeros + static_cast<std::size_t>(zc)) {
+        const auto rem =
+            static_cast<int>(sel0_pos_.size() * kSelSample - zeros);
+        sel0_pos_.push_back(base +
+                            static_cast<std::size_t>(select_in_word(z, rem)));
+      }
+      ones += static_cast<std::size_t>(pc);
+      zeros += static_cast<std::size_t>(zc);
+      in_super = static_cast<std::uint16_t>(in_super + pc);
     }
   }
   super_rank_[n_super] = ones;
@@ -46,62 +58,54 @@ RankSelect::RankSelect(BitVec v) : bits_(std::move(v)) {
 
 std::size_t RankSelect::rank1(std::size_t i) const noexcept {
   assert(i <= bits_.size());
-  const std::size_t s = i / kSuper;
-  std::size_t r = super_rank_[s];
-  std::size_t p = s * kSuper;
-  while (p + 64 <= i) {
-    r += static_cast<std::size_t>(std::popcount(bits_.read_bits(p, 64)));
-    p += 64;
-  }
-  if (p < i)
+  std::size_t r = super_rank_[i / kSuper];
+  const std::size_t wi = i / 64;
+  if (wi < block_rank_.size()) r += block_rank_[wi];
+  const int off = static_cast<int>(i & 63);
+  if (off != 0)
     r += static_cast<std::size_t>(
-        std::popcount(bits_.read_bits(p, static_cast<int>(i - p))));
+        std::popcount(bits_.words()[wi] & low_mask(off)));
   return r;
 }
 
 std::size_t RankSelect::select1(std::size_t k) const noexcept {
   assert(k < ones_);
-  // Start from the hinted superblock, then walk superblocks.
-  std::size_t s = 0;
-  const std::size_t h = k / kSuper;
-  if (h < sel1_hint_.size()) s = sel1_hint_[h];
+  // The sample bounds the search from below; densities here (the unary high
+  // vectors of Lemma 2.2) keep the superblock walk to O(1) steps.
+  std::size_t s = sel1_pos_[k / kSelSample] / kSuper;
   while (super_rank_[s + 1] <= k) ++s;
-  std::size_t remaining = k - super_rank_[s];
-  std::size_t p = s * kSuper;
-  const std::size_t n = bits_.size();
-  for (;;) {
-    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
-    const std::uint64_t w = bits_.read_bits(p, take);
-    const std::size_t c = static_cast<std::size_t>(std::popcount(w));
-    if (remaining < c)
-      return p + static_cast<std::size_t>(
-                     select_in_word(w, static_cast<int>(remaining)));
-    remaining -= c;
-    p += 64;
-  }
+  std::size_t rem = k - super_rank_[s];
+  const std::size_t base = s * kWordsPerSuper;
+  std::size_t j = 0;
+  while (j + 1 < kWordsPerSuper &&
+         static_cast<std::size_t>(block_rank_[base + j + 1]) <= rem)
+    ++j;
+  rem -= block_rank_[base + j];
+  const std::size_t wi = base + j;
+  return wi * 64 + static_cast<std::size_t>(select_in_word(
+                       bits_.words()[wi], static_cast<int>(rem)));
 }
 
 std::size_t RankSelect::select0(std::size_t k) const noexcept {
-  assert(k < bits_.size() - ones_);
-  std::size_t s = 0;
-  const std::size_t h = k / kSuper;
-  if (h < sel0_hint_.size()) s = sel0_hint_[h];
-  while ((s + 1) * kSuper - super_rank_[s + 1] <= k &&
-         (s + 1) * kSuper <= bits_.size())
-    ++s;
-  std::size_t remaining = k - (s * kSuper - super_rank_[s]);
-  std::size_t p = s * kSuper;
   const std::size_t n = bits_.size();
-  for (;;) {
-    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
-    const std::uint64_t w = ~bits_.read_bits(p, take) & low_mask(take);
-    const std::size_t c = static_cast<std::size_t>(std::popcount(w));
-    if (remaining < c)
-      return p + static_cast<std::size_t>(
-                     select_in_word(w, static_cast<int>(remaining)));
-    remaining -= c;
-    p += 64;
-  }
+  assert(k < n - ones_);
+  std::size_t s = sel0_pos_[k / kSelSample] / kSuper;
+  while ((s + 1) * kSuper <= n && (s + 1) * kSuper - super_rank_[s + 1] <= k)
+    ++s;
+  std::size_t rem = k - (s * kSuper - super_rank_[s]);
+  const std::size_t base = s * kWordsPerSuper;
+  std::size_t j = 0;
+  while (j + 1 < kWordsPerSuper &&
+         (j + 1) * 64 - static_cast<std::size_t>(block_rank_[base + j + 1]) <=
+             rem)
+    ++j;
+  rem -= j * 64 - static_cast<std::size_t>(block_rank_[base + j]);
+  const std::size_t wi = base + j;
+  const std::size_t word_base = wi * 64;
+  const int take = static_cast<int>(std::min<std::size_t>(64, n - word_base));
+  const std::uint64_t z = ~bits_.words()[wi] & low_mask(take);
+  return word_base +
+         static_cast<std::size_t>(select_in_word(z, static_cast<int>(rem)));
 }
 
 }  // namespace treelab::bits

@@ -2,10 +2,12 @@
 //
 // Lemma 2.2 of the paper augments its unary high-part vector with the select
 // structure of Clark and the rank structure of Jacobson (o(n) extra bits,
-// constant-time queries in the word-RAM). We implement the classic two-level
-// rank directory (superblocks of 512 bits + 64-bit blocks) and a sampled
-// select with block scanning: rank is O(1); select is O(1) amortized for the
-// label sizes that occur here (the scan is over at most one superblock).
+// constant-time queries in the word-RAM). We implement a two-level rank
+// directory (superblocks of 512 bits + per-word counts within each
+// superblock) and a sampled select: every 512-th one/zero stores its exact
+// position, so a query jumps straight to the right superblock, picks the
+// word from the block counts, and finishes with one in-word select — no
+// block scanning on the query path.
 #pragma once
 
 #include <cstdint>
@@ -19,15 +21,16 @@ class RankSelect {
  public:
   RankSelect() = default;
 
-  /// Builds directories for `v`. The BitVec is copied so the structure is
-  /// self-contained (labels are small; copying keeps lifetimes simple).
+  /// Builds directories for `v`. Taken by value and moved into place, so
+  /// callers can hand over label storage without a deep copy (BitVec is
+  /// move-enabled); pass a copy explicitly if the original is still needed.
   explicit RankSelect(BitVec v);
 
   [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
   [[nodiscard]] const BitVec& bits() const noexcept { return bits_; }
   [[nodiscard]] bool get(std::size_t i) const noexcept { return bits_.get(i); }
 
-  /// Number of set bits in [0, i). rank1(size()) == total ones.
+  /// Number of set bits in [0, i). rank1(size()) == total ones. O(1).
   [[nodiscard]] std::size_t rank1(std::size_t i) const noexcept;
 
   /// Number of zero bits in [0, i).
@@ -45,11 +48,16 @@ class RankSelect {
 
  private:
   static constexpr std::size_t kSuper = 512;  // bits per superblock
+  static constexpr std::size_t kWordsPerSuper = kSuper / 64;
+  static constexpr std::size_t kSelSample = 512;  // ones/zeros per sample
 
   BitVec bits_;
   std::vector<std::uint64_t> super_rank_;  // ones before each superblock
-  std::vector<std::uint32_t> sel1_hint_;   // superblock of every 512th one
-  std::vector<std::uint32_t> sel0_hint_;   // superblock of every 512th zero
+  std::vector<std::uint16_t> block_rank_;  // ones before each word, within
+                                           // its superblock (< 512)
+  std::vector<std::uint64_t> sel1_pos_;    // exact position of every
+                                           // kSelSample-th one
+  std::vector<std::uint64_t> sel0_pos_;    // ... and zero
   std::size_t ones_ = 0;
 };
 

@@ -57,6 +57,37 @@ AlstrupScheme::AlstrupScheme(const Tree& t) {
   }
 }
 
+AlstrupAttachedLabel AlstrupScheme::attach(const BitVec& l) {
+  AlstrupAttachedLabel out;
+  BitReader r(l);
+  out.rd_ = r.get_delta0();
+  const BitVec nl = r.get_vec(static_cast<std::size_t>(r.get_delta0()));
+  out.nca_ = NcaLabeling::attach(nl);
+  out.rs_ = MonotoneSeq::read_from(r);
+  return out;
+}
+
+std::uint64_t AlstrupScheme::query(const AlstrupAttachedLabel& lu,
+                                   const AlstrupAttachedLabel& lv) {
+  const NcaResult res = NcaLabeling::query(lu.nca_, lv.nca_);
+  switch (res.rel) {
+    case NcaResult::Rel::kEqual:
+      return 0;
+    case NcaResult::Rel::kUAncestor:
+      return lv.rd_ - lu.rd_;
+    case NcaResult::Rel::kVAncestor:
+      return lu.rd_ - lv.rd_;
+    case NcaResult::Rel::kDiverge:
+      break;
+  }
+  const AlstrupAttachedLabel& dom = res.u_first ? lu : lv;
+  if (static_cast<std::size_t>(res.lightdepth) >= dom.rs_.size())
+    throw bits::DecodeError("Alstrup query: branch sequence too short");
+  const std::uint64_t rd_nca =
+      dom.rs_.get(static_cast<std::size_t>(res.lightdepth));
+  return lu.rd_ + lv.rd_ - 2 * rd_nca;
+}
+
 std::uint64_t AlstrupScheme::query(const BitVec& lu, const BitVec& lv) {
   BitReader ru(lu), rv(lv);
   const std::uint64_t rd_u = ru.get_delta0();
@@ -77,6 +108,8 @@ std::uint64_t AlstrupScheme::query(const BitVec& lu, const BitVec& lv) {
   // The dominating node's branch at level lightdepth+1 is the NCA.
   BitReader& rd_reader = res.u_first ? ru : rv;
   const MonotoneSeq rs = MonotoneSeq::read_from(rd_reader);
+  if (static_cast<std::size_t>(res.lightdepth) >= rs.size())
+    throw bits::DecodeError("Alstrup query: branch sequence too short");
   const std::uint64_t rd_nca =
       rs.get(static_cast<std::size_t>(res.lightdepth));
   return rd_u + rd_v - 2 * rd_nca;

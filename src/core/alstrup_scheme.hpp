@@ -17,13 +17,33 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/monotone.hpp"
 #include "core/labeling.hpp"
+#include "nca/nca_labeling.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::core {
 
+/// A pre-parsed Alstrup label for repeated queries: root distance, attached
+/// NCA label, and the decoded branch-distance sequence R_1..R_k. After the
+/// one-time attach, each query is the NCA first-differing-bit scan plus one
+/// O(1) MonotoneSeq lookup — no re-decoding of the raw bits.
+/// Produced by AlstrupScheme::attach().
+class AlstrupAttachedLabel {
+ public:
+  [[nodiscard]] std::uint64_t root_distance() const noexcept { return rd_; }
+
+ private:
+  friend class AlstrupScheme;
+  std::uint64_t rd_ = 0;
+  nca::AttachedNcaLabel nca_;
+  bits::MonotoneSeq rs_;
+};
+
 class AlstrupScheme {
  public:
+  using Attached = AlstrupAttachedLabel;
+
   explicit AlstrupScheme(const tree::Tree& t);
 
   [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
@@ -44,6 +64,13 @@ class AlstrupScheme {
   /// Exact weighted distance from labels alone.
   [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
                                            const bits::BitVec& lv);
+
+  /// One-time parse for repeated queries against the same label.
+  [[nodiscard]] static AlstrupAttachedLabel attach(const bits::BitVec& l);
+
+  /// Same result as the BitVec overload, without re-parsing either label.
+  [[nodiscard]] static std::uint64_t query(const AlstrupAttachedLabel& lu,
+                                           const AlstrupAttachedLabel& lv);
 
  private:
   std::vector<bits::BitVec> labels_;

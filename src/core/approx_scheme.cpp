@@ -96,6 +96,59 @@ ApproxScheme::ApproxScheme(const Tree& t, double eps, Encoding enc)
   }
 }
 
+ApproxAttachedLabel ApproxScheme::attach(const BitVec& l) {
+  ApproxAttachedLabel out;
+  BitReader r(l);
+  out.rd_ = r.get_delta0();
+  const BitVec nl = r.get_vec(static_cast<std::size_t>(r.get_delta0()));
+  out.nca_ = NcaLabeling::attach(nl);
+  if (r.get_bit()) {  // unary encoding
+    const std::uint64_t cnt = r.get_delta0();
+    if (cnt > l.size())
+      throw bits::DecodeError("approx label: implausible chain length");
+    out.exps_.reserve(static_cast<std::size_t>(cnt));
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      acc += r.get_unary();
+      out.exps_.push_back(static_cast<std::uint32_t>(acc));
+    }
+  } else {
+    const MonotoneSeq seq = MonotoneSeq::read_from(r);
+    out.exps_.reserve(seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      out.exps_.push_back(static_cast<std::uint32_t>(seq.get(i)));
+  }
+  return out;
+}
+
+std::uint64_t ApproxScheme::query(double eps, const ApproxAttachedLabel& lu,
+                                  const ApproxAttachedLabel& lv) {
+  const double half = eps / 2;
+  const NcaResult res = NcaLabeling::query(lu.nca_, lv.nca_);
+  switch (res.rel) {
+    case NcaResult::Rel::kEqual:
+      return 0;
+    case NcaResult::Rel::kUAncestor:
+      return lv.rd_ - lu.rd_;
+    case NcaResult::Rel::kVAncestor:
+      return lu.rd_ - lv.rd_;
+    case NcaResult::Rel::kDiverge:
+      break;
+  }
+  const ApproxAttachedLabel& dom = res.u_first ? lu : lv;
+  const ApproxAttachedLabel& oth = res.u_first ? lv : lu;
+  const std::size_t j =
+      static_cast<std::size_t>(dom.nca_.lightdepth() - res.lightdepth);
+  if (j == 0) throw bits::DecodeError("approx label: dominator at NCA");
+  if (j > dom.exps_.size())
+    throw bits::DecodeError("approx label: chain too short");
+  const long double approx_dw = exp_value(half, dom.exps_[j - 1]);
+  const long double estimate =
+      2.0L * approx_dw + (static_cast<long double>(oth.rd_) -
+                          static_cast<long double>(dom.rd_));
+  return static_cast<std::uint64_t>(std::floor(estimate));
+}
+
 std::uint64_t ApproxScheme::query(double eps, const BitVec& lu,
                                   const BitVec& lv) {
   const double half = eps / 2;

@@ -20,12 +20,31 @@
 #include <vector>
 
 #include "core/labeling.hpp"
+#include "nca/nca_labeling.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::core {
 
+/// A pre-parsed approximate-distance label for repeated queries: root
+/// distance, attached NCA label, and the fully decoded rounding-exponent
+/// chain (both the monotone and the unary encodings decode into the same
+/// array). After the one-time attach, each query is the NCA comparison plus
+/// one array lookup. Produced by ApproxScheme::attach().
+class ApproxAttachedLabel {
+ public:
+  [[nodiscard]] std::uint64_t root_distance() const noexcept { return rd_; }
+
+ private:
+  friend class ApproxScheme;
+  std::uint64_t rd_ = 0;
+  nca::AttachedNcaLabel nca_;
+  std::vector<std::uint32_t> exps_;
+};
+
 class ApproxScheme {
  public:
+  using Attached = ApproxAttachedLabel;
+
   enum class Encoding : std::uint8_t {
     kMonotone,  // Lemma 2.2 (this paper): O(log(1/eps) log n)
     kUnary,     // [ICALP'16] baseline:    Theta(1/eps log n)
@@ -48,6 +67,14 @@ class ApproxScheme {
   /// scheme-wide constant the labels were built with).
   [[nodiscard]] static std::uint64_t query(double eps, const bits::BitVec& lu,
                                            const bits::BitVec& lv);
+
+  /// One-time parse for repeated queries against the same label.
+  [[nodiscard]] static ApproxAttachedLabel attach(const bits::BitVec& l);
+
+  /// Same result as the BitVec overload, without re-parsing either label.
+  [[nodiscard]] static std::uint64_t query(double eps,
+                                           const ApproxAttachedLabel& lu,
+                                           const ApproxAttachedLabel& lv);
 
  private:
   double eps_;

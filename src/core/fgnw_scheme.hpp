@@ -80,6 +80,7 @@ struct FgnwOptions {
 class FgnwScheme {
  public:
   using Options = FgnwOptions;
+  using Attached = FgnwAttachedLabel;
 
   explicit FgnwScheme(const tree::Tree& t, Options opt = Options());
 

@@ -41,22 +41,6 @@ bool id_equal(std::uint64_t pre_a, int ha, std::uint64_t pre_b, int hb) {
   return ha == hb && (pre_a >> ha) == (pre_b >> hb);
 }
 
-struct Parsed {
-  std::uint64_t pre = 0;
-  std::uint64_t lightdepth = 0;
-  bool small_k = false;
-  MonotoneSeq hl_seq;                // encoded form of hl (for Section 4.4)
-  std::vector<std::uint64_t> hl;     // heights of L_{u_i}, i = 0..r
-  std::vector<std::uint64_t> hc;     // heights of T_{head(P(u_i))}, i = 0..r
-  std::vector<std::uint64_t> dist;   // d(u, u_i), i = 0..r
-  std::uint64_t alpha = 0;           // d(u_r, head(P(u_r))), capped if small
-  std::uint64_t i_mod = 0;           // pos(u_r) mod (k+1)      (small only)
-  std::vector<std::uint64_t> fwd;    // msb(a_{i+t} - a_i), t = 1..Tf (small)
-  std::vector<std::uint64_t> bwd;    // msb(a_i - a_{i-t}), t = 1..Tb (small)
-
-  [[nodiscard]] std::size_t r() const { return hl.size() - 1; }
-};
-
 std::vector<std::uint64_t> read_seq(BitReader& r) {
   const MonotoneSeq s = MonotoneSeq::read_from(r);
   std::vector<std::uint64_t> out(s.size());
@@ -64,65 +48,80 @@ std::vector<std::uint64_t> read_seq(BitReader& r) {
   return out;
 }
 
-Parsed parse(std::uint64_t k, const BitVec& l) {
+}  // namespace
+
+KDistanceAttachedLabel KDistanceScheme::attach(std::uint64_t k,
+                                               const BitVec& l) {
   BitReader r(l);
-  Parsed p;
-  p.pre = r.get_delta0();
-  p.lightdepth = r.get_delta0();
-  p.small_k = r.get_bit();
-  p.hl_seq = MonotoneSeq::read_from(r);
-  p.hl.resize(p.hl_seq.size());
-  for (std::size_t i = 0; i < p.hl.size(); ++i) p.hl[i] = p.hl_seq.get(i);
-  p.hc = read_seq(r);
-  p.dist = read_seq(r);
-  if (p.hl.empty() || p.hl.size() != p.hc.size() ||
-      p.hl.size() != p.dist.size())
+  KDistanceAttachedLabel p;
+  p.pre_ = r.get_delta0();
+  p.lightdepth_ = r.get_delta0();
+  p.small_k_ = r.get_bit();
+  p.hl_seq_ = MonotoneSeq::read_from(r);
+  p.hl_.resize(p.hl_seq_.size());
+  for (std::size_t i = 0; i < p.hl_.size(); ++i) p.hl_[i] = p.hl_seq_.get(i);
+  p.hc_ = read_seq(r);
+  p.dist_ = read_seq(r);
+  if (p.hl_.empty() || p.hl_.size() != p.hc_.size() ||
+      p.hl_.size() != p.dist_.size())
     throw bits::DecodeError("k-dist label: chain arrays inconsistent");
-  p.alpha = r.get_delta0();
-  if (p.small_k) {
-    p.i_mod = r.get_delta0();
-    if (p.i_mod > k) throw bits::DecodeError("k-dist label: bad i_mod");
-    p.fwd = read_seq(r);
-    p.bwd = read_seq(r);
+  p.alpha_ = r.get_delta0();
+  if (p.small_k_) {
+    p.i_mod_ = r.get_delta0();
+    if (p.i_mod_ > k) throw bits::DecodeError("k-dist label: bad i_mod");
+    p.fwd_ = read_seq(r);
+    p.bwd_ = read_seq(r);
   }
   return p;
 }
 
-/// The aligned index in `other`'s chain of the node at the same light depth
-/// as `mine`'s chain entry `s`, or -1 if negative.
-std::int64_t aligned_index(const Parsed& mine, std::size_t s,
-                           const Parsed& other) {
-  return static_cast<std::int64_t>(other.lightdepth) -
-         static_cast<std::int64_t>(mine.lightdepth) +
-         static_cast<std::int64_t>(s);
-}
+/// Query machinery over attached labels, shared verbatim by the raw and the
+/// attached entry points (the raw path simply attaches first).
+struct KDistanceQueryImpl {
+  using L = KDistanceAttachedLabel;
 
-BoundedDistance within(std::uint64_t k, std::uint64_t d) {
-  return d <= k ? BoundedDistance{true, d} : BoundedDistance{false, 0};
-}
+  static std::size_t r(const L& p) { return p.hl_.size() - 1; }
 
-constexpr BoundedDistance kExceeds{false, 0};
+  /// The aligned index in `other`'s chain of the node at the same light
+  /// depth as `mine`'s chain entry `s`, or negative if none.
+  static std::int64_t aligned_index(const L& mine, std::size_t s,
+                                    const L& other) {
+    return static_cast<std::int64_t>(other.lightdepth_) -
+           static_cast<std::int64_t>(mine.lightdepth_) +
+           static_cast<std::int64_t>(s);
+  }
 
-/// Both-top case: u1 at position i (mod K known), v1 at position j on the
-/// same heavy path; computes |j - i| via Lemma 4.5 or detects > k.
-BoundedDistance path_distance_small(std::uint64_t k, const Parsed& u,
-                                    const Parsed& v) {
-  const std::uint64_t a_u = id_int(u.pre, static_cast<int>(u.hl.back()));
-  const std::uint64_t a_v = id_int(v.pre, static_cast<int>(v.hl.back()));
-  // Orient so that `lo` is the higher node (smaller identifier/position).
-  const Parsed& lo = a_u < a_v ? u : v;
-  const Parsed& hi = a_u < a_v ? v : u;
-  const std::uint64_t a_i = std::min(a_u, a_v), a_j = std::max(a_u, a_v);
-  const std::uint64_t K = k + 1;
-  const std::uint64_t t = (hi.i_mod + K - lo.i_mod % K) % K;
-  if (t == 0) return kExceeds;  // a_i != a_j, so j - i >= K > k
-  if (t > lo.fwd.size() || t > hi.bwd.size()) return kExceeds;
-  const auto e = static_cast<std::uint64_t>(bits::msb(a_j - a_i));
-  if (lo.fwd[t - 1] != e || hi.bwd[t - 1] != e) return kExceeds;  // Lemma 4.4
-  return within(k, t);
-}
+  static BoundedDistance within(std::uint64_t k, std::uint64_t d) {
+    return d <= k ? BoundedDistance{true, d} : BoundedDistance{false, 0};
+  }
 
-}  // namespace
+  static constexpr BoundedDistance kExceeds{false, 0};
+
+  /// Both-top case: u1 at position i (mod K known), v1 at position j on the
+  /// same heavy path; computes |j - i| via Lemma 4.5 or detects > k.
+  static BoundedDistance path_distance_small(std::uint64_t k, const L& u,
+                                             const L& v) {
+    const std::uint64_t a_u = id_int(u.pre_, static_cast<int>(u.hl_.back()));
+    const std::uint64_t a_v = id_int(v.pre_, static_cast<int>(v.hl_.back()));
+    // Orient so that `lo` is the higher node (smaller identifier/position).
+    const L& lo = a_u < a_v ? u : v;
+    const L& hi = a_u < a_v ? v : u;
+    const std::uint64_t a_i = std::min(a_u, a_v), a_j = std::max(a_u, a_v);
+    const std::uint64_t K = k + 1;
+    const std::uint64_t t = (hi.i_mod_ + K - lo.i_mod_ % K) % K;
+    if (t == 0) return kExceeds;  // a_i != a_j, so j - i >= K > k
+    if (t > lo.fwd_.size() || t > hi.bwd_.size()) return kExceeds;
+    const auto e = static_cast<std::uint64_t>(bits::msb(a_j - a_i));
+    if (lo.fwd_[t - 1] != e || hi.bwd_[t - 1] != e)
+      return kExceeds;  // Lemma 4.4
+    return within(k, t);
+  }
+
+  static std::int64_t find_match_scan(const L& u, const L& v);
+  static std::int64_t find_match_fast(const L& u, const L& v);
+  static BoundedDistance resolve(std::uint64_t k, const L& u, const L& v,
+                                 std::int64_t match_s);
+};
 
 KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k) : k_(k) {
   if (k < 1) throw std::invalid_argument("KDistanceScheme: k < 1");
@@ -239,22 +238,21 @@ KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k) : k_(k) {
   }
 }
 
-namespace {
-
 /// Linear-scan NCSA locator (the reference): smallest aligned index s in
 /// u's chain with matching (id, lightdepth), or -1 (Lemma 4.3 makes the
 /// first match the NCSA).
-std::int64_t find_match_scan(const Parsed& u, const Parsed& v) {
+std::int64_t KDistanceQueryImpl::find_match_scan(const L& u, const L& v) {
   std::int64_t s = std::max<std::int64_t>(
-      0, static_cast<std::int64_t>(u.lightdepth) -
-             static_cast<std::int64_t>(v.lightdepth));
+      0, static_cast<std::int64_t>(u.lightdepth_) -
+             static_cast<std::int64_t>(v.lightdepth_));
   std::int64_t tt = aligned_index(u, static_cast<std::size_t>(s), v);
-  for (; s <= static_cast<std::int64_t>(u.r()) &&
-         tt <= static_cast<std::int64_t>(v.r());
+  for (; s <= static_cast<std::int64_t>(r(u)) &&
+         tt <= static_cast<std::int64_t>(r(v));
        ++s, ++tt) {
     if (tt < 0) continue;
-    if (id_equal(u.pre, static_cast<int>(u.hl[static_cast<std::size_t>(s)]),
-                 v.pre, static_cast<int>(v.hl[static_cast<std::size_t>(tt)])))
+    if (id_equal(u.pre_, static_cast<int>(u.hl_[static_cast<std::size_t>(s)]),
+                 v.pre_,
+                 static_cast<int>(v.hl_[static_cast<std::size_t>(tt)])))
       return s;
   }
   return -1;
@@ -266,74 +264,74 @@ std::int64_t find_match_scan(const Parsed& u, const Parsed& v) {
 /// sequences bounds the candidates; within it, id(L) equality is exactly
 /// "height >= l" for l = |common low bits of pre(u), pre(v)|, found with a
 /// successor query on the monotone height sequence.
-std::int64_t find_match_fast(const Parsed& u, const Parsed& v) {
-  const std::int64_t delta = static_cast<std::int64_t>(u.lightdepth) -
-                             static_cast<std::int64_t>(v.lightdepth);
+std::int64_t KDistanceQueryImpl::find_match_fast(const L& u, const L& v) {
+  const std::int64_t delta = static_cast<std::int64_t>(u.lightdepth_) -
+                             static_cast<std::int64_t>(v.lightdepth_);
   const std::int64_t lo_s = std::max<std::int64_t>(0, delta);
   const std::int64_t hi_s =
-      std::min(static_cast<std::int64_t>(u.r()),
-               static_cast<std::int64_t>(v.r()) + delta);
+      std::min(static_cast<std::int64_t>(r(u)),
+               static_cast<std::int64_t>(r(v)) + delta);
   if (hi_s < lo_s) return -1;
   const std::size_t lcs = MonotoneSeq::lcs_of_prefixes(
-      u.hl_seq, static_cast<std::size_t>(hi_s) + 1, v.hl_seq,
+      u.hl_seq_, static_cast<std::size_t>(hi_s) + 1, v.hl_seq_,
       static_cast<std::size_t>(hi_s - delta) + 1);
   if (lcs == 0) return -1;
   const std::int64_t first_eq = hi_s + 1 - static_cast<std::int64_t>(lcs);
   // Identifiers can only coincide once the range height covers every bit in
   // which the two preorders differ.
-  const int l = u.pre == v.pre ? 0 : bits::bitwidth(u.pre ^ v.pre);
+  const int l = u.pre_ == v.pre_ ? 0 : bits::bitwidth(u.pre_ ^ v.pre_);
   const auto first_high = static_cast<std::int64_t>(
-      u.hl_seq.successor(static_cast<std::uint64_t>(l)));
+      u.hl_seq_.successor(static_cast<std::uint64_t>(l)));
   const std::int64_t s = std::max({first_eq, first_high, lo_s});
   return s <= hi_s ? s : -1;
 }
 
-BoundedDistance resolve(std::uint64_t k, const Parsed& u, const Parsed& v,
-                        std::int64_t match_s) {
+BoundedDistance KDistanceQueryImpl::resolve(std::uint64_t k, const L& u,
+                                            const L& v, std::int64_t match_s) {
   if (match_s >= 0) {
     const auto s = static_cast<std::size_t>(match_s);
     const auto tt = static_cast<std::size_t>(aligned_index(u, s, v));
     // Matched: w = u_s = v_tt is the NCSA.
-    if (s == 0) return within(k, v.dist[tt]);  // u is an ancestor of v
-    if (tt == 0) return within(k, u.dist[s]);  // v is an ancestor of u
-    const std::uint64_t du = u.dist[s] - u.dist[s - 1];  // d(u1, w)
-    const std::uint64_t dv = v.dist[tt] - v.dist[tt - 1];
+    if (s == 0) return within(k, v.dist_[tt]);  // u is an ancestor of v
+    if (tt == 0) return within(k, u.dist_[s]);  // v is an ancestor of u
+    const std::uint64_t du = u.dist_[s] - u.dist_[s - 1];  // d(u1, w)
+    const std::uint64_t dv = v.dist_[tt] - v.dist_[tt - 1];
     const bool same_path =
-        id_equal(u.pre, static_cast<int>(u.hc[s - 1]), v.pre,
-                 static_cast<int>(v.hc[tt - 1]));
+        id_equal(u.pre_, static_cast<int>(u.hc_[s - 1]), v.pre_,
+                 static_cast<int>(v.hc_[tt - 1]));
     const std::uint64_t near = same_path ? std::min(du, dv) : 0;
-    return within(k, u.dist[s] + v.dist[tt] - 2 * near);
+    return within(k, u.dist_[s] + v.dist_[tt] - 2 * near);
   }
 
   // No stored common significant ancestor: the branch of at least one side
   // is at its top significant ancestor. Check both orientations.
-  const auto try_top = [&](const Parsed& a, const Parsed& b) -> BoundedDistance {
+  const auto try_top = [&](const L& a, const L& b) -> BoundedDistance {
     // a's branch is a_top; b's aligned chain entry shares a_top's level.
-    const std::int64_t bi = aligned_index(a, a.r(), b);
-    if (bi < 0 || bi > static_cast<std::int64_t>(b.r())) return kExceeds;
-    if (!id_equal(a.pre, static_cast<int>(a.hc[a.r()]), b.pre,
-                  static_cast<int>(b.hc[bi])))
+    const std::int64_t bi = aligned_index(a, r(a), b);
+    if (bi < 0 || bi > static_cast<std::int64_t>(r(b))) return kExceeds;
+    if (!id_equal(a.pre_, static_cast<int>(a.hc_[r(a)]), b.pre_,
+                  static_cast<int>(b.hc_[bi])))
       return kExceeds;  // not on the same heavy path
-    if (static_cast<std::size_t>(bi) == b.r()) {
+    if (static_cast<std::size_t>(bi) == r(b)) {
       // Both tops on the shared path.
       BoundedDistance mid;
-      if (a.small_k) {
+      if (a.small_k_) {
         mid = path_distance_small(k, a, b);
       } else {
-        const std::uint64_t da = a.alpha, db = b.alpha;
+        const std::uint64_t da = a.alpha_, db = b.alpha_;
         mid = within(k, da > db ? da - db : db - da);
       }
       if (!mid.within) return kExceeds;
-      return within(k, a.dist[a.r()] + mid.distance + b.dist[b.r()]);
+      return within(k, a.dist_[r(a)] + mid.distance + b.dist_[r(b)]);
     }
     // a at top, b's branch strictly below its top: d(a1, w) = alpha_a + 1,
     // d(b1, w) = b.dist[bi+1] - b.dist[bi], both measured to the parent w of
     // the shared path's head.
-    if (a.small_k && a.alpha >= 2 * k + 1) return kExceeds;
-    const std::uint64_t da = a.alpha + 1;
-    const std::uint64_t db = b.dist[bi + 1] - b.dist[bi];
+    if (a.small_k_ && a.alpha_ >= 2 * k + 1) return kExceeds;
+    const std::uint64_t da = a.alpha_ + 1;
+    const std::uint64_t db = b.dist_[bi + 1] - b.dist_[bi];
     const std::uint64_t mid = da > db ? da - db : db - da;
-    return within(k, a.dist[a.r()] + mid + b.dist[bi]);
+    return within(k, a.dist_[r(a)] + mid + b.dist_[bi]);
   };
 
   const BoundedDistance via_u = try_top(u, v);
@@ -341,21 +339,29 @@ BoundedDistance resolve(std::uint64_t k, const Parsed& u, const Parsed& v,
   return try_top(v, u);
 }
 
-}  // namespace
+BoundedDistance KDistanceScheme::query(std::uint64_t k,
+                                       const KDistanceAttachedLabel& lu,
+                                       const KDistanceAttachedLabel& lv) {
+  return KDistanceQueryImpl::resolve(
+      k, lu, lv, KDistanceQueryImpl::find_match_fast(lu, lv));
+}
+
+BoundedDistance KDistanceScheme::query_linear(
+    std::uint64_t k, const KDistanceAttachedLabel& lu,
+    const KDistanceAttachedLabel& lv) {
+  return KDistanceQueryImpl::resolve(
+      k, lu, lv, KDistanceQueryImpl::find_match_scan(lu, lv));
+}
 
 BoundedDistance KDistanceScheme::query(std::uint64_t k, const BitVec& lu,
                                        const BitVec& lv) {
-  const Parsed u = parse(k, lu);
-  const Parsed v = parse(k, lv);
-  return resolve(k, u, v, find_match_fast(u, v));
+  return query(k, attach(k, lu), attach(k, lv));
 }
 
 BoundedDistance KDistanceScheme::query_linear(std::uint64_t k,
                                               const BitVec& lu,
                                               const BitVec& lv) {
-  const Parsed u = parse(k, lu);
-  const Parsed v = parse(k, lv);
-  return resolve(k, u, v, find_match_scan(u, v));
+  return query_linear(k, attach(k, lu), attach(k, lv));
 }
 
 }  // namespace treelab::core

@@ -29,13 +29,43 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/monotone.hpp"
 #include "core/labeling.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::core {
 
+/// A pre-parsed k-distance label for repeated queries: the significant
+/// ancestor chain arrays, capped head distance and (small-k) identifier
+/// 2-approximation sequences, decoded once. After the one-time attach, a
+/// query is the Section 4.4 NCSA location over decoded words plus O(1)
+/// arithmetic. Produced by KDistanceScheme::attach().
+class KDistanceAttachedLabel {
+ public:
+  [[nodiscard]] std::uint64_t lightdepth() const noexcept {
+    return lightdepth_;
+  }
+
+ private:
+  friend class KDistanceScheme;
+  friend struct KDistanceQueryImpl;
+  std::uint64_t pre_ = 0;
+  std::uint64_t lightdepth_ = 0;
+  bool small_k_ = false;
+  bits::MonotoneSeq hl_seq_;               // encoded form of hl (Section 4.4)
+  std::vector<std::uint64_t> hl_;          // heights of L_{u_i}, i = 0..r
+  std::vector<std::uint64_t> hc_;          // heights of T_{head(P(u_i))}
+  std::vector<std::uint64_t> dist_;        // d(u, u_i), i = 0..r
+  std::uint64_t alpha_ = 0;  // d(u_r, head(P(u_r))), capped if small
+  std::uint64_t i_mod_ = 0;  // pos(u_r) mod (k+1)            (small only)
+  std::vector<std::uint64_t> fwd_;  // msb(a_{i+t} - a_i), t = 1.. (small)
+  std::vector<std::uint64_t> bwd_;  // msb(a_i - a_{i-t}), t = 1.. (small)
+};
+
 class KDistanceScheme {
  public:
+  using Attached = KDistanceAttachedLabel;
+
   /// Builds k-distance labels for every node of the unit-weighted tree `t`.
   /// Throws std::invalid_argument for k < 1 or weighted input.
   KDistanceScheme(const tree::Tree& t, std::uint64_t k);
@@ -65,6 +95,21 @@ class KDistanceScheme {
   [[nodiscard]] static BoundedDistance query_linear(std::uint64_t k,
                                                     const bits::BitVec& lu,
                                                     const bits::BitVec& lv);
+
+  /// One-time parse for repeated queries against the same label. `k` must be
+  /// the value the labels were built with.
+  [[nodiscard]] static KDistanceAttachedLabel attach(std::uint64_t k,
+                                                     const bits::BitVec& l);
+
+  /// Same result as the BitVec overload, without re-parsing either label.
+  [[nodiscard]] static BoundedDistance query(std::uint64_t k,
+                                             const KDistanceAttachedLabel& lu,
+                                             const KDistanceAttachedLabel& lv);
+
+  /// Linear-scan reference on attached labels (differential testing).
+  [[nodiscard]] static BoundedDistance query_linear(
+      std::uint64_t k, const KDistanceAttachedLabel& lu,
+      const KDistanceAttachedLabel& lv);
 
  private:
   std::uint64_t k_;

@@ -16,38 +16,33 @@ using tree::Tree;
 
 namespace {
 
+// Build-time entry triple (mirrors PelegAttachedLabel::Entry).
 struct Entry {
   std::uint64_t head_pre;  // identifier of the heavy path
   std::uint64_t b_depth;   // depth of the branch node
   std::uint64_t b_rd;      // root distance of the branch node
 };
 
-struct Parsed {
-  std::uint64_t rd;
-  std::uint64_t depth;
-  std::vector<Entry> entries;
-};
+}  // namespace
 
-Parsed parse(const BitVec& l) {
+PelegAttachedLabel PelegScheme::attach(const BitVec& l) {
   BitReader r(l);
-  Parsed p;
-  p.rd = r.get_delta0();
-  p.depth = r.get_delta0();
+  PelegAttachedLabel p;
+  p.rd_ = r.get_delta0();
+  p.depth_ = r.get_delta0();
   const std::uint64_t k = r.get_delta0();
   // Each entry needs at least three code bits; a corrupt length field must
   // not drive a huge allocation.
   if (k > l.size())
     throw bits::DecodeError("Peleg label: implausible entry count");
-  p.entries.resize(static_cast<std::size_t>(k));
-  for (auto& e : p.entries) {
+  p.entries_.resize(static_cast<std::size_t>(k));
+  for (auto& e : p.entries_) {
     e.head_pre = r.get_delta0();
     e.b_depth = r.get_delta0();
     e.b_rd = r.get_delta0();
   }
   return p;
 }
-
-}  // namespace
 
 PelegScheme::PelegScheme(const Tree& t) {
   const HeavyPathDecomposition hpd(t);
@@ -93,23 +88,26 @@ PelegScheme::PelegScheme(const Tree& t) {
   }
 }
 
-std::uint64_t PelegScheme::query(const BitVec& lu, const BitVec& lv) {
-  const Parsed u = parse(lu);
-  const Parsed v = parse(lv);
+std::uint64_t PelegScheme::query(const PelegAttachedLabel& u,
+                                 const PelegAttachedLabel& v) {
   // Longest shared prefix of heavy-path identifier sequences.
   std::size_t j = 0;
-  while (j < u.entries.size() && j < v.entries.size() &&
-         u.entries[j].head_pre == v.entries[j].head_pre)
+  while (j < u.entries_.size() && j < v.entries_.size() &&
+         u.entries_[j].head_pre == v.entries_[j].head_pre)
     ++j;
   // Branch candidates on the deepest shared path.
   const std::uint64_t du =
-      j < u.entries.size() ? u.entries[j].b_depth : u.depth;
-  const std::uint64_t ru = j < u.entries.size() ? u.entries[j].b_rd : u.rd;
+      j < u.entries_.size() ? u.entries_[j].b_depth : u.depth_;
+  const std::uint64_t ru = j < u.entries_.size() ? u.entries_[j].b_rd : u.rd_;
   const std::uint64_t dv =
-      j < v.entries.size() ? v.entries[j].b_depth : v.depth;
-  const std::uint64_t rv = j < v.entries.size() ? v.entries[j].b_rd : v.rd;
+      j < v.entries_.size() ? v.entries_[j].b_depth : v.depth_;
+  const std::uint64_t rv = j < v.entries_.size() ? v.entries_[j].b_rd : v.rd_;
   const std::uint64_t rd_nca = du <= dv ? ru : rv;
-  return u.rd + v.rd - 2 * rd_nca;
+  return u.rd_ + v.rd_ - 2 * rd_nca;
+}
+
+std::uint64_t PelegScheme::query(const BitVec& lu, const BitVec& lv) {
+  return query(attach(lu), attach(lv));
 }
 
 }  // namespace treelab::core

@@ -19,8 +19,30 @@
 
 namespace treelab::core {
 
+/// A pre-parsed Peleg label for repeated queries: the root distance, depth
+/// and the fully decoded per-heavy-path entry triples. After the one-time
+/// attach, a query is the identifier-prefix match over decoded words — no
+/// Elias decoding. Produced by PelegScheme::attach().
+class PelegAttachedLabel {
+ public:
+  [[nodiscard]] std::uint64_t root_distance() const noexcept { return rd_; }
+
+ private:
+  friend class PelegScheme;
+  struct Entry {
+    std::uint64_t head_pre = 0;  // identifier of the heavy path
+    std::uint64_t b_depth = 0;   // depth of the branch node
+    std::uint64_t b_rd = 0;      // root distance of the branch node
+  };
+  std::uint64_t rd_ = 0;
+  std::uint64_t depth_ = 0;
+  std::vector<Entry> entries_;
+};
+
 class PelegScheme {
  public:
+  using Attached = PelegAttachedLabel;
+
   /// Labels every node of `t`.
   explicit PelegScheme(const tree::Tree& t);
 
@@ -35,6 +57,13 @@ class PelegScheme {
   /// Exact weighted distance from labels alone.
   [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
                                            const bits::BitVec& lv);
+
+  /// One-time parse for repeated queries against the same label.
+  [[nodiscard]] static PelegAttachedLabel attach(const bits::BitVec& l);
+
+  /// Same result as the BitVec overload, without re-parsing either label.
+  [[nodiscard]] static std::uint64_t query(const PelegAttachedLabel& lu,
+                                           const PelegAttachedLabel& lv);
 
  private:
   std::vector<bits::BitVec> labels_;

@@ -54,6 +54,46 @@ SpanningOracle::SpanningOracle(const Graph& g, int landmarks,
   }
 }
 
+OracleAttachedState SpanningOracle::attach(const BitVec& state) {
+  BitReader r(state);
+  const std::uint64_t c = r.get_delta0();
+  if (c == 0 || c > state.size())
+    throw bits::DecodeError("SpanningOracle: implausible tree count");
+  OracleAttachedState out;
+  out.labels_.reserve(static_cast<std::size_t>(c));
+  for (std::uint64_t i = 0; i < c; ++i) {
+    const BitVec l = r.get_vec(static_cast<std::size_t>(r.get_delta0()));
+    out.labels_.push_back(FgnwScheme::attach(l));
+  }
+  return out;
+}
+
+std::uint64_t SpanningOracle::query(const OracleAttachedState& su,
+                                    const OracleAttachedState& sv) {
+  if (su.labels_.size() != sv.labels_.size() || su.labels_.empty())
+    throw bits::DecodeError("SpanningOracle: state mismatch");
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < su.labels_.size(); ++i)
+    best = std::min(best, FgnwScheme::query(su.labels_[i], sv.labels_[i]));
+  return best;
+}
+
+std::vector<std::uint64_t> SpanningOracle::query_many(
+    const OracleAttachedState& su,
+    std::span<const OracleAttachedState> targets) {
+  std::vector<std::uint64_t> out;
+  out.reserve(targets.size());
+  for (const OracleAttachedState& sv : targets) out.push_back(query(su, sv));
+  return out;
+}
+
+std::vector<OracleAttachedState> SpanningOracle::attach_all() const {
+  std::vector<OracleAttachedState> out;
+  out.reserve(states_.size());
+  for (const BitVec& s : states_) out.push_back(attach(s));
+  return out;
+}
+
 std::uint64_t SpanningOracle::query(const BitVec& su, const BitVec& sv) {
   BitReader ru(su), rv(sv);
   const std::uint64_t cu = ru.get_delta0();

@@ -13,15 +13,33 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/fgnw_scheme.hpp"
 #include "core/labeling.hpp"
 #include "tree/graph.hpp"
 
 namespace treelab::core {
 
+/// A node's oracle state split once into its per-tree FGNW labels, each
+/// pre-attached. A serving node keeps this cached per peer-set and answers
+/// arbitrarily many queries against it with zero re-decoding — the
+/// parse-once/query-many regime of the landmark-labeling application.
+/// Produced by SpanningOracle::attach().
+class OracleAttachedState {
+ public:
+  [[nodiscard]] std::size_t trees() const noexcept { return labels_.size(); }
+
+ private:
+  friend class SpanningOracle;
+  std::vector<FgnwAttachedLabel> labels_;
+};
+
 class SpanningOracle {
  public:
+  using Attached = OracleAttachedState;
+
   enum class LandmarkPolicy : std::uint8_t {
     kHighestDegree,  // default: hub roots preserve many shortest paths
     kRandom,
@@ -47,6 +65,23 @@ class SpanningOracle {
   /// spanning tree preserves a shortest u-v path.
   [[nodiscard]] static std::uint64_t query(const bits::BitVec& su,
                                            const bits::BitVec& sv);
+
+  /// One-time split-and-attach of a packed state for repeated queries.
+  [[nodiscard]] static OracleAttachedState attach(const bits::BitVec& state);
+
+  /// Same result as the BitVec overload, without re-decoding either state.
+  [[nodiscard]] static std::uint64_t query(const OracleAttachedState& su,
+                                           const OracleAttachedState& sv);
+
+  /// Batch API: answers a stream of queries against `su`'s cached state,
+  /// one result per target.
+  [[nodiscard]] static std::vector<std::uint64_t> query_many(
+      const OracleAttachedState& su,
+      std::span<const OracleAttachedState> targets);
+
+  /// Attaches every node's state — the serving configuration of a node that
+  /// answers traffic for the whole graph.
+  [[nodiscard]] std::vector<OracleAttachedState> attach_all() const;
 
  private:
   int landmarks_;

@@ -67,6 +67,8 @@ class AttachedNcaLabel {
 
 class NcaLabeling {
  public:
+  using Attached = AttachedNcaLabel;
+
   /// Builds labels for every node of `hpd.tree()`.
   explicit NcaLabeling(const tree::HeavyPathDecomposition& hpd);
 

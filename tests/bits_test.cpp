@@ -3,6 +3,7 @@
 // sequence codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "bits/alphabetic.hpp"
@@ -160,6 +161,58 @@ TEST(RankSelect, AgainstNaive) {
     for (std::size_t k = 0; k < zero_pos.size(); ++k)
       EXPECT_EQ(rs.select0(k), zero_pos[k]) << "n=" << n << " k=" << k;
   }
+}
+
+TEST(WordOps, SelectInWord) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t w = rng() & rng();  // varied density
+    int k = 0;
+    for (int i = 0; i < 64; ++i)
+      if ((w >> i) & 1) EXPECT_EQ(select_in_word(w, k++), i) << w;
+  }
+  EXPECT_EQ(select_in_word(1, 0), 0);
+  EXPECT_EQ(select_in_word(std::uint64_t{1} << 63, 0), 63);
+  EXPECT_EQ(select_in_word(~std::uint64_t{0}, 63), 63);
+}
+
+TEST(RankSelect, SparseAgainstNaive) {
+  // ~1% density across many superblocks exercises the sampled-select
+  // superblock walk; dense stretches exercise the in-superblock word pick.
+  std::mt19937_64 rng(17);
+  for (int density : {1, 97}) {
+    BitVec v;
+    std::vector<std::size_t> one_pos, zero_pos;
+    for (std::size_t i = 0; i < 40000; ++i) {
+      const bool b = (rng() % 100) < static_cast<unsigned>(density);
+      (b ? one_pos : zero_pos).push_back(i);
+      v.push_back(b);
+    }
+    const RankSelect rs(std::move(v));
+    ASSERT_EQ(rs.ones(), one_pos.size());
+    for (std::size_t k = 0; k < one_pos.size(); k += 3)
+      ASSERT_EQ(rs.select1(k), one_pos[k]) << "density=" << density;
+    for (std::size_t k = 0; k < zero_pos.size(); k += 3)
+      ASSERT_EQ(rs.select0(k), zero_pos[k]) << "density=" << density;
+    for (std::size_t i = 0; i <= 40000; i += 977)
+      ASSERT_EQ(rs.rank1(i),
+                static_cast<std::size_t>(
+                    std::lower_bound(one_pos.begin(), one_pos.end(), i) -
+                    one_pos.begin()));
+  }
+}
+
+TEST(BitVec, MoveLeavesSourceEmpty) {
+  BitVec v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 3 == 0);
+  const BitVec copy = v;
+  BitVec moved = std::move(v);
+  EXPECT_EQ(moved, copy);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): contract test
+  EXPECT_EQ(v.size(), 0u);
+  v = std::move(moved);
+  EXPECT_EQ(v, copy);
+  EXPECT_TRUE(moved.empty());  // NOLINT(bugprone-use-after-move)
 }
 
 TEST(RankSelect, AllOnesAllZeros) {
