@@ -1,0 +1,207 @@
+// BT — construction-side throughput: the "computed once centrally, then
+// shipped" half of the labeling story. Measures, at a configurable n
+// (default 2^18), every scheme's end-to-end build time three ways:
+//
+//   * own-scaffold serial — each scheme builds its whole pipeline itself
+//     (what the Tree-taking constructors do; the pre-scaffold behaviour),
+//   * shared-scaffold serial — one TreeScaffold feeds all five schemes
+//     (binarize / HPD / collapsed / NCA computed once per tree),
+//   * shared-scaffold parallel — same, with label emission fanned out.
+//
+// Plus a thread-scaling section for FgnwScheme and SpanningOracle and an
+// n-sweep (up to 2^20) for FgnwScheme. Emits BENCH_build.json with the
+// configuration (n, seed, thread counts, hardware concurrency) so runs on
+// different machines are comparable; on a single-core container the
+// parallel rows legitimately sit at ~1x.
+//
+// Usage: bench_build_time [--n N] [--seed S] [--sweep-max N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "core/spanning_oracle.hpp"
+#include "core/tree_scaffold.hpp"
+#include "tree/generators.hpp"
+#include "tree/graph.hpp"
+#include "util/parallel.hpp"
+
+using namespace treelab;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+template <typename F>
+double measure_ms(F&& f) {
+  const auto t0 = clock_type::now();
+  f();
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  double ms = 0;
+};
+
+std::int64_t flag(int argc, char** argv, const char* name,
+                  std::int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  return fallback;
+}
+
+/// Builds all five schemes off `scaffold` (labels dropped immediately;
+/// construction is the thing under test).
+void build_suite(const core::TreeScaffold& scaffold) {
+  { const core::FgnwScheme s(scaffold); }
+  { const core::AlstrupScheme s(scaffold); }
+  { const core::PelegScheme s(scaffold); }
+  { const core::ApproxScheme s(scaffold, 0.125); }
+  { const core::KDistanceScheme s(scaffold, 8); }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<tree::NodeId>(flag(argc, argv, "--n", 1 << 18));
+  const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 123));
+  const auto sweep_max =
+      static_cast<tree::NodeId>(flag(argc, argv, "--sweep-max", 1 << 20));
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int par = util::thread_count();
+
+  const tree::Tree t = tree::random_tree(n, seed);
+  std::vector<Row> rows;
+  const auto add = [&](std::string name, double ms) {
+    rows.push_back({std::move(name), ms});
+    std::printf("  %-34s %10.1f ms\n", rows.back().name.c_str(), ms);
+  };
+
+  std::printf("build-time bench: n=%d seed=%llu threads=%d (hw=%d)\n",
+              static_cast<int>(n), static_cast<unsigned long long>(seed), par,
+              hw);
+
+  // Per-scheme, own scaffold (the Tree-ctor path), serial.
+  add("fgnw_own_serial", measure_ms([&] {
+        const core::TreeScaffold sc(t, 1);
+        const core::FgnwScheme s(sc);
+      }));
+  add("alstrup_own_serial", measure_ms([&] {
+        const core::TreeScaffold sc(t, 1);
+        const core::AlstrupScheme s(sc);
+      }));
+  add("peleg_own_serial", measure_ms([&] {
+        const core::TreeScaffold sc(t, 1);
+        const core::PelegScheme s(sc);
+      }));
+  add("approx_own_serial", measure_ms([&] {
+        const core::TreeScaffold sc(t, 1);
+        const core::ApproxScheme s(sc, 0.125);
+      }));
+  add("kdist_own_serial", measure_ms([&] {
+        const core::TreeScaffold sc(t, 1);
+        const core::KDistanceScheme s(sc, 8);
+      }));
+
+  // The five-scheme suite: per-scheme scaffolds vs one shared scaffold vs
+  // shared scaffold with parallel emission.
+  double suite_own = 0;
+  for (const Row& r : rows) suite_own += r.ms;
+  add("suite_own_serial", suite_own);
+  const double suite_shared = measure_ms([&] {
+    const core::TreeScaffold sc(t, 1);
+    build_suite(sc);
+  });
+  add("suite_shared_serial", suite_shared);
+  const double suite_par = measure_ms([&] {
+    const core::TreeScaffold sc(t, par);
+    build_suite(sc);
+  });
+  add("suite_shared_parallel", suite_par);
+
+  // Thread scaling, FGNW.
+  std::vector<Row> scaling;
+  for (const int threads : {1, 2, 4}) {
+    const double ms = measure_ms([&] {
+      const core::TreeScaffold sc(t, threads);
+      const core::FgnwScheme s(sc);
+    });
+    scaling.push_back({"fgnw_t" + std::to_string(threads), ms});
+    std::printf("  %-34s %10.1f ms\n", scaling.back().name.c_str(), ms);
+  }
+
+  // Thread scaling, SpanningOracle (4 landmark trees; the oracle reads
+  // TREELAB_THREADS for its whole budget). Smaller n: it builds 4 FGNWs.
+  {
+    const auto n_oracle = std::max<tree::NodeId>(1024, n / 4);
+    const tree::Graph g =
+        tree::Graph::random_connected(n_oracle, 2 * n_oracle, seed);
+    for (const int threads : {1, 2, 4}) {
+      setenv("TREELAB_THREADS", std::to_string(threads).c_str(), 1);
+      const double ms =
+          measure_ms([&] { const core::SpanningOracle o(g, 4); });
+      scaling.push_back({"oracle4_t" + std::to_string(threads), ms});
+      std::printf("  %-34s %10.1f ms (n=%d)\n", scaling.back().name.c_str(),
+                  ms, static_cast<int>(n_oracle));
+    }
+    unsetenv("TREELAB_THREADS");
+  }
+
+  // n-sweep: FGNW end-to-end (shared-scaffold serial) as n grows.
+  std::vector<Row> sweep;
+  for (tree::NodeId sn = 1 << 16; sn <= sweep_max; sn *= 4) {
+    const tree::Tree st = tree::random_tree(sn, seed);
+    const double ms = measure_ms([&] {
+      const core::TreeScaffold sc(st, 1);
+      const core::FgnwScheme s(sc);
+    });
+    sweep.push_back({"fgnw_n" + std::to_string(sn), ms});
+    std::printf("  %-34s %10.1f ms\n", sweep.back().name.c_str(), ms);
+  }
+
+  const char* path = "BENCH_build.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  const auto dump = [&](const char* key, const std::vector<Row>& rs,
+                        bool last) {
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (std::size_t i = 0; i < rs.size(); ++i)
+      std::fprintf(f, "    {\"case\": \"%s\", \"ms\": %.1f}%s\n",
+                   rs[i].name.c_str(), rs[i].ms,
+                   i + 1 < rs.size() ? "," : "");
+    std::fprintf(f, "  ]%s\n", last ? "" : ",");
+  };
+  std::fprintf(f, "{\n  \"bench\": \"build_time\",\n");
+  std::fprintf(f, "  \"n\": %d,\n  \"seed\": %llu,\n",
+               static_cast<int>(n), static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"tree\": \"random(seed=%llu)\",\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"threads\": %d,\n  \"threads_available\": %d,\n", par,
+               hw);
+  std::fprintf(f, "  \"suite_shared_vs_own_speedup\": %.2f,\n",
+               suite_own / suite_shared);
+  std::fprintf(f, "  \"suite_parallel_vs_own_speedup\": %.2f,\n",
+               suite_own / suite_par);
+  dump("results", rows, false);
+  dump("scaling", scaling, false);
+  dump("sweep", sweep, true);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (shared/own speedup %.2fx, parallel/own %.2fx)\n",
+              path, suite_own / suite_shared, suite_own / suite_par);
+  return 0;
+}

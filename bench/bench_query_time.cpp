@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <string>
@@ -29,8 +30,11 @@ using namespace treelab;
 
 namespace {
 
+/// Tree seed for every case; --seed overrides (the JSON records it).
+std::uint64_t g_seed = 123;
+
 tree::Tree make_tree(std::int64_t n) {
-  return tree::random_tree(static_cast<tree::NodeId>(n), 123);
+  return tree::random_tree(static_cast<tree::NodeId>(n), g_seed);
 }
 
 /// A fixed cycle of random query pairs, shared by raw and attached loops so
@@ -216,8 +220,7 @@ JsonCase json_case_exact(const char* name, const tree::Tree& t,
       });
 }
 
-void write_json_summary(const char* path) {
-  constexpr tree::NodeId kN = 1 << 16;
+void write_json_summary(const char* path, tree::NodeId kN) {
   const tree::Tree t = make_tree(kN);
   const auto pairs = make_pairs(kN);
   std::vector<JsonCase> cases;
@@ -297,8 +300,12 @@ void write_json_summary(const char* path) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"query_time\",\n  \"n\": %d,\n", kN);
-  std::fprintf(f, "  \"tree\": \"random(seed=123)\",\n  \"results\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"query_time\",\n  \"n\": %d,\n",
+               static_cast<int>(kN));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(g_seed));
+  std::fprintf(f, "  \"tree\": \"random(seed=%llu)\",\n  \"results\": [\n",
+               static_cast<unsigned long long>(g_seed));
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const JsonCase& c = cases[i];
     std::fprintf(f,
@@ -379,15 +386,28 @@ BENCHMARK(bench_build_fgnw)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  // The JSON trajectory sweep builds every scheme at n = 2^16; skip it when
-  // the user filtered down to specific micro-benchmarks.
+  // Our own flags (--n, --seed for the JSON sweep) are stripped before
+  // google-benchmark sees the argument vector.
+  tree::NodeId json_n = 1 << 16;
+  std::vector<char*> args{argv[0]};
   bool filtered = false;
-  for (int i = 1; i < argc; ++i)
-    filtered |= std::strncmp(argv[i], "--benchmark_filter", 18) == 0;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      json_n = static_cast<tree::NodeId>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      g_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      filtered |= std::strncmp(argv[i], "--benchmark_filter", 18) == 0;
+      args.push_back(argv[i]);
+    }
+  }
+  // The JSON trajectory sweep builds every scheme at n (default 2^16); skip
+  // it when the user filtered down to specific micro-benchmarks.
+  int args_n = static_cast<int>(args.size());
+  benchmark::Initialize(&args_n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!filtered) write_json_summary("BENCH_query.json");
+  if (!filtered) write_json_summary("BENCH_query.json", json_n);
   return 0;
 }

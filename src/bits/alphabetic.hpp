@@ -22,9 +22,12 @@ struct Codeword {
   int len = 0;
 
   /// Appends MSB-first (so that bitwise comparison of concatenated labels
-  /// equals lexicographic comparison of codeword sequences).
+  /// equals lexicographic comparison of codeword sequences). Emitted as one
+  /// bit-reversed word append rather than len push_backs.
   void write_to(BitWriter& w) const {
-    for (int i = len - 1; i >= 0; --i) w.put_bit((bits >> i) & 1u);
+    std::uint64_t rev = 0;
+    for (int i = 0; i < len; ++i) rev |= ((bits >> i) & 1u) << (len - 1 - i);
+    w.put_bits(rev, len);
   }
 };
 

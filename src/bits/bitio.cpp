@@ -30,11 +30,11 @@ std::uint64_t BitReader::get_unary() {
 }
 
 std::size_t BitReader::find_one() const noexcept {
-  const std::size_t n = v_->size();
+  const std::size_t n = v_.size();
   std::size_t p = pos_;
   while (p < n) {
     const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
-    const std::uint64_t w = v_->read_bits(p, take);
+    const std::uint64_t w = v_.read_bits(p, take);
     if (w != 0) return p + static_cast<std::size_t>(lsb(w));
     p += static_cast<std::size_t>(take);
   }
@@ -47,8 +47,8 @@ std::uint64_t BitReader::get_unary_unchecked() noexcept {
     // Precondition violated (no terminating one in bounds): terminate with
     // a garbage value like any other unchecked read, never spin.
     assert(false && "get_unary_unchecked: no terminator");
-    const std::uint64_t x = v_->size() - pos_;
-    pos_ = v_->size();
+    const std::uint64_t x = v_.size() - pos_;
+    pos_ = v_.size();
     return x;
   }
   const std::uint64_t x = one - pos_;

@@ -40,7 +40,14 @@ class BitWriter {
   /// Elias delta shifted to accept x >= 0 (encodes x+1).
   void put_delta0(std::uint64_t x) { put_delta(x + 1); }
 
-  void append(const BitVec& v) { out_.append(v); }
+  void append(BitSpan v) { out_.append(v); }
+
+  /// Pad with zero bits to the next 64-bit boundary. LabelArena uses this
+  /// between labels so every label starts word-aligned.
+  void align_to_word() {
+    const int pad = static_cast<int>((64 - (out_.size() & 63)) & 63);
+    if (pad != 0) out_.append_bits(0, pad);
+  }
 
   [[nodiscard]] std::size_t bit_count() const noexcept { return out_.size(); }
 
@@ -62,27 +69,28 @@ class DecodeError : public std::runtime_error {
 
 class BitReader {
  public:
-  /// Reads from `v`, which must outlive the reader.
-  explicit BitReader(const BitVec& v) noexcept : v_(&v) {}
+  /// Reads from `v` (a BitVec or a LabelArena view); the underlying storage
+  /// must outlive the reader.
+  explicit BitReader(BitSpan v) noexcept : v_(v) {}
 
   [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
-    return v_->size() - pos_;
+    return v_.size() - pos_;
   }
 
   void seek(std::size_t pos) {
-    if (pos > v_->size()) throw DecodeError("BitReader::seek past end");
+    if (pos > v_.size()) throw DecodeError("BitReader::seek past end");
     pos_ = pos;
   }
 
   [[nodiscard]] bool get_bit() {
     require(1);
-    return v_->get(pos_++);
+    return v_.get(pos_++);
   }
 
   [[nodiscard]] std::uint64_t get_bits(int width) {
     require(static_cast<std::size_t>(width));
-    const std::uint64_t x = v_->read_bits(pos_, width);
+    const std::uint64_t x = v_.read_bits(pos_, width);
     pos_ += static_cast<std::size_t>(width);
     return x;
   }
@@ -91,10 +99,10 @@ class BitReader {
   /// bounded the section it is about to read (attach()-style re-parses of a
   /// buffer it validated once) skips the per-read bounds check. Precondition:
   /// the read stays within the underlying BitVec.
-  [[nodiscard]] bool get_bit_unchecked() noexcept { return v_->get(pos_++); }
+  [[nodiscard]] bool get_bit_unchecked() noexcept { return v_.get(pos_++); }
 
   [[nodiscard]] std::uint64_t get_bits_unchecked(int width) noexcept {
-    const std::uint64_t x = v_->read_bits(pos_, width);
+    const std::uint64_t x = v_.read_bits(pos_, width);
     pos_ += static_cast<std::size_t>(width);
     return x;
   }
@@ -120,14 +128,14 @@ class BitReader {
   /// Extract `len` bits starting at the cursor as a BitVec and advance.
   [[nodiscard]] BitVec get_vec(std::size_t len) {
     require(len);
-    BitVec out = v_->slice(pos_, len);
+    BitVec out = v_.slice(pos_, len);
     pos_ += len;
     return out;
   }
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > v_->size()) throw DecodeError("BitReader: truncated input");
+    if (pos_ + n > v_.size()) throw DecodeError("BitReader: truncated input");
   }
 
   static constexpr std::size_t kNoPos = ~std::size_t{0};
@@ -136,7 +144,7 @@ class BitReader {
   /// or kNoPos if the rest of the vector is all zeros.
   [[nodiscard]] std::size_t find_one() const noexcept;
 
-  const BitVec* v_;
+  BitSpan v_;
   std::size_t pos_ = 0;
 };
 

@@ -19,29 +19,17 @@ void BitVec::append_bits(std::uint64_t value, int width) {
   }
 }
 
-void BitVec::append(const BitVec& other) {
+void BitVec::append(BitSpan other) {
   std::size_t pos = 0;
-  while (pos < other.size_) {
-    const int take = static_cast<int>(std::min<std::size_t>(64, other.size_ - pos));
+  const std::size_t n = other.size();
+  while (pos < n) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, n - pos));
     append_bits(other.read_bits(pos, take), take);
     pos += static_cast<std::size_t>(take);
   }
 }
 
-std::uint64_t BitVec::read_bits(std::size_t pos, int width) const {
-  assert(width >= 0 && width <= 64);
-  assert(pos + static_cast<std::size_t>(width) <= size_);
-  if (width == 0) return 0;
-  const std::size_t w = pos >> 6;
-  const int off = static_cast<int>(pos & 63);
-  std::uint64_t out = words_[w] >> off;
-  const int have = 64 - off;
-  if (have < width) out |= words_[w + 1] << have;
-  if (width < 64) out &= low_mask(width);
-  return out;
-}
-
-BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+BitVec BitSpan::slice(std::size_t pos, std::size_t len) const {
   assert(pos + len <= size_);
   BitVec out;
   std::size_t done = 0;
@@ -51,6 +39,10 @@ BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
     done += static_cast<std::size_t>(take);
   }
   return out;
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  return BitSpan(*this).slice(pos, len);
 }
 
 std::size_t BitVec::popcount() const noexcept {
@@ -66,20 +58,13 @@ std::size_t BitVec::popcount() const noexcept {
   return c;
 }
 
-bool BitVec::operator==(const BitVec& other) const noexcept {
-  if (size_ != other.size_) return false;
-  for (std::size_t i = 0; i < size_; i += 64) {
-    const int take = static_cast<int>(std::min<std::size_t>(64, size_ - i));
-    if (read_bits(i, take) != other.read_bits(i, take)) return false;
+bool operator==(BitSpan a, BitSpan b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); i += 64) {
+    const int take = static_cast<int>(std::min<std::size_t>(64, a.size() - i));
+    if (a.read_bits(i, take) != b.read_bits(i, take)) return false;
   }
   return true;
-}
-
-std::string BitVec::to_string() const {
-  std::string s;
-  s.reserve(size_);
-  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
-  return s;
 }
 
 }  // namespace treelab::bits

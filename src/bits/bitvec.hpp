@@ -1,7 +1,15 @@
 // BitVec: a growable, packed bit string. Labels produced by every scheme in
-// treelab are BitVecs; all size accounting in the benches is in BitVec bits.
+// treelab are BitVecs or views into a pooled LabelArena; all size accounting
+// in the benches is in bits.
+//
+// BitSpan is the non-owning read-only counterpart: a word-aligned window
+// over someone else's bit storage (a BitVec, or one label inside a
+// LabelArena). Queries and attach() take BitSpan so that label storage can
+// be pooled without copying; a BitVec converts to a BitSpan implicitly (a
+// view) and a BitSpan converts to a BitVec implicitly (a copy).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -13,12 +21,82 @@
 
 namespace treelab::bits {
 
+class BitVec;
+
+/// A read-only view of `size` bits starting at bit 0 of a word array (views
+/// are always word-aligned: LabelArena pads every label to a 64-bit
+/// boundary, which is what makes a view indistinguishable from a standalone
+/// BitVec for all read operations). The underlying words must outlive the
+/// span and must be zero beyond the last bit (BitWriter/LabelArena maintain
+/// this), so whole-word reads near the end are well-defined.
+class BitSpan {
+ public:
+  constexpr BitSpan() = default;
+  BitSpan(const BitVec& v) noexcept;  // NOLINT: implicit view of a BitVec
+  constexpr BitSpan(const std::uint64_t* words, std::size_t nbits) noexcept
+      : words_(words), size_(nbits) {}
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr const std::uint64_t* data() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] constexpr std::size_t word_count() const noexcept {
+    return (size_ + 63) / 64;
+  }
+
+  /// Bit at position i. Precondition: i < size().
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Bounds-checked bit access; throws std::out_of_range.
+  [[nodiscard]] bool at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("BitSpan::at: index out of range");
+    return get(i);
+  }
+
+  /// Read `width` (<= 64) bits starting at `pos`, LSB-first. Precondition:
+  /// pos + width <= size().
+  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, int width) const {
+    assert(width >= 0 && width <= 64);
+    assert(pos + static_cast<std::size_t>(width) <= size_);
+    if (width == 0) return 0;
+    const std::size_t w = pos >> 6;
+    const int off = static_cast<int>(pos & 63);
+    std::uint64_t out = words_[w] >> off;
+    const int have = 64 - off;
+    if (have < width) out |= words_[w + 1] << have;
+    if (width < 64) out &= low_mask(width);
+    return out;
+  }
+
+  /// The contiguous sub-vector [pos, pos+len) as an owning copy.
+  [[nodiscard]] BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// "0101..." debug rendering (first bit leftmost).
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class BitVec {
  public:
   BitVec() = default;
 
   /// A bit vector of `n` zero bits.
   explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// An owning copy of a view.
+  BitVec(BitSpan s)  // NOLINT: implicit, symmetric with BitVec -> BitSpan
+      : size_(s.size()), words_(s.data(), s.data() + s.word_count()) {}
 
   BitVec(const BitVec&) = default;
   BitVec& operator=(const BitVec&) = default;
@@ -70,12 +148,14 @@ class BitVec {
   /// width in [0, 64].
   void append_bits(std::uint64_t value, int width);
 
-  /// Append all bits of another bit vector.
-  void append(const BitVec& other);
+  /// Append all bits of another bit string.
+  void append(BitSpan other);
 
   /// Read `width` (<= 64) bits starting at position `pos`, LSB-first, i.e.
   /// the inverse of append_bits. Precondition: pos + width <= size().
-  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, int width) const;
+  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, int width) const {
+    return BitSpan(*this).read_bits(pos, width);
+  }
 
   /// The contiguous sub-vector [pos, pos+len).
   [[nodiscard]] BitVec slice(std::size_t pos, std::size_t len) const;
@@ -87,14 +167,21 @@ class BitVec {
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const noexcept;
 
-  bool operator==(const BitVec& other) const noexcept;
-
   /// "0101..." debug rendering (first bit leftmost).
-  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_string() const {
+    return BitSpan(*this).to_string();
+  }
 
  private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+inline BitSpan::BitSpan(const BitVec& v) noexcept
+    : words_(v.words().data()), size_(v.size()) {}
+
+/// Bit-wise equality. Defined over BitSpan so that any mix of BitVec and
+/// BitSpan operands compares (both convert).
+[[nodiscard]] bool operator==(BitSpan a, BitSpan b) noexcept;
 
 }  // namespace treelab::bits

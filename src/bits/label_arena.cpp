@@ -1,0 +1,18 @@
+#include "bits/label_arena.hpp"
+
+namespace treelab::bits {
+
+std::size_t LabelArena::total_label_bits() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t l : len_) total += l;
+  return total;
+}
+
+std::vector<BitVec> LabelArena::to_vectors() const {
+  std::vector<BitVec> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.emplace_back(view(i));
+  return out;
+}
+
+}  // namespace treelab::bits

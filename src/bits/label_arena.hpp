@@ -1,0 +1,122 @@
+// LabelArena — pooled label storage: one contiguous word buffer plus a
+// per-label (offset, length) directory, replacing n individually allocated
+// BitVecs. Every label starts on a 64-bit boundary (padded with zero bits),
+// so label i is served as a BitSpan that behaves exactly like a standalone
+// BitVec for every read operation, and bulk I/O (LabelStore) can stream a
+// label's bytes straight out of the word buffer.
+//
+// build() is the one way labels get in: it runs an emitter over [0, n) on a
+// deterministic chunked schedule and concatenates the per-chunk buffers in
+// chunk order. Because each label is emitted independently and padded to a
+// word boundary, the arena contents are bit-identical for every thread
+// count — the property the serial-vs-parallel parity tests assert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bits/bitio.hpp"
+#include "bits/bitvec.hpp"
+#include "util/parallel.hpp"
+
+namespace treelab::bits {
+
+class LabelArena {
+ public:
+  LabelArena() = default;
+
+  /// Number of labels.
+  [[nodiscard]] std::size_t size() const noexcept { return len_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return len_.empty(); }
+
+  /// Label i as a word-aligned view. Valid while the arena lives.
+  [[nodiscard]] BitSpan view(std::size_t i) const noexcept {
+    return {words_.data() + start_word_[i], len_[i]};
+  }
+  [[nodiscard]] BitSpan operator[](std::size_t i) const noexcept {
+    return view(i);
+  }
+
+  /// Exact bit length of label i (padding not included).
+  [[nodiscard]] std::size_t label_bits(std::size_t i) const noexcept {
+    return len_[i];
+  }
+
+  /// Sum of exact label lengths (padding not included).
+  [[nodiscard]] std::size_t total_label_bits() const noexcept;
+
+  /// The word storage of label i (for bulk serialization).
+  [[nodiscard]] const std::uint64_t* label_words(std::size_t i) const noexcept {
+    return words_.data() + start_word_[i];
+  }
+
+  /// Owning per-label copies (compatibility helper; O(total bits)).
+  [[nodiscard]] std::vector<BitVec> to_vectors() const;
+
+  /// Builds an arena of `n` labels by running `emit(i, writer)` for every
+  /// i in [0, n), on up to `threads` threads (0 = TREELAB_THREADS / hardware
+  /// default; the result is bit-identical for every thread count). Each
+  /// worker chunk operates on its own *copy* of `emit`, so the emitter may
+  /// keep mutable scratch state. With threads == 1 the indices are emitted
+  /// strictly in order 0, 1, ..., n-1 (LabelStore's stream loader relies on
+  /// this).
+  template <typename Emit>
+  [[nodiscard]] static LabelArena build(std::size_t n, int threads,
+                                        const Emit& emit) {
+    threads = util::resolve_threads(threads);
+    const auto chunks = static_cast<std::size_t>(threads);
+
+    struct Chunk {
+      BitVec bits;
+      std::vector<std::size_t> lens;
+    };
+    std::vector<Chunk> parts(std::min(chunks, std::max<std::size_t>(n, 1)));
+
+    util::parallel_for_chunks(
+        n, parts.size(), threads,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          Emit local(emit);
+          BitWriter w;
+          Chunk& ch = parts[c];
+          ch.lens.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t before = w.bit_count();
+            local(i, w);
+            ch.lens.push_back(w.bit_count() - before);
+            w.align_to_word();
+          }
+          ch.bits = w.take();
+        });
+
+    LabelArena out;
+    out.len_.reserve(n);
+    out.start_word_.reserve(n + 1);
+    std::size_t word = 0;
+    for (const Chunk& ch : parts)
+      for (const std::size_t len : ch.lens) {
+        out.start_word_.push_back(word);
+        out.len_.push_back(len);
+        word += (len + 63) / 64;
+      }
+    out.start_word_.push_back(word);
+    out.words_.resize(word);
+    std::size_t base = 0;
+    for (const Chunk& ch : parts) {
+      const std::size_t nw = ch.bits.words().size();
+      if (nw != 0)
+        std::memcpy(out.words_.data() + base, ch.bits.words().data(),
+                    nw * sizeof(std::uint64_t));
+      base += nw;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::size_t> start_word_;  // size() + 1 entries
+  std::vector<std::size_t> len_;         // exact bit lengths
+};
+
+}  // namespace treelab::bits

@@ -8,8 +8,9 @@
 
 namespace treelab::bits {
 
-MonotoneSeq MonotoneSeq::encode(std::span<const std::uint64_t> xs,
-                                std::uint64_t universe) {
+std::size_t MonotoneSeq::encode_to(BitWriter& w,
+                                   std::span<const std::uint64_t> xs,
+                                   std::uint64_t universe) {
   for (std::size_t i = 0; i < xs.size(); ++i) {
     if (xs[i] > universe)
       throw std::invalid_argument("MonotoneSeq: element exceeds universe");
@@ -17,11 +18,11 @@ MonotoneSeq MonotoneSeq::encode(std::span<const std::uint64_t> xs,
       throw std::invalid_argument("MonotoneSeq: sequence not monotone");
   }
 
+  const std::size_t before = w.bit_count();
   const std::size_t s = xs.size();
   const std::uint64_t b =
       s == 0 ? 1 : std::max<std::uint64_t>(1, (universe + s) / s);  // ceil(M/s), >=1
 
-  BitWriter w;
   w.put_delta0(static_cast<std::uint64_t>(s));
   w.put_delta0(universe);
   w.put_delta0(b);
@@ -33,7 +34,13 @@ MonotoneSeq MonotoneSeq::encode(std::span<const std::uint64_t> xs,
     w.put_unary(hi - prev_hi);
     prev_hi = hi;
   }
+  return w.bit_count() - before;
+}
 
+MonotoneSeq MonotoneSeq::encode(std::span<const std::uint64_t> xs,
+                                std::uint64_t universe) {
+  BitWriter w;
+  (void)encode_to(w, xs, universe);
   MonotoneSeq out;
   out.enc_ = w.take();
   out.attach();

@@ -36,6 +36,14 @@ class MonotoneSeq {
   static MonotoneSeq encode(std::span<const std::uint64_t> xs,
                             std::uint64_t universe);
 
+  /// Writes the same self-delimiting encoding as encode().write_to(w)
+  /// directly into `w`, without building the query directories or an
+  /// intermediate buffer — the label-construction fast path. Returns the
+  /// number of bits written.
+  static std::size_t encode_to(BitWriter& w,
+                               std::span<const std::uint64_t> xs,
+                               std::uint64_t universe);
+
   /// Writes the encoding into `w` (self-delimiting).
   void write_to(BitWriter& w) const { w.append(enc_); }
 

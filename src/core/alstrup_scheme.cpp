@@ -10,8 +10,10 @@
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using bits::MonotoneSeq;
 using nca::NcaLabeling;
 using nca::NcaResult;
@@ -20,9 +22,12 @@ using tree::kNoNode;
 using tree::NodeId;
 using tree::Tree;
 
-AlstrupScheme::AlstrupScheme(const Tree& t) {
-  const HeavyPathDecomposition hpd(t);
-  const NcaLabeling nca(hpd);
+AlstrupScheme::AlstrupScheme(const Tree& t) : AlstrupScheme(TreeScaffold(t)) {}
+
+AlstrupScheme::AlstrupScheme(const TreeScaffold& scaffold) {
+  const Tree& t = scaffold.tree();
+  const HeavyPathDecomposition& hpd = scaffold.hpd();
+  const NcaLabeling& nca = scaffold.nca();
 
   // Per heavy path: root distances of the branch nodes above it.
   const std::int32_t m = hpd.num_paths();
@@ -42,22 +47,25 @@ AlstrupScheme::AlstrupScheme(const Tree& t) {
     branch_rd[static_cast<std::size_t>(p)] = std::move(rs);
   }
 
-  labels_.resize(static_cast<std::size_t>(t.size()));
-  for (NodeId v = 0; v < t.size(); ++v) {
-    const auto& rs = branch_rd[static_cast<std::size_t>(hpd.path_of(v))];
-    BitWriter w;
-    w.put_delta0(t.root_distance(v));
-    const BitVec& nl = nca.label(v);
-    w.put_delta0(nl.size());
-    w.append(nl);
-    const MonotoneSeq seq = MonotoneSeq::encode(rs, t.root_distance(v));
-    seq.write_to(w);
-    payload_.add(seq.bit_size());
-    labels_[static_cast<std::size_t>(v)] = w.take();
-  }
+  // Per-node payload sizes land in a side array (each index written once by
+  // its owning chunk) and fold into the stats after the parallel build.
+  std::vector<std::uint32_t> payload_bits(static_cast<std::size_t>(t.size()));
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(t.size()), scaffold.threads(),
+      [&](std::size_t i, BitWriter& w) {
+        const auto v = static_cast<NodeId>(i);
+        const auto& rs = branch_rd[static_cast<std::size_t>(hpd.path_of(v))];
+        w.put_delta0(t.root_distance(v));
+        const BitSpan nl = nca.label(v);
+        w.put_delta0(nl.size());
+        w.append(nl);
+        payload_bits[i] = static_cast<std::uint32_t>(
+            MonotoneSeq::encode_to(w, rs, t.root_distance(v)));
+      });
+  for (const std::uint32_t b : payload_bits) payload_.add(b);
 }
 
-AlstrupAttachedLabel AlstrupScheme::attach(const BitVec& l) {
+AlstrupAttachedLabel AlstrupScheme::attach(BitSpan l) {
   AlstrupAttachedLabel out;
   BitReader r(l);
   out.rd_ = r.get_delta0();
@@ -88,7 +96,7 @@ std::uint64_t AlstrupScheme::query(const AlstrupAttachedLabel& lu,
   return lu.rd_ + lv.rd_ - 2 * rd_nca;
 }
 
-std::uint64_t AlstrupScheme::query(const BitVec& lu, const BitVec& lv) {
+std::uint64_t AlstrupScheme::query(BitSpan lu, BitSpan lv) {
   BitReader ru(lu), rv(lv);
   const std::uint64_t rd_u = ru.get_delta0();
   const std::uint64_t rd_v = rv.get_delta0();

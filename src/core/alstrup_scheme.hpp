@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "bits/monotone.hpp"
 #include "core/labeling.hpp"
+#include "core/tree_scaffold.hpp"
 #include "nca/nca_labeling.hpp"
 #include "tree/tree.hpp"
 
@@ -46,10 +48,14 @@ class AlstrupScheme {
 
   explicit AlstrupScheme(const tree::Tree& t);
 
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  /// Builds from a shared scaffold (HPD + NCA labeling computed once per
+  /// tree); label emission fans out over scaffold.threads() workers.
+  explicit AlstrupScheme(const TreeScaffold& scaffold);
+
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
@@ -62,18 +68,17 @@ class AlstrupScheme {
   }
 
   /// Exact weighted distance from labels alone.
-  [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
-                                           const bits::BitVec& lv);
+  [[nodiscard]] static std::uint64_t query(bits::BitSpan lu, bits::BitSpan lv);
 
   /// One-time parse for repeated queries against the same label.
-  [[nodiscard]] static AlstrupAttachedLabel attach(const bits::BitVec& l);
+  [[nodiscard]] static AlstrupAttachedLabel attach(bits::BitSpan l);
 
-  /// Same result as the BitVec overload, without re-parsing either label.
+  /// Same result as the raw overload, without re-parsing either label.
   [[nodiscard]] static std::uint64_t query(const AlstrupAttachedLabel& lu,
                                            const AlstrupAttachedLabel& lv);
 
  private:
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
   LabelStats payload_;
 };
 

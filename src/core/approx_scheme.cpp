@@ -12,8 +12,10 @@
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using bits::MonotoneSeq;
 using nca::NcaLabeling;
 using nca::NcaResult;
@@ -24,13 +26,11 @@ using tree::Tree;
 
 namespace {
 
-/// Smallest integer e with (1+eps)^e >= x (x >= 1).
-std::uint32_t round_up_exp(double eps, std::uint64_t x) {
-  if (x <= 1) return 0;
-  const long double base = 1.0L + static_cast<long double>(eps);
+/// Smallest integer e with base^e >= x (x >= 2), by log estimate plus
+/// guard loops against floating point drift on both sides.
+std::uint32_t round_up_exp_slow(long double base, std::uint64_t x) {
   auto e = static_cast<std::int64_t>(
       std::ceil(std::log(static_cast<long double>(x)) / std::log(base)));
-  // Guard against floating point drift on both sides.
   while (e > 0 && std::pow(base, static_cast<long double>(e - 1)) >=
                       static_cast<long double>(x))
     --e;
@@ -39,6 +39,42 @@ std::uint32_t round_up_exp(double eps, std::uint64_t x) {
     ++e;
   return static_cast<std::uint32_t>(std::max<std::int64_t>(0, e));
 }
+
+/// Precomputed table of (1+eps)^e, e = 0, 1, ..., covering every value up
+/// to `max_x`. round_up_exp(x) — the smallest e with (1+eps)^e >= x — then
+/// becomes one lower_bound instead of log/pow calls per chain entry, which
+/// dominated the whole build. The table entries are the exact std::pow
+/// values the per-entry guard loops compare against, so the resulting
+/// exponents (and therefore the label bits) are unchanged. The table is
+/// capped (tiny eps would otherwise need ~log(max_x)/eps entries); values
+/// past its coverage fall back to the O(1)-space slow path.
+class RoundUpTable {
+ public:
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+
+  RoundUpTable(double eps, std::uint64_t max_x)
+      : base_(1.0L + static_cast<long double>(eps)) {
+    powers_.push_back(1.0L);  // (1+eps)^0
+    while (powers_.back() < static_cast<long double>(max_x) &&
+           powers_.size() < kMaxEntries)
+      powers_.push_back(
+          std::pow(base_, static_cast<long double>(powers_.size())));
+  }
+
+  /// Smallest integer e with (1+eps)^e >= x.
+  [[nodiscard]] std::uint32_t round_up_exp(std::uint64_t x) const {
+    if (x <= 1) return 0;
+    if (powers_.back() < static_cast<long double>(x))
+      return round_up_exp_slow(base_, x);
+    const auto it = std::lower_bound(powers_.begin(), powers_.end(),
+                                     static_cast<long double>(x));
+    return static_cast<std::uint32_t>(it - powers_.begin());
+  }
+
+ private:
+  long double base_;
+  std::vector<long double> powers_;
+};
 
 /// (1+eps)^e exactly as a real (a valid over-estimate, by a factor of at
 /// most 1+eps, of any x whose rounding exponent is e). Kept real-valued:
@@ -52,51 +88,65 @@ long double exp_value(double eps, std::uint32_t e) {
 }  // namespace
 
 ApproxScheme::ApproxScheme(const Tree& t, double eps, Encoding enc)
+    : ApproxScheme(TreeScaffold(t), eps, enc) {}
+
+ApproxScheme::ApproxScheme(const TreeScaffold& scaffold, double eps,
+                           Encoding enc)
     : eps_(eps) {
   if (!(eps > 0.0) || eps > 1.0)
     throw std::invalid_argument("ApproxScheme: eps must be in (0, 1]");
   const double half = eps / 2;  // the rounding uses eps/2 (see header)
-  const HeavyPathDecomposition hpd(t);
-  const NcaLabeling nca(hpd);
+  const Tree& t = scaffold.tree();
+  const HeavyPathDecomposition& hpd = scaffold.hpd();
+  const NcaLabeling& nca = scaffold.nca();
+  // Every rounded value is a chain distance, bounded by the deepest root
+  // distance; one table serves all nodes.
+  std::uint64_t max_rd = 1;
+  for (NodeId v = 0; v < t.size(); ++v)
+    max_rd = std::max(max_rd, t.root_distance(v));
+  const RoundUpTable table(half, max_rd);
 
   // Per path: rounding exponents of d(v, v_i) depend on v, so they are
   // computed per node by walking its significant ancestor chain.
-  labels_.resize(static_cast<std::size_t>(t.size()));
-  for (NodeId v = 0; v < t.size(); ++v) {
-    std::vector<std::uint64_t> exps;
-    NodeId cur = v;
-    std::uint64_t dist = 0;
-    for (;;) {
-      const NodeId head = hpd.head_of(cur);
-      const NodeId up = t.parent(head);
-      if (up == kNoNode) break;
-      dist += t.root_distance(cur) - t.root_distance(head) + t.weight(head);
-      exps.push_back(round_up_exp(half, std::max<std::uint64_t>(1, dist)));
-      cur = up;
-    }
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(t.size()), scaffold.threads(),
+      [&t, &hpd, &nca, &table, enc,
+       exps = std::vector<std::uint64_t>{}](std::size_t i,
+                                            BitWriter& w) mutable {
+        const auto v = static_cast<NodeId>(i);
+        exps.clear();
+        NodeId cur = v;
+        std::uint64_t dist = 0;
+        for (;;) {
+          const NodeId head = hpd.head_of(cur);
+          const NodeId up = t.parent(head);
+          if (up == kNoNode) break;
+          dist += t.root_distance(cur) - t.root_distance(head) + t.weight(head);
+          exps.push_back(table.round_up_exp(std::max<std::uint64_t>(1, dist)));
+          cur = up;
+        }
 
-    BitWriter w;
-    w.put_delta0(t.root_distance(v));
-    const BitVec& nl = nca.label(v);
-    w.put_delta0(nl.size());
-    w.append(nl);
-    w.put_bit(enc == Encoding::kUnary);
-    if (enc == Encoding::kUnary) {
-      // [ICALP'16]-style: first exponent, then unary deltas.
-      w.put_delta0(exps.size());
-      std::uint64_t prev = 0;
-      for (std::uint64_t e : exps) {
-        w.put_unary(e - prev);
-        prev = e;
-      }
-    } else {
-      MonotoneSeq::encode(exps, exps.empty() ? 0 : exps.back()).write_to(w);
-    }
-    labels_[static_cast<std::size_t>(v)] = w.take();
-  }
+        w.put_delta0(t.root_distance(v));
+        const BitSpan nl = nca.label(v);
+        w.put_delta0(nl.size());
+        w.append(nl);
+        w.put_bit(enc == Encoding::kUnary);
+        if (enc == Encoding::kUnary) {
+          // [ICALP'16]-style: first exponent, then unary deltas.
+          w.put_delta0(exps.size());
+          std::uint64_t prev = 0;
+          for (std::uint64_t e : exps) {
+            w.put_unary(e - prev);
+            prev = e;
+          }
+        } else {
+          (void)MonotoneSeq::encode_to(w, exps,
+                                       exps.empty() ? 0 : exps.back());
+        }
+      });
 }
 
-ApproxAttachedLabel ApproxScheme::attach(const BitVec& l) {
+ApproxAttachedLabel ApproxScheme::attach(BitSpan l) {
   ApproxAttachedLabel out;
   BitReader r(l);
   out.rd_ = r.get_delta0();
@@ -149,8 +199,7 @@ std::uint64_t ApproxScheme::query(double eps, const ApproxAttachedLabel& lu,
   return static_cast<std::uint64_t>(std::floor(estimate));
 }
 
-std::uint64_t ApproxScheme::query(double eps, const BitVec& lu,
-                                  const BitVec& lv) {
+std::uint64_t ApproxScheme::query(double eps, BitSpan lu, BitSpan lv) {
   const double half = eps / 2;
   BitReader ru(lu), rv(lv);
   const std::uint64_t rd_u = ru.get_delta0();

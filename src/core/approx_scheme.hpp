@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "core/labeling.hpp"
+#include "core/tree_scaffold.hpp"
 #include "nca/nca_labeling.hpp"
 #include "tree/tree.hpp"
 
@@ -54,31 +56,36 @@ class ApproxScheme {
   ApproxScheme(const tree::Tree& t, double eps,
                Encoding enc = Encoding::kMonotone);
 
+  /// Builds from a shared scaffold (HPD + NCA labeling computed once per
+  /// tree); label emission fans out over scaffold.threads() workers.
+  ApproxScheme(const TreeScaffold& scaffold, double eps,
+               Encoding enc = Encoding::kMonotone);
+
   [[nodiscard]] double eps() const noexcept { return eps_; }
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
 
   /// A value in [d(u,v), (1+eps) d(u,v)], from labels alone (eps is the
   /// scheme-wide constant the labels were built with).
-  [[nodiscard]] static std::uint64_t query(double eps, const bits::BitVec& lu,
-                                           const bits::BitVec& lv);
+  [[nodiscard]] static std::uint64_t query(double eps, bits::BitSpan lu,
+                                           bits::BitSpan lv);
 
   /// One-time parse for repeated queries against the same label.
-  [[nodiscard]] static ApproxAttachedLabel attach(const bits::BitVec& l);
+  [[nodiscard]] static ApproxAttachedLabel attach(bits::BitSpan l);
 
-  /// Same result as the BitVec overload, without re-parsing either label.
+  /// Same result as the raw overload, without re-parsing either label.
   [[nodiscard]] static std::uint64_t query(double eps,
                                            const ApproxAttachedLabel& lu,
                                            const ApproxAttachedLabel& lv);
 
  private:
   double eps_;
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
 };
 
 }  // namespace treelab::core

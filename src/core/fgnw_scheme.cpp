@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "bits/bitio.hpp"
 #include "bits/monotone.hpp"
@@ -14,8 +15,10 @@
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using bits::MonotoneSeq;
 using nca::NcaLabeling;
 using nca::NcaResult;
@@ -82,17 +85,31 @@ LevelRecord read_level(BitReader& r) {
 
 }  // namespace
 
-FgnwScheme::FgnwScheme(const Tree& t, Options opt) {
-  const BinarizedTree bt = binarize(t);
+FgnwScheme::FgnwScheme(const Tree& t, Options opt)
+    : FgnwScheme(TreeScaffold(t), opt) {}
+
+FgnwScheme::FgnwScheme(const TreeScaffold& scaffold, Options opt) {
+  const Tree& t = scaffold.tree();
+  const BinarizedTree& bt = scaffold.binarized();
   const Tree& b = bt.tree;
   const NodeId n = b.size();
   info_.binarized_size = static_cast<std::size_t>(n);
 
-  const HeavyPathDecomposition hpd(
-      b, opt.use_classic_hpd ? HeavyPathDecomposition::Variant::kClassic
-                             : HeavyPathDecomposition::Variant::kPaperHalf);
-  const CollapsedTree ct(hpd);
-  const NcaLabeling nca(hpd);
+  // The scaffold caches the paper-variant decomposition; the classic-HPD
+  // ablation builds its own pieces locally.
+  std::optional<HeavyPathDecomposition> own_hpd;
+  std::optional<CollapsedTree> own_ct;
+  std::optional<NcaLabeling> own_nca;
+  if (opt.use_classic_hpd) {
+    own_hpd.emplace(b, HeavyPathDecomposition::Variant::kClassic);
+    own_ct.emplace(*own_hpd);
+    own_nca.emplace(*own_hpd, scaffold.threads());
+  }
+  const HeavyPathDecomposition& hpd =
+      opt.use_classic_hpd ? *own_hpd : scaffold.binarized_hpd();
+  const CollapsedTree& ct = opt.use_classic_hpd ? *own_ct : scaffold.collapsed();
+  const NcaLabeling& nca =
+      opt.use_classic_hpd ? *own_nca : scaffold.binarized_nca();
   info_.max_light_depth = hpd.max_light_depth();
 
   const double log_n = std::log2(std::max<double>(2.0, n));
@@ -200,32 +217,39 @@ FgnwScheme::FgnwScheme(const Tree& t, Options opt) {
     chain[static_cast<std::size_t>(p)] = std::move(ch);
   }
 
-  // Assemble leaf labels; the public label of original node v is the label
-  // of its proxy leaf.
-  labels_.resize(static_cast<std::size_t>(t.size()));
-  for (NodeId v = 0; v < t.size(); ++v) {
-    const NodeId x = bt.leaf_of[static_cast<std::size_t>(v)];
-    const std::int32_t p = hpd.path_of(x);
-    BitWriter w;
-    w.put_delta0(b.root_distance(x));
-    const BitVec& nl = nca.label(x);
-    w.put_delta0(nl.size());
-    w.append(nl);
-    MonotoneSeq::encode(frag_rd[static_cast<std::size_t>(p)],
-                        b.root_distance(x))
-        .write_to(w);
-    std::size_t payload = 0;
+  // Per-path payload (sum of kept bits over the chain), folded into stats
+  // per node after the parallel emission.
+  std::vector<std::size_t> path_payload(static_cast<std::size_t>(m), 0);
+  for (std::int32_t p = 0; p < m; ++p)
     for (std::int32_t q : chain[static_cast<std::size_t>(p)]) {
       const EdgeRecord& e = edge[static_cast<std::size_t>(q)];
-      write_level(w, e);
-      if (!e.exceptional) payload += static_cast<std::size_t>(e.kept_count);
+      if (!e.exceptional)
+        path_payload[static_cast<std::size_t>(p)] +=
+            static_cast<std::size_t>(e.kept_count);
     }
-    payload_.add(payload);
-    labels_[static_cast<std::size_t>(v)] = w.take();
-  }
+
+  // Assemble leaf labels; the public label of original node v is the label
+  // of its proxy leaf.
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(t.size()), scaffold.threads(),
+      [&](std::size_t i, BitWriter& w) {
+        const NodeId x = bt.leaf_of[i];
+        const std::int32_t p = hpd.path_of(x);
+        w.put_delta0(b.root_distance(x));
+        const BitSpan nl = nca.label(x);
+        w.put_delta0(nl.size());
+        w.append(nl);
+        (void)MonotoneSeq::encode_to(w, frag_rd[static_cast<std::size_t>(p)],
+                                     b.root_distance(x));
+        for (std::int32_t q : chain[static_cast<std::size_t>(p)])
+          write_level(w, edge[static_cast<std::size_t>(q)]);
+      });
+  for (NodeId v = 0; v < t.size(); ++v)
+    payload_.add(path_payload[static_cast<std::size_t>(
+        hpd.path_of(bt.leaf_of[static_cast<std::size_t>(v)]))]);
 }
 
-FgnwAttachedLabel FgnwScheme::attach(const BitVec& l) {
+FgnwAttachedLabel FgnwScheme::attach(BitSpan l) {
   FgnwAttachedLabel out;
   out.raw_ = l;
   BitReader r(out.raw_);
@@ -286,7 +310,7 @@ std::uint64_t FgnwScheme::query(const FgnwAttachedLabel& lu,
   return lu.rd_ + lv.rd_ - 2 * (base + r);
 }
 
-std::uint64_t FgnwScheme::query(const BitVec& lu, const BitVec& lv) {
+std::uint64_t FgnwScheme::query(BitSpan lu, BitSpan lv) {
   BitReader ru(lu), rv(lv);
   const std::uint64_t rd_u = ru.get_delta0();
   const std::uint64_t rd_v = rv.get_delta0();
@@ -334,7 +358,7 @@ std::uint64_t FgnwScheme::query(const BitVec& lu, const BitVec& lv) {
           dom.acc_len + static_cast<std::size_t>(dom.pushed_count))
         throw bits::DecodeError("FGNW query: accumulator underflow");
       const std::size_t off = sub.acc_off + dom.acc_len;
-      const BitVec& raw = res.u_first ? lv : lu;
+      const BitSpan raw = res.u_first ? lv : lu;
       pushed_val = raw.read_bits(off, dom.pushed_count);
     }
   } else if (dom.pushed_count > 0) {

@@ -34,8 +34,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "bits/monotone.hpp"
 #include "core/labeling.hpp"
+#include "core/tree_scaffold.hpp"
 #include "nca/nca_labeling.hpp"
 #include "tree/tree.hpp"
 
@@ -84,12 +86,18 @@ class FgnwScheme {
 
   explicit FgnwScheme(const tree::Tree& t, Options opt = Options());
 
+  /// Builds from a shared scaffold (binarize → HPD → collapsed tree → NCA
+  /// labeling computed once per tree); label emission fans out over
+  /// scaffold.threads() workers. The classic-HPD ablation builds its own
+  /// decomposition pieces (the scaffold caches only the paper variant).
+  explicit FgnwScheme(const TreeScaffold& scaffold, Options opt = Options());
+
   /// Label of *original* node v (internally: the label of its proxy leaf in
   /// the binarized tree).
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
@@ -105,11 +113,10 @@ class FgnwScheme {
   }
 
   /// Exact weighted distance from labels alone.
-  [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
-                                           const bits::BitVec& lv);
+  [[nodiscard]] static std::uint64_t query(bits::BitSpan lu, bits::BitSpan lv);
 
   /// One-time parse for repeated queries against the same label.
-  [[nodiscard]] static FgnwAttachedLabel attach(const bits::BitVec& l);
+  [[nodiscard]] static FgnwAttachedLabel attach(bits::BitSpan l);
 
   /// Same result as the BitVec overload, without re-parsing either label.
   [[nodiscard]] static std::uint64_t query(const FgnwAttachedLabel& lu,
@@ -130,7 +137,7 @@ class FgnwScheme {
   [[nodiscard]] const BuildInfo& build_info() const noexcept { return info_; }
 
  private:
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
   LabelStats payload_;
   BuildInfo info_;
 };

@@ -12,8 +12,10 @@
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using bits::MonotoneSeq;
 using tree::HeavyPathDecomposition;
 using tree::kNoNode;
@@ -50,8 +52,7 @@ std::vector<std::uint64_t> read_seq(BitReader& r) {
 
 }  // namespace
 
-KDistanceAttachedLabel KDistanceScheme::attach(std::uint64_t k,
-                                               const BitVec& l) {
+KDistanceAttachedLabel KDistanceScheme::attach(std::uint64_t k, BitSpan l) {
   BitReader r(l);
   KDistanceAttachedLabel p;
   p.pre_ = r.get_delta0();
@@ -123,12 +124,17 @@ struct KDistanceQueryImpl {
                                  std::int64_t match_s);
 };
 
-KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k) : k_(k) {
+KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k)
+    : KDistanceScheme(TreeScaffold(t), k) {}
+
+KDistanceScheme::KDistanceScheme(const TreeScaffold& scaffold, std::uint64_t k)
+    : k_(k) {
   if (k < 1) throw std::invalid_argument("KDistanceScheme: k < 1");
+  const Tree& t = scaffold.tree();
   if (!t.is_unit_weighted())
     throw std::invalid_argument("KDistanceScheme: requires unit weights");
   const NodeId n = t.size();
-  const HeavyPathDecomposition hpd(t);
+  const HeavyPathDecomposition& hpd = scaffold.hpd();
   const bool small_k =
       k < static_cast<std::uint64_t>(bits::ceil_log2(
               static_cast<std::uint64_t>(std::max<NodeId>(2, n))));
@@ -181,61 +187,70 @@ KDistanceScheme::KDistanceScheme(const Tree& t, std::uint64_t k) : k_(k) {
                            hl[static_cast<std::size_t>(q)]));
   }
 
-  labels_.resize(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    // Significant ancestor chain v = u_0, u_1, ... up to distance k.
-    std::vector<NodeId> chain{v};
-    std::vector<std::uint64_t> dist{0};
-    for (;;) {
-      const NodeId cur = chain.back();
-      const NodeId head = hpd.head_of(cur);
-      const NodeId up = t.parent(head);
-      if (up == kNoNode) break;
-      const std::uint64_t d =
-          dist.back() +
-          static_cast<std::uint64_t>(t.depth(cur) - t.depth(head)) + 1;
-      if (d > k) break;
-      chain.push_back(up);
-      dist.push_back(d);
-    }
-    const NodeId top = chain.back();
-    const std::int32_t top_path = hpd.path_of(top);
-    const auto top_pos =
-        static_cast<std::uint64_t>(hpd.pos_in_path(top));
+  // Per-worker scratch lives in the emitter (copied per chunk); everything
+  // else is read-only shared state.
+  struct Scratch {
+    std::vector<NodeId> chain;
+    std::vector<std::uint64_t> dist, seq, fwd, bwd;
+  };
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(n), scaffold.threads(),
+      [&t, &hpd, &pre, &hl, &hc, &path_ids, k, small_k,
+       s = Scratch{}](std::size_t i, BitWriter& w) mutable {
+        const auto v = static_cast<NodeId>(i);
+        // Significant ancestor chain v = u_0, u_1, ... up to distance k.
+        s.chain.assign(1, v);
+        s.dist.assign(1, 0);
+        for (;;) {
+          const NodeId cur = s.chain.back();
+          const NodeId head = hpd.head_of(cur);
+          const NodeId up = t.parent(head);
+          if (up == kNoNode) break;
+          const std::uint64_t d =
+              s.dist.back() +
+              static_cast<std::uint64_t>(t.depth(cur) - t.depth(head)) + 1;
+          if (d > k) break;
+          s.chain.push_back(up);
+          s.dist.push_back(d);
+        }
+        const NodeId top = s.chain.back();
+        const std::int32_t top_path = hpd.path_of(top);
+        const auto top_pos = static_cast<std::uint64_t>(hpd.pos_in_path(top));
 
-    BitWriter w;
-    w.put_delta0(pre[static_cast<std::size_t>(v)]);
-    w.put_delta0(static_cast<std::uint64_t>(hpd.light_depth(v)));
-    w.put_bit(small_k);
-    std::vector<std::uint64_t> seq;
-    for (NodeId c : chain)
-      seq.push_back(static_cast<std::uint64_t>(hl[static_cast<std::size_t>(c)]));
-    MonotoneSeq::encode(seq, 64).write_to(w);
-    seq.clear();
-    for (NodeId c : chain)
-      seq.push_back(static_cast<std::uint64_t>(
-          hc[static_cast<std::size_t>(hpd.head_of(c))]));
-    MonotoneSeq::encode(seq, 64).write_to(w);
-    MonotoneSeq::encode(dist, k).write_to(w);
+        w.put_delta0(pre[static_cast<std::size_t>(v)]);
+        w.put_delta0(static_cast<std::uint64_t>(hpd.light_depth(v)));
+        w.put_bit(small_k);
+        s.seq.clear();
+        for (NodeId c : s.chain)
+          s.seq.push_back(
+              static_cast<std::uint64_t>(hl[static_cast<std::size_t>(c)]));
+        (void)MonotoneSeq::encode_to(w, s.seq, 64);
+        s.seq.clear();
+        for (NodeId c : s.chain)
+          s.seq.push_back(static_cast<std::uint64_t>(
+              hc[static_cast<std::size_t>(hpd.head_of(c))]));
+        (void)MonotoneSeq::encode_to(w, s.seq, 64);
+        (void)MonotoneSeq::encode_to(w, s.dist, k);
 
-    const std::uint64_t alpha = small_k ? std::min(top_pos, 2 * k + 1) : top_pos;
-    w.put_delta0(alpha);
-    if (small_k) {
-      w.put_delta0(top_pos % (k + 1));
-      const auto& ids = path_ids[static_cast<std::size_t>(top_path)];
-      const std::uint64_t a_i = ids[top_pos];
-      std::vector<std::uint64_t> fwd, bwd;
-      for (std::uint64_t tt = 1; tt <= k && top_pos + tt < ids.size(); ++tt)
-        fwd.push_back(
-            static_cast<std::uint64_t>(bits::msb(ids[top_pos + tt] - a_i)));
-      for (std::uint64_t tt = 1; tt <= k && tt <= top_pos; ++tt)
-        bwd.push_back(
-            static_cast<std::uint64_t>(bits::msb(a_i - ids[top_pos - tt])));
-      MonotoneSeq::encode(fwd, 64).write_to(w);
-      MonotoneSeq::encode(bwd, 64).write_to(w);
-    }
-    labels_[static_cast<std::size_t>(v)] = w.take();
-  }
+        const std::uint64_t alpha =
+            small_k ? std::min(top_pos, 2 * k + 1) : top_pos;
+        w.put_delta0(alpha);
+        if (small_k) {
+          w.put_delta0(top_pos % (k + 1));
+          const auto& ids = path_ids[static_cast<std::size_t>(top_path)];
+          const std::uint64_t a_i = ids[top_pos];
+          s.fwd.clear();
+          s.bwd.clear();
+          for (std::uint64_t tt = 1; tt <= k && top_pos + tt < ids.size(); ++tt)
+            s.fwd.push_back(
+                static_cast<std::uint64_t>(bits::msb(ids[top_pos + tt] - a_i)));
+          for (std::uint64_t tt = 1; tt <= k && tt <= top_pos; ++tt)
+            s.bwd.push_back(
+                static_cast<std::uint64_t>(bits::msb(a_i - ids[top_pos - tt])));
+          (void)MonotoneSeq::encode_to(w, s.fwd, 64);
+          (void)MonotoneSeq::encode_to(w, s.bwd, 64);
+        }
+      });
 }
 
 /// Linear-scan NCSA locator (the reference): smallest aligned index s in
@@ -353,14 +368,13 @@ BoundedDistance KDistanceScheme::query_linear(
       k, lu, lv, KDistanceQueryImpl::find_match_scan(lu, lv));
 }
 
-BoundedDistance KDistanceScheme::query(std::uint64_t k, const BitVec& lu,
-                                       const BitVec& lv) {
+BoundedDistance KDistanceScheme::query(std::uint64_t k, BitSpan lu,
+                                       BitSpan lv) {
   return query(k, attach(k, lu), attach(k, lv));
 }
 
-BoundedDistance KDistanceScheme::query_linear(std::uint64_t k,
-                                              const BitVec& lu,
-                                              const BitVec& lv) {
+BoundedDistance KDistanceScheme::query_linear(std::uint64_t k, BitSpan lu,
+                                              BitSpan lv) {
   return query_linear(k, attach(k, lu), attach(k, lv));
 }
 

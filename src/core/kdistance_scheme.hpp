@@ -29,8 +29,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "bits/monotone.hpp"
 #include "core/labeling.hpp"
+#include "core/tree_scaffold.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::core {
@@ -70,11 +72,15 @@ class KDistanceScheme {
   /// Throws std::invalid_argument for k < 1 or weighted input.
   KDistanceScheme(const tree::Tree& t, std::uint64_t k);
 
+  /// Builds from a shared scaffold (HPD computed once per tree); label
+  /// emission fans out over scaffold.threads() workers.
+  KDistanceScheme(const TreeScaffold& scaffold, std::uint64_t k);
+
   [[nodiscard]] std::uint64_t k() const noexcept { return k_; }
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
@@ -85,23 +91,22 @@ class KDistanceScheme {
   /// common suffix of the two height sequences (Lemma 2.2 op. 3), then the
   /// MSB of pre(u) XOR pre(v) and a successor query pick the first level
   /// whose range identifier can coincide.
-  [[nodiscard]] static BoundedDistance query(std::uint64_t k,
-                                             const bits::BitVec& lu,
-                                             const bits::BitVec& lv);
+  [[nodiscard]] static BoundedDistance query(std::uint64_t k, bits::BitSpan lu,
+                                             bits::BitSpan lv);
 
   /// Reference implementation that finds the NCSA by linearly scanning the
   /// aligned chains. Same answers as query() by construction; kept public
   /// so the test suite can differentially test the Section 4.4 machinery.
   [[nodiscard]] static BoundedDistance query_linear(std::uint64_t k,
-                                                    const bits::BitVec& lu,
-                                                    const bits::BitVec& lv);
+                                                    bits::BitSpan lu,
+                                                    bits::BitSpan lv);
 
   /// One-time parse for repeated queries against the same label. `k` must be
   /// the value the labels were built with.
   [[nodiscard]] static KDistanceAttachedLabel attach(std::uint64_t k,
-                                                     const bits::BitVec& l);
+                                                     bits::BitSpan l);
 
-  /// Same result as the BitVec overload, without re-parsing either label.
+  /// Same result as the raw overload, without re-parsing either label.
   [[nodiscard]] static BoundedDistance query(std::uint64_t k,
                                              const KDistanceAttachedLabel& lu,
                                              const KDistanceAttachedLabel& lv);
@@ -113,7 +118,7 @@ class KDistanceScheme {
 
  private:
   std::uint64_t k_;
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
 };
 
 }  // namespace treelab::core

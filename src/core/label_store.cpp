@@ -1,10 +1,13 @@
 #include "core/label_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+
+#include "bits/bitio.hpp"
 
 namespace treelab::core {
 
@@ -42,55 +45,128 @@ std::string get_string(std::istream& is, std::uint32_t max_len) {
   return s;
 }
 
+void write_header(std::ostream& os, std::string_view scheme,
+                  std::string_view params, std::uint64_t count,
+                  const char* magic, std::uint32_t version) {
+  os.write(magic, 4);
+  put<std::uint32_t>(os, version);
+  put_string(os, scheme);
+  put_string(os, params);
+  put<std::uint64_t>(os, count);
+}
+
+/// One label payload: `bits` bits out of a word array whose bit 0 is the
+/// label's first bit (true for standalone BitVecs and for arena views —
+/// both are word-aligned, with zero bits beyond the end). Bytes are the
+/// little-endian word bytes, truncated to ceil(bits/8).
+void put_label(std::ostream& os, std::string& buf, const std::uint64_t* words,
+               std::uint64_t bits) {
+  put<std::uint64_t>(os, bits);
+  const std::uint64_t nbytes = (bits + 7) / 8;
+  buf.resize(static_cast<std::size_t>(nbytes));
+  for (std::uint64_t j = 0; j < nbytes; ++j)
+    buf[static_cast<std::size_t>(j)] =
+        static_cast<char>((words[j >> 3] >> (8 * (j & 7))) & 0xff);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+/// Reads one label's length-prefixed payload into `bytes` and returns the
+/// bit length. Shared validation for both load paths.
+std::uint64_t get_label_bytes(std::istream& is, std::string& bytes) {
+  const auto bitlen = get<std::uint64_t>(is);
+  if (bitlen > (std::uint64_t{1} << 32))
+    throw std::runtime_error("LabelStore: implausible label length");
+  bytes.resize(static_cast<std::size_t>((bitlen + 7) / 8));
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw std::runtime_error("LabelStore: truncated label");
+  return bitlen;
+}
+
+/// Appends `bitlen` bits decoded from little-endian `bytes` into a writer,
+/// a word at a time.
+void append_label_bits(bits::BitWriter& w, const std::string& bytes,
+                       std::uint64_t bitlen) {
+  std::uint64_t b = 0;
+  for (; b + 64 <= bitlen; b += 64) {
+    std::uint64_t word = 0;
+    for (int j = 7; j >= 0; --j)
+      word = (word << 8) |
+             static_cast<unsigned char>(bytes[static_cast<std::size_t>(b / 8) +
+                                              static_cast<std::size_t>(j)]);
+    w.put_bits(word, 64);
+  }
+  for (; b < bitlen; b += 8) {
+    const int take = static_cast<int>(std::min<std::uint64_t>(8, bitlen - b));
+    w.put_bits(
+        static_cast<unsigned char>(bytes[static_cast<std::size_t>(b / 8)]),
+        take);
+  }
+}
+
+std::uint64_t read_and_check_header(std::istream& is, std::string& scheme,
+                                    std::string& params, const char* magic,
+                                    std::uint32_t want_version) {
+  char got[4];
+  is.read(got, sizeof(got));
+  if (!is || std::memcmp(got, magic, 4) != 0)
+    throw std::runtime_error("LabelStore: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  if (version != want_version)
+    throw std::runtime_error("LabelStore: unsupported version");
+  scheme = get_string(is, 256);
+  params = get_string(is, 4096);
+  const auto count = get<std::uint64_t>(is);
+  if (count > (std::uint64_t{1} << 32))
+    throw std::runtime_error("LabelStore: implausible label count");
+  return count;
+}
+
 }  // namespace
 
 void LabelStore::save(std::ostream& os, std::string_view scheme,
                       std::span<const bits::BitVec> labels,
                       std::string_view params) {
-  os.write(kMagic, sizeof(kMagic));
-  put<std::uint32_t>(os, kVersion);
-  put_string(os, scheme);
-  put_string(os, params);
-  put<std::uint64_t>(os, labels.size());
-  for (const auto& l : labels) {
-    put<std::uint64_t>(os, l.size());
-    for (std::size_t i = 0; i < l.size(); i += 8) {
-      const int take = static_cast<int>(std::min<std::size_t>(8, l.size() - i));
-      os.put(static_cast<char>(l.read_bits(i, take)));
-    }
-  }
+  write_header(os, scheme, params, labels.size(), kMagic, kVersion);
+  std::string buf;
+  for (const auto& l : labels) put_label(os, buf, l.words().data(), l.size());
+}
+
+void LabelStore::save(std::ostream& os, std::string_view scheme,
+                      const bits::LabelArena& labels, std::string_view params) {
+  write_header(os, scheme, params, labels.size(), kMagic, kVersion);
+  std::string buf;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    put_label(os, buf, labels.label_words(i), labels.label_bits(i));
 }
 
 LabelStore::Loaded LabelStore::load(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("LabelStore: bad magic");
-  const auto version = get<std::uint32_t>(is);
-  if (version != kVersion)
-    throw std::runtime_error("LabelStore: unsupported version");
-
   Loaded out;
-  out.scheme = get_string(is, 256);
-  out.params = get_string(is, 4096);
-  const auto count = get<std::uint64_t>(is);
-  if (count > (std::uint64_t{1} << 32))
-    throw std::runtime_error("LabelStore: implausible label count");
+  const std::uint64_t count =
+      read_and_check_header(is, out.scheme, out.params, kMagic, kVersion);
   out.labels.reserve(static_cast<std::size_t>(count));
+  std::string bytes;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto bitlen = get<std::uint64_t>(is);
-    if (bitlen > (std::uint64_t{1} << 32))
-      throw std::runtime_error("LabelStore: implausible label length");
-    bits::BitVec l;
-    for (std::uint64_t b = 0; b < bitlen; b += 8) {
-      const int c = is.get();
-      if (c < 0) throw std::runtime_error("LabelStore: truncated label");
-      const int take = static_cast<int>(std::min<std::uint64_t>(8, bitlen - b));
-      l.append_bits(static_cast<std::uint64_t>(static_cast<unsigned char>(c)),
-                    take);
-    }
-    out.labels.push_back(std::move(l));
+    const std::uint64_t bitlen = get_label_bytes(is, bytes);
+    bits::BitWriter w;
+    append_label_bits(w, bytes, bitlen);
+    out.labels.push_back(w.take());
   }
+  return out;
+}
+
+LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
+  LoadedArena out;
+  const std::uint64_t count =
+      read_and_check_header(is, out.scheme, out.params, kMagic, kVersion);
+  // Single-threaded build visits labels strictly in order, matching the
+  // stream layout.
+  std::string bytes;
+  out.labels = bits::LabelArena::build(
+      static_cast<std::size_t>(count), 1,
+      [&](std::size_t, bits::BitWriter& w) {
+        const std::uint64_t bitlen = get_label_bytes(is, bytes);
+        append_label_bits(w, bytes, bitlen);
+      });
   return out;
 }
 

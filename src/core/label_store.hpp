@@ -6,6 +6,12 @@
 // name and its scheme-wide parameters (k, eps, ...) as strings, then
 // length-prefixed label bit strings. Loading validates the header and every
 // length field and throws std::runtime_error on any corruption.
+//
+// The format is independent of how the labels are stored in memory: the
+// span<BitVec> and LabelArena save() overloads produce byte-identical
+// files, and load()/load_arena() read the same files into either
+// representation. Label payloads are streamed in bulk (word buffer <->
+// byte buffer), not bit by bit.
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "bits/bitvec.hpp"
+#include "bits/label_arena.hpp"
 
 namespace treelab::core {
 
@@ -26,14 +33,30 @@ class LabelStore {
     std::vector<bits::BitVec> labels; ///< indexed by node id
   };
 
+  /// Like Loaded, with the labels pooled into one arena — the serving-side
+  /// representation (views, no per-label allocations).
+  struct LoadedArena {
+    std::string scheme;
+    std::string params;
+    bits::LabelArena labels;
+  };
+
   /// Writes all labels with the given scheme tag and parameter string.
   static void save(std::ostream& os, std::string_view scheme,
                    std::span<const bits::BitVec> labels,
                    std::string_view params = {});
 
+  /// Same format, streamed straight out of a pooled arena.
+  static void save(std::ostream& os, std::string_view scheme,
+                   const bits::LabelArena& labels,
+                   std::string_view params = {});
+
   /// Parses a container written by save(). Throws std::runtime_error on
   /// bad magic, unsupported version, or truncated/oversized fields.
   [[nodiscard]] static Loaded load(std::istream& is);
+
+  /// Same validation, loading the labels into a pooled arena.
+  [[nodiscard]] static LoadedArena load_arena(std::istream& is);
 
  private:
   static constexpr char kMagic[4] = {'T', 'L', 'A', 'B'};

@@ -8,4 +8,10 @@ LabelStats stats_of(const std::vector<bits::BitVec>& labels) {
   return s;
 }
 
+LabelStats stats_of(const bits::LabelArena& labels) {
+  LabelStats s;
+  for (std::size_t i = 0; i < labels.size(); ++i) s.add(labels.label_bits(i));
+  return s;
+}
+
 }  // namespace treelab::core

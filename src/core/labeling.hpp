@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bits/bitvec.hpp"
+#include "bits/label_arena.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::core {
@@ -33,6 +34,9 @@ struct LabelStats {
 
 /// Stats over a set of labels.
 [[nodiscard]] LabelStats stats_of(const std::vector<bits::BitVec>& labels);
+
+/// Stats over pooled labels (exact bit lengths; arena padding not counted).
+[[nodiscard]] LabelStats stats_of(const bits::LabelArena& labels);
 
 /// Result of a bounded-distance (k-distance) query.
 struct BoundedDistance {

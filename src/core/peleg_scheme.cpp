@@ -7,8 +7,10 @@
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using tree::HeavyPathDecomposition;
 using tree::kNoNode;
 using tree::NodeId;
@@ -25,7 +27,7 @@ struct Entry {
 
 }  // namespace
 
-PelegAttachedLabel PelegScheme::attach(const BitVec& l) {
+PelegAttachedLabel PelegScheme::attach(BitSpan l) {
   BitReader r(l);
   PelegAttachedLabel p;
   p.rd_ = r.get_delta0();
@@ -44,8 +46,11 @@ PelegAttachedLabel PelegScheme::attach(const BitVec& l) {
   return p;
 }
 
-PelegScheme::PelegScheme(const Tree& t) {
-  const HeavyPathDecomposition hpd(t);
+PelegScheme::PelegScheme(const Tree& t) : PelegScheme(TreeScaffold(t)) {}
+
+PelegScheme::PelegScheme(const TreeScaffold& scaffold) {
+  const Tree& t = scaffold.tree();
+  const HeavyPathDecomposition& hpd = scaffold.hpd();
   // Preorder numbers for path-head identifiers.
   std::vector<std::uint32_t> pre(static_cast<std::size_t>(t.size()));
   {
@@ -72,20 +77,20 @@ PelegScheme::PelegScheme(const Tree& t) {
     path_entries[static_cast<std::size_t>(p)] = std::move(es);
   }
 
-  labels_.resize(static_cast<std::size_t>(t.size()));
-  for (NodeId v = 0; v < t.size(); ++v) {
-    const auto& es = path_entries[static_cast<std::size_t>(hpd.path_of(v))];
-    BitWriter w;
-    w.put_delta0(t.root_distance(v));
-    w.put_delta0(static_cast<std::uint64_t>(t.depth(v)));
-    w.put_delta0(es.size());
-    for (const Entry& e : es) {
-      w.put_delta0(e.head_pre);
-      w.put_delta0(e.b_depth);
-      w.put_delta0(e.b_rd);
-    }
-    labels_[static_cast<std::size_t>(v)] = w.take();
-  }
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(t.size()), scaffold.threads(),
+      [&](std::size_t i, BitWriter& w) {
+        const auto v = static_cast<NodeId>(i);
+        const auto& es = path_entries[static_cast<std::size_t>(hpd.path_of(v))];
+        w.put_delta0(t.root_distance(v));
+        w.put_delta0(static_cast<std::uint64_t>(t.depth(v)));
+        w.put_delta0(es.size());
+        for (const Entry& e : es) {
+          w.put_delta0(e.head_pre);
+          w.put_delta0(e.b_depth);
+          w.put_delta0(e.b_rd);
+        }
+      });
 }
 
 std::uint64_t PelegScheme::query(const PelegAttachedLabel& u,
@@ -106,7 +111,7 @@ std::uint64_t PelegScheme::query(const PelegAttachedLabel& u,
   return u.rd_ + v.rd_ - 2 * rd_nca;
 }
 
-std::uint64_t PelegScheme::query(const BitVec& lu, const BitVec& lv) {
+std::uint64_t PelegScheme::query(BitSpan lu, BitSpan lv) {
   return query(attach(lu), attach(lv));
 }
 

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "core/labeling.hpp"
+#include "core/tree_scaffold.hpp"
 #include "tree/hpd.hpp"
 
 namespace treelab::core {
@@ -46,27 +48,30 @@ class PelegScheme {
   /// Labels every node of `t`.
   explicit PelegScheme(const tree::Tree& t);
 
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  /// Builds from a shared scaffold (HPD computed once per tree); label
+  /// emission fans out over scaffold.threads() workers.
+  explicit PelegScheme(const TreeScaffold& scaffold);
+
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& labels() const noexcept {
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(labels_); }
 
   /// Exact weighted distance from labels alone.
-  [[nodiscard]] static std::uint64_t query(const bits::BitVec& lu,
-                                           const bits::BitVec& lv);
+  [[nodiscard]] static std::uint64_t query(bits::BitSpan lu, bits::BitSpan lv);
 
   /// One-time parse for repeated queries against the same label.
-  [[nodiscard]] static PelegAttachedLabel attach(const bits::BitVec& l);
+  [[nodiscard]] static PelegAttachedLabel attach(bits::BitSpan l);
 
-  /// Same result as the BitVec overload, without re-parsing either label.
+  /// Same result as the raw overload, without re-parsing either label.
   [[nodiscard]] static std::uint64_t query(const PelegAttachedLabel& lu,
                                            const PelegAttachedLabel& lv);
 
  private:
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
 };
 
 }  // namespace treelab::core

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <stdexcept>
 
 #include "bits/bitio.hpp"
 #include "core/fgnw_scheme.hpp"
+#include "core/tree_scaffold.hpp"
+#include "util/parallel.hpp"
 
 namespace treelab::core {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using tree::Graph;
 using tree::NodeId;
 
@@ -35,26 +40,40 @@ SpanningOracle::SpanningOracle(const Graph& g, int landmarks,
     std::shuffle(order.begin(), order.end(), rng);
   }
 
-  std::vector<FgnwScheme> schemes;
-  schemes.reserve(static_cast<std::size_t>(landmarks));
-  for (int l = 0; l < landmarks; ++l)
-    schemes.emplace_back(g.bfs_tree(order[static_cast<std::size_t>(l)]));
+  // Per-landmark tree labelings are independent builds: fan them out over
+  // the thread budget, giving each build the leftover threads for its own
+  // label emission. Each landmark's scheme is deterministic, so the states
+  // do not depend on how the budget is split.
+  const int total_threads = util::resolve_threads(0);
+  const int outer = std::max(1, std::min(total_threads, landmarks));
+  const int inner = std::max(1, total_threads / outer);
+  std::vector<std::optional<FgnwScheme>> schemes(
+      static_cast<std::size_t>(landmarks));
+  util::parallel_for_chunks(
+      static_cast<std::size_t>(landmarks), static_cast<std::size_t>(outer),
+      outer, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t l = begin; l < end; ++l) {
+          const tree::Tree bfs = g.bfs_tree(order[l]);
+          const TreeScaffold scaffold(bfs, inner);
+          schemes[l].emplace(scaffold);
+        }
+      });
 
   // State of v: count, then length-prefixed per-tree labels.
-  states_.resize(static_cast<std::size_t>(g.size()));
-  for (NodeId v = 0; v < g.size(); ++v) {
-    BitWriter w;
-    w.put_delta0(static_cast<std::uint64_t>(landmarks));
-    for (const auto& s : schemes) {
-      const BitVec& l = s.label(v);
-      w.put_delta0(l.size());
-      w.append(l);
-    }
-    states_[v] = w.take();
-  }
+  states_ = LabelArena::build(
+      static_cast<std::size_t>(g.size()), total_threads,
+      [&](std::size_t i, BitWriter& w) {
+        const auto v = static_cast<NodeId>(i);
+        w.put_delta0(static_cast<std::uint64_t>(landmarks_));
+        for (const auto& s : schemes) {
+          const BitSpan l = s->label(v);
+          w.put_delta0(l.size());
+          w.append(l);
+        }
+      });
 }
 
-OracleAttachedState SpanningOracle::attach(const BitVec& state) {
+OracleAttachedState SpanningOracle::attach(BitSpan state) {
   BitReader r(state);
   const std::uint64_t c = r.get_delta0();
   if (c == 0 || c > state.size())
@@ -90,11 +109,12 @@ std::vector<std::uint64_t> SpanningOracle::query_many(
 std::vector<OracleAttachedState> SpanningOracle::attach_all() const {
   std::vector<OracleAttachedState> out;
   out.reserve(states_.size());
-  for (const BitVec& s : states_) out.push_back(attach(s));
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    out.push_back(attach(states_[i]));
   return out;
 }
 
-std::uint64_t SpanningOracle::query(const BitVec& su, const BitVec& sv) {
+std::uint64_t SpanningOracle::query(BitSpan su, BitSpan sv) {
   BitReader ru(su), rv(sv);
   const std::uint64_t cu = ru.get_delta0();
   const std::uint64_t cv = rv.get_delta0();

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "bits/label_arena.hpp"
 #include "core/fgnw_scheme.hpp"
 #include "core/labeling.hpp"
 #include "tree/graph.hpp"
@@ -46,16 +47,19 @@ class SpanningOracle {
   };
 
   /// Builds per-node states from `landmarks` BFS spanning trees of `g`.
-  /// Requires a connected graph and 1 <= landmarks <= n.
+  /// Requires a connected graph and 1 <= landmarks <= n. Tree labelings are
+  /// built in parallel across landmarks (and label emission within each tree
+  /// fans out over the remaining threads); the states are bit-identical for
+  /// every thread count.
   SpanningOracle(const tree::Graph& g, int landmarks,
                  LandmarkPolicy policy = LandmarkPolicy::kHighestDegree,
                  std::uint64_t seed = 0);
 
   /// The self-contained oracle state of node v (all its tree labels).
-  [[nodiscard]] const bits::BitVec& state(tree::NodeId v) const noexcept {
-    return states_[v];
+  [[nodiscard]] bits::BitSpan state(tree::NodeId v) const noexcept {
+    return states_[static_cast<std::size_t>(v)];
   }
-  [[nodiscard]] const std::vector<bits::BitVec>& states() const noexcept {
+  [[nodiscard]] const bits::LabelArena& states() const noexcept {
     return states_;
   }
   [[nodiscard]] LabelStats stats() const { return stats_of(states_); }
@@ -63,11 +67,10 @@ class SpanningOracle {
 
   /// Upper bound on d_G(u, v) from the two states alone; exact when some
   /// spanning tree preserves a shortest u-v path.
-  [[nodiscard]] static std::uint64_t query(const bits::BitVec& su,
-                                           const bits::BitVec& sv);
+  [[nodiscard]] static std::uint64_t query(bits::BitSpan su, bits::BitSpan sv);
 
   /// One-time split-and-attach of a packed state for repeated queries.
-  [[nodiscard]] static OracleAttachedState attach(const bits::BitVec& state);
+  [[nodiscard]] static OracleAttachedState attach(bits::BitSpan state);
 
   /// Same result as the BitVec overload, without re-decoding either state.
   [[nodiscard]] static std::uint64_t query(const OracleAttachedState& su,
@@ -85,7 +88,7 @@ class SpanningOracle {
 
  private:
   int landmarks_;
-  std::vector<bits::BitVec> states_;
+  bits::LabelArena states_;
 };
 
 }  // namespace treelab::core

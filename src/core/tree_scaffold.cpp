@@ -1,0 +1,40 @@
+#include "core/tree_scaffold.hpp"
+
+namespace treelab::core {
+
+const tree::HeavyPathDecomposition& TreeScaffold::hpd() const {
+  if (!hpd_) hpd_ = std::make_unique<tree::HeavyPathDecomposition>(*t_);
+  return *hpd_;
+}
+
+const nca::NcaLabeling& TreeScaffold::nca() const {
+  if (!nca_) nca_ = std::make_unique<nca::NcaLabeling>(hpd(), threads_);
+  return *nca_;
+}
+
+const tree::BinarizedTree& TreeScaffold::binarized() const {
+  if (!binarized_)
+    binarized_ = std::make_unique<tree::BinarizedTree>(tree::binarize(*t_));
+  return *binarized_;
+}
+
+const tree::HeavyPathDecomposition& TreeScaffold::binarized_hpd() const {
+  if (!bin_hpd_)
+    bin_hpd_ =
+        std::make_unique<tree::HeavyPathDecomposition>(binarized().tree);
+  return *bin_hpd_;
+}
+
+const tree::CollapsedTree& TreeScaffold::collapsed() const {
+  if (!collapsed_)
+    collapsed_ = std::make_unique<tree::CollapsedTree>(binarized_hpd());
+  return *collapsed_;
+}
+
+const nca::NcaLabeling& TreeScaffold::binarized_nca() const {
+  if (!bin_nca_)
+    bin_nca_ = std::make_unique<nca::NcaLabeling>(binarized_hpd(), threads_);
+  return *bin_nca_;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,77 @@
+// TreeScaffold — the shared construction substrate for every labeling
+// scheme of one tree.
+//
+// All five distance schemes (and SpanningOracle's per-tree builds) start
+// from the same preprocessing pipeline of Section 2: heavy path
+// decomposition of the input tree, the Lemma 2.1 NCA labeling over it, and
+// — for the binarized reduction FGNW runs on — binarize → HPD → collapsed
+// tree → NCA labeling of the binarized tree. Before the scaffold existed,
+// each scheme constructor recomputed its slice of that pipeline; building
+// the full suite on one tree paid for the HPD five times and the NCA
+// labeling three times. A TreeScaffold computes each component exactly once,
+// on first use, and hands out references; scheme constructors taking a
+// scaffold share them, and the original Tree-taking constructors delegate
+// through a private scaffold so the public API is unchanged.
+//
+// Thread-safety: component construction is lazy and unsynchronized — create
+// the scaffold and build schemes from it on one thread (the schemes
+// themselves fan label emission out over `threads()` worker threads
+// internally). Distinct scaffolds are fully independent, which is how
+// SpanningOracle parallelizes across landmark trees.
+#pragma once
+
+#include <memory>
+
+#include "nca/nca_labeling.hpp"
+#include "tree/binarize.hpp"
+#include "tree/collapsed.hpp"
+#include "tree/hpd.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+class TreeScaffold {
+ public:
+  /// `t` must outlive the scaffold. `threads` is the construction
+  /// parallelism handed to the schemes built from this scaffold (0 =
+  /// TREELAB_THREADS / hardware default, 1 = serial); it never affects the
+  /// label bits, only how fast they are emitted.
+  explicit TreeScaffold(const tree::Tree& t, int threads = 0)
+      : t_(&t), threads_(threads) {}
+
+  TreeScaffold(const TreeScaffold&) = delete;
+  TreeScaffold& operator=(const TreeScaffold&) = delete;
+
+  [[nodiscard]] const tree::Tree& tree() const noexcept { return *t_; }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Heavy path decomposition of the original tree (paper >= |T|/2 variant).
+  [[nodiscard]] const tree::HeavyPathDecomposition& hpd() const;
+
+  /// NCA labeling over hpd().
+  [[nodiscard]] const nca::NcaLabeling& nca() const;
+
+  /// The Section 2 binarized reduction of the tree.
+  [[nodiscard]] const tree::BinarizedTree& binarized() const;
+
+  /// Heavy path decomposition of the binarized tree (paper variant).
+  [[nodiscard]] const tree::HeavyPathDecomposition& binarized_hpd() const;
+
+  /// Collapsed tree of binarized_hpd().
+  [[nodiscard]] const tree::CollapsedTree& collapsed() const;
+
+  /// NCA labeling over binarized_hpd().
+  [[nodiscard]] const nca::NcaLabeling& binarized_nca() const;
+
+ private:
+  const tree::Tree* t_;
+  int threads_;
+  mutable std::unique_ptr<tree::HeavyPathDecomposition> hpd_;
+  mutable std::unique_ptr<nca::NcaLabeling> nca_;
+  mutable std::unique_ptr<tree::BinarizedTree> binarized_;
+  mutable std::unique_ptr<tree::HeavyPathDecomposition> bin_hpd_;
+  mutable std::unique_ptr<tree::CollapsedTree> collapsed_;
+  mutable std::unique_ptr<nca::NcaLabeling> bin_nca_;
+};
+
+}  // namespace treelab::core

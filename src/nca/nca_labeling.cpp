@@ -9,8 +9,10 @@
 namespace treelab::nca {
 
 using bits::BitReader;
+using bits::BitSpan;
 using bits::BitVec;
 using bits::BitWriter;
+using bits::LabelArena;
 using bits::MonotoneSeq;
 using tree::HeavyPathDecomposition;
 using tree::NodeId;
@@ -18,31 +20,21 @@ using tree::Tree;
 
 namespace {
 
-/// Encoded label layout: MonotoneSeq of component end positions (in code
-/// bits), then the code bits themselves.
-BitVec pack_label(const std::vector<std::uint64_t>& bounds,
-                  const BitVec& code) {
-  BitWriter w;
-  MonotoneSeq::encode(bounds, code.size()).write_to(w);
-  w.append(code);
-  return w.take();
-}
-
 /// A non-owning view of a parsed label (the attached or freshly parsed
 /// boundary sequence plus the code area location).
 struct View {
   const MonotoneSeq* bounds = nullptr;
   std::size_t code_off = 0;
   std::size_t code_len = 0;
-  const BitVec* raw = nullptr;
+  BitSpan raw;
 
   [[nodiscard]] bool code_bit(std::size_t i) const {
-    return raw->get(code_off + i);
+    return raw.get(code_off + i);
   }
 };
 
 /// Parses the boundary sequence out of `l` into `store` and returns a view.
-View parse_into(const BitVec& l, MonotoneSeq& store) {
+View parse_into(BitSpan l, MonotoneSeq& store) {
   BitReader r(l);
   store = MonotoneSeq::read_from(r);
   if (store.size() == 0) throw bits::DecodeError("NCA label: no components");
@@ -52,7 +44,7 @@ View parse_into(const BitVec& l, MonotoneSeq& store) {
   v.code_len = store.get(store.size() - 1);
   if (v.code_off + v.code_len > l.size())
     throw bits::DecodeError("NCA label: truncated code area");
-  v.raw = &l;
+  v.raw = l;
   return v;
 }
 
@@ -62,15 +54,15 @@ std::size_t first_diff(const View& a, const View& b) {
   const std::size_t lim = std::min(a.code_len, b.code_len);
   std::size_t i = 0;
   while (i + 64 <= lim) {
-    const std::uint64_t wa = a.raw->read_bits(a.code_off + i, 64);
-    const std::uint64_t wb = b.raw->read_bits(b.code_off + i, 64);
+    const std::uint64_t wa = a.raw.read_bits(a.code_off + i, 64);
+    const std::uint64_t wb = b.raw.read_bits(b.code_off + i, 64);
     if (wa != wb) return i + static_cast<std::size_t>(bits::lsb(wa ^ wb));
     i += 64;
   }
   if (i < lim) {
     const int rem = static_cast<int>(lim - i);
-    const std::uint64_t wa = a.raw->read_bits(a.code_off + i, rem);
-    const std::uint64_t wb = b.raw->read_bits(b.code_off + i, rem);
+    const std::uint64_t wa = a.raw.read_bits(a.code_off + i, rem);
+    const std::uint64_t wb = b.raw.read_bits(b.code_off + i, rem);
     if (wa != wb) return i + static_cast<std::size_t>(bits::lsb(wa ^ wb));
   }
   return lim;
@@ -135,29 +127,39 @@ std::int32_t AttachedNcaLabel::lightdepth() const noexcept {
   return static_cast<std::int32_t>((bounds_.size() - 1) / 2);
 }
 
-NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd) {
+NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd, int threads) {
   const Tree& t = hpd.tree();
   const HeavyPathCodes codes(hpd);
 
-  labels_.resize(static_cast<std::size_t>(t.size()));
-  for (NodeId v = 0; v < t.size(); ++v) {
-    const std::int32_t p = hpd.path_of(v);
-    BitWriter w;
-    w.append(codes.prefix(p));
-    codes.terminal(v).write_to(w);
-    std::vector<std::uint64_t> bs = codes.prefix_bounds(p);
-    bs.push_back(w.bit_count());
-    labels_[static_cast<std::size_t>(v)] = pack_label(bs, w.bits());
-  }
+  // Label layout: MonotoneSeq of component end positions (in code bits),
+  // then the code bits themselves. Emission is per node and pure, so it
+  // fans out over the arena's chunked schedule; `bs` is per-worker scratch
+  // (the emitter is copied per chunk).
+  labels_ = LabelArena::build(
+      static_cast<std::size_t>(t.size()), threads,
+      [&hpd, &codes, bs = std::vector<std::uint64_t>{}](
+          std::size_t i, BitWriter& w) mutable {
+        const auto v = static_cast<NodeId>(i);
+        const std::int32_t p = hpd.path_of(v);
+        const BitVec& pre = codes.prefix(p);
+        const bits::Codeword term = codes.terminal(v);
+        const std::size_t code_len =
+            pre.size() + static_cast<std::size_t>(term.len);
+        bs = codes.prefix_bounds(p);
+        bs.push_back(code_len);
+        (void)MonotoneSeq::encode_to(w, bs, code_len);
+        w.append(pre);
+        term.write_to(w);
+      });
 }
 
-std::int32_t NcaLabeling::lightdepth_of_label(const BitVec& l) {
+std::int32_t NcaLabeling::lightdepth_of_label(BitSpan l) {
   MonotoneSeq store;
   const View v = parse_into(l, store);
   return static_cast<std::int32_t>((v.bounds->size() - 1) / 2);
 }
 
-AttachedNcaLabel NcaLabeling::attach(const BitVec& l) {
+AttachedNcaLabel NcaLabeling::attach(BitSpan l) {
   AttachedNcaLabel out;
   out.raw_ = l;
   MonotoneSeq store;
@@ -168,7 +170,7 @@ AttachedNcaLabel NcaLabeling::attach(const BitVec& l) {
   return out;
 }
 
-NcaResult NcaLabeling::query(const BitVec& lu, const BitVec& lv) {
+NcaResult NcaLabeling::query(BitSpan lu, BitSpan lv) {
   MonotoneSeq su, sv;
   const View u = parse_into(lu, su);
   const View v = parse_into(lv, sv);
@@ -177,8 +179,8 @@ NcaResult NcaLabeling::query(const BitVec& lu, const BitVec& lv) {
 
 NcaResult NcaLabeling::query(const AttachedNcaLabel& lu,
                              const AttachedNcaLabel& lv) {
-  View u{&lu.bounds_, lu.code_off_, lu.code_len_, &lu.raw_};
-  View v{&lv.bounds_, lv.code_off_, lv.code_len_, &lv.raw_};
+  View u{&lu.bounds_, lu.code_off_, lu.code_len_, lu.raw_};
+  View v{&lv.bounds_, lv.code_off_, lv.code_len_, lv.raw_};
   return query_impl(u, v);
 }
 

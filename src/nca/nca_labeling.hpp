@@ -16,12 +16,17 @@
 // order-preserving, so two labels can be compared by locating their first
 // differing bit; a MonotoneSeq of component boundaries (Lemma 2.2) maps that
 // bit position back to a light level in constant time.
+//
+// Labels live in a pooled LabelArena (one contiguous buffer, word-aligned
+// views) and per-node emission can run on several threads; the emitted bits
+// are identical for every thread count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "bits/bitvec.hpp"
+#include "bits/label_arena.hpp"
 #include "bits/monotone.hpp"
 #include "tree/hpd.hpp"
 #include "tree/tree.hpp"
@@ -69,11 +74,14 @@ class NcaLabeling {
  public:
   using Attached = AttachedNcaLabel;
 
-  /// Builds labels for every node of `hpd.tree()`.
-  explicit NcaLabeling(const tree::HeavyPathDecomposition& hpd);
+  /// Builds labels for every node of `hpd.tree()` on up to `threads`
+  /// threads (1 = serial, 0 = TREELAB_THREADS / hardware default); the
+  /// label bits do not depend on the thread count.
+  explicit NcaLabeling(const tree::HeavyPathDecomposition& hpd,
+                       int threads = 1);
 
-  [[nodiscard]] const bits::BitVec& label(tree::NodeId v) const noexcept {
-    return labels_[v];
+  [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
+    return labels_[static_cast<std::size_t>(v)];
   }
 
   [[nodiscard]] std::size_t num_labels() const noexcept {
@@ -81,21 +89,20 @@ class NcaLabeling {
   }
 
   /// Decodes two labels. Throws bits::DecodeError on malformed input.
-  [[nodiscard]] static NcaResult query(const bits::BitVec& lu,
-                                       const bits::BitVec& lv);
+  [[nodiscard]] static NcaResult query(bits::BitSpan lu, bits::BitSpan lv);
 
   /// Light depth recorded in a single label (number of levels - 1).
-  [[nodiscard]] static std::int32_t lightdepth_of_label(const bits::BitVec& l);
+  [[nodiscard]] static std::int32_t lightdepth_of_label(bits::BitSpan l);
 
   /// One-time parse of a label for repeated queries.
-  [[nodiscard]] static AttachedNcaLabel attach(const bits::BitVec& l);
+  [[nodiscard]] static AttachedNcaLabel attach(bits::BitSpan l);
 
-  /// Same result as query(BitVec, BitVec) without re-parsing.
+  /// Same result as query(BitSpan, BitSpan) without re-parsing.
   [[nodiscard]] static NcaResult query(const AttachedNcaLabel& lu,
                                        const AttachedNcaLabel& lv);
 
  private:
-  std::vector<bits::BitVec> labels_;
+  bits::LabelArena labels_;
 };
 
 }  // namespace treelab::nca

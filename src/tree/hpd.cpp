@@ -25,6 +25,7 @@ HeavyPathDecomposition::HeavyPathDecomposition(const Tree& t, Variant variant)
     stack.pop_back();
     const std::int32_t pid = static_cast<std::int32_t>(path_head_.size());
     path_head_.push_back(start);
+    max_light_depth_ = std::max(max_light_depth_, ld);
     const NodeId path_start_size = t.subtree_size(start);
 
     NodeId cur = start;
@@ -61,12 +62,6 @@ HeavyPathDecomposition::HeavyPathDecomposition(const Tree& t, Variant variant)
     path_off_.push_back(static_cast<std::int32_t>(path_nodes_.size()));
   }
   assert(static_cast<NodeId>(path_nodes_.size()) == n);
-}
-
-std::int32_t HeavyPathDecomposition::max_light_depth() const noexcept {
-  std::int32_t m = 0;
-  for (std::int32_t d : light_depth_) m = std::max(m, d);
-  return m;
 }
 
 }  // namespace treelab::tree

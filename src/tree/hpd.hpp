@@ -78,12 +78,15 @@ class HeavyPathDecomposition {
     return pos_in_path_[v];
   }
 
-  /// Maximum light depth over all nodes.
-  [[nodiscard]] std::int32_t max_light_depth() const noexcept;
+  /// Maximum light depth over all nodes (cached at construction).
+  [[nodiscard]] std::int32_t max_light_depth() const noexcept {
+    return max_light_depth_;
+  }
 
  private:
   const Tree* t_;
   Variant variant_;
+  std::int32_t max_light_depth_ = 0;
   std::vector<NodeId> heavy_child_;
   std::vector<std::int32_t> path_of_;
   std::vector<NodeId> path_head_;

@@ -1,0 +1,26 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+
+namespace treelab::util {
+
+int thread_count() noexcept {
+  // Re-read on every call (it is consulted once per build, not per node) so
+  // a process can re-point TREELAB_THREADS between builds.
+  if (const char* env = std::getenv("TREELAB_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<std::size_t> split_ranges(std::size_t n, std::size_t chunks) {
+  if (chunks < 1) chunks = 1;
+  if (chunks > n) chunks = n == 0 ? 1 : n;
+  std::vector<std::size_t> off(chunks + 1);
+  for (std::size_t i = 0; i <= chunks; ++i) off[i] = n * i / chunks;
+  return off;
+}
+
+}  // namespace treelab::util

@@ -51,13 +51,13 @@ BitVec random_garbage(std::size_t bits, std::mt19937_64& rng) {
 }
 
 template <typename QueryFn>
-void fuzz_labels(const std::vector<BitVec>& labels, QueryFn&& q,
+void fuzz_labels(const bits::LabelArena& labels, QueryFn&& q,
                  std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<std::size_t> pick(0, labels.size() - 1);
   for (int trial = 0; trial < 400; ++trial) {
-    const BitVec& good = labels[pick(rng)];
-    const BitVec& other = labels[pick(rng)];
+    const BitVec good = labels[pick(rng)];
+    const BitVec other = labels[pick(rng)];
     // Bit flips.
     const BitVec flipped = flip_bits(good, 1 + static_cast<int>(rng() % 4), rng);
     must_not_crash([&] { (void)q(flipped, other); });

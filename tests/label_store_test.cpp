@@ -1,0 +1,181 @@
+// LabelStore round-trip coverage across every distance scheme: save from
+// the pooled arena, load into both representations (vector and arena),
+// verify bit-exact labels and query parity against a brute-force oracle —
+// plus truncation/corruption failure cases for the header and the payload.
+// This is the ship-and-serve loop: labels computed centrally must come back
+// from the wire indistinguishable from the originals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/label_store.hpp"
+#include "core/peleg_scheme.hpp"
+#include "core/tree_scaffold.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::NodeId;
+using tree::Tree;
+
+constexpr NodeId kN = 300;
+
+/// Saves `labels`, loads them back through both load() and load_arena(),
+/// and checks scheme/params/bit-exactness.
+template <typename Labels>
+core::LabelStore::Loaded roundtrip(const Labels& labels, const char* scheme,
+                                   const char* params) {
+  std::stringstream ss;
+  core::LabelStore::save(ss, scheme, labels, params);
+  const std::string wire = ss.str();
+
+  std::stringstream in1(wire);
+  const auto loaded = core::LabelStore::load(in1);
+  EXPECT_EQ(loaded.scheme, scheme);
+  EXPECT_EQ(loaded.params, params);
+  EXPECT_EQ(loaded.labels.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_TRUE(loaded.labels[i] == labels[i]) << scheme << " label " << i;
+
+  std::stringstream in2(wire);
+  const auto arena = core::LabelStore::load_arena(in2);
+  EXPECT_EQ(arena.scheme, scheme);
+  EXPECT_EQ(arena.params, params);
+  EXPECT_EQ(arena.labels.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_TRUE(arena.labels[i] == labels[i])
+        << scheme << " arena label " << i;
+  return loaded;
+}
+
+TEST(LabelStoreSchemes, FgnwRoundtripAndQueryParity) {
+  const Tree t = tree::random_tree(kN, 41);
+  const core::FgnwScheme s(t);
+  const auto loaded = roundtrip(s.labels(), "fgnw", "");
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 7)
+      ASSERT_EQ(core::FgnwScheme::query(loaded.labels[u], loaded.labels[v]),
+                oracle.distance(u, v));
+}
+
+TEST(LabelStoreSchemes, AlstrupRoundtripAndQueryParity) {
+  const Tree t = tree::random_tree(kN, 42);
+  const core::AlstrupScheme s(t);
+  const auto loaded = roundtrip(s.labels(), "alstrup", "");
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 7)
+      ASSERT_EQ(core::AlstrupScheme::query(loaded.labels[u], loaded.labels[v]),
+                oracle.distance(u, v));
+}
+
+TEST(LabelStoreSchemes, PelegRoundtripAndQueryParity) {
+  const Tree t = tree::random_tree(kN, 43);
+  const core::PelegScheme s(t);
+  const auto loaded = roundtrip(s.labels(), "peleg", "");
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 7)
+      ASSERT_EQ(core::PelegScheme::query(loaded.labels[u], loaded.labels[v]),
+                oracle.distance(u, v));
+}
+
+TEST(LabelStoreSchemes, ApproxRoundtripAndQueryParity) {
+  const Tree t = tree::random_tree(kN, 44);
+  const double eps = 0.25;
+  const core::ApproxScheme s(t, eps);
+  const auto loaded = roundtrip(s.labels(), "approx", "eps=0.25");
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 7)
+      ASSERT_EQ(
+          core::ApproxScheme::query(eps, loaded.labels[u], loaded.labels[v]),
+          core::ApproxScheme::query(eps, s.label(u), s.label(v)));
+}
+
+TEST(LabelStoreSchemes, KDistanceRoundtripAndQueryParity) {
+  const Tree t = tree::random_tree(kN, 45);
+  const std::uint64_t k = 6;
+  const core::KDistanceScheme s(t, k);
+  const auto loaded = roundtrip(s.labels(), "kdistance", "k=6");
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 7) {
+      const auto got =
+          core::KDistanceScheme::query(k, loaded.labels[u], loaded.labels[v]);
+      const std::uint64_t d = oracle.distance(u, v);
+      ASSERT_EQ(got.within, d <= k);
+      if (got.within) ASSERT_EQ(got.distance, d);
+    }
+}
+
+TEST(LabelStoreSchemes, ParallelBuiltLabelsShipIdentically) {
+  // The wire bytes must not depend on construction thread count either.
+  const Tree t = tree::random_tree(kN, 46);
+  const core::TreeScaffold s1(t, 1), s4(t, 4);
+  std::stringstream a, b;
+  core::LabelStore::save(a, "fgnw", core::FgnwScheme(s1).labels());
+  core::LabelStore::save(b, "fgnw", core::FgnwScheme(s4).labels());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(LabelStoreFailure, TruncatedEverywhere) {
+  const Tree t = tree::random_tree(60, 47);
+  const core::FgnwScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save(ss, "fgnw", s.labels(), "p=1");
+  const std::string wire = ss.str();
+  // Every strict prefix must throw (the container has no trailing slack).
+  for (std::size_t len = 0; len < wire.size();
+       len += 1 + len / 9) {  // denser probing near the header
+    std::stringstream in(wire.substr(0, len));
+    EXPECT_THROW((void)core::LabelStore::load(in), std::runtime_error)
+        << "prefix " << len;
+    std::stringstream in2(wire.substr(0, len));
+    EXPECT_THROW((void)core::LabelStore::load_arena(in2), std::runtime_error)
+        << "arena prefix " << len;
+  }
+}
+
+TEST(LabelStoreFailure, CorruptHeaderFields) {
+  const Tree t = tree::random_tree(30, 48);
+  const core::AlstrupScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save(ss, "alstrup", s.labels());
+  const std::string wire = ss.str();
+
+  {  // bad magic
+    std::string bad = wire;
+    bad[2] ^= 0x40;
+    std::stringstream in(bad);
+    EXPECT_THROW((void)core::LabelStore::load(in), std::runtime_error);
+  }
+  {  // unsupported version
+    std::string bad = wire;
+    bad[4] = 9;
+    std::stringstream in(bad);
+    EXPECT_THROW((void)core::LabelStore::load_arena(in), std::runtime_error);
+  }
+  {  // oversized scheme-string length
+    std::string bad = wire;
+    bad[10] = '\x7f';  // high byte of the scheme length field
+    std::stringstream in(bad);
+    EXPECT_THROW((void)core::LabelStore::load(in), std::runtime_error);
+  }
+  {  // implausible label count (little-endian u64 right after the strings)
+    std::string bad = wire;
+    const std::size_t count_off = 4 + 4 + 4 + 7 /*"alstrup"*/ + 4;
+    bad[count_off + 7] = '\x01';  // 2^56 labels
+    std::stringstream in(bad);
+    EXPECT_THROW((void)core::LabelStore::load_arena(in), std::runtime_error);
+  }
+}
+
+}  // namespace
