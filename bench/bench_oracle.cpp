@@ -4,9 +4,15 @@
 // practical trade-off a downstream user of the library faces; plus the
 // serving regime: batch throughput of a node answering a query stream from
 // its attached cache (query_many) vs re-decoding raw states per call.
+// Emits BENCH_oracle.json (same shape as BENCH_build/BENCH_serve).
+//
+// Usage: bench_oracle [--quick]   (--quick: CI-sized configs)
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/spanning_oracle.hpp"
@@ -21,13 +27,40 @@ using tree::NodeId;
 
 namespace {
 volatile std::uint64_t benchmark_sink = 0;  // defeats dead-code elimination
-}
 
-int main() {
+struct AccuracyRow {
+  std::string name;
+  int landmarks = 0;
+  std::size_t bits_per_node = 0;
+  double exact_pct = 0;
+  double avg_stretch = 0;
+};
+
+struct ThroughputRow {
+  std::string name;
+  int landmarks = 0;
+  double raw_qps = 0;
+  double batch_qps = 0;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick =
+      argc > 1 && std::any_of(argv + 1, argv + argc, [](const char* a) {
+        return std::strcmp(a, "--quick") == 0;
+      });
+
+  std::vector<AccuracyRow> accuracy;
+  std::vector<ThroughputRow> throughput;
+
   std::printf("== APP: spanning-tree distance oracle on general graphs ==\n");
   row({"graph", "landmarks", "bits/node", "exact%", "avg_stretch"});
-  for (const auto& [n, extra] : std::vector<std::pair<NodeId, NodeId>>{
-           {1000, 1000}, {4000, 4000}, {4000, 16000}}) {
+  const std::vector<std::pair<NodeId, NodeId>> configs =
+      quick ? std::vector<std::pair<NodeId, NodeId>>{{500, 500}}
+            : std::vector<std::pair<NodeId, NodeId>>{
+                  {1000, 1000}, {4000, 4000}, {4000, 16000}};
+  const int samples = quick ? 30 : 120;
+  for (const auto& [n, extra] : configs) {
     const Graph g = Graph::random_connected(n, extra, 23);
     std::mt19937_64 rng(5);
     std::uniform_int_distribution<NodeId> pick(0, n - 1);
@@ -35,7 +68,7 @@ int main() {
       const SpanningOracle o(g, landmarks);
       double sum_stretch = 0;
       int exact = 0, total = 0;
-      for (int i = 0; i < 120; ++i) {
+      for (int i = 0; i < samples; ++i) {
         const NodeId u = pick(rng);
         const auto du = g.bfs_distances(u);
         for (int j = 0; j < 4; ++j) {
@@ -48,8 +81,12 @@ int main() {
           ++total;
         }
       }
-      row({"n=" + std::to_string(n) + ",m~" + std::to_string(n + extra),
-           num(landmarks), num(o.stats().max_bits),
+      const std::string name =
+          "n=" + std::to_string(n) + ",m~" + std::to_string(n + extra);
+      accuracy.push_back({name + ",l=" + std::to_string(landmarks), landmarks,
+                          o.stats().max_bits, 100.0 * exact / total,
+                          sum_stretch / total});
+      row({name, num(landmarks), num(o.stats().max_bits),
            num(100.0 * exact / total, 1), num(sum_stretch / total, 3)});
     }
   }
@@ -60,7 +97,9 @@ int main() {
   std::printf("\n== APP: batch serving throughput (attach-once cache) ==\n");
   row({"graph", "landmarks", "raw_q/s", "batch_q/s", "speedup"});
   {
-    const NodeId n = 8000;
+    // n must stay above the 2048-query batch the query_many side slices out
+    // of the attached-state array.
+    const NodeId n = quick ? 4096 : 8000;
     const Graph g = Graph::random_connected(n, n, 23);
     std::mt19937_64 rng(5);
     std::uniform_int_distribution<NodeId> pick(0, n - 1);
@@ -71,8 +110,9 @@ int main() {
       // index-generation overhead (cf. make_pairs in bench_query_time).
       std::vector<std::pair<NodeId, NodeId>> pairs(4096);
       for (auto& p : pairs) p = {pick(rng), pick(rng)};
-      const auto measure = [](auto&& f) {
-        return bench::measure_qps(f, /*batch=*/2048);
+      const auto measure = [&](auto&& f) {
+        return bench::measure_qps(f, /*batch=*/2048,
+                                  /*min_seconds=*/quick ? 0.05 : 0.2);
       };
       std::size_t i = 0;
       const double raw = measure([&](std::size_t m) {
@@ -93,9 +133,43 @@ int main() {
             att[u], std::span(att).subspan(lo, m));
         benchmark_sink = benchmark_sink + res[0];
       });
+      const std::string name = "n=" + std::to_string(n) + ",m~" +
+                               std::to_string(2 * n) + ",l=" +
+                               std::to_string(landmarks);
+      throughput.push_back({name, landmarks, raw, batch});
       row({"n=" + std::to_string(n) + ",m~" + std::to_string(2 * n),
            num(landmarks), num(raw, 0), num(batch, 0), num(batch / raw, 2)});
     }
   }
+
+  const char* path = "BENCH_oracle.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"oracle\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"accuracy\": [\n");
+  for (std::size_t i = 0; i < accuracy.size(); ++i)
+    std::fprintf(
+        f,
+        "    {\"case\": \"%s\", \"landmarks\": %d, \"bits_per_node\": %zu, "
+        "\"exact_pct\": %.1f, \"avg_stretch\": %.3f}%s\n",
+        accuracy[i].name.c_str(), accuracy[i].landmarks,
+        accuracy[i].bits_per_node, accuracy[i].exact_pct,
+        accuracy[i].avg_stretch, i + 1 < accuracy.size() ? "," : "");
+  std::fprintf(f, "  ],\n  \"serving\": [\n");
+  for (std::size_t i = 0; i < throughput.size(); ++i)
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"landmarks\": %d, \"raw_qps\": "
+                 "%.0f, \"batch_qps\": %.0f, \"speedup\": %.2f}%s\n",
+                 throughput[i].name.c_str(), throughput[i].landmarks,
+                 throughput[i].raw_qps, throughput[i].batch_qps,
+                 throughput[i].batch_qps / throughput[i].raw_qps,
+                 i + 1 < throughput.size() ? "," : "");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
   return 0;
 }

@@ -1,0 +1,211 @@
+// SERVE — throughput of the serving layer itself: a ForestIndex holding a
+// heterogeneous forest (all five schemes), labels shipped through mappable
+// LabelStore files and mmap'ed back, batch queries fanned out over shards.
+//
+// Three sections:
+//   * baseline — raw per-request queries (parse both labels every call),
+//     the cost a node pays without any serving machinery,
+//   * scaling — query_batch QPS as shards and threads grow together
+//     (1, 2, 4, ...), the tentpole curve: per-shard caches mean no shared
+//     state on the hot path, so batch throughput should track the fan-out
+//     until the hardware runs out,
+//   * threads-under-fixed-shards — the fan-out knob alone.
+//
+// Emits BENCH_serve.json (same shape as BENCH_build/BENCH_query) with the
+// configuration and the cache counters of the last run.
+//
+// Usage: bench_serve [--n N] [--trees T] [--batch B] [--seed S]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/label_store.hpp"
+#include "core/peleg_scheme.hpp"
+#include "core/tree_scaffold.hpp"
+#include "serve/forest_index.hpp"
+#include "tree/generators.hpp"
+#include "util/parallel.hpp"
+
+using namespace treelab;
+using bench::num;
+using bench::row;
+
+namespace {
+
+volatile std::uint64_t benchmark_sink = 0;  // defeats dead-code elimination
+
+std::int64_t flag(int argc, char** argv, const char* name,
+                  std::int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  return fallback;
+}
+
+struct Row {
+  std::string name;
+  double qps = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<tree::NodeId>(flag(argc, argv, "--n", 1 << 14));
+  const auto n_trees =
+      static_cast<std::size_t>(flag(argc, argv, "--trees", 10));
+  const auto batch =
+      static_cast<std::size_t>(flag(argc, argv, "--batch", 8192));
+  const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 7));
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::printf("serve bench: n=%d trees=%zu batch=%zu seed=%llu (hw=%d)\n",
+              static_cast<int>(n), n_trees, batch,
+              static_cast<unsigned long long>(seed), hw);
+
+  // Ship the forest: one mappable label file per tree, schemes cycling
+  // through all five.
+  const std::filesystem::path dir = "bench_serve_labels";
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < n_trees; ++i) {
+    const tree::Tree t = tree::random_tree(n, seed + i);
+    const core::TreeScaffold sc(t, 0);
+    const std::string path = (dir / ("tree" + std::to_string(i) + ".lbl"))
+                                 .string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    switch (i % 5) {
+      case 0:
+        core::LabelStore::save_mappable(out, "fgnw",
+                                        core::FgnwScheme(sc).labels());
+        break;
+      case 1:
+        core::LabelStore::save_mappable(out, "alstrup",
+                                        core::AlstrupScheme(sc).labels());
+        break;
+      case 2:
+        core::LabelStore::save_mappable(out, "peleg",
+                                        core::PelegScheme(sc).labels());
+        break;
+      case 3:
+        core::LabelStore::save_mappable(
+            out, "approx", core::ApproxScheme(sc, 0.125).labels(),
+            "inv_eps=8");
+        break;
+      default:
+        core::LabelStore::save_mappable(
+            out, "kdist", core::KDistanceScheme(sc, 64).labels(), "k=64");
+    }
+    files.push_back(path);
+  }
+  std::printf("  shipped %zu label files to %s/\n", files.size(),
+              dir.string().c_str());
+
+  // One request pool shared by every configuration (identical work).
+  std::mt19937_64 rng(seed);
+  std::vector<serve::Request> pool(4 * batch);
+  for (auto& r : pool) {
+    r.tree = static_cast<serve::TreeId>(rng() % n_trees);
+    r.u = static_cast<tree::NodeId>(rng() % static_cast<std::uint64_t>(n));
+    r.v = static_cast<tree::NodeId>(rng() % static_cast<std::uint64_t>(n));
+  }
+
+  std::vector<Row> rows;
+  serve::ForestIndex::CacheStats last_stats;
+  const auto add = [&](std::string name, double qps) {
+    rows.push_back({std::move(name), qps});
+    std::printf("  %-30s %14.0f q/s\n", rows.back().name.c_str(), qps);
+  };
+
+  // Baseline: raw per-request queries (parse both labels every call) over
+  // the same mmap'ed arenas — what a node without the serving layer pays.
+  {
+    std::vector<core::LabelStore::MappedLoaded> loaded;
+    std::vector<serve::AnyScheme> schemes;
+    for (const auto& f : files) {
+      loaded.push_back(core::LabelStore::open_mapped(f));
+      schemes.push_back(
+          serve::AnyScheme::make(loaded.back().scheme, loaded.back().params));
+    }
+    std::size_t at = 0;
+    const double qps = bench::measure_qps([&](std::size_t m) {
+      std::uint64_t acc = 0;
+      while (m--) {
+        const serve::Request& r = pool[at++ % pool.size()];
+        acc += schemes[r.tree]
+                   .query(loaded[r.tree].labels.view(
+                              static_cast<std::size_t>(r.u)),
+                          loaded[r.tree].labels.view(
+                              static_cast<std::size_t>(r.v)))
+                   .value;
+      }
+      benchmark_sink = benchmark_sink + acc;
+    });
+    add("raw_per_request", qps);
+  }
+
+  // Scaling: shards and threads grow together. The *total* cache budget is
+  // held constant across configurations (split evenly over shards), so the
+  // curve measures fan-out, not aggregate cache capacity.
+  constexpr std::size_t kTotalCacheBytes = std::size_t{64} << 20;
+  const auto run_config = [&](std::size_t shards, int threads) {
+    serve::ForestOptions opt;
+    opt.shards = shards;
+    opt.threads = threads;
+    opt.cache_bytes_per_shard = kTotalCacheBytes / shards;
+    serve::ForestIndex index(opt);
+    for (const auto& f : files) (void)index.add_file(f);
+    std::size_t at = 0;
+    const double qps = bench::measure_qps(
+        [&](std::size_t m) {
+          const std::size_t lo = (at++ * batch) % (pool.size() - m + 1);
+          const auto res = index.query_batch(
+              std::span(pool).subspan(lo, m));
+          benchmark_sink = benchmark_sink + res[0].value;
+        },
+        batch);
+    last_stats = index.cache_stats();
+    return qps;
+  };
+  for (std::size_t s = 1; s <= 8; s *= 2)
+    add("batch_shards" + std::to_string(s) + "_t" + std::to_string(s),
+        run_config(s, static_cast<int>(s)));
+  for (const int t : {1, 2})
+    add("batch_shards4_t" + std::to_string(t), run_config(4, t));
+
+  const char* path = "BENCH_serve.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"n\": %d,\n  \"trees\": %zu,\n  \"batch\": %zu,\n",
+               static_cast<int>(n), n_trees, batch);
+  std::fprintf(f, "  \"seed\": %llu,\n  \"threads_available\": %d,\n",
+               static_cast<unsigned long long>(seed), hw);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(f, "    {\"case\": \"%s\", \"qps\": %.0f}%s\n",
+                 rows[i].name.c_str(), rows[i].qps,
+                 i + 1 < rows.size() ? "," : "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cache_last_run\": {\"hits\": %zu, \"misses\": %zu, "
+               "\"evictions\": %zu, \"entries\": %zu, \"bytes\": %zu}\n",
+               last_stats.hits, last_stats.misses, last_stats.evictions,
+               last_stats.entries, last_stats.bytes);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

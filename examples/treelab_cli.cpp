@@ -8,17 +8,33 @@
 //   treelab_cli query out.lbl <u> <v>             (labels only; the tree
 //                                                  file is NOT read)
 //   treelab_cli stats out.lbl
+//   treelab_cli save <in.lbl> <out.lbl> [v1|mappable]
+//                                                 (convert container
+//                                                  versions; mappable files
+//                                                  serve zero-copy)
+//   treelab_cli load <labels.lbl>                 (open for serving, report
+//                                                  mapped vs streamed)
+//   treelab_cli serve-bench <labels.lbl...> [--shards S] [--threads T]
+//                                           [--batch B] [--seed X]
+//                                                 (ForestIndex batch QPS
+//                                                  over the given forest)
 //
 // Example:
 //   treelab_cli gen random 1000 7 > t.txt
 //   treelab_cli label fgnw t.txt t.lbl
 //   treelab_cli query t.lbl 12 900
+//   treelab_cli save t.lbl t.mlbl mappable
+//   treelab_cli serve-bench t.mlbl --shards 4
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
@@ -26,6 +42,7 @@
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
+#include "serve/forest_index.hpp"
 #include "tree/generators.hpp"
 #include "tree/io.hpp"
 
@@ -40,6 +57,10 @@ int usage() {
                "  treelab_cli label <scheme> <tree.txt> <out.lbl>\n"
                "  treelab_cli query <labels.lbl> <u> <v>\n"
                "  treelab_cli stats <labels.lbl>\n"
+               "  treelab_cli save <in.lbl> <out.lbl> [v1|mappable]\n"
+               "  treelab_cli load <labels.lbl>\n"
+               "  treelab_cli serve-bench <labels.lbl...> [--shards S] "
+               "[--threads T] [--batch B] [--seed X]\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -145,6 +166,129 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
+int cmd_save(int argc, char** argv) {
+  if (argc != 4 && argc != 5) return usage();
+  const std::string format = argc == 5 ? argv[4] : "mappable";
+  if (format != "v1" && format != "mappable") return usage();
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  const auto loaded = core::LabelStore::load_arena(in);
+  std::ofstream out(argv[3], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", argv[3]);
+    return 1;
+  }
+  if (format == "mappable")
+    core::LabelStore::save_mappable(out, loaded.scheme, loaded.labels,
+                                    loaded.params);
+  else
+    core::LabelStore::save(out, loaded.scheme, loaded.labels, loaded.params);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", argv[3]);
+    return 1;
+  }
+  std::printf("rewrote %zu %s labels -> %s (%s container)\n",
+              loaded.labels.size(), loaded.scheme.c_str(), argv[3],
+              format.c_str());
+  return 0;
+}
+
+int cmd_load(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const auto opened = core::LabelStore::open_mapped(argv[2]);
+  core::LabelStats st;
+  for (std::size_t i = 0; i < opened.labels.size(); ++i)
+    st.add(opened.labels.label_bits(i));
+  std::printf(
+      "scheme=%s params='%s' labels=%zu max=%zu bits avg=%.1f bits "
+      "storage=%s\n",
+      opened.scheme.c_str(), opened.params.c_str(), st.count, st.max_bits,
+      st.avg_bits(),
+      opened.labels.mapped() ? "mmap (zero-copy)" : "owned (streamed)");
+  return 0;
+}
+
+int cmd_serve_bench(int argc, char** argv) {
+  serve::ForestOptions opt;
+  std::size_t batch = 4096;
+  std::uint64_t seed = 1;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string name = argv[i];
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name.c_str());
+        return 2;
+      }
+      const char* val = argv[++i];
+      char* end = nullptr;
+      const long long v = std::strtoll(val, &end, 10);
+      if (*val == '\0' || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "bad value '%s' for %s\n", val, name.c_str());
+        return 2;
+      }
+      if (name == "--shards")
+        opt.shards = static_cast<std::size_t>(v);
+      else if (name == "--threads")
+        opt.threads = static_cast<int>(v);
+      else if (name == "--batch")
+        batch = static_cast<std::size_t>(v);
+      else if (name == "--seed")
+        seed = static_cast<std::uint64_t>(v);
+      else
+        return usage();
+      continue;
+    }
+    files.emplace_back(argv[i]);
+  }
+  if (files.empty() || batch == 0) return usage();
+
+  serve::ForestIndex index(opt);
+  for (const auto& f : files) {
+    const serve::TreeId id = index.add_file(f);
+    if (index.label_count(id) == 0) {
+      std::fprintf(stderr, "%s holds no labels; nothing to query\n",
+                   f.c_str());
+      return 1;
+    }
+    std::printf("tree %u: %s, %zu labels, %s\n", id,
+                index.scheme(id).name().c_str(), index.label_count(id),
+                index.mapped(id) ? "mmap" : "owned");
+  }
+
+  std::mt19937_64 rng(seed);
+  std::vector<serve::Request> reqs(batch);
+  for (auto& r : reqs) {
+    r.tree = static_cast<serve::TreeId>(rng() % index.tree_count());
+    const auto n = static_cast<std::uint64_t>(index.label_count(r.tree));
+    r.u = static_cast<tree::NodeId>(rng() % n);
+    r.v = static_cast<tree::NodeId>(rng() % n);
+  }
+
+  using clock = std::chrono::steady_clock;
+  (void)index.query_batch(reqs);  // warmup (and cache fill)
+  const auto t0 = clock::now();
+  std::size_t done = 0;
+  double dt = 0;
+  do {
+    (void)index.query_batch(reqs);
+    done += reqs.size();
+    dt = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (dt < 0.5);
+  const auto st = index.cache_stats();
+  std::printf(
+      "batch_qps=%.0f (shards=%zu threads=%d batch=%zu)\n"
+      "cache: %zu entries, %zu bytes, %zu hits, %zu misses, %zu evictions\n",
+      static_cast<double>(done) / dt, index.shard_count(),
+      opt.threads, batch, st.entries, st.bytes, st.hits, st.misses,
+      st.evictions);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 3) return usage();
   const auto store = load_file(argv[2]);
@@ -165,6 +309,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "label") == 0) return cmd_label(argc, argv);
     if (std::strcmp(argv[1], "query") == 0) return cmd_query(argc, argv);
     if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+    if (std::strcmp(argv[1], "save") == 0) return cmd_save(argc, argv);
+    if (std::strcmp(argv[1], "load") == 0) return cmd_load(argc, argv);
+    if (std::strcmp(argv[1], "serve-bench") == 0)
+      return cmd_serve_bench(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,114 @@
+#include "bits/mapped_arena.hpp"
+
+#include <bit>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TREELAB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TREELAB_HAVE_MMAP 0
+#endif
+
+namespace treelab::bits {
+
+std::optional<MappedArena> MappedArena::map(const char* path,
+                                            std::size_t words_offset,
+                                            std::vector<std::size_t> lens) {
+#if TREELAB_HAVE_MMAP
+  // The file stores words as little-endian bytes; reinterpreting them as
+  // uint64_t is only the identity on a little-endian host.
+  if constexpr (std::endian::native != std::endian::little) return std::nullopt;
+  if (words_offset % sizeof(std::uint64_t) != 0) return std::nullopt;
+
+  std::vector<std::size_t> start;
+  try {
+    start.resize(lens.size());
+  } catch (const std::bad_alloc&) {
+    return std::nullopt;  // let the caller fall back to streamed loading
+  }
+  std::size_t word = 0;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    start[i] = word;
+    word += (lens[i] + 63) / 64;
+  }
+
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto file_len = static_cast<std::size_t>(st.st_size);
+  if (file_len < words_offset ||
+      (file_len - words_offset) / sizeof(std::uint64_t) < word) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  void* base = file_len == 0
+                   ? nullptr
+                   : ::mmap(nullptr, file_len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (file_len != 0 && base == MAP_FAILED) return std::nullopt;
+
+  MappedArena out;
+  if (file_len == 0) {
+    if (!lens.empty()) return std::nullopt;
+    // An empty labeling maps to an empty arena; mark it mapped with a
+    // non-null sentinel-free representation by adopting an empty arena.
+    return adopt(LabelArena{});
+  }
+  out.base_ = base;
+  out.map_len_ = file_len;
+  out.words_ = reinterpret_cast<const std::uint64_t*>(
+      static_cast<const char*>(base) + words_offset);
+  out.start_word_ = std::move(start);
+  out.len_ = std::move(lens);
+  return out;
+#else
+  (void)path;
+  (void)words_offset;
+  (void)lens;
+  return std::nullopt;
+#endif
+}
+
+MappedArena MappedArena::adopt(LabelArena&& owned) {
+  MappedArena out;
+  out.owned_ = std::move(owned);
+  return out;
+}
+
+std::size_t MappedArena::total_label_bits() const noexcept {
+  if (!mapped()) return owned_.total_label_bits();
+  std::size_t total = 0;
+  for (const std::size_t l : len_) total += l;
+  return total;
+}
+
+void MappedArena::release() noexcept {
+#if TREELAB_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, map_len_);
+#endif
+  base_ = nullptr;
+  map_len_ = 0;
+  words_ = nullptr;
+  start_word_.clear();
+  len_.clear();
+  owned_ = LabelArena{};
+}
+
+void MappedArena::swap(MappedArena& other) noexcept {
+  std::swap(base_, other.base_);
+  std::swap(map_len_, other.map_len_);
+  std::swap(words_, other.words_);
+  start_word_.swap(other.start_word_);
+  len_.swap(other.len_);
+  std::swap(owned_, other.owned_);
+}
+
+}  // namespace treelab::bits

@@ -1,0 +1,98 @@
+// MappedArena — the serving-side counterpart of LabelArena: a read-only
+// pooled label set whose word buffer lives in an mmap'ed file instead of an
+// owned vector. LabelStore's mappable container (version 2) writes every
+// label word-aligned and zero-padded — the exact in-memory layout
+// LabelArena::build produces — so view(i) can hand out BitSpans straight
+// into the page cache: opening a multi-gigabyte labeling costs one mmap and
+// an O(n) directory scan, not a copy of the payload.
+//
+// A MappedArena can also *adopt* an in-memory LabelArena, so callers that
+// fall back to streamed loading (version-1 files, pipes, big-endian hosts,
+// platforms without mmap) serve through the same type; mapped() tells the
+// two apart. Instances are movable, not copyable; the mapping is released
+// on destruction. Views are valid while the arena lives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bits/bitvec.hpp"
+#include "bits/label_arena.hpp"
+
+namespace treelab::bits {
+
+class MappedArena {
+ public:
+  MappedArena() = default;
+  MappedArena(const MappedArena&) = delete;
+  MappedArena& operator=(const MappedArena&) = delete;
+  MappedArena(MappedArena&& other) noexcept { swap(other); }
+  MappedArena& operator=(MappedArena&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ~MappedArena() { release(); }
+
+  /// Maps `path` read-only and serves labels from the word buffer that
+  /// starts `words_offset` bytes into the file (8-byte aligned; label i
+  /// occupies ceil(lens[i]/64) little-endian words, zero-padded past its
+  /// last bit). Returns nullopt when zero-copy is impossible — no mmap on
+  /// this platform, a big-endian host, a misaligned offset, a file too
+  /// small for the directory, or directory allocation failure — so the
+  /// caller can fall back to streamed loading (and report *its* errors,
+  /// which see the same truncation).
+  [[nodiscard]] static std::optional<MappedArena> map(
+      const char* path, std::size_t words_offset,
+      std::vector<std::size_t> lens);
+
+  /// Wraps an in-memory arena (the streamed-loading fallback) behind the
+  /// same interface.
+  [[nodiscard]] static MappedArena adopt(LabelArena&& owned);
+
+  /// True when views point into an mmap'ed file rather than owned memory.
+  [[nodiscard]] bool mapped() const noexcept { return base_ != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return mapped() ? len_.size() : owned_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Label i as a word-aligned view. Valid while the arena lives.
+  [[nodiscard]] BitSpan view(std::size_t i) const noexcept {
+    return mapped() ? BitSpan{words_ + start_word_[i], len_[i]}
+                    : owned_.view(i);
+  }
+  [[nodiscard]] BitSpan operator[](std::size_t i) const noexcept {
+    return view(i);
+  }
+
+  /// Exact bit length of label i (padding not included).
+  [[nodiscard]] std::size_t label_bits(std::size_t i) const noexcept {
+    return mapped() ? len_[i] : owned_.label_bits(i);
+  }
+
+  /// Sum of exact label lengths (padding not included).
+  [[nodiscard]] std::size_t total_label_bits() const noexcept;
+
+ private:
+  void release() noexcept;
+  void swap(MappedArena& other) noexcept;
+
+  // Mapped state (base_ != nullptr): the whole file is mapped; words_
+  // points words_offset bytes in.
+  void* base_ = nullptr;
+  std::size_t map_len_ = 0;
+  const std::uint64_t* words_ = nullptr;
+  std::vector<std::size_t> start_word_;  // per-label first word
+  std::vector<std::size_t> len_;         // exact bit lengths
+
+  // Fallback state (base_ == nullptr): an owned in-memory arena.
+  LabelArena owned_;
+};
+
+}  // namespace treelab::bits

@@ -66,6 +66,12 @@ KDistanceAttachedLabel KDistanceScheme::attach(std::uint64_t k, BitSpan l) {
   if (p.hl_.empty() || p.hl_.size() != p.hc_.size() ||
       p.hl_.size() != p.dist_.size())
     throw bits::DecodeError("k-dist label: chain arrays inconsistent");
+  // Range heights feed shift amounts in the identifier arithmetic; genuine
+  // heights are <= msb(2n) + 1 < 64, so anything wider is corruption (and
+  // would be undefined behaviour if let through to the shifts).
+  for (std::size_t i = 0; i < p.hl_.size(); ++i)
+    if (p.hl_[i] > 63 || p.hc_[i] > 63)
+      throw bits::DecodeError("k-dist label: implausible range height");
   p.alpha_ = r.get_delta0();
   if (p.small_k_) {
     p.i_mod_ = r.get_delta0();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -45,6 +46,13 @@ std::string get_string(std::istream& is, std::uint32_t max_len) {
   return s;
 }
 
+/// Serialized header size through the count field — writer and reader must
+/// agree on it (the mappable container's word-buffer alignment hangs off
+/// this number).
+std::size_t header_bytes(std::string_view scheme, std::string_view params) {
+  return 4 + 4 + 4 + scheme.size() + 4 + params.size() + 8;
+}
+
 void write_header(std::ostream& os, std::string_view scheme,
                   std::string_view params, std::uint64_t count,
                   const char* magic, std::uint32_t version) {
@@ -71,7 +79,7 @@ void put_label(std::ostream& os, std::string& buf, const std::uint64_t* words,
 }
 
 /// Reads one label's length-prefixed payload into `bytes` and returns the
-/// bit length. Shared validation for both load paths.
+/// bit length. Shared validation for both version-1 load paths.
 std::uint64_t get_label_bytes(std::istream& is, std::string& bytes) {
   const auto bitlen = get<std::uint64_t>(is);
   if (bitlen > (std::uint64_t{1} << 32))
@@ -103,22 +111,68 @@ void append_label_bits(bits::BitWriter& w, const std::string& bytes,
   }
 }
 
-std::uint64_t read_and_check_header(std::istream& is, std::string& scheme,
-                                    std::string& params, const char* magic,
-                                    std::uint32_t want_version) {
+struct Header {
+  std::string scheme;
+  std::string params;
+  std::uint64_t count = 0;
+  std::uint32_t version = 0;
+  std::size_t bytes = 0;  ///< serialized header size, through the count field
+};
+
+Header read_and_check_header(std::istream& is, const char* magic,
+                             std::uint32_t max_version) {
   char got[4];
   is.read(got, sizeof(got));
   if (!is || std::memcmp(got, magic, 4) != 0)
     throw std::runtime_error("LabelStore: bad magic");
-  const auto version = get<std::uint32_t>(is);
-  if (version != want_version)
+  Header h;
+  h.version = get<std::uint32_t>(is);
+  if (h.version < 1 || h.version > max_version)
     throw std::runtime_error("LabelStore: unsupported version");
-  scheme = get_string(is, 256);
-  params = get_string(is, 4096);
-  const auto count = get<std::uint64_t>(is);
-  if (count > (std::uint64_t{1} << 32))
+  h.scheme = get_string(is, 256);
+  h.params = get_string(is, 4096);
+  h.count = get<std::uint64_t>(is);
+  if (h.count > (std::uint64_t{1} << 32))
     throw std::runtime_error("LabelStore: implausible label count");
-  return count;
+  h.bytes = header_bytes(h.scheme, h.params);
+  return h;
+}
+
+// --- version-2 (mappable) payload ------------------------------------------
+
+/// Directory entries of a version-2 container, with the per-label bound of
+/// get_label_bytes applied.
+std::vector<std::size_t> read_lens(std::istream& is, std::uint64_t count) {
+  std::vector<std::size_t> lens(static_cast<std::size_t>(count));
+  for (auto& l : lens) {
+    const auto bitlen = get<std::uint64_t>(is);
+    if (bitlen > (std::uint64_t{1} << 32))
+      throw std::runtime_error("LabelStore: implausible label length");
+    l = static_cast<std::size_t>(bitlen);
+  }
+  return lens;
+}
+
+/// Bytes of zero padding between the directory and the word buffer, sized so
+/// the buffer starts at an 8-byte-aligned file offset.
+std::size_t pad_after_directory(std::size_t header_bytes, std::uint64_t count) {
+  const std::size_t before =
+      header_bytes + static_cast<std::size_t>(count) * 8;
+  return (8 - before % 8) % 8;
+}
+
+void skip_padding(std::istream& is, std::size_t pad) {
+  for (std::size_t i = 0; i < pad; ++i)
+    if (is.get() < 0) throw std::runtime_error("LabelStore: truncated padding");
+}
+
+/// Reads label i's zero-padded word payload (ceil(bits/64) words of
+/// little-endian bytes) into `bytes`.
+void get_padded_label_bytes(std::istream& is, std::string& bytes,
+                            std::size_t bitlen) {
+  bytes.resize(((bitlen + 63) / 64) * 8);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw std::runtime_error("LabelStore: truncated label");
 }
 
 }  // namespace
@@ -139,34 +193,113 @@ void LabelStore::save(std::ostream& os, std::string_view scheme,
     put_label(os, buf, labels.label_words(i), labels.label_bits(i));
 }
 
+void LabelStore::save_mappable(std::ostream& os, std::string_view scheme,
+                               const bits::LabelArena& labels,
+                               std::string_view params) {
+  write_header(os, scheme, params, labels.size(), kMagic, kVersionMappable);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    put<std::uint64_t>(os, labels.label_bits(i));
+  const std::size_t pad =
+      pad_after_directory(header_bytes(scheme, params), labels.size());
+  for (std::size_t i = 0; i < pad; ++i) os.put('\0');
+  std::string buf;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::uint64_t* words = labels.label_words(i);
+    const std::size_t nw = (labels.label_bits(i) + 63) / 64;
+    buf.resize(nw * 8);
+    for (std::size_t j = 0; j < buf.size(); ++j)
+      buf[j] = static_cast<char>((words[j >> 3] >> (8 * (j & 7))) & 0xff);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+}
+
 LabelStore::Loaded LabelStore::load(std::istream& is) {
+  const Header h = read_and_check_header(is, kMagic, kVersionMappable);
   Loaded out;
-  const std::uint64_t count =
-      read_and_check_header(is, out.scheme, out.params, kMagic, kVersion);
-  out.labels.reserve(static_cast<std::size_t>(count));
+  out.scheme = h.scheme;
+  out.params = h.params;
+  out.labels.reserve(static_cast<std::size_t>(h.count));
   std::string bytes;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t bitlen = get_label_bytes(is, bytes);
-    bits::BitWriter w;
-    append_label_bits(w, bytes, bitlen);
-    out.labels.push_back(w.take());
+  if (h.version == kVersion) {
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+      const std::uint64_t bitlen = get_label_bytes(is, bytes);
+      bits::BitWriter w;
+      append_label_bits(w, bytes, bitlen);
+      out.labels.push_back(w.take());
+    }
+  } else {
+    const std::vector<std::size_t> lens = read_lens(is, h.count);
+    skip_padding(is, pad_after_directory(h.bytes, h.count));
+    for (const std::size_t bitlen : lens) {
+      get_padded_label_bytes(is, bytes, bitlen);
+      bits::BitWriter w;
+      append_label_bits(w, bytes, bitlen);
+      out.labels.push_back(w.take());
+    }
   }
   return out;
 }
 
 LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
+  const Header h = read_and_check_header(is, kMagic, kVersionMappable);
   LoadedArena out;
-  const std::uint64_t count =
-      read_and_check_header(is, out.scheme, out.params, kMagic, kVersion);
+  out.scheme = h.scheme;
+  out.params = h.params;
   // Single-threaded build visits labels strictly in order, matching the
   // stream layout.
   std::string bytes;
-  out.labels = bits::LabelArena::build(
-      static_cast<std::size_t>(count), 1,
-      [&](std::size_t, bits::BitWriter& w) {
-        const std::uint64_t bitlen = get_label_bytes(is, bytes);
-        append_label_bits(w, bytes, bitlen);
-      });
+  if (h.version == kVersion) {
+    out.labels = bits::LabelArena::build(
+        static_cast<std::size_t>(h.count), 1,
+        [&](std::size_t, bits::BitWriter& w) {
+          const std::uint64_t bitlen = get_label_bytes(is, bytes);
+          append_label_bits(w, bytes, bitlen);
+        });
+  } else {
+    const std::vector<std::size_t> lens = read_lens(is, h.count);
+    skip_padding(is, pad_after_directory(h.bytes, h.count));
+    out.labels = bits::LabelArena::build(
+        static_cast<std::size_t>(h.count), 1,
+        [&](std::size_t i, bits::BitWriter& w) {
+          get_padded_label_bytes(is, bytes, lens[i]);
+          append_label_bits(w, bytes, lens[i]);
+        });
+  }
+  return out;
+}
+
+LabelStore::MappedLoaded LabelStore::open_mapped(const std::string& path) {
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+      throw std::runtime_error("LabelStore: cannot open " + path);
+    const Header h = read_and_check_header(is, kMagic, kVersionMappable);
+    if (h.version == kVersionMappable) {
+      std::vector<std::size_t> lens = read_lens(is, h.count);
+      const std::size_t words_offset = h.bytes +
+                                       static_cast<std::size_t>(h.count) * 8 +
+                                       pad_after_directory(h.bytes, h.count);
+      if (auto mapped =
+              bits::MappedArena::map(path.c_str(), words_offset,
+                                     std::move(lens))) {
+        MappedLoaded out;
+        out.scheme = h.scheme;
+        out.params = h.params;
+        out.labels = std::move(*mapped);
+        return out;
+      }
+    }
+  }
+  // Streamed fallback: version-1 files, and version-2 files that could not
+  // be mapped (its validation also catches a word buffer shorter than the
+  // directory promises, which map() refuses silently).
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("LabelStore: cannot open " + path);
+  LoadedArena la = load_arena(is);
+  MappedLoaded out;
+  out.scheme = std::move(la.scheme);
+  out.params = std::move(la.params);
+  out.labels = bits::MappedArena::adopt(std::move(la.labels));
   return out;
 }
 

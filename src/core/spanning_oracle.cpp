@@ -22,7 +22,8 @@ using tree::Graph;
 using tree::NodeId;
 
 SpanningOracle::SpanningOracle(const Graph& g, int landmarks,
-                               LandmarkPolicy policy, std::uint64_t seed)
+                               LandmarkPolicy policy, std::uint64_t seed,
+                               int threads)
     : landmarks_(landmarks) {
   if (landmarks < 1 || landmarks > g.size())
     throw std::invalid_argument("SpanningOracle: bad landmark count");
@@ -44,7 +45,7 @@ SpanningOracle::SpanningOracle(const Graph& g, int landmarks,
   // the thread budget, giving each build the leftover threads for its own
   // label emission. Each landmark's scheme is deterministic, so the states
   // do not depend on how the budget is split.
-  const int total_threads = util::resolve_threads(0);
+  const int total_threads = util::resolve_threads(threads);
   const int outer = std::max(1, std::min(total_threads, landmarks));
   const int inner = std::max(1, total_threads / outer);
   std::vector<std::optional<FgnwScheme>> schemes(

@@ -50,10 +50,13 @@ class SpanningOracle {
   /// Requires a connected graph and 1 <= landmarks <= n. Tree labelings are
   /// built in parallel across landmarks (and label emission within each tree
   /// fans out over the remaining threads); the states are bit-identical for
-  /// every thread count.
+  /// every thread count. `threads` is the whole budget (0 =
+  /// TREELAB_THREADS / hardware default; an explicit count is taken as-is,
+  /// unclamped — the parity tests use that to exercise multi-chunk
+  /// assembly on any machine).
   SpanningOracle(const tree::Graph& g, int landmarks,
                  LandmarkPolicy policy = LandmarkPolicy::kHighestDegree,
-                 std::uint64_t seed = 0);
+                 std::uint64_t seed = 0, int threads = 0);
 
   /// The self-contained oracle state of node v (all its tree labels).
   [[nodiscard]] bits::BitSpan state(tree::NodeId v) const noexcept {

@@ -3,37 +3,51 @@
 namespace treelab::core {
 
 const tree::HeavyPathDecomposition& TreeScaffold::hpd() const {
-  if (!hpd_) hpd_ = std::make_unique<tree::HeavyPathDecomposition>(*t_);
+  if (!hpd_) {
+    hpd_ = std::make_unique<tree::HeavyPathDecomposition>(*t_);
+    ++components_built_;
+  }
   return *hpd_;
 }
 
 const nca::NcaLabeling& TreeScaffold::nca() const {
-  if (!nca_) nca_ = std::make_unique<nca::NcaLabeling>(hpd(), threads_);
+  if (!nca_) {
+    nca_ = std::make_unique<nca::NcaLabeling>(hpd(), threads_);
+    ++components_built_;
+  }
   return *nca_;
 }
 
 const tree::BinarizedTree& TreeScaffold::binarized() const {
-  if (!binarized_)
+  if (!binarized_) {
     binarized_ = std::make_unique<tree::BinarizedTree>(tree::binarize(*t_));
+    ++components_built_;
+  }
   return *binarized_;
 }
 
 const tree::HeavyPathDecomposition& TreeScaffold::binarized_hpd() const {
-  if (!bin_hpd_)
+  if (!bin_hpd_) {
     bin_hpd_ =
         std::make_unique<tree::HeavyPathDecomposition>(binarized().tree);
+    ++components_built_;
+  }
   return *bin_hpd_;
 }
 
 const tree::CollapsedTree& TreeScaffold::collapsed() const {
-  if (!collapsed_)
+  if (!collapsed_) {
     collapsed_ = std::make_unique<tree::CollapsedTree>(binarized_hpd());
+    ++components_built_;
+  }
   return *collapsed_;
 }
 
 const nca::NcaLabeling& TreeScaffold::binarized_nca() const {
-  if (!bin_nca_)
+  if (!bin_nca_) {
     bin_nca_ = std::make_unique<nca::NcaLabeling>(binarized_hpd(), threads_);
+    ++components_built_;
+  }
   return *bin_nca_;
 }
 

@@ -63,9 +63,17 @@ class TreeScaffold {
   /// NCA labeling over binarized_hpd().
   [[nodiscard]] const nca::NcaLabeling& binarized_nca() const;
 
+  /// How many of the six lazy components have been constructed so far —
+  /// observability for the computed-once contract (a scaffold that has fed
+  /// the full five-scheme suite reports exactly 6, never more).
+  [[nodiscard]] int components_built() const noexcept {
+    return components_built_;
+  }
+
  private:
   const tree::Tree* t_;
   int threads_;
+  mutable int components_built_ = 0;
   mutable std::unique_ptr<tree::HeavyPathDecomposition> hpd_;
   mutable std::unique_ptr<nca::NcaLabeling> nca_;
   mutable std::unique_ptr<tree::BinarizedTree> binarized_;

@@ -1,0 +1,122 @@
+#include "serve/forest_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace treelab::serve {
+
+namespace {
+
+std::uint64_t cache_key(TreeId tree, tree::NodeId u) noexcept {
+  return (static_cast<std::uint64_t>(tree) << 32) |
+         static_cast<std::uint32_t>(u);
+}
+
+}  // namespace
+
+ForestIndex::ForestIndex(ForestOptions opt) : opt_(opt) {
+  const std::size_t shards =
+      opt_.shards > 0 ? opt_.shards
+                      : static_cast<std::size_t>(util::thread_count());
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(opt_.cache_bytes_per_shard));
+}
+
+const ForestIndex::TreeEntry& ForestIndex::entry(TreeId tree) const {
+  if (tree >= trees_.size())
+    throw std::out_of_range("ForestIndex: tree id out of range");
+  return *trees_[tree];
+}
+
+TreeId ForestIndex::add_entry(std::string_view scheme, std::string_view params,
+                              bits::MappedArena labels) {
+  auto e = std::make_unique<TreeEntry>();
+  e->scheme = AnyScheme::make(scheme, params);
+  e->labels = std::move(labels);
+  trees_.push_back(std::move(e));
+  return static_cast<TreeId>(trees_.size() - 1);
+}
+
+TreeId ForestIndex::add_file(const std::string& path) {
+  auto loaded = core::LabelStore::open_mapped(path);
+  return add_entry(loaded.scheme, loaded.params, std::move(loaded.labels));
+}
+
+TreeId ForestIndex::add(core::LabelStore::LoadedArena loaded) {
+  return add_entry(loaded.scheme, loaded.params,
+                   bits::MappedArena::adopt(std::move(loaded.labels)));
+}
+
+AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
+                                                    tree::NodeId u,
+                                                    const TreeEntry& e) const {
+  const std::uint64_t key = cache_key(tree, u);
+  if (AnyScheme::AttachedPtr* hit = sh.cache.get(key)) return *hit;
+  AnyScheme::AttachedPtr att = e.scheme.attach(e.labels.view(
+      static_cast<std::size_t>(u)));
+  sh.cache.put(key, att, att->cost_bytes());
+  return att;
+}
+
+Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
+  const TreeEntry& e = *trees_[r.tree];
+  const auto n = static_cast<std::size_t>(e.labels.size());
+  if (r.u < 0 || r.v < 0 || static_cast<std::size_t>(r.u) >= n ||
+      static_cast<std::size_t>(r.v) >= n)
+    throw std::out_of_range("ForestIndex: node id out of range");
+  const AnyScheme::AttachedPtr au = attached_locked(sh, r.tree, r.u, e);
+  const AnyScheme::AttachedPtr av = attached_locked(sh, r.tree, r.v, e);
+  return e.scheme.query(*au, *av);
+}
+
+Dist ForestIndex::query(const Request& r) const {
+  (void)entry(r.tree);  // range check before taking the shard lock
+  Shard& sh = *shards_[shard_of(r.tree)];
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  return query_locked(sh, r);
+}
+
+std::vector<Dist> ForestIndex::query_batch(
+    std::span<const Request> reqs) const {
+  std::vector<Dist> out(reqs.size());
+  // Partition request indices by shard; within a shard, sort by tree so one
+  // tree's arena (and its cached attachments) is walked contiguously.
+  std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    (void)entry(reqs[i].tree);  // validate before the parallel section
+    by_shard[shard_of(reqs[i].tree)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  util::parallel_for_chunks(
+      shards_.size(), shards_.size(), util::resolve_threads(opt_.threads),
+      [&](std::size_t s, std::size_t, std::size_t) {
+        std::vector<std::uint32_t>& idxs = by_shard[s];
+        if (idxs.empty()) return;
+        std::stable_sort(idxs.begin(), idxs.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return reqs[a].tree < reqs[b].tree;
+                         });
+        Shard& sh = *shards_[s];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        for (const std::uint32_t i : idxs) out[i] = query_locked(sh, reqs[i]);
+      });
+  return out;
+}
+
+ForestIndex::CacheStats ForestIndex::cache_stats() const {
+  CacheStats st;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mu);
+    st.hits += sh->cache.hits();
+    st.misses += sh->cache.misses();
+    st.evictions += sh->cache.evictions();
+    st.entries += sh->cache.size();
+    st.bytes += sh->cache.bytes();
+  }
+  return st;
+}
+
+}  // namespace treelab::serve

@@ -1,0 +1,138 @@
+// ForestIndex — the local serving half of the paper's deployment story.
+// Labels are computed once centrally and shipped (LabelStore); a node that
+// received label files for many trees answers distance queries from labels
+// alone. ForestIndex is that node's machinery:
+//
+//   * many labeled trees behind one API, heterogeneous schemes (AnyScheme
+//     dispatches on the scheme tag in each LabelStore header),
+//   * zero-copy label storage where possible (LabelStore::open_mapped /
+//     bits::MappedArena — a mappable file costs one mmap, not a copy),
+//   * trees sharded by id across S shards, each shard owning a
+//     byte-bounded LRU cache of attached (pre-parsed) labels, so hot
+//     labels are parsed once and queried many times,
+//   * a batch front end: query_batch() partitions requests by shard and
+//     fans the shards out across threads (util/parallel), filling one
+//     result slot per request — deterministic for any thread count.
+//
+// add_file()/add() are not thread-safe; build the index first, then serve.
+// query()/query_batch() are thread-safe (per-shard locking) and may run
+// concurrently with each other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bits/mapped_arena.hpp"
+#include "core/label_store.hpp"
+#include "serve/any_scheme.hpp"
+#include "serve/lru_cache.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::serve {
+
+using TreeId = std::uint32_t;
+
+/// One distance query against tree `tree` of the forest.
+struct Request {
+  TreeId tree = 0;
+  tree::NodeId u = 0;
+  tree::NodeId v = 0;
+};
+
+struct ForestOptions {
+  /// Shard count (trees are assigned round-robin by id). 0 = one shard per
+  /// hardware thread.
+  std::size_t shards = 0;
+  /// Attached-label cache budget per shard, in (estimated) bytes.
+  std::size_t cache_bytes_per_shard = std::size_t{8} << 20;
+  /// Threads for query_batch fan-out: at most one per shard is useful.
+  /// 0 = TREELAB_THREADS / hardware default.
+  int threads = 0;
+};
+
+class ForestIndex {
+ public:
+  explicit ForestIndex(ForestOptions opt = {});
+
+  /// Registers the labeling stored at `path` (any LabelStore version;
+  /// mappable containers are mmap'ed). Returns the new tree's id — ids are
+  /// dense, assigned in add order. Throws what LabelStore::open_mapped and
+  /// AnyScheme::make throw on malformed files or unknown schemes.
+  TreeId add_file(const std::string& path);
+
+  /// Registers an in-memory labeling (e.g. freshly built, or from a
+  /// non-file stream via LabelStore::load_arena).
+  TreeId add(core::LabelStore::LoadedArena loaded);
+
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const AnyScheme& scheme(TreeId tree) const {
+    return entry(tree).scheme;
+  }
+  [[nodiscard]] std::size_t label_count(TreeId tree) const {
+    return entry(tree).labels.size();
+  }
+  /// True when the tree's labels are served zero-copy from an mmap'ed file.
+  [[nodiscard]] bool mapped(TreeId tree) const {
+    return entry(tree).labels.mapped();
+  }
+
+  /// One query through the shard's attached-label cache. Throws
+  /// std::out_of_range on a bad tree or node id.
+  [[nodiscard]] Dist query(const Request& r) const;
+
+  /// Answers every request, one result per request in request order.
+  /// Requests are grouped by shard (hence by tree), each group attaches its
+  /// hot labels once via the shard cache, and shards are fanned out across
+  /// `opt.threads`. Throws std::out_of_range on a bad tree or node id.
+  [[nodiscard]] std::vector<Dist> query_batch(
+      std::span<const Request> reqs) const;
+
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  /// Aggregated over all shards.
+  [[nodiscard]] CacheStats cache_stats() const;
+
+ private:
+  struct TreeEntry {
+    AnyScheme scheme;
+    bits::MappedArena labels;
+  };
+  struct Shard {
+    explicit Shard(std::size_t capacity_bytes) : cache(capacity_bytes) {}
+    mutable std::mutex mu;
+    LruCache<std::uint64_t, AnyScheme::AttachedPtr> cache;
+  };
+
+  [[nodiscard]] const TreeEntry& entry(TreeId tree) const;
+  [[nodiscard]] std::size_t shard_of(TreeId tree) const noexcept {
+    return tree % shards_.size();
+  }
+  TreeId add_entry(std::string_view scheme, std::string_view params,
+                   bits::MappedArena labels);
+  /// Cache lookup-or-attach; the shard's mutex must be held.
+  [[nodiscard]] AnyScheme::AttachedPtr attached_locked(Shard& sh, TreeId tree,
+                                                       tree::NodeId u,
+                                                       const TreeEntry& e)
+      const;
+  [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const;
+
+  ForestOptions opt_;
+  std::vector<std::unique_ptr<const TreeEntry>> trees_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace treelab::serve

@@ -1,0 +1,82 @@
+// LruCache — a byte-budgeted least-recently-used map, the building block of
+// ForestIndex's per-shard attached-label caches. Entries carry an explicit
+// cost (bytes) charged against a fixed capacity; inserting past the budget
+// evicts from the cold end. The entry just inserted is never evicted, so a
+// single entry larger than the whole budget is held until the next insert
+// pushes it out — the cache is bounded by max(capacity, largest entry), and
+// a query for an oversized label still gets its attach-once benefit within
+// the batch that touched it.
+//
+// Not thread-safe: ForestIndex serializes access per shard.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace treelab::serve {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// The value stored under `key`, refreshed to most-recently-used; nullptr
+  /// on a miss. The pointer is valid until the next put().
+  [[nodiscard]] V* get(const K& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return &it->second.pos->second;
+  }
+
+  /// Inserts (or replaces) `key` at the hot end, charging `cost` bytes, then
+  /// evicts least-recently-used entries while over capacity.
+  void put(const K& key, V value, std::size_t cost) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      bytes_ -= it->second.cost;
+      order_.erase(it->second.pos);
+      map_.erase(it);
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, Slot{order_.begin(), cost});
+    bytes_ += cost;
+    while (bytes_ > capacity_ && order_.size() > 1) {
+      const auto last = std::prev(order_.end());
+      const auto victim = map_.find(last->first);
+      bytes_ -= victim->second.cost;
+      map_.erase(victim);
+      order_.erase(last);
+      ++evictions_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Slot {
+    typename std::list<std::pair<K, V>>::iterator pos;
+    std::size_t cost;
+  };
+
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, Slot, Hash> map_;
+};
+
+}  // namespace treelab::serve

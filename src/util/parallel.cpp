@@ -1,18 +1,29 @@
 #include "util/parallel.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace treelab::util {
 
+int parse_thread_count(const char* s, int hardware) noexcept {
+  if (s == nullptr || *s == '\0') return hardware;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return hardware;  // garbage / trailing junk
+  if (errno == ERANGE || v < 1) return hardware;  // overflow / zero / negative
+  if (v > hardware) return hardware;              // clamp
+  return static_cast<int>(v);
+}
+
 int thread_count() noexcept {
   // Re-read on every call (it is consulted once per build, not per node) so
   // a process can re-point TREELAB_THREADS between builds.
-  if (const char* env = std::getenv("TREELAB_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  const unsigned hwc = std::thread::hardware_concurrency();
+  const int hw = hwc >= 1 ? static_cast<int>(hwc) : 1;
+  if (const char* env = std::getenv("TREELAB_THREADS"))
+    return parse_thread_count(env, hw);
+  return hw;
 }
 
 std::vector<std::size_t> split_ranges(std::size_t n, std::size_t chunks) {

@@ -19,9 +19,16 @@
 
 namespace treelab::util {
 
-/// Threads to use for construction: TREELAB_THREADS if set (>= 1), else
+/// Threads to use for construction: a valid TREELAB_THREADS if set, else
 /// hardware concurrency (>= 1). Re-read on every call.
 [[nodiscard]] int thread_count() noexcept;
+
+/// Strict TREELAB_THREADS parsing: `s` must be a whole base-10 integer in
+/// [1, hardware]. Zero, negative, empty, trailing-garbage ("4x") and
+/// overflowing values are rejected (returning `hardware`, the default);
+/// values above `hardware` are clamped to it — oversubscribing the fork/join
+/// pools only adds scheduling noise, never throughput.
+[[nodiscard]] int parse_thread_count(const char* s, int hardware) noexcept;
 
 /// `threads` if positive, else thread_count().
 [[nodiscard]] inline int resolve_threads(int threads) noexcept {

@@ -1,0 +1,308 @@
+// Serving-layer coverage: a ForestIndex holding a heterogeneous forest
+// (all five schemes, mapped files and in-memory arenas mixed) must answer
+// exactly like the underlying schemes, for single queries and batches, at
+// any shard/thread count, under cache pressure, and fail loudly on bad
+// ids, unknown scheme tags, and cross-scheme attached labels. Plus unit
+// coverage for the byte-bounded LruCache the shards are built on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/label_store.hpp"
+#include "core/peleg_scheme.hpp"
+#include "serve/forest_index.hpp"
+#include "serve/lru_cache.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using serve::AnyScheme;
+using serve::Dist;
+using serve::ForestIndex;
+using serve::ForestOptions;
+using serve::Request;
+using serve::TreeId;
+using tree::NodeId;
+using tree::Tree;
+
+constexpr NodeId kN = 220;
+constexpr std::uint64_t kK = 8;
+constexpr double kEps = 0.125;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "treelab_forest_" + name + ".lbl";
+}
+
+/// Builds the five-scheme test forest: one tree per scheme, trees 0..2
+/// shipped as mappable files, 3..4 added from in-memory arenas. Returns the
+/// per-tree ground-truth trees alongside (index == TreeId).
+std::vector<Tree> build_forest(ForestIndex& index,
+                               std::vector<std::string>& files) {
+  std::vector<Tree> trees;
+  for (NodeId i = 0; i < 5; ++i)
+    trees.push_back(tree::random_tree(kN + 10 * i, 71 + i));
+
+  const auto save_file = [&](const char* name, const char* scheme,
+                             const bits::LabelArena& labels,
+                             const char* params) {
+    const std::string path = temp_path(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    core::LabelStore::save_mappable(out, scheme, labels, params);
+    out.close();
+    files.push_back(path);
+    EXPECT_EQ(index.add_file(path), files.size() - 1);
+  };
+  save_file("fgnw", "fgnw", core::FgnwScheme(trees[0]).labels(), "");
+  save_file("alstrup", "alstrup", core::AlstrupScheme(trees[1]).labels(), "");
+  save_file("kdist", "kdist", core::KDistanceScheme(trees[2], kK).labels(),
+            "k=8");
+
+  const auto add_memory = [&](const char* scheme,
+                              const bits::LabelArena& labels,
+                              const char* params) {
+    std::stringstream ss;
+    core::LabelStore::save(ss, scheme, labels, params);
+    return index.add(core::LabelStore::load_arena(ss));
+  };
+  EXPECT_EQ(add_memory("approx", core::ApproxScheme(trees[3], kEps).labels(),
+                       "inv_eps=8"),
+            3u);
+  EXPECT_EQ(add_memory("peleg", core::PelegScheme(trees[4]).labels(), ""), 4u);
+  return trees;
+}
+
+void expect_correct(const Tree& t, TreeId id, NodeId u, NodeId v, Dist got) {
+  const tree::NcaIndex oracle(t);
+  const std::uint64_t d = oracle.distance(u, v);
+  switch (id) {
+    case 2:  // kdistance: exact within k, refused beyond
+      EXPECT_EQ(got.within, d <= kK) << "tree " << id;
+      if (got.within) EXPECT_EQ(got.value, d);
+      break;
+    case 3:  // approx: (1+eps) band
+      EXPECT_TRUE(got.within);
+      EXPECT_GE(got.value, d);
+      EXPECT_LE(static_cast<double>(got.value),
+                (1.0 + kEps) * static_cast<double>(d) + 1e-9);
+      break;
+    default:  // exact schemes
+      EXPECT_TRUE(got.within);
+      EXPECT_EQ(got.value, d) << "tree " << id;
+  }
+}
+
+void cleanup(const std::vector<std::string>& files) {
+  for (const auto& f : files) std::remove(f.c_str());
+}
+
+TEST(ForestIndex, ServesHeterogeneousForestExactly) {
+  ForestOptions opt;
+  opt.shards = 2;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  const std::vector<Tree> trees = build_forest(index, files);
+
+  EXPECT_EQ(index.tree_count(), 5u);
+  EXPECT_EQ(index.shard_count(), 2u);
+  EXPECT_EQ(index.scheme(2).name(), "kdist");
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(index.mapped(0));  // file-backed, mappable container
+#endif
+  EXPECT_FALSE(index.mapped(3));  // in-memory add()
+
+  std::mt19937_64 rng(9);
+  for (TreeId id = 0; id < 5; ++id) {
+    std::uniform_int_distribution<NodeId> pick(
+        0, static_cast<NodeId>(index.label_count(id)) - 1);
+    for (int it = 0; it < 40; ++it) {
+      const NodeId u = pick(rng), v = pick(rng);
+      expect_correct(trees[id], id, u, v, index.query({id, u, v}));
+    }
+  }
+  cleanup(files);
+}
+
+TEST(ForestIndex, BatchMatchesSinglesAtEveryThreadAndShardCount) {
+  std::vector<std::string> files;
+  std::vector<Request> reqs;
+  std::mt19937_64 rng(10);
+  // Reference answers from a 1-shard, 1-thread index.
+  ForestOptions ref_opt;
+  ref_opt.shards = 1;
+  ref_opt.threads = 1;
+  ForestIndex ref(ref_opt);
+  const std::vector<Tree> trees = build_forest(ref, files);
+  for (int i = 0; i < 600; ++i) {
+    const auto id = static_cast<TreeId>(rng() % 5);
+    std::uniform_int_distribution<NodeId> pick(
+        0, static_cast<NodeId>(ref.label_count(id)) - 1);
+    reqs.push_back({id, pick(rng), pick(rng)});
+  }
+  const std::vector<Dist> want = ref.query_batch(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    expect_correct(trees[reqs[i].tree], reqs[i].tree, reqs[i].u, reqs[i].v,
+                   want[i]);
+
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    for (const int threads : {1, 3, 4}) {
+      ForestOptions opt;
+      opt.shards = shards;
+      opt.threads = threads;
+      ForestIndex index(opt);
+      std::vector<std::string> files2;
+      build_forest(index, files2);
+      const std::vector<Dist> got = index.query_batch(reqs);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i])
+            << "shards=" << shards << " threads=" << threads << " req " << i;
+      cleanup(files2);
+    }
+  }
+  cleanup(files);
+}
+
+TEST(ForestIndex, CacheAttachesHotLabelsOnce) {
+  ForestOptions opt;
+  opt.shards = 1;
+  opt.threads = 1;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  build_forest(index, files);
+
+  std::vector<Request> reqs;
+  for (NodeId u = 0; u < 50; ++u) reqs.push_back({0, u, NodeId{0}});
+  (void)index.query_batch(reqs);
+  const auto cold = index.cache_stats();
+  // 50 distinct labels touched (u in [0, 50) plus v = 0, which u covers);
+  // each attached exactly once, every v lookup a hit.
+  EXPECT_EQ(cold.misses, 50u);
+  EXPECT_EQ(cold.entries, 50u);
+  EXPECT_EQ(cold.hits, 50u);
+  EXPECT_GT(cold.bytes, 0u);
+
+  (void)index.query_batch(reqs);
+  const auto warm = index.cache_stats();
+  EXPECT_EQ(warm.misses, cold.misses);  // fully served from cache
+  EXPECT_GT(warm.hits, cold.hits);
+  cleanup(files);
+}
+
+TEST(ForestIndex, TinyCacheEvictsButStaysCorrect) {
+  ForestOptions opt;
+  opt.shards = 1;
+  opt.cache_bytes_per_shard = 1;  // every insert evicts the previous entry
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  const std::vector<Tree> trees = build_forest(index, files);
+
+  std::mt19937_64 rng(11);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 200; ++i) {
+    const auto id = static_cast<TreeId>(rng() % 5);
+    std::uniform_int_distribution<NodeId> pick(
+        0, static_cast<NodeId>(index.label_count(id)) - 1);
+    reqs.push_back({id, pick(rng), pick(rng)});
+  }
+  const std::vector<Dist> got = index.query_batch(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    expect_correct(trees[reqs[i].tree], reqs[i].tree, reqs[i].u, reqs[i].v,
+                   got[i]);
+  const auto st = index.cache_stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.entries, 1u);
+  cleanup(files);
+}
+
+TEST(ForestIndex, BadIdsThrow) {
+  ForestOptions opt;
+  opt.shards = 2;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  build_forest(index, files);
+  EXPECT_THROW((void)index.query({99, 0, 0}), std::out_of_range);
+  EXPECT_THROW((void)index.query({0, 0, NodeId{100000}}), std::out_of_range);
+  EXPECT_THROW((void)index.query({0, NodeId{-1}, 0}), std::out_of_range);
+  const std::vector<Request> batch{{0, 0, 1}, {99, 0, 0}};
+  EXPECT_THROW((void)index.query_batch(batch), std::out_of_range);
+  cleanup(files);
+}
+
+TEST(AnyScheme, RejectsUnknownTagsAndBadParams) {
+  EXPECT_THROW((void)AnyScheme::make("nope", ""), std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("kdist", ""), std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("kdist", "k=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("kdist", "k=0"), std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("approx", ""), std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("approx", "eps=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AnyScheme::make("approx", "inv_eps=x"),
+               std::invalid_argument);
+  EXPECT_TRUE(static_cast<bool>(AnyScheme::make("kdistance", "k=4")));
+  EXPECT_TRUE(static_cast<bool>(AnyScheme::make("approx", "eps=0.5")));
+}
+
+TEST(AnyScheme, CrossSchemeAttachedLabelsThrow) {
+  const Tree t = tree::random_tree(80, 12);
+  const core::FgnwScheme f(t);
+  const core::AlstrupScheme a(t);
+  const AnyScheme any_f = AnyScheme::make("fgnw", "");
+  const AnyScheme any_a = AnyScheme::make("alstrup", "");
+  const auto att_f = any_f.attach(f.label(3));
+  const auto att_a = any_a.attach(a.label(3));
+  EXPECT_THROW((void)any_f.query(*att_f, *att_a), std::invalid_argument);
+  EXPECT_THROW((void)any_a.query(*att_f, *att_a), std::invalid_argument);
+  // Matching kinds agree with the concrete scheme.
+  const auto att_f2 = any_f.attach(f.label(40));
+  EXPECT_EQ(any_f.query(*att_f, *att_f2).value,
+            core::FgnwScheme::query(f.label(3), f.label(40)));
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedWithinByteBudget) {
+  serve::LruCache<int, std::string> cache(100);
+  cache.put(1, "a", 40);
+  cache.put(2, "b", 40);
+  ASSERT_NE(cache.get(1), nullptr);  // 1 is now hottest
+  cache.put(3, "c", 40);             // over budget: evicts 2, the coldest
+  EXPECT_EQ(cache.get(2), nullptr);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), "a");
+  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, ReplacingAKeyRechargesItsCost) {
+  serve::LruCache<int, int> cache(100);
+  cache.put(1, 10, 60);
+  cache.put(1, 11, 30);  // replaces; old cost released
+  EXPECT_EQ(cache.bytes(), 30u);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), 11);
+}
+
+TEST(LruCache, OversizedEntryIsKeptUntilTheNextInsert) {
+  serve::LruCache<int, int> cache(10);
+  cache.put(1, 10, 500);  // larger than the whole budget: still served
+  ASSERT_NE(cache.get(1), nullptr);
+  cache.put(2, 20, 4);  // next insert pushes the giant out
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(cache.bytes(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Zero-copy serving coverage: the mappable (version-2) LabelStore container
+// must round-trip byte-identical with the streamed loaders through
+// bits::MappedArena — mmap'ed views, the owned-arena fallback, and version-1
+// files all serve the same bits — and every truncation/corruption of a
+// mappable file must fail loudly through open_mapped().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bits/mapped_arena.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/label_store.hpp"
+#include "tree/generators.hpp"
+#include "tree/nca_index.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::NodeId;
+using tree::Tree;
+
+constexpr NodeId kN = 260;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "treelab_mapped_" + name + ".lbl";
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string mappable_wire(const bits::LabelArena& labels, const char* scheme,
+                          const char* params) {
+  std::stringstream ss;
+  core::LabelStore::save_mappable(ss, scheme, labels, params);
+  return ss.str();
+}
+
+TEST(MappedArena, MappableFileServesZeroCopyAndBitIdentical) {
+  const Tree t = tree::random_tree(kN, 51);
+  const core::FgnwScheme s(t);
+  const std::string path = temp_path("fgnw_v2");
+  write_file(path, mappable_wire(s.labels(), "fgnw", "opt=none"));
+
+  const auto opened = core::LabelStore::open_mapped(path);
+  EXPECT_EQ(opened.scheme, "fgnw");
+  EXPECT_EQ(opened.params, "opt=none");
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(opened.labels.mapped());
+#endif
+  ASSERT_EQ(opened.labels.size(), s.labels().size());
+  for (std::size_t i = 0; i < s.labels().size(); ++i) {
+    EXPECT_EQ(opened.labels.label_bits(i), s.labels().label_bits(i));
+    EXPECT_TRUE(opened.labels.view(i) == s.labels().view(i)) << "label " << i;
+  }
+  EXPECT_EQ(opened.labels.total_label_bits(), s.labels().total_label_bits());
+
+  // Byte-identical with the streamed arena loader over the same file.
+  std::ifstream in(path, std::ios::binary);
+  const auto streamed = core::LabelStore::load_arena(in);
+  ASSERT_EQ(streamed.labels.size(), opened.labels.size());
+  for (std::size_t i = 0; i < streamed.labels.size(); ++i)
+    EXPECT_TRUE(streamed.labels.view(i) == opened.labels.view(i))
+        << "label " << i;
+
+  // And the mapped views answer queries exactly.
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 11)
+    for (NodeId v = 0; v < kN; v += 17)
+      ASSERT_EQ(core::FgnwScheme::query(opened.labels[u], opened.labels[v]),
+                oracle.distance(u, v));
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, Version2StreamsThroughBothLoaders) {
+  const Tree t = tree::random_tree(kN, 52);
+  const core::FgnwScheme s(t);
+  std::stringstream v1, v2;
+  core::LabelStore::save(v1, "fgnw", s.labels());
+  core::LabelStore::save_mappable(v2, "fgnw", s.labels());
+
+  const auto l1 = core::LabelStore::load(v1);
+  std::stringstream v2a(v2.str()), v2b(v2.str());
+  const auto l2 = core::LabelStore::load(v2a);
+  const auto a2 = core::LabelStore::load_arena(v2b);
+  ASSERT_EQ(l1.labels.size(), l2.labels.size());
+  ASSERT_EQ(l1.labels.size(), a2.labels.size());
+  for (std::size_t i = 0; i < l1.labels.size(); ++i) {
+    EXPECT_TRUE(l1.labels[i] == l2.labels[i]) << "label " << i;
+    EXPECT_TRUE(l1.labels[i] == a2.labels.view(i)) << "label " << i;
+  }
+}
+
+TEST(MappedArena, Version1FileFallsBackToOwnedArena) {
+  const Tree t = tree::random_tree(120, 53);
+  const core::FgnwScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save(ss, "fgnw", s.labels());
+  const std::string path = temp_path("fgnw_v1");
+  write_file(path, ss.str());
+
+  const auto opened = core::LabelStore::open_mapped(path);
+  EXPECT_FALSE(opened.labels.mapped());
+  ASSERT_EQ(opened.labels.size(), s.labels().size());
+  for (std::size_t i = 0; i < s.labels().size(); ++i)
+    EXPECT_TRUE(opened.labels.view(i) == s.labels().view(i)) << "label " << i;
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, AdoptedArenaServesIdentically) {
+  const Tree t = tree::random_tree(90, 54);
+  const core::FgnwScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save(ss, "fgnw", s.labels());
+  auto loaded = core::LabelStore::load_arena(ss);
+  const std::size_t n = loaded.labels.size();
+  const bits::MappedArena adopted =
+      bits::MappedArena::adopt(std::move(loaded.labels));
+  EXPECT_FALSE(adopted.mapped());
+  ASSERT_EQ(adopted.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_TRUE(adopted.view(i) == s.labels().view(i)) << "label " << i;
+}
+
+TEST(MappedArena, TruncatedMappableFileThrowsEverywhere) {
+  const Tree t = tree::random_tree(60, 55);
+  const core::FgnwScheme s(t);
+  const std::string wire = mappable_wire(s.labels(), "fgnw", "p=1");
+  const std::string path = temp_path("trunc");
+  for (std::size_t len = 0; len < wire.size(); len += 1 + len / 9) {
+    write_file(path, wire.substr(0, len));
+    EXPECT_THROW((void)core::LabelStore::open_mapped(path),
+                 std::runtime_error)
+        << "prefix " << len;
+    std::stringstream in(wire.substr(0, len));
+    EXPECT_THROW((void)core::LabelStore::load_arena(in), std::runtime_error)
+        << "stream prefix " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, CorruptDirectoryThrows) {
+  const Tree t = tree::random_tree(40, 56);
+  const core::FgnwScheme s(t);
+  std::string wire = mappable_wire(s.labels(), "fgnw", "");
+  // The first directory entry sits right after the header
+  // (4+4+4+"fgnw"+4+""+8 bytes); poke its high byte to an implausible
+  // length (> 2^32 bits).
+  const std::size_t dir_off = 4 + 4 + 4 + 4 + 4 + 0 + 8;
+  std::string bad = wire;
+  bad[dir_off + 7] = '\x01';
+  const std::string path = temp_path("corrupt_dir");
+  write_file(path, bad);
+  EXPECT_THROW((void)core::LabelStore::open_mapped(path), std::runtime_error);
+
+  // A plausible but oversized length (file too small for the promised
+  // words) must fail through the fallback loader, not serve garbage.
+  bad = wire;
+  bad[dir_off + 2] = '\x7f';  // +8M bits on label 0
+  write_file(path, bad);
+  EXPECT_THROW((void)core::LabelStore::open_mapped(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, EmptyLabelingRoundtrips) {
+  const bits::LabelArena empty;
+  const std::string path = temp_path("empty");
+  write_file(path, mappable_wire(empty, "fgnw", ""));
+  const auto opened = core::LabelStore::open_mapped(path);
+  EXPECT_EQ(opened.scheme, "fgnw");
+  EXPECT_EQ(opened.labels.size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -109,16 +109,21 @@ TEST(ParallelBuildParity, FgnwClassicAblationUnderScaffold) {
 
 TEST(ParallelBuildParity, SpanningOracleAcrossThreadCounts) {
   const tree::Graph g = tree::Graph::random_connected(600, 900, 7);
-  // TREELAB_THREADS steers the oracle's whole budget (landmark fan-out plus
-  // per-tree emission); states must not depend on it.
-  setenv("TREELAB_THREADS", "1", 1);
-  const core::SpanningOracle serial(g, 3);
-  for (const char* threads : {"2", "4", "5"}) {
-    setenv("TREELAB_THREADS", threads, 1);
-    const core::SpanningOracle parallel(g, 3);
+  // The explicit thread budget steers landmark fan-out plus per-tree
+  // emission; states must not depend on it. Explicit counts are taken
+  // unclamped (TREELAB_THREADS, by contrast, clamps to the core count), so
+  // the multi-chunk assembly paths run even on a single-core machine.
+  const auto oracle_with = [&](int threads) {
+    return core::SpanningOracle(g, 3,
+                                core::SpanningOracle::LandmarkPolicy::
+                                    kHighestDegree,
+                                /*seed=*/0, threads);
+  };
+  const core::SpanningOracle serial = oracle_with(1);
+  for (const int threads : {2, 4, 5}) {
+    const core::SpanningOracle parallel = oracle_with(threads);
     expect_identical(serial.states(), parallel.states(), "oracle states");
   }
-  unsetenv("TREELAB_THREADS");
 }
 
 TEST(ParallelBuildParity, QueriesAgreeOnParallelBuiltLabels) {

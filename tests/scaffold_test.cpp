@@ -1,0 +1,74 @@
+// TreeScaffold's computed-once contract: the six lazy components (HPD, NCA,
+// binarize, binarized HPD, collapsed tree, binarized NCA) are each built
+// exactly once per scaffold and shared by reference across every scheme
+// constructed from it — the whole point of the shared build substrate.
+#include <gtest/gtest.h>
+
+#include "core/alstrup_scheme.hpp"
+#include "core/approx_scheme.hpp"
+#include "core/fgnw_scheme.hpp"
+#include "core/kdistance_scheme.hpp"
+#include "core/peleg_scheme.hpp"
+#include "core/tree_scaffold.hpp"
+#include "tree/generators.hpp"
+
+namespace {
+
+using namespace treelab;
+using tree::Tree;
+
+TEST(TreeScaffold, ComponentsAreLazyBuiltOnceAndPointerStable) {
+  const Tree t = tree::random_tree(400, 61);
+  const core::TreeScaffold sc(t, 2);
+  EXPECT_EQ(sc.components_built(), 0);  // nothing until first use
+
+  const auto* hpd = &sc.hpd();
+  EXPECT_EQ(sc.components_built(), 1);
+  const auto* nca = &sc.nca();
+  EXPECT_EQ(sc.components_built(), 2);
+  const auto* bin = &sc.binarized();
+  const auto* bin_hpd = &sc.binarized_hpd();
+  const auto* collapsed = &sc.collapsed();
+  const auto* bin_nca = &sc.binarized_nca();
+  EXPECT_EQ(sc.components_built(), 6);
+
+  // Re-requests hand out the same objects, building nothing.
+  EXPECT_EQ(&sc.hpd(), hpd);
+  EXPECT_EQ(&sc.nca(), nca);
+  EXPECT_EQ(&sc.binarized(), bin);
+  EXPECT_EQ(&sc.binarized_hpd(), bin_hpd);
+  EXPECT_EQ(&sc.collapsed(), collapsed);
+  EXPECT_EQ(&sc.binarized_nca(), bin_nca);
+  EXPECT_EQ(sc.components_built(), 6);
+}
+
+TEST(TreeScaffold, FiveSchemeSuiteSharesOneBuildOfEachComponent) {
+  const Tree t = tree::random_tree(400, 62);
+  const core::TreeScaffold sc(t, 1);
+  const core::FgnwScheme fgnw(sc);       // binarize + bin HPD + collapsed
+                                         // + bin NCA
+  const int after_fgnw = sc.components_built();
+  const core::AlstrupScheme alstrup(sc); // HPD + NCA
+  const core::PelegScheme peleg(sc);     // HPD (shared)
+  const core::ApproxScheme approx(sc, 0.125);
+  const core::KDistanceScheme kdist(sc, 8);
+  // Six components total across all five schemes — nothing rebuilt.
+  EXPECT_EQ(sc.components_built(), 6);
+  EXPECT_GE(after_fgnw, 4);
+
+  // And the shared builds produce the same labels as standalone ones.
+  const core::FgnwScheme own(t);
+  for (tree::NodeId v = 0; v < t.size(); v += 37)
+    EXPECT_TRUE(fgnw.label(v) == own.label(v)) << "node " << v;
+}
+
+TEST(TreeScaffold, DistinctScaffoldsAreIndependent) {
+  const Tree t = tree::random_tree(200, 63);
+  const core::TreeScaffold a(t, 1), b(t, 1);
+  (void)a.hpd();
+  EXPECT_EQ(a.components_built(), 1);
+  EXPECT_EQ(b.components_built(), 0);
+  EXPECT_NE(&a.hpd(), &b.hpd());
+}
+
+}  // namespace

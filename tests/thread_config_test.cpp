@@ -1,0 +1,65 @@
+// TREELAB_THREADS is operator input: the build side reads it on every
+// construction, so rejecting nonsense (zero, garbage, overflow) and
+// clamping ambition (more threads than cores) must be exact — a bad value
+// silently becoming 0 workers or 2^31 std::threads would take the serving
+// node down with it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/parallel.hpp"
+
+namespace {
+
+using treelab::util::parse_thread_count;
+using treelab::util::thread_count;
+
+TEST(ThreadConfig, AcceptsWholeNumbersInRange) {
+  EXPECT_EQ(parse_thread_count("1", 8), 1);
+  EXPECT_EQ(parse_thread_count("4", 8), 4);
+  EXPECT_EQ(parse_thread_count("8", 8), 8);
+  EXPECT_EQ(parse_thread_count(" 3", 8), 3);  // strtol-style leading blanks
+}
+
+TEST(ThreadConfig, RejectsZeroAndNegatives) {
+  EXPECT_EQ(parse_thread_count("0", 8), 8);
+  EXPECT_EQ(parse_thread_count("-1", 8), 8);
+  EXPECT_EQ(parse_thread_count("-999", 8), 8);
+}
+
+TEST(ThreadConfig, RejectsGarbage) {
+  EXPECT_EQ(parse_thread_count("", 8), 8);
+  EXPECT_EQ(parse_thread_count("abc", 8), 8);
+  EXPECT_EQ(parse_thread_count("4x", 8), 8);
+  EXPECT_EQ(parse_thread_count("4 2", 8), 8);
+  EXPECT_EQ(parse_thread_count("1.5", 8), 8);
+  EXPECT_EQ(parse_thread_count("0x10", 8), 8);
+  EXPECT_EQ(parse_thread_count(nullptr, 8), 8);
+}
+
+TEST(ThreadConfig, RejectsOverflowAndClampsToHardware) {
+  EXPECT_EQ(parse_thread_count("99999999999999999999999999", 8), 8);
+  EXPECT_EQ(parse_thread_count("2147483648", 4), 4);  // > INT_MAX on LP32
+  EXPECT_EQ(parse_thread_count("64", 8), 8);          // clamp, not reject
+  EXPECT_EQ(parse_thread_count("9", 8), 8);
+}
+
+TEST(ThreadConfig, ThreadCountHonorsTheEnvironment) {
+  const unsigned hwc = std::thread::hardware_concurrency();
+  const int hw = hwc >= 1 ? static_cast<int>(hwc) : 1;
+
+  setenv("TREELAB_THREADS", "1", 1);
+  EXPECT_EQ(thread_count(), 1);
+  setenv("TREELAB_THREADS", "garbage", 1);
+  EXPECT_EQ(thread_count(), hw);
+  setenv("TREELAB_THREADS", "0", 1);
+  EXPECT_EQ(thread_count(), hw);
+  setenv("TREELAB_THREADS", std::to_string(hw + 100).c_str(), 1);
+  EXPECT_EQ(thread_count(), hw);  // clamped
+  unsetenv("TREELAB_THREADS");
+  EXPECT_EQ(thread_count(), hw);
+}
+
+}  // namespace
