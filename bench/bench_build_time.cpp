@@ -8,13 +8,17 @@
 //     (binarize / HPD / collapsed / NCA computed once per tree),
 //   * shared-scaffold parallel — same, with label emission fanned out.
 //
-// Plus a thread-scaling section for FgnwScheme and SpanningOracle and an
-// n-sweep (up to 2^20) for FgnwScheme. Emits BENCH_build.json with the
-// configuration (n, seed, thread counts, hardware concurrency) so runs on
-// different machines are comparable; on a single-core container the
-// parallel rows legitimately sit at ~1x.
+// Plus a thread-scaling section for FgnwScheme and SpanningOracle, an
+// n-sweep (up to 2^20) for FgnwScheme, and an edit-churn section: per
+// single-leaf edit, a full AlstrupScheme rebuild (stable weights) vs
+// IncrementalRelabeler's incremental relabel, with the fallback counters —
+// the dynamic-forest acceptance number (edit_churn_speedup). Emits
+// BENCH_build.json with the configuration (n, seed, thread counts,
+// hardware concurrency) so runs on different machines are comparable; on a
+// single-core container the parallel rows legitimately sit at ~1x.
 //
-// Usage: bench_build_time [--n N] [--seed S] [--sweep-max N]
+// Usage: bench_build_time [--n N] [--seed S] [--sweep-max N] [--quick]
+//   --quick shrinks the edit-churn section to CI-smoke size.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,10 +27,13 @@
 #include <thread>
 #include <vector>
 
+#include <random>
+
 #include "bench_util.hpp"
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
 #include "core/fgnw_scheme.hpp"
+#include "core/incremental_relabeler.hpp"
 #include "core/kdistance_scheme.hpp"
 #include "core/peleg_scheme.hpp"
 #include "core/spanning_oracle.hpp"
@@ -78,6 +85,9 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "--seed", 123));
   const auto sweep_max =
       static_cast<tree::NodeId>(flag(argc, argv, "--sweep-max", 1 << 20));
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const int par = util::thread_count();
 
@@ -170,6 +180,61 @@ int main(int argc, char** argv) {
     std::printf("  %-34s %10.1f ms\n", sweep.back().name.c_str(), ms);
   }
 
+  // Edit churn: the dynamic-forest path. Per single-leaf edit at churn_n,
+  // a from-scratch AlstrupScheme rebuild (kStablePow2 — the same labeling
+  // the incremental path maintains) vs IncrementalRelabeler::insert_leaf.
+  // Fallback counters show how incremental the workload actually was.
+  std::vector<Row> churn;
+  double churn_full_ms = 0, churn_inc_ms = 0;
+  core::RelabelStats churn_stats;
+  const auto churn_n =
+      quick ? std::min<tree::NodeId>(n, 1 << 14) : std::min<tree::NodeId>(n, 1 << 18);
+  {
+    const int full_edits = quick ? 3 : 8;
+    const int inc_edits = quick ? 64 : 256;
+    const core::AlstrupOptions stable{nca::CodeWeights::kStablePow2, 1};
+    const tree::Tree base = tree::random_tree(churn_n, seed);
+
+    // Full rebuild per edit: grow a parent array, rebuild from scratch.
+    std::vector<tree::NodeId> parents(static_cast<std::size_t>(churn_n));
+    for (tree::NodeId v = 0; v < churn_n; ++v) parents[v] = base.parent(v);
+    std::mt19937_64 rng(seed + 1);
+    churn_full_ms = measure_ms([&] {
+      for (int e = 0; e < full_edits; ++e) {
+        parents.push_back(static_cast<tree::NodeId>(rng() % parents.size()));
+        const tree::Tree grown(parents);
+        const core::AlstrupScheme s(grown, stable);
+      }
+    });
+    churn_full_ms /= full_edits;
+
+    // Incremental relabel per edit, same edit distribution.
+    core::IncrementalRelabeler relab(base, {1, 0.5});
+    std::mt19937_64 rng2(seed + 1);
+    churn_inc_ms = measure_ms([&] {
+      for (int e = 0; e < inc_edits; ++e)
+        (void)relab.insert_leaf(
+            static_cast<tree::NodeId>(rng2() % relab.size()));
+    });
+    churn_inc_ms /= inc_edits;
+    churn_stats = relab.stats();
+
+    churn.push_back({"full_rebuild_per_edit", churn_full_ms});
+    churn.push_back({"incremental_per_edit", churn_inc_ms});
+    std::printf("  %-34s %10.3f ms (n=%d)\n", "full_rebuild_per_edit",
+                churn_full_ms, static_cast<int>(churn_n));
+    std::printf("  %-34s %10.3f ms (n=%d)\n", "incremental_per_edit",
+                churn_inc_ms, static_cast<int>(churn_n));
+    std::printf(
+        "  %-34s %10.1fx (incremental=%llu restructured=%llu "
+        "flip=%llu cone=%llu)\n",
+        "edit_churn_speedup", churn_full_ms / churn_inc_ms,
+        static_cast<unsigned long long>(churn_stats.incremental),
+        static_cast<unsigned long long>(churn_stats.restructured),
+        static_cast<unsigned long long>(churn_stats.full_heavy_flip),
+        static_cast<unsigned long long>(churn_stats.full_dirty_cone));
+  }
+
   const char* path = "BENCH_build.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -196,9 +261,21 @@ int main(int argc, char** argv) {
                suite_own / suite_shared);
   std::fprintf(f, "  \"suite_parallel_vs_own_speedup\": %.2f,\n",
                suite_own / suite_par);
+  std::fprintf(f, "  \"edit_churn_n\": %d,\n", static_cast<int>(churn_n));
+  std::fprintf(f, "  \"edit_churn_speedup\": %.1f,\n",
+               churn_full_ms / churn_inc_ms);
+  std::fprintf(f,
+               "  \"edit_churn_outcomes\": {\"incremental\": %llu, "
+               "\"restructured\": %llu, \"full_heavy_flip\": %llu, "
+               "\"full_dirty_cone\": %llu},\n",
+               static_cast<unsigned long long>(churn_stats.incremental),
+               static_cast<unsigned long long>(churn_stats.restructured),
+               static_cast<unsigned long long>(churn_stats.full_heavy_flip),
+               static_cast<unsigned long long>(churn_stats.full_dirty_cone));
   dump("results", rows, false);
   dump("scaling", scaling, false);
-  dump("sweep", sweep, true);
+  dump("sweep", sweep, false);
+  dump("edit_churn", churn, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s (shared/own speedup %.2fx, parallel/own %.2fx)\n",

@@ -18,6 +18,16 @@
 //                                           [--batch B] [--seed X]
 //                                                 (ForestIndex batch QPS
 //                                                  over the given forest)
+//   treelab_cli update <tree.txt> <out.lbl> [--edits E] [--seed X]
+//                                           [--tree-out grown.txt]
+//                                                 (dynamic forests: build
+//                                                  stable-weight alstrup
+//                                                  labels, apply E random
+//                                                  leaf inserts through the
+//                                                  incremental relabeler,
+//                                                  write the final labels;
+//                                                  prints per-edit outcome
+//                                                  counters and timing)
 //
 // Example:
 //   treelab_cli gen random 1000 7 > t.txt
@@ -25,6 +35,7 @@
 //   treelab_cli query t.lbl 12 900
 //   treelab_cli save t.lbl t.mlbl mappable
 //   treelab_cli serve-bench t.mlbl --shards 4
+//   treelab_cli update t.txt t2.lbl --edits 500 --tree-out t2.txt
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +50,7 @@
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
 #include "core/fgnw_scheme.hpp"
+#include "core/incremental_relabeler.hpp"
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
@@ -61,6 +73,8 @@ int usage() {
                "  treelab_cli load <labels.lbl>\n"
                "  treelab_cli serve-bench <labels.lbl...> [--shards S] "
                "[--threads T] [--batch B] [--seed X]\n"
+               "  treelab_cli update <tree.txt> <out.lbl> [--edits E] "
+               "[--seed X] [--tree-out grown.txt]\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -289,6 +303,105 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+int cmd_update(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const char* tree_path = argv[2];
+  const char* out_path = argv[3];
+  std::size_t edits = 100;
+  std::uint64_t seed = 1;
+  const char* tree_out = nullptr;
+  for (int i = 4; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name.c_str());
+      return 2;
+    }
+    const char* val = argv[++i];
+    if (name == "--tree-out") {
+      tree_out = val;
+      continue;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(val, &end, 10);
+    if (*val == '\0' || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", val, name.c_str());
+      return 2;
+    }
+    if (name == "--edits")
+      edits = static_cast<std::size_t>(v);
+    else if (name == "--seed")
+      seed = static_cast<std::uint64_t>(v);
+    else
+      return usage();
+  }
+
+  std::ifstream in(tree_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", tree_path);
+    return 1;
+  }
+  const tree::Tree t = tree::read_text(in);
+
+  using clock = std::chrono::steady_clock;
+  auto t0 = clock::now();
+  core::IncrementalRelabeler relab(t);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+  std::mt19937_64 rng(seed);
+  t0 = clock::now();
+  for (std::size_t e = 0; e < edits; ++e)
+    (void)relab.insert_leaf(
+        static_cast<tree::NodeId>(rng() % relab.size()));
+  const double edit_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  const auto loaded = relab.to_loaded();
+  core::LabelStore::save_mappable(out, loaded.scheme, loaded.labels,
+                                  loaded.params);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", out_path);
+    return 1;
+  }
+  if (tree_out != nullptr) {
+    std::ofstream tout(tree_out);
+    if (!tout) {
+      std::fprintf(stderr, "cannot open %s for writing\n", tree_out);
+      return 1;
+    }
+    tree::write_text(tout, relab.snapshot());
+    tout.flush();
+    if (!tout) {
+      std::fprintf(stderr, "write to %s failed\n", tree_out);
+      return 1;
+    }
+  }
+
+  const auto& st = relab.stats();
+  std::printf(
+      "grew %d -> %zu nodes (%zu edits in %.1f ms, %.3f ms/edit; initial "
+      "build %.1f ms)\n"
+      "outcomes: %llu incremental, %llu restructured, %llu full (heavy "
+      "flip), %llu full (dirty cone)\n"
+      "labels: %llu re-emitted, %llu spliced -> %s (stable-weight alstrup, "
+      "mappable container)\n",
+      t.size(), relab.size(), edits, edit_ms,
+      edits > 0 ? edit_ms / static_cast<double>(edits) : 0.0, build_ms,
+      static_cast<unsigned long long>(st.incremental),
+      static_cast<unsigned long long>(st.restructured),
+      static_cast<unsigned long long>(st.full_heavy_flip),
+      static_cast<unsigned long long>(st.full_dirty_cone),
+      static_cast<unsigned long long>(st.labels_reemitted),
+      static_cast<unsigned long long>(st.labels_spliced), out_path);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 3) return usage();
   const auto store = load_file(argv[2]);
@@ -313,6 +426,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "load") == 0) return cmd_load(argc, argv);
     if (std::strcmp(argv[1], "serve-bench") == 0)
       return cmd_serve_bench(argc, argv);
+    if (std::strcmp(argv[1], "update") == 0) return cmd_update(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -113,6 +113,67 @@ class LabelArena {
     return out;
   }
 
+  /// Builds an arena of `n` labels by splicing `old`: label i with
+  /// dirty[i] == 0 keeps its exact bits from `old` (copied as whole-word
+  /// runs — clean stretches move at memcpy speed), label i with
+  /// dirty[i] != 0 is re-emitted via `emit(i, writer)`. Labels at index >=
+  /// old.size() must be dirty (`n` may exceed old.size(): appends). Because
+  /// every label is word-aligned and independently emitted, the result is
+  /// bit-identical to build(n, ..., emit_all) whenever the clean labels'
+  /// bits are unchanged — the contract IncrementalRelabeler's parity tests
+  /// assert. Dirty emission is serial, in index order.
+  template <typename Emit>
+  [[nodiscard]] static LabelArena patched(const LabelArena& old, std::size_t n,
+                                          const std::vector<std::uint8_t>& dirty,
+                                          const Emit& emit) {
+    BitWriter w;
+    std::vector<std::size_t> fresh_len;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dirty[i]) continue;
+      const std::size_t before = w.bit_count();
+      emit(i, w);
+      fresh_len.push_back(w.bit_count() - before);
+      w.align_to_word();
+    }
+    const BitVec fresh = w.take();
+
+    LabelArena out;
+    out.len_.reserve(n);
+    out.start_word_.reserve(n + 1);
+    std::size_t word = 0, df = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t len = dirty[i] ? fresh_len[df++] : old.len_[i];
+      out.start_word_.push_back(word);
+      out.len_.push_back(len);
+      word += (len + 63) / 64;
+    }
+    out.start_word_.push_back(word);
+    out.words_.resize(word);
+
+    std::size_t fresh_word = 0;
+    for (std::size_t i = 0; i < n;) {
+      if (dirty[i]) {
+        const std::size_t nw = (out.len_[i] + 63) / 64;
+        if (nw != 0)
+          std::memcpy(out.words_.data() + out.start_word_[i],
+                      fresh.words().data() + fresh_word,
+                      nw * sizeof(std::uint64_t));
+        fresh_word += nw;
+        ++i;
+        continue;
+      }
+      std::size_t j = i;  // maximal clean run [i, j): contiguous in both
+      while (j < n && !dirty[j]) ++j;
+      const std::size_t nw = old.start_word_[j] - old.start_word_[i];
+      if (nw != 0)
+        std::memcpy(out.words_.data() + out.start_word_[i],
+                    old.words_.data() + old.start_word_[i],
+                    nw * sizeof(std::uint64_t));
+      i = j;
+    }
+    return out;
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::vector<std::size_t> start_word_;  // size() + 1 entries

@@ -30,10 +30,17 @@ std::optional<MappedArena> MappedArena::map(const char* path,
   } catch (const std::bad_alloc&) {
     return std::nullopt;  // let the caller fall back to streamed loading
   }
+  // The running word count must not wrap: an adversarial length directory
+  // (lens[i] near SIZE_MAX, or many huge entries) could otherwise overflow
+  // `word` to a small value, pass the file_len check below, and hand out
+  // BitSpan views far past the mapping. Compute each label's word count
+  // without the `+ 63` (which itself can wrap) and refuse on overflow.
   std::size_t word = 0;
   for (std::size_t i = 0; i < lens.size(); ++i) {
     start[i] = word;
-    word += (lens[i] + 63) / 64;
+    const std::size_t nw = lens[i] / 64 + (lens[i] % 64 != 0 ? 1 : 0);
+    if (word > SIZE_MAX - nw) return std::nullopt;
+    word += nw;
   }
 
   const int fd = ::open(path, O_RDONLY);

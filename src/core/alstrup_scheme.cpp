@@ -22,13 +22,37 @@ using tree::kNoNode;
 using tree::NodeId;
 using tree::Tree;
 
+std::uint32_t emit_alstrup_label(bits::BitWriter& w, std::uint64_t root_dist,
+                                 bits::BitSpan nca_label,
+                                 std::span<const std::uint64_t> branch_rd) {
+  w.put_delta0(root_dist);
+  w.put_delta0(nca_label.size());
+  w.append(nca_label);
+  return static_cast<std::uint32_t>(
+      MonotoneSeq::encode_to(w, branch_rd, root_dist));
+}
+
 AlstrupScheme::AlstrupScheme(const Tree& t) : AlstrupScheme(TreeScaffold(t)) {}
 
-AlstrupScheme::AlstrupScheme(const TreeScaffold& scaffold) {
-  const Tree& t = scaffold.tree();
-  const HeavyPathDecomposition& hpd = scaffold.hpd();
-  const NcaLabeling& nca = scaffold.nca();
+AlstrupScheme::AlstrupScheme(const Tree& t, Options opt) {
+  if (opt.weights == nca::CodeWeights::kExact) {
+    const TreeScaffold scaffold(t, opt.threads);
+    build(t, scaffold.hpd(), scaffold.nca(), opt.threads);
+    return;
+  }
+  // The stable-weight variant builds its own NCA labeling: the scaffold
+  // caches only the exact-policy one.
+  const HeavyPathDecomposition hpd(t);
+  const NcaLabeling nca(hpd, opt.threads, opt.weights);
+  build(t, hpd, nca, opt.threads);
+}
 
+AlstrupScheme::AlstrupScheme(const TreeScaffold& scaffold) {
+  build(scaffold.tree(), scaffold.hpd(), scaffold.nca(), scaffold.threads());
+}
+
+void AlstrupScheme::build(const Tree& t, const HeavyPathDecomposition& hpd,
+                          const NcaLabeling& nca, int threads) {
   // Per heavy path: root distances of the branch nodes above it.
   const std::int32_t m = hpd.num_paths();
   std::vector<std::vector<std::uint64_t>> branch_rd(
@@ -51,16 +75,12 @@ AlstrupScheme::AlstrupScheme(const TreeScaffold& scaffold) {
   // its owning chunk) and fold into the stats after the parallel build.
   std::vector<std::uint32_t> payload_bits(static_cast<std::size_t>(t.size()));
   labels_ = LabelArena::build(
-      static_cast<std::size_t>(t.size()), scaffold.threads(),
+      static_cast<std::size_t>(t.size()), threads,
       [&](std::size_t i, BitWriter& w) {
         const auto v = static_cast<NodeId>(i);
         const auto& rs = branch_rd[static_cast<std::size_t>(hpd.path_of(v))];
-        w.put_delta0(t.root_distance(v));
-        const BitSpan nl = nca.label(v);
-        w.put_delta0(nl.size());
-        w.append(nl);
-        payload_bits[i] = static_cast<std::uint32_t>(
-            MonotoneSeq::encode_to(w, rs, t.root_distance(v)));
+        payload_bits[i] =
+            emit_alstrup_label(w, t.root_distance(v), nca.label(v), rs);
       });
   for (const std::uint32_t b : payload_bits) payload_.add(b);
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bits/label_arena.hpp"
@@ -42,11 +43,25 @@ class AlstrupAttachedLabel {
   bits::MonotoneSeq rs_;
 };
 
+/// Tuning knobs for AlstrupScheme. `weights` selects the Gilbert–Moore
+/// weight policy of the embedded NCA labeling: kExact is the paper's
+/// construction; kStablePow2 is the edit-stable variant consumed by
+/// IncrementalRelabeler (labels a hair larger, identical query semantics —
+/// the label bits are self-describing, so readers need no flag).
+struct AlstrupOptions {
+  nca::CodeWeights weights = nca::CodeWeights::kExact;
+  int threads = 0;  ///< emission parallelism (0 = TREELAB_THREADS / hw)
+};
+
 class AlstrupScheme {
  public:
   using Attached = AlstrupAttachedLabel;
+  using Options = AlstrupOptions;
 
   explicit AlstrupScheme(const tree::Tree& t);
+
+  /// Policy-selecting construction (the Tree-only overload is kExact).
+  AlstrupScheme(const tree::Tree& t, Options opt);
 
   /// Builds from a shared scaffold (HPD + NCA labeling computed once per
   /// tree); label emission fans out over scaffold.threads() workers.
@@ -78,8 +93,20 @@ class AlstrupScheme {
                                            const AlstrupAttachedLabel& lv);
 
  private:
+  void build(const tree::Tree& t, const tree::HeavyPathDecomposition& hpd,
+             const nca::NcaLabeling& nca, int threads);
+
   bits::LabelArena labels_;
   LabelStats payload_;
 };
+
+/// Emits one Alstrup label: delta-coded root distance, length-prefixed NCA
+/// label, then the branch-distance MonotoneSeq. Returns the payload
+/// (branch-sequence) bit count. Single definition of the label layout,
+/// shared between AlstrupScheme's bulk build and IncrementalRelabeler's
+/// dirty-label re-emission.
+std::uint32_t emit_alstrup_label(bits::BitWriter& w, std::uint64_t root_dist,
+                                 bits::BitSpan nca_label,
+                                 std::span<const std::uint64_t> branch_rd);
 
 }  // namespace treelab::core

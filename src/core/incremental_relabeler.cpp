@@ -1,0 +1,580 @@
+#include "core/incremental_relabeler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "bits/bitio.hpp"
+#include "core/alstrup_scheme.hpp"
+#include "nca/nca_labeling.hpp"
+#include "tree/hpd.hpp"
+
+namespace treelab::core {
+
+using bits::BitWriter;
+using bits::Codeword;
+using nca::CodeWeights;
+using tree::HeavyPathDecomposition;
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+namespace {
+
+constexpr CodeWeights kPolicy = CodeWeights::kStablePow2;
+
+/// Does bumping a subtree from `new_size - 1` to `new_size` nodes move its
+/// pow2-quantized code weight? Only when the old size was a power of two.
+[[nodiscard]] bool crossed_pow2(std::uint64_t new_size) noexcept {
+  const std::uint64_t old = new_size - 1;
+  return old != 0 && (old & (old - 1)) == 0;
+}
+
+}  // namespace
+
+IncrementalRelabeler::IncrementalRelabeler(const Tree& initial,
+                                           RelabelOptions opt)
+    : opt_(opt) {
+  const NodeId n = initial.size();
+  parent_.resize(static_cast<std::size_t>(n));
+  weight_.resize(static_cast<std::size_t>(n));
+  children_.resize(static_cast<std::size_t>(n));
+  subtree_size_.resize(static_cast<std::size_t>(n));
+  root_dist_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    parent_[i] = initial.parent(v);
+    weight_[i] = parent_[i] == kNoNode ? 0 : initial.weight(v);
+    const auto cs = initial.children(v);
+    children_[i].assign(cs.begin(), cs.end());
+    subtree_size_[i] = initial.subtree_size(v);
+    root_dist_[i] = initial.root_distance(v);
+  }
+  full_rebuild();
+}
+
+void IncrementalRelabeler::full_rebuild() {
+  const Tree t(parent_, weight_);
+  const HeavyPathDecomposition hpd(t);
+  const nca::HeavyPathCodes codes(hpd, kPolicy);
+  const NodeId n = t.size();
+  const std::int32_t m = hpd.num_paths();
+
+  heavy_.resize(static_cast<std::size_t>(n));
+  path_of_.resize(static_cast<std::size_t>(n));
+  pos_in_path_.resize(static_cast<std::size_t>(n));
+  light_depth_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    heavy_[i] = hpd.heavy_child(v);
+    path_of_[i] = hpd.path_of(v);
+    pos_in_path_[i] = hpd.pos_in_path(v);
+    light_depth_[i] = hpd.light_depth(v);
+  }
+  // The rebuild compacts the path table to exactly m fresh slots — ids a
+  // prior restructure() recycled would now name live paths, so the free
+  // list must not survive it.
+  free_paths_.clear();
+  path_nodes_.assign(static_cast<std::size_t>(m), {});
+  head_.resize(static_cast<std::size_t>(m));
+  pos_wts_.resize(static_cast<std::size_t>(m));
+  pos_code_.assign(static_cast<std::size_t>(m), {});
+  prefix_.assign(static_cast<std::size_t>(m), {});
+  bounds_.assign(static_cast<std::size_t>(m), {});
+  branch_rd_.assign(static_cast<std::size_t>(m), {});
+  for (std::int32_t p = 0; p < m; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    const auto nodes = hpd.path_nodes(p);
+    path_nodes_[i].assign(nodes.begin(), nodes.end());
+    head_[i] = hpd.head(p);
+    pos_wts_[i] = position_weights(p);
+    const auto pc = codes.position_codes(p);
+    pos_code_[i].assign(pc.begin(), pc.end());
+    prefix_[i] = codes.prefix(p);
+    bounds_[i] = codes.prefix_bounds(p);
+  }
+  // Branch root distances, parents before children (same recurrence as
+  // AlstrupScheme::build).
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m));
+  for (std::int32_t p = 0; p < m; ++p) order[static_cast<std::size_t>(p)] = p;
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return light_depth_[static_cast<std::size_t>(head_[a])] <
+           light_depth_[static_cast<std::size_t>(head_[b])];
+  });
+  for (std::int32_t p : order) {
+    const NodeId b = parent_[static_cast<std::size_t>(head_[p])];
+    if (b == kNoNode) continue;
+    auto rs = branch_rd_[static_cast<std::size_t>(
+        path_of_[static_cast<std::size_t>(b)])];
+    rs.push_back(root_dist_[static_cast<std::size_t>(b)]);
+    branch_rd_[static_cast<std::size_t>(p)] = std::move(rs);
+  }
+
+  labels_ = bits::LabelArena::build(
+      static_cast<std::size_t>(n), opt_.threads,
+      [this, scratch = std::vector<std::uint64_t>{}](
+          std::size_t i, BitWriter& w) mutable { emit_label(i, w, scratch); });
+}
+
+std::vector<std::uint64_t> IncrementalRelabeler::position_weights(
+    std::int32_t p) const {
+  const auto& nodes = path_nodes_[static_cast<std::size_t>(p)];
+  std::vector<std::uint64_t> wts;
+  wts.reserve(nodes.size());
+  for (const NodeId v : nodes) {
+    const auto i = static_cast<std::size_t>(v);
+    std::uint64_t mass = 1;
+    for (const NodeId c : children_[i])
+      if (c != heavy_[i])
+        mass += static_cast<std::uint64_t>(
+            subtree_size_[static_cast<std::size_t>(c)]);
+    wts.push_back(nca::code_weight(mass, kPolicy));
+  }
+  return wts;
+}
+
+std::vector<Codeword> IncrementalRelabeler::light_codes_at(
+    NodeId v, std::size_t* index_of, NodeId child) const {
+  const auto i = static_cast<std::size_t>(v);
+  std::vector<std::uint64_t> lw;
+  std::size_t k = 0;
+  for (const NodeId c : children_[i]) {
+    if (c == heavy_[i]) continue;
+    if (c == child && index_of != nullptr) *index_of = k;
+    lw.push_back(nca::code_weight(
+        static_cast<std::uint64_t>(subtree_size_[static_cast<std::size_t>(c)]),
+        kPolicy));
+    ++k;
+  }
+  return bits::alphabetic_code(lw);
+}
+
+void IncrementalRelabeler::rebuild_prefix(std::int32_t p) {
+  const auto pi = static_cast<std::size_t>(p);
+  const NodeId h = head_[pi];
+  const NodeId b = parent_[static_cast<std::size_t>(h)];
+  if (b == kNoNode) {  // root path: empty prefix
+    prefix_[pi] = {};
+    bounds_[pi].clear();
+    return;
+  }
+  const auto bp = static_cast<std::size_t>(
+      path_of_[static_cast<std::size_t>(b)]);
+  std::size_t idx = 0;
+  const std::vector<Codeword> lcodes = light_codes_at(b, &idx, h);
+  const Codeword pos =
+      pos_code_[bp][static_cast<std::size_t>(
+          pos_in_path_[static_cast<std::size_t>(b)])];
+  BitWriter w;
+  w.append(prefix_[bp]);
+  pos.write_to(w);
+  std::vector<std::uint64_t> bs = bounds_[bp];
+  bs.push_back(w.bit_count());
+  lcodes[idx].write_to(w);
+  bs.push_back(w.bit_count());
+  prefix_[pi] = w.take();
+  bounds_[pi] = std::move(bs);
+}
+
+void IncrementalRelabeler::emit_label(std::size_t i, BitWriter& w,
+                                      std::vector<std::uint64_t>& scratch)
+    const {
+  const auto p = static_cast<std::size_t>(path_of_[i]);
+  BitWriter nca_bits;
+  nca::emit_nca_label(nca_bits, prefix_[p], bounds_[p],
+                      pos_code_[p][static_cast<std::size_t>(pos_in_path_[i])],
+                      scratch);
+  (void)emit_alstrup_label(w, root_dist_[i], nca_bits.bits(), branch_rd_[p]);
+}
+
+void IncrementalRelabeler::append_node(NodeId parent, std::uint32_t weight) {
+  const auto pi = static_cast<std::size_t>(parent);
+  const auto x = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  weight_.push_back(weight);
+  children_[pi].push_back(x);  // x is the max id: ascending order holds
+  children_.emplace_back();
+  subtree_size_.push_back(1);
+  root_dist_.push_back(root_dist_[pi] + weight);
+  for (NodeId v = parent; v != kNoNode; v = parent_[static_cast<std::size_t>(v)])
+    ++subtree_size_[static_cast<std::size_t>(v)];
+}
+
+tree::NodeId IncrementalRelabeler::recheck_heavy(
+    const std::vector<NodeId>& chain, NodeId leaf, bool* extends) const {
+  *extends = false;
+  const NodeId parent = chain.back();
+  std::int32_t prev = -1;
+  for (const NodeId a : chain) {
+    const std::int32_t p = path_of_[static_cast<std::size_t>(a)];
+    if (p == prev) continue;
+    prev = p;
+    const auto pi = static_cast<std::size_t>(p);
+    const NodeId n_path = subtree_size_[static_cast<std::size_t>(head_[pi])];
+    NodeId cur = head_[pi];
+    for (;;) {
+      const auto ci = static_cast<std::size_t>(cur);
+      NodeId next = kNoNode;
+      for (const NodeId c : children_[ci])
+        if (2 * static_cast<std::int64_t>(
+                    subtree_size_[static_cast<std::size_t>(c)]) >=
+            n_path) {
+          next = c;
+          break;
+        }
+      if (next != heavy_[ci]) {
+        // The one allowed divergence: the fresh leaf continuing its
+        // parent's path as the new bottom (a growth, not a flip).
+        if (cur == parent && heavy_[ci] == kNoNode && next == leaf) {
+          *extends = true;
+          break;
+        }
+        // A real flip. Everything it disturbs lives under this path's
+        // head (deeper crossed paths included), so report the head and
+        // stop — the caller re-decomposes that subtree.
+        return head_[pi];
+      }
+      if (next == kNoNode) break;
+      cur = next;
+    }
+  }
+  return kNoNode;
+}
+
+std::int32_t IncrementalRelabeler::alloc_path() {
+  if (!free_paths_.empty()) {
+    const std::int32_t p = free_paths_.back();
+    free_paths_.pop_back();
+    return p;
+  }
+  const auto p = static_cast<std::int32_t>(path_nodes_.size());
+  path_nodes_.emplace_back();
+  head_.push_back(kNoNode);
+  pos_wts_.emplace_back();
+  pos_code_.emplace_back();
+  prefix_.emplace_back();
+  bounds_.emplace_back();
+  branch_rd_.emplace_back();
+  return p;
+}
+
+void IncrementalRelabeler::restructure(NodeId h) {
+  // Recycle every old path under h. All paths touching subtree(h) are
+  // contained in it (h is a path head, and heads hang by light edges), so
+  // freeing the path of each node exactly when we stand on its old head
+  // frees each id once. The new leaf carries a placeholder path id (-1).
+  {
+    std::vector<NodeId> stack{h};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      const auto vi = static_cast<std::size_t>(v);
+      const std::int32_t p = path_of_[vi];
+      if (p >= 0 && head_[static_cast<std::size_t>(p)] == v) {
+        head_[static_cast<std::size_t>(p)] = kNoNode;
+        free_paths_.push_back(p);
+      }
+      for (const NodeId c : children_[vi]) stack.push_back(c);
+    }
+  }
+
+  // Re-run the paper-half decomposition over subtree(h) — the same loop as
+  // HeavyPathDecomposition's, seeded at h with its (unchanged) light depth.
+  // Parents-before-children order lets branch_rd_ fill by recurrence; the
+  // prefixes are rebuilt later by the caller's dirty-head pass.
+  struct PathStart {
+    NodeId start;
+    std::int32_t ld;
+  };
+  std::vector<PathStart> stack{
+      {h, light_depth_[static_cast<std::size_t>(h)]}};
+  while (!stack.empty()) {
+    const auto [start, ld] = stack.back();
+    stack.pop_back();
+    const std::int32_t pid = alloc_path();
+    const auto pi = static_cast<std::size_t>(pid);
+    head_[pi] = start;
+    path_nodes_[pi].clear();
+    const NodeId n_path = subtree_size_[static_cast<std::size_t>(start)];
+
+    NodeId cur = start;
+    std::int32_t pos = 0;
+    for (;;) {
+      const auto ci = static_cast<std::size_t>(cur);
+      path_of_[ci] = pid;
+      light_depth_[ci] = ld;
+      pos_in_path_[ci] = pos++;
+      path_nodes_[pi].push_back(cur);
+
+      NodeId next = kNoNode;
+      for (const NodeId c : children_[ci])
+        if (2 * static_cast<std::int64_t>(
+                    subtree_size_[static_cast<std::size_t>(c)]) >=
+            n_path) {
+          next = c;
+          break;
+        }
+      heavy_[ci] = next;
+      for (const NodeId c : children_[ci])
+        if (c != next) stack.push_back({c, ld + 1});
+      if (next == kNoNode) break;
+      cur = next;
+    }
+
+    pos_wts_[pi] = position_weights(pid);
+    pos_code_[pi] = bits::alphabetic_code(pos_wts_[pi]);
+    const NodeId b = parent_[static_cast<std::size_t>(start)];
+    if (b == kNoNode) {
+      branch_rd_[pi].clear();
+    } else {
+      branch_rd_[pi] = branch_rd_[static_cast<std::size_t>(
+          path_of_[static_cast<std::size_t>(b)])];
+      branch_rd_[pi].push_back(root_dist_[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+NodeId IncrementalRelabeler::insert_leaf(NodeId parent, std::uint32_t weight) {
+  if (parent < 0 || static_cast<std::size_t>(parent) >= size())
+    throw std::out_of_range("IncrementalRelabeler: parent out of range");
+  ++stats_.edits;
+  const auto x = static_cast<NodeId>(size());
+
+  // Root-to-parent chain (every node whose subtree grows).
+  std::vector<NodeId> chain;
+  for (NodeId v = parent; v != kNoNode;
+       v = parent_[static_cast<std::size_t>(v)])
+    chain.push_back(v);
+  std::reverse(chain.begin(), chain.end());
+
+  append_node(parent, weight);
+
+  bool extends = false;
+  const NodeId flip_head = recheck_heavy(chain, x, &extends);
+
+  const std::size_t limit =
+      opt_.max_dirty_fraction <= 0.0
+          ? 0  // testing/ops escape hatch: rebuild on every edit
+          : std::max<std::size_t>(
+                256, static_cast<std::size_t>(opt_.max_dirty_fraction *
+                                              static_cast<double>(size())));
+  const auto fall_back = [&](bool flip) {
+    full_rebuild();
+    if (flip) {
+      ++stats_.full_heavy_flip;
+      last_outcome_ = RelabelOutcome::kFullHeavyFlip;
+    } else {
+      ++stats_.full_dirty_cone;
+      last_outcome_ = RelabelOutcome::kFullDirtyCone;
+    }
+    last_dirty_ = size();
+    return x;
+  };
+  if (flip_head != kNoNode &&
+      static_cast<std::size_t>(
+          subtree_size_[static_cast<std::size_t>(flip_head)]) > limit)
+    return fall_back(true);  // restructure region too big: don't even start
+
+  // Grow the decomposition state by the one new node, or re-decompose the
+  // flip region (which assigns the new leaf's path as part of the sweep).
+  // This must precede change detection: the tables of the parent's (or
+  // flipped) path are compared against the *post-edit* structure.
+  if (flip_head != kNoNode) {
+    path_of_.push_back(-1);  // placeholders; restructure() fills them
+    pos_in_path_.push_back(0);
+    light_depth_.push_back(0);
+    heavy_.push_back(kNoNode);
+    restructure(flip_head);
+  } else {
+    const auto pp = static_cast<std::size_t>(
+        path_of_[static_cast<std::size_t>(parent)]);
+    if (extends) {
+      path_nodes_[pp].push_back(x);
+      path_of_.push_back(static_cast<std::int32_t>(pp));
+      pos_in_path_.push_back(
+          pos_in_path_[static_cast<std::size_t>(parent)] + 1);
+      light_depth_.push_back(light_depth_[static_cast<std::size_t>(parent)]);
+      heavy_[static_cast<std::size_t>(parent)] = x;
+    } else {
+      const std::int32_t px = alloc_path();
+      const auto pxi = static_cast<std::size_t>(px);
+      head_[pxi] = x;
+      path_nodes_[pxi] = {x};
+      path_of_.push_back(px);
+      pos_in_path_.push_back(0);
+      light_depth_.push_back(
+          light_depth_[static_cast<std::size_t>(parent)] + 1);
+      branch_rd_[pxi] = branch_rd_[pp];
+      branch_rd_[pxi].push_back(root_dist_[static_cast<std::size_t>(parent)]);
+      pos_wts_[pxi] = position_weights(px);
+      pos_code_[pxi] = bits::alphabetic_code(pos_wts_[pxi]);
+    }
+    heavy_.push_back(kNoNode);
+  }
+
+  // Dirty roots: the new leaf always; a flip's whole restructure region;
+  // then the table changes detected below.
+  std::vector<NodeId> roots{x};
+  if (flip_head != kNoNode) roots.push_back(flip_head);
+
+  // Position-code tables whose quantized weights moved: only paths crossed
+  // by the chain can change (all other paths see identical sizes). With a
+  // flip, stop above the flip head — everything at or under it was just
+  // re-decomposed with fresh tables.
+  for (const NodeId a : chain) {
+    if (a == flip_head) break;
+    const std::int32_t p = path_of_[static_cast<std::size_t>(a)];
+    const auto pi2 = static_cast<std::size_t>(p);
+    if (a != head_[pi2]) continue;  // the chain enters each path at its head
+    std::vector<std::uint64_t> wts = position_weights(p);
+    if (wts != pos_wts_[pi2]) {
+      pos_wts_[pi2] = std::move(wts);
+      pos_code_[pi2] = bits::alphabetic_code(pos_wts_[pi2]);
+      roots.push_back(head_[pi2]);
+    }
+  }
+
+  // Light-choice tables: changed at a branch node when its light child on
+  // the chain crossed a power of two, or (at `parent`) gained the new leaf.
+  // A changed table re-codes every light sibling, so their subtrees dirty.
+  // Sites at or under the flip head were rebuilt by restructure().
+  const auto mark_light_site = [&](NodeId b) {
+    const auto bi = static_cast<std::size_t>(b);
+    for (const NodeId c : children_[bi])
+      if (c != heavy_[bi]) roots.push_back(c);
+  };
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const NodeId a = chain[i], c = chain[i + 1];
+    if (a == flip_head) break;
+    if (path_of_[static_cast<std::size_t>(a)] ==
+        path_of_[static_cast<std::size_t>(c)])
+      continue;  // heavy edge: no light table involved
+    if (crossed_pow2(static_cast<std::uint64_t>(
+            subtree_size_[static_cast<std::size_t>(c)])))
+      mark_light_site(a);
+    if (c == flip_head) break;
+  }
+  if (flip_head == kNoNode && !extends) mark_light_site(parent);
+
+  // Mark the dirty cones.
+  std::vector<std::uint8_t> dirty(size(), 0);
+  std::size_t count = 0;
+  std::vector<NodeId> stack;
+  for (const NodeId r : roots) {
+    if (dirty[static_cast<std::size_t>(r)]) continue;
+    stack.push_back(r);
+    dirty[static_cast<std::size_t>(r)] = 1;
+    ++count;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId c : children_[static_cast<std::size_t>(v)])
+        if (!dirty[static_cast<std::size_t>(c)]) {
+          dirty[static_cast<std::size_t>(c)] = 1;
+          ++count;
+          stack.push_back(c);
+        }
+    }
+  }
+  if (count > limit) return fall_back(flip_head != kNoNode);
+
+  // Rebuild the prefixes of every dirty path head, parents before children
+  // (a head's parent path either kept its prefix or sits earlier in
+  // light-depth order).
+  std::vector<std::int32_t> dirty_paths;
+  for (std::size_t p = 0; p < path_nodes_.size(); ++p)
+    if (head_[p] != kNoNode && dirty[static_cast<std::size_t>(head_[p])])
+      dirty_paths.push_back(static_cast<std::int32_t>(p));
+  std::sort(dirty_paths.begin(), dirty_paths.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return light_depth_[static_cast<std::size_t>(head_[a])] <
+                     light_depth_[static_cast<std::size_t>(head_[b])];
+            });
+  for (const std::int32_t p : dirty_paths) rebuild_prefix(p);
+
+  // Splice: clean labels ride over as word runs, dirty labels re-emit.
+  std::vector<std::uint64_t> scratch;
+  labels_ = bits::LabelArena::patched(
+      labels_, size(), dirty,
+      [&](std::size_t i, BitWriter& w) { emit_label(i, w, scratch); });
+
+  if (flip_head != kNoNode) {
+    ++stats_.restructured;
+    last_outcome_ = RelabelOutcome::kRestructured;
+  } else {
+    ++stats_.incremental;
+    last_outcome_ = RelabelOutcome::kIncremental;
+  }
+  stats_.labels_reemitted += count;
+  stats_.labels_spliced += size() - count;
+  last_dirty_ = count;
+  return x;
+}
+
+void IncrementalRelabeler::check_state() const {
+  const Tree t(parent_, weight_);
+  const HeavyPathDecomposition hpd(t);
+  const nca::HeavyPathCodes codes(hpd, kPolicy);
+  const auto fail = [](const char* what, NodeId v) {
+    throw std::logic_error(std::string("IncrementalRelabeler state: ") +
+                           what + " diverges at node " + std::to_string(v));
+  };
+  // Fresh branch-rd recurrence (same as full_rebuild's).
+  std::vector<std::vector<std::uint64_t>> want_rd(
+      static_cast<std::size_t>(hpd.num_paths()));
+  {
+    std::vector<std::int32_t> order(want_rd.size());
+    for (std::size_t p = 0; p < want_rd.size(); ++p)
+      order[p] = static_cast<std::int32_t>(p);
+    std::sort(order.begin(), order.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return hpd.light_depth(hpd.head(a)) <
+                       hpd.light_depth(hpd.head(b));
+              });
+    for (const std::int32_t p : order) {
+      const NodeId b = t.parent(hpd.head(p));
+      if (b == kNoNode) continue;
+      auto rs = want_rd[static_cast<std::size_t>(hpd.path_of(b))];
+      rs.push_back(t.root_distance(b));
+      want_rd[static_cast<std::size_t>(p)] = std::move(rs);
+    }
+  }
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (heavy_[i] != hpd.heavy_child(v)) fail("heavy_child", v);
+    if (light_depth_[i] != hpd.light_depth(v)) fail("light_depth", v);
+    if (pos_in_path_[i] != hpd.pos_in_path(v)) fail("pos_in_path", v);
+    if (subtree_size_[i] != t.subtree_size(v)) fail("subtree_size", v);
+    if (root_dist_[i] != t.root_distance(v)) fail("root_distance", v);
+    const auto p = static_cast<std::size_t>(path_of_[i]);
+    const std::int32_t fp = hpd.path_of(v);
+    if (head_[p] != hpd.head(fp)) fail("path head", v);
+    const auto nodes = hpd.path_nodes(fp);
+    if (path_nodes_[p] != std::vector<NodeId>(nodes.begin(), nodes.end()))
+      fail("path_nodes", v);
+    const auto want_pc = codes.position_codes(fp);
+    if (pos_code_[p].size() != want_pc.size()) fail("pos_code size", v);
+    for (std::size_t q = 0; q < want_pc.size(); ++q)
+      if (pos_code_[p][q].bits != want_pc[q].bits ||
+          pos_code_[p][q].len != want_pc[q].len)
+        fail("pos_code", v);
+    if (!(prefix_[p] == codes.prefix(fp))) fail("prefix", v);
+    if (bounds_[p] != codes.prefix_bounds(fp)) fail("bounds", v);
+    if (branch_rd_[p] != want_rd[static_cast<std::size_t>(fp)])
+      fail("branch_rd", v);
+  }
+  for (const std::int32_t p : free_paths_)
+    if (head_[static_cast<std::size_t>(p)] != kNoNode)
+      fail("free list names a live path", head_[static_cast<std::size_t>(p)]);
+}
+
+LabelStore::LoadedArena IncrementalRelabeler::to_loaded() const {
+  LabelStore::LoadedArena out;
+  out.scheme = scheme_tag();
+  out.labels = labels_;
+  return out;
+}
+
+Tree IncrementalRelabeler::snapshot() const { return Tree(parent_, weight_); }
+
+}  // namespace treelab::core

@@ -1,0 +1,191 @@
+// IncrementalRelabeler — the build-side half of the dynamic-forest story.
+//
+// The deployment model is "compute labels once centrally, ship them, answer
+// locally" — but real forests grow. A from-scratch relabel of an n-node tree
+// costs the full pipeline (HPD, code tables, O(n log n) bits of emission)
+// for every edit; this class maintains an Alstrup distance labeling under
+// leaf inserts/appends and re-emits only the labels an edit actually dirties,
+// splicing them into the deterministic bits::LabelArena layout
+// (LabelArena::patched). The result is *bit-identical* to
+// AlstrupScheme(tree, {kStablePow2}) built from scratch on the edited tree —
+// asserted across randomized edit sequences in tests/incremental_relabel_test
+// the same way parallel_build_test asserts thread-count parity.
+//
+// Why the stable weight policy: with the paper's exact Gilbert–Moore weights
+// a single leaf insert bumps a subtree size on *every* heavy path up the
+// root path, every cumulative weight sum shifts, and every label in the tree
+// changes — there is nothing incremental to save. Under
+// nca::CodeWeights::kStablePow2 (weights rounded up to powers of two,
+// light children in node-id order) a code table changes only when a mass
+// crosses a power of two or a path gains a member, so a typical edit dirties
+// one small cone instead of the world. The dirty set is:
+//   * the new leaf itself,
+//   * subtree(head(P)) for every heavy path P whose position-code table
+//     changed (a crossed power of two at a branch node, or a path extended
+//     by the new leaf),
+//   * the light subtrees of every branch node whose light-choice table
+//     changed (a new light child, or a light child's quantized size
+//     crossing).
+//
+// Fallbacks: an edit that flips a heavy-child choice anywhere restructures
+// the decomposition, and an edit whose dirty cone covers most of the tree is
+// cheaper to rebuild outright; both fall back to a full rebuild, separately
+// counted and exposed via stats() so operators can see how incremental their
+// workload actually is. Fallbacks produce the same bits (the whole point),
+// only slower.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/alphabetic.hpp"
+#include "bits/label_arena.hpp"
+#include "core/label_store.hpp"
+#include "nca/heavy_path_codes.hpp"
+#include "tree/tree.hpp"
+
+namespace treelab::core {
+
+struct RelabelOptions {
+  /// Emission parallelism for full rebuilds (0 = TREELAB_THREADS / hw).
+  /// Incremental re-emission is serial — dirty sets are small by design.
+  int threads = 0;
+  /// Fall back to a full rebuild when an edit dirties more than this
+  /// fraction of the labels (past that point splicing saves nothing).
+  /// Small trees always go incremental (the cutoff is floored at 256 dirty
+  /// labels) so the incremental machinery stays exercised; <= 0 forces a
+  /// full rebuild on every edit (testing/ops escape hatch).
+  double max_dirty_fraction = 0.5;
+};
+
+/// How the last edit was applied.
+enum class RelabelOutcome : std::uint8_t {
+  kIncremental,    ///< dirty labels re-emitted, rest spliced
+  kRestructured,   ///< a heavy-child flip, contained: the flipped path
+                   ///< head's subtree was re-decomposed, then spliced
+  kFullHeavyFlip,  ///< a flip whose subtree exceeded the limit: full rebuild
+  kFullDirtyCone,  ///< dirty cone above max_dirty_fraction: full rebuild
+};
+
+struct RelabelStats {
+  std::uint64_t edits = 0;
+  std::uint64_t incremental = 0;   ///< spliced, decomposition untouched
+  std::uint64_t restructured = 0;  ///< spliced after a local re-decomposition
+  std::uint64_t full_heavy_flip = 0;
+  std::uint64_t full_dirty_cone = 0;
+  std::uint64_t labels_reemitted = 0;  ///< over incremental + restructured
+  std::uint64_t labels_spliced = 0;    ///< clean labels carried over
+};
+
+class IncrementalRelabeler {
+ public:
+  explicit IncrementalRelabeler(const tree::Tree& initial,
+                                RelabelOptions opt = {});
+
+  IncrementalRelabeler(const IncrementalRelabeler&) = delete;
+  IncrementalRelabeler& operator=(const IncrementalRelabeler&) = delete;
+
+  /// Appends a new leaf under `parent` (edge weight `weight`) and brings the
+  /// labeling up to date. Returns the new node's id (ids are dense; the new
+  /// leaf gets the current size()). Throws std::out_of_range on a bad
+  /// parent.
+  tree::NodeId insert_leaf(tree::NodeId parent, std::uint32_t weight = 1);
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// The current labeling: bit-identical to
+  /// AlstrupScheme(snapshot(), {nca::CodeWeights::kStablePow2}).labels().
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
+    return labels_;
+  }
+
+  /// The scheme tag / params the labels carry on the wire (LabelStore).
+  [[nodiscard]] static const char* scheme_tag() noexcept { return "alstrup"; }
+
+  /// A LoadedArena copy of the current labeling, ready for
+  /// serve::ForestIndex::add / update — the hot-swap hand-off.
+  [[nodiscard]] LabelStore::LoadedArena to_loaded() const;
+
+  /// An immutable Tree snapshot of the current (edited) tree — the
+  /// from-scratch reference the parity tests rebuild schemes on.
+  [[nodiscard]] tree::Tree snapshot() const;
+
+  /// Debug/test hook: recomputes the decomposition and code state from
+  /// scratch on the current tree and throws std::logic_error naming the
+  /// first divergence (path numbering aside, which is internal). O(n) —
+  /// meant for tests, not production edits.
+  void check_state() const;
+
+  [[nodiscard]] const RelabelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] RelabelOutcome last_outcome() const noexcept {
+    return last_outcome_;
+  }
+  /// Labels re-emitted by the last edit (size() on a fallback).
+  [[nodiscard]] std::size_t last_dirty_count() const noexcept {
+    return last_dirty_;
+  }
+
+ private:
+  using NodeId = tree::NodeId;
+
+  void full_rebuild();
+  void append_node(NodeId parent, std::uint32_t weight);
+  /// Re-runs the paper-half heavy descent over every path crossed by the
+  /// root-to-parent chain with the post-edit sizes. Returns the head of the
+  /// topmost path with a heavy-child flip (kNoNode if none — flips are
+  /// confined to that head's subtree, every deeper crossed path lies inside
+  /// it); sets `extends` when the new leaf (already appended) continues its
+  /// parent's path as the heavy child.
+  [[nodiscard]] NodeId recheck_heavy(const std::vector<NodeId>& chain,
+                                     NodeId leaf, bool* extends) const;
+  /// Re-decomposes subtree(h) from scratch (heavy paths, position tables,
+  /// branch distances), recycling the path ids it replaces. h must be a
+  /// path head, and the decomposition above h must be current. Prefixes of
+  /// the new paths are NOT built here — the caller's dirty-head pass does
+  /// that (every node of subtree(h) is dirty by then).
+  void restructure(NodeId h);
+  [[nodiscard]] std::int32_t alloc_path();
+  [[nodiscard]] std::vector<std::uint64_t> position_weights(
+      std::int32_t p) const;
+  [[nodiscard]] std::vector<bits::Codeword> light_codes_at(
+      NodeId v, std::size_t* index_of, NodeId child) const;
+  void rebuild_prefix(std::int32_t p);
+  void emit_label(std::size_t i, bits::BitWriter& w,
+                  std::vector<std::uint64_t>& scratch) const;
+
+  RelabelOptions opt_;
+  RelabelStats stats_;
+  RelabelOutcome last_outcome_ = RelabelOutcome::kIncremental;
+  std::size_t last_dirty_ = 0;
+
+  // Dynamic tree state (ids dense, children kept in ascending-id order —
+  // new leaves take the max id, so push_back preserves Tree's ordering).
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> weight_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> subtree_size_;
+  std::vector<std::uint64_t> root_dist_;
+
+  // Heavy path decomposition state (paper >= |T|/2 variant). Path ids are
+  // internal bookkeeping — label bits never depend on the numbering, so
+  // incremental numbering may differ from a fresh HPD's without breaking
+  // parity.
+  std::vector<NodeId> heavy_;
+  std::vector<std::int32_t> path_of_;
+  std::vector<std::int32_t> pos_in_path_;
+  std::vector<std::int32_t> light_depth_;
+  std::vector<std::vector<NodeId>> path_nodes_;  // per path, top to bottom
+  std::vector<NodeId> head_;  // per path; kNoNode = recycled slot
+  std::vector<std::int32_t> free_paths_;  // recycled ids (restructure)
+
+  // Stable-policy code state, per path.
+  std::vector<std::vector<std::uint64_t>> pos_wts_;  // quantized weights
+  std::vector<std::vector<bits::Codeword>> pos_code_;
+  std::vector<bits::BitVec> prefix_;
+  std::vector<std::vector<std::uint64_t>> bounds_;
+  std::vector<std::vector<std::uint64_t>> branch_rd_;
+
+  bits::LabelArena labels_;
+};
+
+}  // namespace treelab::core

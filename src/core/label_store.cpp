@@ -78,18 +78,6 @@ void put_label(std::ostream& os, std::string& buf, const std::uint64_t* words,
   os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
-/// Reads one label's length-prefixed payload into `bytes` and returns the
-/// bit length. Shared validation for both version-1 load paths.
-std::uint64_t get_label_bytes(std::istream& is, std::string& bytes) {
-  const auto bitlen = get<std::uint64_t>(is);
-  if (bitlen > (std::uint64_t{1} << 32))
-    throw std::runtime_error("LabelStore: implausible label length");
-  bytes.resize(static_cast<std::size_t>((bitlen + 7) / 8));
-  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!is) throw std::runtime_error("LabelStore: truncated label");
-  return bitlen;
-}
-
 /// Appends `bitlen` bits decoded from little-endian `bytes` into a writer,
 /// a word at a time.
 void append_label_bits(bits::BitWriter& w, const std::string& bytes,
@@ -111,6 +99,38 @@ void append_label_bits(bits::BitWriter& w, const std::string& bytes,
   }
 }
 
+/// Streams one label's `nbytes`-byte payload (word-multiple chunks) into
+/// `w`, appending exactly `bitlen` bits. Chunked so that a corrupt length
+/// field costs at most one bounded buffer before the truncation is
+/// detected — never a length-directory-sized allocation.
+constexpr std::size_t kPayloadChunkBytes = std::size_t{1} << 20;
+
+void read_label_payload(std::istream& is, bits::BitWriter& w,
+                        std::uint64_t nbytes, std::uint64_t bitlen,
+                        std::string& buf) {
+  std::uint64_t bits_left = bitlen;
+  while (nbytes > 0) {
+    const auto take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(nbytes, kPayloadChunkBytes));
+    buf.resize(take);
+    is.read(buf.data(), static_cast<std::streamsize>(take));
+    if (!is) throw std::runtime_error("LabelStore: truncated label");
+    const std::uint64_t chunk_bits =
+        std::min<std::uint64_t>(bits_left, std::uint64_t{take} * 8);
+    append_label_bits(w, buf, chunk_bits);
+    bits_left -= chunk_bits;
+    nbytes -= take;
+  }
+}
+
+/// Length field of a version-1 label, bounds-checked.
+std::uint64_t get_label_bitlen(std::istream& is) {
+  const auto bitlen = get<std::uint64_t>(is);
+  if (bitlen > (std::uint64_t{1} << 32))
+    throw std::runtime_error("LabelStore: implausible label length");
+  return bitlen;
+}
+
 struct Header {
   std::string scheme;
   std::string params;
@@ -118,6 +138,25 @@ struct Header {
   std::uint32_t version = 0;
   std::size_t bytes = 0;  ///< serialized header size, through the count field
 };
+
+/// Bounds a label count against the stream's remaining bytes when the
+/// stream is seekable (every label costs >= 8 bytes in either container
+/// version: a length prefix in v1, a directory entry in v2). A corrupt
+/// count field must fail loudly up front, not via count-sized allocations.
+void check_count_plausible(std::istream& is, std::uint64_t count) {
+  if (count == 0) return;
+  const auto pos = is.tellg();
+  if (pos < 0) return;  // non-seekable: streamed reads detect truncation
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.clear();
+  is.seekg(pos);
+  if (end < 0) return;
+  const std::uint64_t remaining =
+      end >= pos ? static_cast<std::uint64_t>(end - pos) : 0;
+  if (count > remaining / 8)
+    throw std::runtime_error("LabelStore: label count exceeds stream size");
+}
 
 Header read_and_check_header(std::istream& is, const char* magic,
                              std::uint32_t max_version) {
@@ -141,13 +180,23 @@ Header read_and_check_header(std::istream& is, const char* magic,
 // --- version-2 (mappable) payload ------------------------------------------
 
 /// Directory entries of a version-2 container, with the per-label bound of
-/// get_label_bytes applied.
+/// get_label_bytes applied — and, mirroring MappedArena::map's defence, a
+/// guard on the *accumulated* word count: the per-entry bound alone still
+/// lets an adversarial directory overflow a size_t accumulator downstream
+/// (32-bit hosts; or future arithmetic on the total).
 std::vector<std::size_t> read_lens(std::istream& is, std::uint64_t count) {
   std::vector<std::size_t> lens(static_cast<std::size_t>(count));
+  std::uint64_t total_words = 0;
   for (auto& l : lens) {
     const auto bitlen = get<std::uint64_t>(is);
     if (bitlen > (std::uint64_t{1} << 32))
       throw std::runtime_error("LabelStore: implausible label length");
+    const std::uint64_t nw = bitlen / 64 + (bitlen % 64 != 0 ? 1 : 0);
+    if (total_words > std::numeric_limits<std::uint64_t>::max() - nw ||
+        total_words + nw >
+            std::numeric_limits<std::size_t>::max() / sizeof(std::uint64_t))
+      throw std::runtime_error("LabelStore: length directory overflows");
+    total_words += nw;
     l = static_cast<std::size_t>(bitlen);
   }
   return lens;
@@ -164,15 +213,6 @@ std::size_t pad_after_directory(std::size_t header_bytes, std::uint64_t count) {
 void skip_padding(std::istream& is, std::size_t pad) {
   for (std::size_t i = 0; i < pad; ++i)
     if (is.get() < 0) throw std::runtime_error("LabelStore: truncated padding");
-}
-
-/// Reads label i's zero-padded word payload (ceil(bits/64) words of
-/// little-endian bytes) into `bytes`.
-void get_padded_label_bytes(std::istream& is, std::string& bytes,
-                            std::size_t bitlen) {
-  bytes.resize(((bitlen + 63) / 64) * 8);
-  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!is) throw std::runtime_error("LabelStore: truncated label");
 }
 
 }  // namespace
@@ -215,6 +255,7 @@ void LabelStore::save_mappable(std::ostream& os, std::string_view scheme,
 
 LabelStore::Loaded LabelStore::load(std::istream& is) {
   const Header h = read_and_check_header(is, kMagic, kVersionMappable);
+  check_count_plausible(is, h.count);
   Loaded out;
   out.scheme = h.scheme;
   out.params = h.params;
@@ -222,18 +263,18 @@ LabelStore::Loaded LabelStore::load(std::istream& is) {
   std::string bytes;
   if (h.version == kVersion) {
     for (std::uint64_t i = 0; i < h.count; ++i) {
-      const std::uint64_t bitlen = get_label_bytes(is, bytes);
+      const std::uint64_t bitlen = get_label_bitlen(is);
       bits::BitWriter w;
-      append_label_bits(w, bytes, bitlen);
+      read_label_payload(is, w, (bitlen + 7) / 8, bitlen, bytes);
       out.labels.push_back(w.take());
     }
   } else {
     const std::vector<std::size_t> lens = read_lens(is, h.count);
     skip_padding(is, pad_after_directory(h.bytes, h.count));
     for (const std::size_t bitlen : lens) {
-      get_padded_label_bytes(is, bytes, bitlen);
       bits::BitWriter w;
-      append_label_bits(w, bytes, bitlen);
+      read_label_payload(is, w, ((std::uint64_t{bitlen} + 63) / 64) * 8,
+                         bitlen, bytes);
       out.labels.push_back(w.take());
     }
   }
@@ -242,6 +283,7 @@ LabelStore::Loaded LabelStore::load(std::istream& is) {
 
 LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
   const Header h = read_and_check_header(is, kMagic, kVersionMappable);
+  check_count_plausible(is, h.count);
   LoadedArena out;
   out.scheme = h.scheme;
   out.params = h.params;
@@ -252,8 +294,8 @@ LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
     out.labels = bits::LabelArena::build(
         static_cast<std::size_t>(h.count), 1,
         [&](std::size_t, bits::BitWriter& w) {
-          const std::uint64_t bitlen = get_label_bytes(is, bytes);
-          append_label_bits(w, bytes, bitlen);
+          const std::uint64_t bitlen = get_label_bitlen(is);
+          read_label_payload(is, w, (bitlen + 7) / 8, bitlen, bytes);
         });
   } else {
     const std::vector<std::size_t> lens = read_lens(is, h.count);
@@ -261,8 +303,8 @@ LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
     out.labels = bits::LabelArena::build(
         static_cast<std::size_t>(h.count), 1,
         [&](std::size_t i, bits::BitWriter& w) {
-          get_padded_label_bytes(is, bytes, lens[i]);
-          append_label_bits(w, bytes, lens[i]);
+          read_label_payload(is, w, ((std::uint64_t{lens[i]} + 63) / 64) * 8,
+                             lens[i], bytes);
         });
   }
   return out;
@@ -274,6 +316,7 @@ LabelStore::MappedLoaded LabelStore::open_mapped(const std::string& path) {
     if (!is)
       throw std::runtime_error("LabelStore: cannot open " + path);
     const Header h = read_and_check_header(is, kMagic, kVersionMappable);
+    check_count_plausible(is, h.count);
     if (h.version == kVersionMappable) {
       std::vector<std::size_t> lens = read_lens(is, h.count);
       const std::size_t words_offset = h.bytes +

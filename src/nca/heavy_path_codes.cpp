@@ -14,8 +14,9 @@ using tree::kNoNode;
 using tree::NodeId;
 using tree::Tree;
 
-HeavyPathCodes::HeavyPathCodes(const HeavyPathDecomposition& hpd)
-    : hpd_(&hpd) {
+HeavyPathCodes::HeavyPathCodes(const HeavyPathDecomposition& hpd,
+                               CodeWeights weights)
+    : hpd_(&hpd), weights_(weights) {
   const Tree& t = hpd.tree();
   const std::int32_t m = hpd.num_paths();
   pos_code_.resize(static_cast<std::size_t>(m));
@@ -35,7 +36,7 @@ HeavyPathCodes::HeavyPathCodes(const HeavyPathDecomposition& hpd)
       for (NodeId c : t.children(w))
         if (c != hpd.heavy_child(w))
           mass += static_cast<std::uint64_t>(t.subtree_size(c));
-      wts.push_back(mass);
+      wts.push_back(code_weight(mass, weights_));
     }
     pos_code_[static_cast<std::size_t>(p)] = bits::alphabetic_code(wts);
 
@@ -44,15 +45,19 @@ HeavyPathCodes::HeavyPathCodes(const HeavyPathDecomposition& hpd)
       for (NodeId c : t.children(nodes[q]))
         if (c != hpd.heavy_child(nodes[q])) lights.push_back(c);
       if (lights.empty()) continue;
-      // Same ordering as CollapsedTree (ascending subtree size, stable), so
-      // light-choice code order == domination order.
-      std::stable_sort(lights.begin(), lights.end(),
-                       [&](NodeId a, NodeId b) {
-                         return t.subtree_size(a) < t.subtree_size(b);
-                       });
+      // kExact: same ordering as CollapsedTree (ascending subtree size,
+      // stable), so light-choice code order == domination order.
+      // kStablePow2: node-id order (children() order), which never moves
+      // when subtrees grow — the stability the incremental path relies on.
+      if (weights_ == CodeWeights::kExact)
+        std::stable_sort(lights.begin(), lights.end(),
+                         [&](NodeId a, NodeId b) {
+                           return t.subtree_size(a) < t.subtree_size(b);
+                         });
       std::vector<std::uint64_t> lw;
       for (NodeId c : lights)
-        lw.push_back(static_cast<std::uint64_t>(t.subtree_size(c)));
+        lw.push_back(code_weight(
+            static_cast<std::uint64_t>(t.subtree_size(c)), weights_));
       const auto lcodes = bits::alphabetic_code(lw);
       for (std::size_t i = 0; i < lights.size(); ++i) {
         const std::int32_t cp = hpd.path_of(lights[i]);

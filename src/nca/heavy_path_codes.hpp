@@ -8,9 +8,24 @@
 // the alternating (position, light-choice) codewords of the light edges
 // leading to it from the root, together with the component end boundaries.
 // A node's full NCA label is prefix(path) + terminal position code.
+//
+// Two weight policies coexist (CodeWeights):
+//   * kExact — the paper's construction: weights are exact subtree sizes /
+//     light masses, light children sorted by ascending subtree size (the
+//     CollapsedTree domination order FGNW's accumulator invariant needs).
+//     One inserted leaf perturbs every cumulative sum it appears under, so
+//     labels are maximally tight but globally unstable under edits.
+//   * kStablePow2 — the dynamic-forest construction: weights are rounded up
+//     to the next power of two and light children keep node-id order. Codes
+//     stay prefix-free and order-preserving (queries are unchanged), labels
+//     grow by at most ~1 bit per component, and a size change only reaches
+//     the codes when it crosses a power of two — which is what makes
+//     IncrementalRelabeler's dirty cones small instead of the whole tree.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bits/alphabetic.hpp"
@@ -19,9 +34,22 @@
 
 namespace treelab::nca {
 
+/// Weight policy for the Gilbert–Moore code tables (see file comment).
+enum class CodeWeights : std::uint8_t {
+  kExact,       ///< exact subtree sizes, domination-ordered light children
+  kStablePow2,  ///< pow2-rounded weights, id-ordered light children
+};
+
+/// The Gilbert–Moore weight charged for a mass of `size` under `policy`.
+[[nodiscard]] inline std::uint64_t code_weight(std::uint64_t size,
+                                               CodeWeights policy) noexcept {
+  return policy == CodeWeights::kStablePow2 ? std::bit_ceil(size) : size;
+}
+
 class HeavyPathCodes {
  public:
-  explicit HeavyPathCodes(const tree::HeavyPathDecomposition& hpd);
+  explicit HeavyPathCodes(const tree::HeavyPathDecomposition& hpd,
+                          CodeWeights weights = CodeWeights::kExact);
 
   /// Concatenated branch codewords above path p (2 components per level).
   [[nodiscard]] const bits::BitVec& prefix(std::int32_t p) const noexcept {
@@ -40,12 +68,21 @@ class HeavyPathCodes {
     return pos_code_[p][static_cast<std::size_t>(hpd_->pos_in_path(v))];
   }
 
+  /// Position codewords of every node of path p, top to bottom.
+  [[nodiscard]] std::span<const bits::Codeword> position_codes(
+      std::int32_t p) const noexcept {
+    return pos_code_[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] CodeWeights weights() const noexcept { return weights_; }
+
   [[nodiscard]] const tree::HeavyPathDecomposition& hpd() const noexcept {
     return *hpd_;
   }
 
  private:
   const tree::HeavyPathDecomposition* hpd_;
+  CodeWeights weights_;
   std::vector<std::vector<bits::Codeword>> pos_code_;  // per path, per pos
   std::vector<bits::BitVec> prefix_;
   std::vector<std::vector<std::uint64_t>> bounds_;

@@ -127,9 +127,23 @@ std::int32_t AttachedNcaLabel::lightdepth() const noexcept {
   return static_cast<std::int32_t>((bounds_.size() - 1) / 2);
 }
 
-NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd, int threads) {
+void emit_nca_label(bits::BitWriter& w, bits::BitSpan prefix,
+                    std::span<const std::uint64_t> prefix_bounds,
+                    bits::Codeword terminal,
+                    std::vector<std::uint64_t>& bounds_scratch) {
+  const std::size_t code_len =
+      prefix.size() + static_cast<std::size_t>(terminal.len);
+  bounds_scratch.assign(prefix_bounds.begin(), prefix_bounds.end());
+  bounds_scratch.push_back(code_len);
+  (void)MonotoneSeq::encode_to(w, bounds_scratch, code_len);
+  w.append(prefix);
+  terminal.write_to(w);
+}
+
+NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd, int threads,
+                         CodeWeights weights) {
   const Tree& t = hpd.tree();
-  const HeavyPathCodes codes(hpd);
+  const HeavyPathCodes codes(hpd, weights);
 
   // Label layout: MonotoneSeq of component end positions (in code bits),
   // then the code bits themselves. Emission is per node and pure, so it
@@ -141,15 +155,8 @@ NcaLabeling::NcaLabeling(const HeavyPathDecomposition& hpd, int threads) {
           std::size_t i, BitWriter& w) mutable {
         const auto v = static_cast<NodeId>(i);
         const std::int32_t p = hpd.path_of(v);
-        const BitVec& pre = codes.prefix(p);
-        const bits::Codeword term = codes.terminal(v);
-        const std::size_t code_len =
-            pre.size() + static_cast<std::size_t>(term.len);
-        bs = codes.prefix_bounds(p);
-        bs.push_back(code_len);
-        (void)MonotoneSeq::encode_to(w, bs, code_len);
-        w.append(pre);
-        term.write_to(w);
+        emit_nca_label(w, codes.prefix(p), codes.prefix_bounds(p),
+                       codes.terminal(v), bs);
       });
 }
 

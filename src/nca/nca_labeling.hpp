@@ -23,15 +23,29 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bits/bitvec.hpp"
 #include "bits/label_arena.hpp"
 #include "bits/monotone.hpp"
+#include "nca/heavy_path_codes.hpp"
 #include "tree/hpd.hpp"
 #include "tree/tree.hpp"
 
 namespace treelab::nca {
+
+/// Emits one Lemma 2.1 label from its path's code machinery: the MonotoneSeq
+/// of component boundaries, the concatenated branch prefix, then the terminal
+/// position codeword. This is the single definition of the NCA label layout —
+/// NcaLabeling's bulk build and core::IncrementalRelabeler's dirty-label
+/// re-emission both call it, which is what makes "incremental == from
+/// scratch" a structural property rather than a hoped-for one.
+/// `bounds_scratch` is caller-owned scratch (cleared and refilled).
+void emit_nca_label(bits::BitWriter& w, bits::BitSpan prefix,
+                    std::span<const std::uint64_t> prefix_bounds,
+                    bits::Codeword terminal,
+                    std::vector<std::uint64_t>& bounds_scratch);
 
 struct NcaResult {
   enum class Rel : std::uint8_t {
@@ -76,9 +90,12 @@ class NcaLabeling {
 
   /// Builds labels for every node of `hpd.tree()` on up to `threads`
   /// threads (1 = serial, 0 = TREELAB_THREADS / hardware default); the
-  /// label bits do not depend on the thread count.
+  /// label bits do not depend on the thread count. `weights` selects the
+  /// Gilbert–Moore weight policy (see nca::CodeWeights); queries accept
+  /// labels from either policy — the bits are self-describing.
   explicit NcaLabeling(const tree::HeavyPathDecomposition& hpd,
-                       int threads = 1);
+                       int threads = 1,
+                       CodeWeights weights = CodeWeights::kExact);
 
   [[nodiscard]] bits::BitSpan label(tree::NodeId v) const noexcept {
     return labels_[static_cast<std::size_t>(v)];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/parallel.hpp"
 
@@ -12,6 +13,12 @@ namespace {
 std::uint64_t cache_key(TreeId tree, tree::NodeId u) noexcept {
   return (static_cast<std::uint64_t>(tree) << 32) |
          static_cast<std::uint32_t>(u);
+}
+
+void check_nodes(const Request& r, std::size_t n) {
+  if (r.u < 0 || r.v < 0 || static_cast<std::size_t>(r.u) >= n ||
+      static_cast<std::size_t>(r.v) >= n)
+    throw std::out_of_range("ForestIndex: node id out of range");
 }
 
 }  // namespace
@@ -25,18 +32,27 @@ ForestIndex::ForestIndex(ForestOptions opt) : opt_(opt) {
     shards_.push_back(std::make_unique<Shard>(opt_.cache_bytes_per_shard));
 }
 
-const ForestIndex::TreeEntry& ForestIndex::entry(TreeId tree) const {
+ForestIndex::EntryPtr ForestIndex::entry(TreeId tree) const {
   if (tree >= trees_.size())
     throw std::out_of_range("ForestIndex: tree id out of range");
-  return *trees_[tree];
+  return trees_[tree]->load(std::memory_order_acquire);
+}
+
+ForestIndex::EntryPtr ForestIndex::make_entry(std::string_view scheme,
+                                              std::string_view params,
+                                              bits::MappedArena labels,
+                                              std::uint64_t epoch) {
+  auto e = std::make_shared<TreeEntry>();
+  e->scheme = AnyScheme::make(scheme, params);
+  e->labels = std::move(labels);
+  e->epoch = epoch;
+  return e;
 }
 
 TreeId ForestIndex::add_entry(std::string_view scheme, std::string_view params,
                               bits::MappedArena labels) {
-  auto e = std::make_unique<TreeEntry>();
-  e->scheme = AnyScheme::make(scheme, params);
-  e->labels = std::move(labels);
-  trees_.push_back(std::move(e));
+  trees_.push_back(std::make_unique<std::atomic<EntryPtr>>(
+      make_entry(scheme, params, std::move(labels), 0)));
   return static_cast<TreeId>(trees_.size() - 1);
 }
 
@@ -50,6 +66,54 @@ TreeId ForestIndex::add(core::LabelStore::LoadedArena loaded) {
                    bits::MappedArena::adopt(std::move(loaded.labels)));
 }
 
+std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
+                                      std::string_view params,
+                                      bits::MappedArena labels) {
+  if (tree >= trees_.size())
+    throw std::out_of_range("ForestIndex: tree id out of range");
+  // Swap and invalidate under the shard lock: concurrent updates of the
+  // same tree serialize (epochs stay monotonic), and every query runs its
+  // attach/cache section under the same lock, re-loading the slot there —
+  // so any section ordered after this one sees the new entry, and no stale
+  // attachment can be re-inserted once the erase has run.
+  Shard& sh = *shards_[shard_of(tree)];
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
+  const EntryPtr fresh =
+      make_entry(scheme, params, std::move(labels), old->epoch + 1);
+  trees_[tree]->store(fresh, std::memory_order_release);
+  sh.invalidated += sh.cache.erase_if([tree](std::uint64_t key) {
+    return static_cast<TreeId>(key >> 32) == tree;
+  });
+  return fresh->epoch;
+}
+
+std::uint64_t ForestIndex::update(TreeId tree,
+                                  core::LabelStore::LoadedArena loaded) {
+  return swap_entry(tree, loaded.scheme, loaded.params,
+                    bits::MappedArena::adopt(std::move(loaded.labels)));
+}
+
+std::uint64_t ForestIndex::update_file(TreeId tree, const std::string& path) {
+  auto loaded = core::LabelStore::open_mapped(path);
+  return swap_entry(tree, loaded.scheme, loaded.params,
+                    std::move(loaded.labels));
+}
+
+AnyScheme ForestIndex::scheme(TreeId tree) const { return entry(tree)->scheme; }
+
+std::size_t ForestIndex::label_count(TreeId tree) const {
+  return entry(tree)->labels.size();
+}
+
+bool ForestIndex::mapped(TreeId tree) const {
+  return entry(tree)->labels.mapped();
+}
+
+std::uint64_t ForestIndex::update_epoch(TreeId tree) const {
+  return entry(tree)->epoch;
+}
+
 AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
                                                     tree::NodeId u,
                                                     const TreeEntry& e) const {
@@ -61,19 +125,33 @@ AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
   return att;
 }
 
-Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
-  const TreeEntry& e = *trees_[r.tree];
-  const auto n = static_cast<std::size_t>(e.labels.size());
-  if (r.u < 0 || r.v < 0 || static_cast<std::size_t>(r.u) >= n ||
-      static_cast<std::size_t>(r.v) >= n)
-    throw std::out_of_range("ForestIndex: node id out of range");
+Dist ForestIndex::query_entry_locked(Shard& sh, const Request& r,
+                                     const TreeEntry& e) const {
+  check_nodes(r, e.labels.size());
   const AnyScheme::AttachedPtr au = attached_locked(sh, r.tree, r.u, e);
   const AnyScheme::AttachedPtr av = attached_locked(sh, r.tree, r.v, e);
   return e.scheme.query(*au, *av);
 }
 
+Dist ForestIndex::query_entry_uncached(const Request& r,
+                                       const TreeEntry& e) const {
+  // Raw-label query path for entries that are no longer live (a batch
+  // snapshot overtaken by update()): correct against e, never cached.
+  return e.scheme.query(e.labels.view(static_cast<std::size_t>(r.u)),
+                        e.labels.view(static_cast<std::size_t>(r.v)));
+}
+
+Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
+  // Load the slot *under the shard lock*: anything this query inserts into
+  // the cache belongs to the labeling a concurrent update() will (or did)
+  // invalidate against — see swap_entry().
+  const EntryPtr e = trees_[r.tree]->load(std::memory_order_acquire);
+  return query_entry_locked(sh, r, *e);
+}
+
 Dist ForestIndex::query(const Request& r) const {
-  (void)entry(r.tree);  // range check before taking the shard lock
+  if (r.tree >= trees_.size())
+    throw std::out_of_range("ForestIndex: tree id out of range");
   Shard& sh = *shards_[shard_of(r.tree)];
   const std::lock_guard<std::mutex> lock(sh.mu);
   return query_locked(sh, r);
@@ -82,13 +160,22 @@ Dist ForestIndex::query(const Request& r) const {
 std::vector<Dist> ForestIndex::query_batch(
     std::span<const Request> reqs) const {
   std::vector<Dist> out(reqs.size());
-  // Partition request indices by shard; within a shard, sort by tree so one
-  // tree's arena (and its cached attachments) is walked contiguously.
+  // Serial pre-pass: validate tree AND node ids in request order (a bad
+  // request must fail deterministically, not from whichever parallel chunk
+  // reaches it first), while partitioning request indices by shard and
+  // snapshotting one entry per distinct tree. Within a shard, requests are
+  // then sorted by tree so one tree's arena (and its cached attachments)
+  // is walked contiguously.
+  std::unordered_map<TreeId, EntryPtr> snap;
   std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    (void)entry(reqs[i].tree);  // validate before the parallel section
-    by_shard[shard_of(reqs[i].tree)].push_back(
-        static_cast<std::uint32_t>(i));
+    const Request& r = reqs[i];
+    if (r.tree >= trees_.size())
+      throw std::out_of_range("ForestIndex: tree id out of range");
+    EntryPtr& e = snap[r.tree];  // load each referenced slot once per batch
+    if (e == nullptr) e = trees_[r.tree]->load(std::memory_order_acquire);
+    check_nodes(r, e->labels.size());
+    by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
   }
   util::parallel_for_chunks(
       shards_.size(), shards_.size(), util::resolve_threads(opt_.threads),
@@ -101,7 +188,26 @@ std::vector<Dist> ForestIndex::query_batch(
                          });
         Shard& sh = *shards_[s];
         const std::lock_guard<std::mutex> lock(sh.mu);
-        for (const std::uint32_t i : idxs) out[i] = query_locked(sh, reqs[i]);
+        // Answers come from the validated snapshot entries, so a batch
+        // never throws past the pre-pass and sees one labeling per tree.
+        // The shard cache may only be used while the snapshot still IS the
+        // live entry (checked per tree run, under the lock): if an update
+        // swapped the tree mid-batch, finish this batch's requests from
+        // the snapshot without touching the cache — caching attachments
+        // of a replaced labeling would undo the update's invalidation.
+        TreeId cur = 0;
+        const TreeEntry* e = nullptr;
+        bool cacheable = false;
+        for (const std::uint32_t i : idxs) {
+          if (e == nullptr || reqs[i].tree != cur) {
+            cur = reqs[i].tree;
+            e = snap.find(cur)->second.get();
+            cacheable =
+                trees_[cur]->load(std::memory_order_acquire).get() == e;
+          }
+          out[i] = cacheable ? query_entry_locked(sh, reqs[i], *e)
+                             : query_entry_uncached(reqs[i], *e);
+        }
       });
   return out;
 }
@@ -115,6 +221,7 @@ ForestIndex::CacheStats ForestIndex::cache_stats() const {
     st.evictions += sh->cache.evictions();
     st.entries += sh->cache.size();
     st.bytes += sh->cache.bytes();
+    st.invalidated += sh->invalidated;
   }
   return st;
 }

@@ -12,18 +12,29 @@
 //     labels are parsed once and queried many times,
 //   * a batch front end: query_batch() partitions requests by shard and
 //     fans the shards out across threads (util/parallel), filling one
-//     result slot per request — deterministic for any thread count.
+//     result slot per request — deterministic for any thread count. Both
+//     tree and node ids are validated in a serial pre-pass, so a bad
+//     request always reports in request order, before any parallel work,
+//   * hot swap: update() replaces one tree's labeling in place — an
+//     epoch-bumping shared_ptr swap of the immutable TreeEntry plus
+//     invalidation of that tree's attached-label cache keys — safe under
+//     concurrent query()/query_batch(). This is how a serving node takes an
+//     IncrementalRelabeler's refreshed labels without downtime.
 //
-// add_file()/add() are not thread-safe; build the index first, then serve.
-// query()/query_batch() are thread-safe (per-shard locking) and may run
-// concurrently with each other.
+// Thread-safety: query(), query_batch(), update(), cache_stats() and the
+// per-tree accessors may all run concurrently. add_file()/add() grow the
+// tree table and must not race with anything — build the initial index
+// first, then serve (updates of *existing* trees are the supported
+// mutation on a live index).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bits/mapped_arena.hpp"
@@ -68,22 +79,33 @@ class ForestIndex {
   /// non-file stream via LabelStore::load_arena).
   TreeId add(core::LabelStore::LoadedArena loaded);
 
+  /// Replaces tree `tree`'s labeling with `loaded` (same or different
+  /// scheme; typically a grown tree's refreshed labels). The swap is atomic
+  /// — concurrent queries see either the old or the new labeling, never a
+  /// mix — and the tree's attached-label cache entries are invalidated, so
+  /// no stale attachment outlives the update. Bumps the tree's epoch and
+  /// returns it. Throws std::out_of_range on a bad id, and what
+  /// AnyScheme::make throws on a bad header.
+  std::uint64_t update(TreeId tree, core::LabelStore::LoadedArena loaded);
+
+  /// update() from a label file (mappable containers are mmap'ed).
+  std::uint64_t update_file(TreeId tree, const std::string& path);
+
   [[nodiscard]] std::size_t tree_count() const noexcept {
     return trees_.size();
   }
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
-  [[nodiscard]] const AnyScheme& scheme(TreeId tree) const {
-    return entry(tree).scheme;
-  }
-  [[nodiscard]] std::size_t label_count(TreeId tree) const {
-    return entry(tree).labels.size();
-  }
+  /// The tree's current scheme handle (a cheap shared handle — safe to keep
+  /// across a concurrent update; it dispatches for the labeling it came
+  /// from).
+  [[nodiscard]] AnyScheme scheme(TreeId tree) const;
+  [[nodiscard]] std::size_t label_count(TreeId tree) const;
   /// True when the tree's labels are served zero-copy from an mmap'ed file.
-  [[nodiscard]] bool mapped(TreeId tree) const {
-    return entry(tree).labels.mapped();
-  }
+  [[nodiscard]] bool mapped(TreeId tree) const;
+  /// How many times update() replaced this tree's labeling (0 = original).
+  [[nodiscard]] std::uint64_t update_epoch(TreeId tree) const;
 
   /// One query through the shard's attached-label cache. Throws
   /// std::out_of_range on a bad tree or node id.
@@ -92,7 +114,13 @@ class ForestIndex {
   /// Answers every request, one result per request in request order.
   /// Requests are grouped by shard (hence by tree), each group attaches its
   /// hot labels once via the shard cache, and shards are fanned out across
-  /// `opt.threads`. Throws std::out_of_range on a bad tree or node id.
+  /// `opt.threads`. Tree AND node ids are validated in a serial pre-pass:
+  /// a bad request throws std::out_of_range deterministically — the first
+  /// offender in request order — before any parallel work starts. The
+  /// batch then answers from the entries it validated (one labeling per
+  /// tree for the whole batch), so an update() landing mid-batch can never
+  /// fail requests the pre-pass accepted — those answers come from the
+  /// pre-update labeling, uncached.
   [[nodiscard]] std::vector<Dist> query_batch(
       std::span<const Request> reqs) const;
 
@@ -102,6 +130,7 @@ class ForestIndex {
     std::size_t evictions = 0;
     std::size_t entries = 0;
     std::size_t bytes = 0;
+    std::size_t invalidated = 0;  ///< attached labels dropped by update()
   };
   /// Aggregated over all shards.
   [[nodiscard]] CacheStats cache_stats() const;
@@ -110,28 +139,51 @@ class ForestIndex {
   struct TreeEntry {
     AnyScheme scheme;
     bits::MappedArena labels;
+    std::uint64_t epoch = 0;
   };
+  using EntryPtr = std::shared_ptr<const TreeEntry>;
   struct Shard {
     explicit Shard(std::size_t capacity_bytes) : cache(capacity_bytes) {}
     mutable std::mutex mu;
     LruCache<std::uint64_t, AnyScheme::AttachedPtr> cache;
+    std::size_t invalidated = 0;
   };
 
-  [[nodiscard]] const TreeEntry& entry(TreeId tree) const;
+  /// The tree's current entry (one atomic load). Throws std::out_of_range
+  /// on a bad id.
+  [[nodiscard]] EntryPtr entry(TreeId tree) const;
   [[nodiscard]] std::size_t shard_of(TreeId tree) const noexcept {
     return tree % shards_.size();
   }
   TreeId add_entry(std::string_view scheme, std::string_view params,
                    bits::MappedArena labels);
+  [[nodiscard]] static EntryPtr make_entry(std::string_view scheme,
+                                           std::string_view params,
+                                           bits::MappedArena labels,
+                                           std::uint64_t epoch);
+  /// Shared body of update()/update_file(): swap the slot and invalidate
+  /// the tree's cached attachments, both under the shard lock.
+  std::uint64_t swap_entry(TreeId tree, std::string_view scheme,
+                           std::string_view params, bits::MappedArena labels);
   /// Cache lookup-or-attach; the shard's mutex must be held.
   [[nodiscard]] AnyScheme::AttachedPtr attached_locked(Shard& sh, TreeId tree,
                                                        tree::NodeId u,
                                                        const TreeEntry& e)
       const;
+  [[nodiscard]] Dist query_entry_locked(Shard& sh, const Request& r,
+                                        const TreeEntry& e) const;
+  /// Cache-bypassing query against a snapshot entry that an update()
+  /// overtook mid-batch (node ids already validated by the pre-pass).
+  [[nodiscard]] Dist query_entry_uncached(const Request& r,
+                                          const TreeEntry& e) const;
+  /// One query against the *current* entry of r.tree (re-loaded under the
+  /// shard lock, so cached attachments always match the live labeling).
   [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const;
 
   ForestOptions opt_;
-  std::vector<std::unique_ptr<const TreeEntry>> trees_;
+  // One atomic slot per tree: queries load the slot, update() stores it.
+  // The vector itself only grows in the (serialized) build phase.
+  std::vector<std::unique_ptr<std::atomic<EntryPtr>>> trees_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -57,6 +57,27 @@ class LruCache {
     }
   }
 
+  /// Removes every entry whose key satisfies `pred`, releasing its cost.
+  /// Returns the number of entries removed. Not counted as evictions (the
+  /// caller is invalidating, not budgeting) — ForestIndex uses this to drop
+  /// a tree's attached labels when its labeling is hot-swapped.
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t removed = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (!pred(it->first)) {
+        ++it;
+        continue;
+      }
+      const auto victim = map_.find(it->first);
+      bytes_ -= victim->second.cost;
+      map_.erase(victim);
+      it = order_.erase(it);
+      ++removed;
+    }
+    return removed;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

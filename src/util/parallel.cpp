@@ -1,18 +1,48 @@
 #include "util/parallel.hpp"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace treelab::util {
 
+namespace {
+
+std::atomic<std::uint64_t> rejections{0};
+
+/// A rejected TREELAB_THREADS is operator input gone wrong; falling back
+/// silently would let a typo masquerade as a deliberate setting. Warn once
+/// per process (the value is re-read on every build, so per-call warnings
+/// would spam).
+int reject(const char* s, int hardware) noexcept {
+  rejections.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set(std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "treelab: ignoring invalid TREELAB_THREADS='%s' "
+                 "(want a whole number >= 1); using %d\n",
+                 s, hardware);
+  return hardware;
+}
+
+}  // namespace
+
+std::uint64_t thread_env_rejections() noexcept {
+  return rejections.load(std::memory_order_relaxed);
+}
+
 int parse_thread_count(const char* s, int hardware) noexcept {
-  if (s == nullptr || *s == '\0') return hardware;
+  if (s == nullptr) return hardware;  // unset: the default, not a rejection
+  if (*s == '\0') return reject(s, hardware);
   errno = 0;
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0') return hardware;  // garbage / trailing junk
-  if (errno == ERANGE || v < 1) return hardware;  // overflow / zero / negative
-  if (v > hardware) return hardware;              // clamp
+  if (end == s || *end != '\0')
+    return reject(s, hardware);  // garbage / trailing junk
+  if (errno == ERANGE || v < 1)
+    return reject(s, hardware);  // overflow / zero / negative
+  if (v > hardware) return hardware;  // clamp: valid ambition, no warning
   return static_cast<int>(v);
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -27,8 +28,15 @@ namespace treelab::util {
 /// [1, hardware]. Zero, negative, empty, trailing-garbage ("4x") and
 /// overflowing values are rejected (returning `hardware`, the default);
 /// values above `hardware` are clamped to it — oversubscribing the fork/join
-/// pools only adds scheduling noise, never throughput.
+/// pools only adds scheduling noise, never throughput. A rejection is not
+/// silent: it bumps thread_env_rejections() and, once per process, prints a
+/// stderr warning — a typo'd env var must not masquerade as a deliberate
+/// setting.
 [[nodiscard]] int parse_thread_count(const char* s, int hardware) noexcept;
+
+/// How many times parse_thread_count rejected a value this process (the
+/// observable side of the one-time warning; clamping does not count).
+[[nodiscard]] std::uint64_t thread_env_rejections() noexcept;
 
 /// `threads` if positive, else thread_count().
 [[nodiscard]] inline int resolve_threads(int threads) noexcept {

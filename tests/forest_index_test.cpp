@@ -6,16 +6,19 @@
 // coverage for the byte-bounded LruCache the shards are built on.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
 #include "core/fgnw_scheme.hpp"
+#include "core/incremental_relabeler.hpp"
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
@@ -223,6 +226,225 @@ TEST(ForestIndex, TinyCacheEvictsButStaysCorrect) {
   EXPECT_GT(st.evictions, 0u);
   EXPECT_LE(st.entries, 1u);
   cleanup(files);
+}
+
+TEST(ForestIndex, BatchValidatesNodeIdsInRequestOrder) {
+  // A bad node id deep in the batch must be reported deterministically —
+  // the FIRST offending request in request order, before any parallel work
+  // — not from whichever shard chunk trips over it first.
+  ForestOptions opt;
+  opt.shards = 4;
+  opt.threads = 4;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  build_forest(index, files);
+  std::vector<Request> reqs;
+  for (NodeId u = 0; u < 20; ++u) reqs.push_back({0, u, NodeId{0}});
+  reqs.push_back({1, NodeId{100000}, 0});  // first offender, request 20
+  reqs.push_back({2, NodeId{-7}, 0});      // later offender, never reached
+  try {
+    (void)index.query_batch(reqs);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "ForestIndex: node id out of range");
+  }
+  // The serial pre-pass rejected the batch before any query ran or any
+  // label got attached.
+  EXPECT_EQ(index.cache_stats().entries, 0u);
+  cleanup(files);
+}
+
+TEST(ForestIndex, UpdateSwapsLabelingAndInvalidatesCache) {
+  ForestOptions opt;
+  opt.shards = 1;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(150, 91);
+
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+  EXPECT_EQ(index.update_epoch(id), 0u);
+
+  // Warm the cache on the original labeling.
+  for (NodeId u = 0; u < 40; ++u) (void)index.query({id, u, NodeId{0}});
+  EXPECT_GT(index.cache_stats().entries, 0u);
+
+  // Grow the tree, hot-swap the refreshed labels.
+  for (int e = 0; e < 20; ++e)
+    (void)relab.insert_leaf(static_cast<NodeId>(e % 150));
+  EXPECT_EQ(index.update(id, relab.to_loaded()), 1u);
+  EXPECT_EQ(index.update_epoch(id), 1u);
+  EXPECT_EQ(index.label_count(id), 170u);
+  const auto st = index.cache_stats();
+  EXPECT_EQ(st.entries, 0u);  // the tree's attachments were dropped
+  EXPECT_GT(st.invalidated, 0u);
+
+  // Every query — including against the new nodes — answers exactly.
+  const Tree now = relab.snapshot();
+  const tree::NcaIndex oracle(now);
+  for (NodeId u = 0; u < now.size(); u += 7)
+    for (NodeId v = 0; v < now.size(); v += 11)
+      EXPECT_EQ(index.query({id, u, v}).value, oracle.distance(u, v));
+
+  EXPECT_THROW(
+      (void)index.update(TreeId{99}, relab.to_loaded()),
+      std::out_of_range);
+}
+
+TEST(ForestIndex, UpdateFileSwapsToTheNewMappedLabeling) {
+  ForestOptions opt;
+  opt.shards = 2;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  const std::vector<Tree> trees = build_forest(index, files);
+
+  // Replace tree 0 (fgnw) with an alstrup labeling of another tree, from a
+  // fresh mappable file: scheme and size both change under the same id.
+  const Tree t_new = tree::random_tree(90, 92);
+  const std::string path = temp_path("update_v2");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    core::LabelStore::save_mappable(
+        out, "alstrup", core::AlstrupScheme(t_new).labels(), "");
+  }
+  files.push_back(path);
+  EXPECT_EQ(index.update_file(0, path), 1u);
+  EXPECT_EQ(index.scheme(0).name(), "alstrup");
+  EXPECT_EQ(index.label_count(0), 90u);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(index.mapped(0));
+#endif
+  const tree::NcaIndex oracle(t_new);
+  for (NodeId u = 0; u < 90; u += 5)
+    EXPECT_EQ(index.query({0, u, NodeId{3}}).value, oracle.distance(u, 3));
+  // Other trees are untouched.
+  EXPECT_EQ(index.update_epoch(1), 0u);
+  expect_correct(trees[1], 1, 4, 9, index.query({1, 4, 9}));
+  cleanup(files);
+}
+
+TEST(ForestIndex, UpdateIsSafeUnderConcurrentBatchQueries) {
+  // The dynamic-forest serving loop: readers hammer query_batch while the
+  // writer hot-swaps ever-growing labelings of the same tree. Leaf inserts
+  // never change distances between existing nodes, so every answer must be
+  // exact no matter which epoch served it. (The ASan+UBSan CI job runs this
+  // test too — that is the memory-safety half of the claim.)
+  ForestOptions opt;
+  opt.shards = 2;
+  opt.threads = 2;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(200, 93);
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+
+  const tree::NcaIndex oracle(t0);
+  std::vector<Request> reqs;
+  std::vector<std::uint64_t> want;
+  std::mt19937_64 rng(94);
+  for (int i = 0; i < 256; ++i) {
+    const auto u = static_cast<NodeId>(rng() % 200);
+    const auto v = static_cast<NodeId>(rng() % 200);
+    reqs.push_back({id, u, v});
+    want.push_back(oracle.distance(u, v));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> wrong{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<Dist> got = index.query_batch(reqs);
+        for (std::size_t i = 0; i < got.size(); ++i)
+          if (!got[i].within || got[i].value != want[i])
+            wrong.fetch_add(1, std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  std::mt19937_64 wrng(95);
+  for (int e = 0; e < 40; ++e) {
+    (void)relab.insert_leaf(
+        static_cast<NodeId>(wrng() % static_cast<std::uint64_t>(relab.size())));
+    (void)index.update(id, relab.to_loaded());
+  }
+  // Let the readers overlap the final epoch too, then stop.
+  while (batches.load(std::memory_order_relaxed) < 8) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(index.update_epoch(id), 40u);
+  EXPECT_GT(batches.load(), 0u);
+}
+
+TEST(ForestIndex, ShrinkingUpdatesCannotFailAValidatedBatch) {
+  // update() may shrink a tree's labeling. A batch validated against the
+  // bigger labeling must then still answer every request — from its
+  // snapshot, uncached — never throw from the parallel section. Readers
+  // batch pairs that only exist in the big labeling while the writer flips
+  // big <-> small; a batch may be rejected up front (small was live at
+  // validation, deterministic) but once admitted it must complete exactly.
+  const Tree t_small = tree::random_tree(120, 96);
+  core::IncrementalRelabeler relab(t_small);
+  std::mt19937_64 grow(97);
+  for (int e = 0; e < 80; ++e)
+    (void)relab.insert_leaf(
+        static_cast<NodeId>(grow() % static_cast<std::uint64_t>(relab.size())));
+  const core::LabelStore::LoadedArena big = relab.to_loaded();
+  core::LabelStore::LoadedArena small;
+  small.scheme = "alstrup";
+  small.labels = core::AlstrupScheme(
+                     t_small, {nca::CodeWeights::kStablePow2, 1})
+                     .labels();
+
+  ForestOptions opt;
+  opt.shards = 1;
+  opt.threads = 2;
+  ForestIndex index(opt);
+  const TreeId id = index.add(core::LabelStore::LoadedArena(big));
+
+  const Tree t_big = relab.snapshot();
+  const tree::NcaIndex oracle(t_big);
+  std::vector<Request> reqs;
+  std::vector<std::uint64_t> want;
+  // Request 0 references a node only the big labeling has, so admission is
+  // decided deterministically at the first request.
+  for (int i = 0; i < 64; ++i) {
+    const auto u = static_cast<NodeId>(120 + i % 80);
+    const auto v = static_cast<NodeId>(i % 120);
+    reqs.push_back({id, u, v});
+    want.push_back(oracle.distance(u, v));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0}, rejected{0}, wrong{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          const std::vector<Dist> got = index.query_batch(reqs);
+          for (std::size_t i = 0; i < got.size(); ++i)
+            if (!got[i].within || got[i].value != want[i])
+              wrong.fetch_add(1, std::memory_order_relaxed);
+          served.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::out_of_range&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+  for (int e = 0; e < 60; ++e) {
+    (void)index.update(id, core::LabelStore::LoadedArena(small));
+    (void)index.update(id, core::LabelStore::LoadedArena(big));
+  }
+  while (served.load(std::memory_order_relaxed) < 4) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GT(served.load(), 0u);
 }
 
 TEST(ForestIndex, BadIdsThrow) {

@@ -6,6 +6,8 @@
 // from the wire indistinguishable from the originals.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -142,6 +144,80 @@ TEST(LabelStoreFailure, TruncatedEverywhere) {
     EXPECT_THROW((void)core::LabelStore::load_arena(in2), std::runtime_error)
         << "arena prefix " << len;
   }
+}
+
+/// One corrupted wire image through a loader: must either throw
+/// std::runtime_error or produce a labeling that is safe to walk — never
+/// read out of bounds (the ASan+UBSan CI job is the teeth behind this).
+template <typename Load>
+void expect_throws_or_loads(const std::string& wire, const Load& load,
+                            const char* what, std::size_t pos) {
+  try {
+    const auto arena = load(wire);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < arena.size(); ++i) {
+      total += arena.label_bits(i);
+      const auto v = arena.view(i);
+      if (v.size() != 0) (void)v.get(v.size() - 1);
+    }
+    (void)total;
+  } catch (const std::runtime_error&) {
+    // includes DecodeError; loud failure is the other acceptable outcome
+  } catch (...) {
+    FAIL() << what << ": unexpected exception type at bit " << pos;
+  }
+}
+
+/// Flips single bits across an entire wire image and pushes the result
+/// through `load`. Probes every header byte densely and samples the
+/// payload (the images are a few KB).
+template <typename Load>
+void bit_flip_sweep(const std::string& wire, const Load& load,
+                    const char* what) {
+  for (std::size_t bit = 0; bit < wire.size() * 8;
+       bit += 1 + bit / 24) {
+    std::string bad = wire;
+    bad[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bad[bit / 8]) ^ (1u << (bit % 8)));
+    expect_throws_or_loads(bad, load, what, bit);
+  }
+}
+
+TEST(LabelStoreFailure, BitFlippedV1ContainerNeverReadsOutOfBounds) {
+  const Tree t = tree::random_tree(40, 49);
+  const core::FgnwScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save(ss, "fgnw", s.labels(), "p=1");
+  bit_flip_sweep(ss.str(), [](const std::string& wire) {
+    std::stringstream in(wire);
+    return core::LabelStore::load_arena(in).labels;
+  }, "v1 load_arena");
+}
+
+TEST(LabelStoreFailure, BitFlippedV2ContainerNeverReadsOutOfBounds) {
+  // Mirror of the v1 loop for the mappable container, through both the
+  // streamed loader and the zero-copy open_mapped path — the mmap'ed BitSpan
+  // views are exactly what the sanitizer job should sweep.
+  const Tree t = tree::random_tree(40, 50);
+  const core::AlstrupScheme s(t);
+  std::stringstream ss;
+  core::LabelStore::save_mappable(ss, "alstrup", s.labels(), "p=2");
+  const std::string wire = ss.str();
+
+  bit_flip_sweep(wire, [](const std::string& w) {
+    std::stringstream in(w);
+    return core::LabelStore::load_arena(in).labels;
+  }, "v2 load_arena");
+
+  const std::string path =
+      testing::TempDir() + "treelab_store_v2_bitflip.lbl";
+  bit_flip_sweep(wire, [&path](const std::string& w) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(w.data(), static_cast<std::streamsize>(w.size()));
+    out.close();
+    return std::move(core::LabelStore::open_mapped(path).labels);
+  }, "v2 open_mapped");
+  std::remove(path.c_str());
 }
 
 TEST(LabelStoreFailure, CorruptHeaderFields) {

@@ -167,6 +167,66 @@ TEST(MappedArena, CorruptDirectoryThrows) {
   std::remove(path.c_str());
 }
 
+TEST(MappedArena, AdversarialLengthDirectoryCannotWrapTheWordCount) {
+  // A length directory whose running word count overflows size_t used to
+  // wrap to a tiny total, pass the file-size check, and hand out BitSpans
+  // pointing far outside the mapping. map() must refuse instead (nullopt →
+  // the caller's streamed fallback reports the corruption).
+  const std::string path = temp_path("overflow_dir");
+  write_file(path, std::string(64, '\x5a'));
+
+  // One entry near SIZE_MAX: the naive (len + 63) / 64 itself wraps.
+  {
+    std::vector<std::size_t> lens{SIZE_MAX - 10};
+    EXPECT_FALSE(
+        bits::MappedArena::map(path.c_str(), 0, std::move(lens)).has_value());
+  }
+  // Several huge entries whose word counts only overflow when summed.
+  {
+    const std::size_t big = SIZE_MAX / 2;
+    std::vector<std::size_t> lens{big, big, big};
+    EXPECT_FALSE(
+        bits::MappedArena::map(path.c_str(), 0, std::move(lens)).has_value());
+  }
+  // Sane directories still map.
+  {
+    std::vector<std::size_t> lens{64, 130, 1};
+    const auto arena =
+        bits::MappedArena::map(path.c_str(), 0, std::move(lens));
+#if defined(__unix__) || defined(__APPLE__)
+    ASSERT_TRUE(arena.has_value());
+    EXPECT_EQ(arena->size(), 3u);
+    EXPECT_EQ(arena->label_bits(1), 130u);
+#endif
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, OverflowingDirectoryInAV2FileFailsLoudly) {
+  // The same defence through LabelStore: a version-2 file whose directory
+  // promises astronomically long labels must throw from every loader, not
+  // serve out-of-bounds views. Directory entries are also individually
+  // bounded, so craft the largest per-entry value that passes the bound —
+  // the file-size checks must still catch it.
+  const Tree t = tree::random_tree(8, 57);
+  const core::FgnwScheme s(t);
+  std::string wire = mappable_wire(s.labels(), "fgnw", "");
+  const std::size_t dir_off = 4 + 4 + 4 + 4 + 4 + 0 + 8;
+  for (std::size_t e = 0; e < 8; ++e) {  // every entry 2^32 bits
+    wire[dir_off + e * 8 + 0] = '\0';
+    wire[dir_off + e * 8 + 1] = '\0';
+    wire[dir_off + e * 8 + 2] = '\0';
+    wire[dir_off + e * 8 + 3] = '\0';
+    wire[dir_off + e * 8 + 4] = '\x01';
+  }
+  const std::string path = temp_path("overflow_v2");
+  write_file(path, wire);
+  EXPECT_THROW((void)core::LabelStore::open_mapped(path), std::runtime_error);
+  std::stringstream in(wire);
+  EXPECT_THROW((void)core::LabelStore::load_arena(in), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(MappedArena, EmptyLabelingRoundtrips) {
   const bits::LabelArena empty;
   const std::string path = temp_path("empty");

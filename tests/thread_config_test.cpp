@@ -46,6 +46,30 @@ TEST(ThreadConfig, RejectsOverflowAndClampsToHardware) {
   EXPECT_EQ(parse_thread_count("9", 8), 8);
 }
 
+TEST(ThreadConfig, RejectionsAreCountedNotSilent) {
+  // A typo'd TREELAB_THREADS must not masquerade as a deliberate setting:
+  // every rejection bumps the counter (and the first one prints a stderr
+  // warning — the counter is the machine-checkable side of that). Clamping
+  // a too-ambitious-but-valid value is not a rejection.
+  using treelab::util::thread_env_rejections;
+  const std::uint64_t before = thread_env_rejections();
+  EXPECT_EQ(parse_thread_count("4", 8), 4);
+  EXPECT_EQ(parse_thread_count("64", 8), 8);  // clamp: valid, no rejection
+  EXPECT_EQ(parse_thread_count(nullptr, 8), 8);  // unset: the default
+  EXPECT_EQ(thread_env_rejections(), before);
+  EXPECT_EQ(parse_thread_count("4x", 8), 8);
+  EXPECT_EQ(thread_env_rejections(), before + 1);
+  EXPECT_EQ(parse_thread_count("0", 8), 8);
+  EXPECT_EQ(parse_thread_count("", 8), 8);
+  EXPECT_EQ(parse_thread_count("99999999999999999999999999", 8), 8);
+  EXPECT_EQ(thread_env_rejections(), before + 4);
+  // And through the env-reading entry point too.
+  setenv("TREELAB_THREADS", "not-a-number", 1);
+  (void)thread_count();
+  EXPECT_EQ(thread_env_rejections(), before + 5);
+  unsetenv("TREELAB_THREADS");
+}
+
 TEST(ThreadConfig, ThreadCountHonorsTheEnvironment) {
   const unsigned hwc = std::thread::hardware_concurrency();
   const int hw = hwc >= 1 ? static_cast<int>(hwc) : 1;
