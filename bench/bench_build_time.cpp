@@ -19,10 +19,12 @@
 //
 // Usage: bench_build_time [--n N] [--seed S] [--sweep-max N] [--quick]
 //   --quick shrinks the edit-churn section to CI-smoke size.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -235,6 +237,119 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(churn_stats.full_dirty_cone));
   }
 
+  // Edit churn, deletes and subtree moves: the PR-5 halves of the edit
+  // model. The full-rebuild side is one from-scratch stable-weight build of
+  // the n-node tree per edit (what a delete or move costs without the
+  // incremental path — tree size barely moves over the run, so one build is
+  // the honest per-edit price); the incremental side drives the relabeler.
+  // Plus the delta-shipping metric: bytes of a single-edit v3 delta vs the
+  // full mappable file.
+  double del_inc_ms = 0, mov_inc_ms = 0, churn_rebuild_ms = 0;
+  std::size_t delta_bytes = 0, full_bytes = 0;
+  core::RelabelStats del_stats, mov_stats;
+  {
+    const int full_edits = quick ? 2 : 6;
+    const int del_edits = quick ? 48 : 192;
+    const int mov_edits = quick ? 24 : 96;
+    const core::AlstrupOptions stable{nca::CodeWeights::kStablePow2, 1};
+    const tree::Tree base = tree::random_tree(churn_n, seed);
+
+    churn_rebuild_ms = measure_ms([&] {
+      for (int e = 0; e < full_edits; ++e) {
+        const core::AlstrupScheme s(base, stable);
+      }
+    });
+    churn_rebuild_ms /= full_edits;
+
+    // Deletes: victims are pre-selected leaves of the base tree (deleting
+    // one leaf never un-leafs another), so the timed region holds nothing
+    // but the edits themselves.
+    core::IncrementalRelabeler relab(base, {1, 0.5});
+    std::mt19937_64 rng(seed + 3);
+    std::vector<tree::NodeId> victims;
+    for (tree::NodeId v = 0; v < base.size(); ++v)
+      if (base.is_leaf(v) && base.parent(v) != tree::kNoNode)
+        victims.push_back(v);
+    std::shuffle(victims.begin(), victims.end(), rng);
+    const int del_done =
+        std::min<int>(del_edits, static_cast<int>(victims.size()));
+    del_inc_ms = measure_ms([&] {
+      for (int e = 0; e < del_done; ++e) relab.delete_leaf(victims[e]);
+    });
+    del_inc_ms /= del_done;
+    del_stats = relab.stats();
+
+    // Moves: detach pre-selected (typically small) subtrees, graft each on
+    // a random live node. One move = one detach + one attach; alive() is an
+    // O(1) flag check, so the graft-target probe costs nothing measurable.
+    core::IncrementalRelabeler relab2(base, {1, 0.5});
+    std::mt19937_64 rng2(seed + 4);
+    std::vector<tree::NodeId> roots;
+    for (tree::NodeId v = 1; v < base.size(); ++v) roots.push_back(v);
+    std::shuffle(roots.begin(), roots.end(), rng2);
+    const int mov_done =
+        std::min<int>(mov_edits, static_cast<int>(roots.size()));
+    mov_inc_ms = measure_ms([&] {
+      for (int e = 0; e < mov_done; ++e) {
+        relab2.detach_subtree(roots[static_cast<std::size_t>(e)]);
+        tree::NodeId p;
+        do p = static_cast<tree::NodeId>(rng2() % relab2.size());
+        while (!relab2.alive(p));
+        relab2.attach_subtree(p, 1);
+      }
+    });
+    // One move = two edits (a detach and an attach); the per-edit number is
+    // what compares against one full rebuild per edit.
+    mov_inc_ms /= 2.0 * mov_done;
+    mov_stats = relab2.stats();
+
+    // Delta shipping: one leaf insert -> dirty chunks only.
+    relab.rebase_delta();
+    {
+      tree::NodeId p;
+      do p = static_cast<tree::NodeId>(rng() % relab.size());
+      while (!relab.alive(p));
+      (void)relab.insert_leaf(p);
+    }
+    {
+      std::ostringstream d;
+      relab.ship_delta(d);
+      delta_bytes = d.str().size();
+      std::ostringstream f2;
+      const auto loaded = relab.to_loaded();
+      core::LabelStore::save_mappable(f2, loaded.scheme, loaded.labels,
+                                      loaded.params);
+      full_bytes = f2.str().size();
+    }
+
+    churn.push_back({"full_rebuild_per_delete", churn_rebuild_ms});
+    churn.push_back({"incremental_per_delete", del_inc_ms});
+    churn.push_back({"full_rebuild_per_move", churn_rebuild_ms});
+    churn.push_back({"incremental_per_move", mov_inc_ms});
+    std::printf("  %-34s %10.3f ms (n=%d)\n", "incremental_per_delete",
+                del_inc_ms, static_cast<int>(churn_n));
+    std::printf(
+        "  %-34s %10.1fx (incremental=%llu restructured=%llu full=%llu)\n",
+        "edit_churn_delete_speedup", churn_rebuild_ms / del_inc_ms,
+        static_cast<unsigned long long>(del_stats.incremental),
+        static_cast<unsigned long long>(del_stats.restructured),
+        static_cast<unsigned long long>(del_stats.full_heavy_flip +
+                                        del_stats.full_dirty_cone));
+    std::printf("  %-34s %10.3f ms (n=%d)\n", "incremental_per_move",
+                mov_inc_ms, static_cast<int>(churn_n));
+    std::printf(
+        "  %-34s %10.1fx (incremental=%llu restructured=%llu full=%llu)\n",
+        "edit_churn_move_speedup", churn_rebuild_ms / mov_inc_ms,
+        static_cast<unsigned long long>(mov_stats.incremental),
+        static_cast<unsigned long long>(mov_stats.restructured),
+        static_cast<unsigned long long>(mov_stats.full_heavy_flip +
+                                        mov_stats.full_dirty_cone));
+    std::printf("  %-34s %10zu bytes (full file %zu, %.2f%%)\n",
+                "delta_single_edit_bytes", delta_bytes, full_bytes,
+                100.0 * static_cast<double>(delta_bytes) /
+                    static_cast<double>(full_bytes));
+  }
+
   const char* path = "BENCH_build.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -264,6 +379,15 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"edit_churn_n\": %d,\n", static_cast<int>(churn_n));
   std::fprintf(f, "  \"edit_churn_speedup\": %.1f,\n",
                churn_full_ms / churn_inc_ms);
+  std::fprintf(f, "  \"edit_churn_delete_speedup\": %.1f,\n",
+               churn_rebuild_ms / del_inc_ms);
+  std::fprintf(f, "  \"edit_churn_move_speedup\": %.1f,\n",
+               churn_rebuild_ms / mov_inc_ms);
+  std::fprintf(f, "  \"delta_single_edit_bytes\": %zu,\n", delta_bytes);
+  std::fprintf(f, "  \"full_file_bytes\": %zu,\n", full_bytes);
+  std::fprintf(f, "  \"delta_bytes_fraction\": %.5f,\n",
+               static_cast<double>(delta_bytes) /
+                   static_cast<double>(full_bytes));
   std::fprintf(f,
                "  \"edit_churn_outcomes\": {\"incremental\": %llu, "
                "\"restructured\": %llu, \"full_heavy_flip\": %llu, "

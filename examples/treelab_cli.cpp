@@ -28,6 +28,26 @@
 //                                                  write the final labels;
 //                                                  prints per-edit outcome
 //                                                  counters and timing)
+//   treelab_cli delta-save <tree.txt> <base.lbl> <out.delta>
+//                          [--edits E] [--seed X] [--inserts-only]
+//                          [--tree-out edited.txt]
+//                                                 (write the base labels as
+//                                                  a mappable file, drive E
+//                                                  random edits — inserts,
+//                                                  deletes, weight updates,
+//                                                  subtree moves, compact —
+//                                                  through the incremental
+//                                                  relabeler, then ship
+//                                                  only the dirty chunks as
+//                                                  a v3 delta; prints delta
+//                                                  bytes vs full-file
+//                                                  bytes)
+//   treelab_cli delta-apply <base.lbl> <in.delta> <out.lbl>
+//                                                 (patch a base label file
+//                                                  with a delta — what a
+//                                                  serving node does via
+//                                                  ForestIndex::apply_delta
+//                                                  — and write the result)
 //
 // Example:
 //   treelab_cli gen random 1000 7 > t.txt
@@ -36,6 +56,8 @@
 //   treelab_cli save t.lbl t.mlbl mappable
 //   treelab_cli serve-bench t.mlbl --shards 4
 //   treelab_cli update t.txt t2.lbl --edits 500 --tree-out t2.txt
+//   treelab_cli delta-save t.txt base.lbl churn.delta --edits 200
+//   treelab_cli delta-apply base.lbl churn.delta patched.lbl
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -75,6 +97,9 @@ int usage() {
                "[--threads T] [--batch B] [--seed X]\n"
                "  treelab_cli update <tree.txt> <out.lbl> [--edits E] "
                "[--seed X] [--tree-out grown.txt]\n"
+               "  treelab_cli delta-save <tree.txt> <base.lbl> <out.delta> "
+               "[--edits E] [--seed X] [--inserts-only] [--tree-out f]\n"
+               "  treelab_cli delta-apply <base.lbl> <in.delta> <out.lbl>\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -402,6 +427,204 @@ int cmd_update(int argc, char** argv) {
   return 0;
 }
 
+int cmd_delta_save(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const char* tree_path = argv[2];
+  const char* base_path = argv[3];
+  const char* delta_path = argv[4];
+  std::size_t edits = 100;
+  std::uint64_t seed = 1;
+  bool inserts_only = false;
+  const char* tree_out = nullptr;
+  for (int i = 5; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (name == "--inserts-only") {
+      inserts_only = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name.c_str());
+      return 2;
+    }
+    const char* val = argv[++i];
+    if (name == "--tree-out") {
+      tree_out = val;
+      continue;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(val, &end, 10);
+    if (*val == '\0' || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", val, name.c_str());
+      return 2;
+    }
+    if (name == "--edits")
+      edits = static_cast<std::size_t>(v);
+    else if (name == "--seed")
+      seed = static_cast<std::uint64_t>(v);
+    else
+      return usage();
+  }
+
+  std::ifstream in(tree_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", tree_path);
+    return 1;
+  }
+  const tree::Tree t = tree::read_text(in);
+  core::IncrementalRelabeler relab(t);
+
+  // The base epoch: what a serving node already holds.
+  {
+    std::ofstream base(base_path, std::ios::binary);
+    if (!base) {
+      std::fprintf(stderr, "cannot open %s for writing\n", base_path);
+      return 1;
+    }
+    const auto loaded = relab.to_loaded();
+    core::LabelStore::save_mappable(base, loaded.scheme, loaded.labels,
+                                    loaded.params);
+    base.flush();
+    if (!base) {
+      std::fprintf(stderr, "write to %s failed\n", base_path);
+      return 1;
+    }
+  }
+  relab.rebase_delta();
+
+  // Random churn across the whole edit model (or inserts only).
+  std::mt19937_64 rng(seed);
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::size_t done = 0;
+  while (done < edits) {
+    const auto op = inserts_only ? 0u : rng() % 10;
+    try {
+      if (op < 5) {
+        tree::NodeId p;
+        do p = static_cast<tree::NodeId>(rng() % relab.size());
+        while (!relab.alive(p));
+        (void)relab.insert_leaf(p, static_cast<std::uint32_t>(1 + rng() % 3));
+      } else if (op < 7) {
+        relab.delete_leaf(static_cast<tree::NodeId>(rng() % relab.size()));
+      } else if (op < 8) {
+        relab.set_edge_weight(static_cast<tree::NodeId>(rng() % relab.size()),
+                              static_cast<std::uint32_t>(rng() % 4));
+      } else if (op < 9) {
+        if (relab.detached_root() == tree::kNoNode) {
+          relab.detach_subtree(
+              static_cast<tree::NodeId>(rng() % relab.size()));
+          continue;  // the attach below completes the move as one edit pair
+        }
+        tree::NodeId p;
+        do p = static_cast<tree::NodeId>(rng() % relab.size());
+        while (!relab.alive(p));
+        relab.attach_subtree(p, 1);
+      } else if (relab.detached_root() == tree::kNoNode) {
+        (void)relab.compact();
+      } else {
+        continue;
+      }
+      ++done;
+    } catch (const std::out_of_range&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  if (relab.detached_root() != tree::kNoNode) relab.attach_subtree(0, 1);
+  const double edit_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+
+  const core::LabelDelta d = relab.make_delta();
+  {
+    std::ofstream out(delta_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", delta_path);
+      return 1;
+    }
+    core::LabelStore::save_delta(out, d);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "write to %s failed\n", delta_path);
+      return 1;
+    }
+  }
+  if (tree_out != nullptr) {
+    std::ofstream tout(tree_out);
+    if (!tout) {
+      std::fprintf(stderr, "cannot open %s for writing\n", tree_out);
+      return 1;
+    }
+    tree::write_text(tout, relab.snapshot());
+  }
+
+  std::size_t full_bytes = 0;
+  {
+    std::ostringstream full;
+    const auto loaded = relab.to_loaded();
+    core::LabelStore::save_mappable(full, loaded.scheme, loaded.labels,
+                                    loaded.params);
+    full_bytes = full.str().size();
+  }
+  std::ifstream delta_in(delta_path, std::ios::binary | std::ios::ate);
+  const auto delta_bytes = static_cast<std::size_t>(delta_in.tellg());
+  const auto& st = relab.stats();
+  std::printf(
+      "base %d nodes -> %zu ids (%zu live) after %zu edits in %.1f ms\n"
+      "outcomes: %llu incremental, %llu restructured, %llu full rebuilds, "
+      "%llu compactions\n"
+      "delta: %zu dirty labels, %llu dropped ids, %zu edit records\n"
+      "bytes: delta %zu vs full file %zu (%.1f%%) -> %s\n",
+      t.size(), relab.size(), relab.live_size(), done, edit_ms,
+      static_cast<unsigned long long>(st.incremental),
+      static_cast<unsigned long long>(st.restructured),
+      static_cast<unsigned long long>(st.full_heavy_flip +
+                                      st.full_dirty_cone),
+      static_cast<unsigned long long>(st.compactions), d.dirty.size(),
+      static_cast<unsigned long long>(d.dropped_count()), d.edits.size(),
+      delta_bytes, full_bytes,
+      100.0 * static_cast<double>(delta_bytes) /
+          static_cast<double>(full_bytes),
+      delta_path);
+  return 0;
+}
+
+int cmd_delta_apply(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const auto base = core::LabelStore::open_mapped(argv[2]);
+  std::ifstream din(argv[3], std::ios::binary);
+  if (!din) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 1;
+  }
+  const core::LabelDelta d = core::LabelStore::load_delta(din);
+  if (d.scheme != base.scheme || d.params != base.params) {
+    std::fprintf(stderr, "delta is for scheme '%s' params '%s', base holds "
+                 "'%s'/'%s'\n",
+                 d.scheme.c_str(), d.params.c_str(), base.scheme.c_str(),
+                 base.params.c_str());
+    return 1;
+  }
+  const bits::LabelArena patched =
+      core::LabelStore::apply_delta(base.labels, d);
+  std::ofstream out(argv[4], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
+    return 1;
+  }
+  core::LabelStore::save_mappable(out, d.scheme, patched, d.params);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", argv[4]);
+    return 1;
+  }
+  std::printf(
+      "patched %zu -> %zu labels (%zu dirty, %llu dropped, %zu shape edits) "
+      "-> %s\n",
+      base.labels.size(), patched.size(), d.dirty.size(),
+      static_cast<unsigned long long>(d.dropped_count()), d.edits.size(),
+      argv[4]);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 3) return usage();
   const auto store = load_file(argv[2]);
@@ -427,6 +650,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "serve-bench") == 0)
       return cmd_serve_bench(argc, argv);
     if (std::strcmp(argv[1], "update") == 0) return cmd_update(argc, argv);
+    if (std::strcmp(argv[1], "delta-save") == 0)
+      return cmd_delta_save(argc, argv);
+    if (std::strcmp(argv[1], "delta-apply") == 0)
+      return cmd_delta_apply(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

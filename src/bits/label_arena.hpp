@@ -174,6 +174,53 @@ class LabelArena {
     return out;
   }
 
+  /// A borrowed label: `bits` bits in `ceil(bits/64)` words whose bit 0 is
+  /// the label's first bit (any word-aligned label — an arena view, a
+  /// MappedArena view, a standalone BitVec). The source type of composed().
+  struct LabelRef {
+    const std::uint64_t* words = nullptr;
+    std::size_t bits = 0;
+  };
+
+  /// Builds an arena of `n` labels by *copying*: `src(i)` names where label
+  /// i's words live (LabelRef). Every label is word-aligned on both sides,
+  /// so this is one directory pass plus per-label memcpys — the delta
+  /// application / compaction primitive (LabelStore::apply_delta splices a
+  /// base arena and a delta payload through it, IncrementalRelabeler's
+  /// compact() drops tombstoned slots with it).
+  template <typename Src>
+  [[nodiscard]] static LabelArena composed(std::size_t n, const Src& src) {
+    LabelArena out;
+    out.len_.reserve(n);
+    out.start_word_.reserve(n + 1);
+    std::size_t word = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bits = src(i).bits;
+      out.start_word_.push_back(word);
+      out.len_.push_back(bits);
+      word += (bits + 63) / 64;
+    }
+    out.start_word_.push_back(word);
+    out.words_.resize(word);
+    for (std::size_t i = 0; i < n; ++i) {
+      const LabelRef r = src(i);
+      const std::size_t nw = (r.bits + 63) / 64;
+      if (nw != 0)
+        std::memcpy(out.words_.data() + out.start_word_[i], r.words,
+                    nw * sizeof(std::uint64_t));
+    }
+    return out;
+  }
+
+  /// An arena holding old's labels at `ids`, in order: out[i] = old[ids[i]].
+  /// Order-preserving id compaction is gathered(old, live_ids).
+  [[nodiscard]] static LabelArena gathered(const LabelArena& old,
+                                           const std::vector<std::size_t>& ids) {
+    return composed(ids.size(), [&](std::size_t i) {
+      return LabelRef{old.label_words(ids[i]), old.len_[ids[i]]};
+    });
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::vector<std::size_t> start_word_;  // size() + 1 entries

@@ -76,6 +76,12 @@ class MappedArena {
     return mapped() ? len_[i] : owned_.label_bits(i);
   }
 
+  /// The word storage of label i (for bulk copies — delta application
+  /// gathers clean base labels straight out of the page cache).
+  [[nodiscard]] const std::uint64_t* label_words(std::size_t i) const noexcept {
+    return mapped() ? words_ + start_word_[i] : owned_.label_words(i);
+  }
+
   /// Sum of exact label lengths (padding not included).
   [[nodiscard]] std::size_t total_label_bits() const noexcept;
 

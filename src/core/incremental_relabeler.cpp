@@ -1,6 +1,7 @@
 #include "core/incremental_relabeler.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -23,13 +24,6 @@ namespace {
 
 constexpr CodeWeights kPolicy = CodeWeights::kStablePow2;
 
-/// Does bumping a subtree from `new_size - 1` to `new_size` nodes move its
-/// pow2-quantized code weight? Only when the old size was a power of two.
-[[nodiscard]] bool crossed_pow2(std::uint64_t new_size) noexcept {
-  const std::uint64_t old = new_size - 1;
-  return old != 0 && (old & (old - 1)) == 0;
-}
-
 }  // namespace
 
 IncrementalRelabeler::IncrementalRelabeler(const Tree& initial,
@@ -41,6 +35,8 @@ IncrementalRelabeler::IncrementalRelabeler(const Tree& initial,
   children_.resize(static_cast<std::size_t>(n));
   subtree_size_.resize(static_cast<std::size_t>(n));
   root_dist_.resize(static_cast<std::size_t>(n));
+  state_.assign(static_cast<std::size_t>(n), kLive);
+  live_ = static_cast<std::size_t>(n);
   for (NodeId v = 0; v < n; ++v) {
     const auto i = static_cast<std::size_t>(v);
     parent_[i] = initial.parent(v);
@@ -51,33 +47,61 @@ IncrementalRelabeler::IncrementalRelabeler(const Tree& initial,
     root_dist_[i] = initial.root_distance(v);
   }
   full_rebuild();
+  rebase_delta();
+}
+
+Tree IncrementalRelabeler::live_tree(std::vector<NodeId>* old_of_out) const {
+  std::vector<NodeId> old_of;
+  old_of.reserve(live_);
+  for (std::size_t i = 0; i < size(); ++i)
+    if (state_[i] == kLive) old_of.push_back(static_cast<NodeId>(i));
+  std::vector<NodeId> new_of(size(), kNoNode);
+  for (std::size_t j = 0; j < old_of.size(); ++j)
+    new_of[static_cast<std::size_t>(old_of[j])] = static_cast<NodeId>(j);
+  std::vector<NodeId> cparent;
+  std::vector<std::uint32_t> cweight;
+  cparent.reserve(old_of.size());
+  cweight.reserve(old_of.size());
+  for (const NodeId o : old_of) {
+    const NodeId p = parent_[static_cast<std::size_t>(o)];
+    cparent.push_back(p == kNoNode ? kNoNode
+                                   : new_of[static_cast<std::size_t>(p)]);
+    cweight.push_back(weight_[static_cast<std::size_t>(o)]);
+  }
+  if (old_of_out != nullptr) *old_of_out = std::move(old_of);
+  return Tree(std::move(cparent), std::move(cweight));
 }
 
 void IncrementalRelabeler::full_rebuild() {
-  const Tree t(parent_, weight_);
+  const std::size_t ids = size();
+  // Compacted live tree + the dense → current id map. Until the first
+  // deletion/detach the map is the identity and this is exactly the dense
+  // rebuild PR 4 shipped.
+  std::vector<NodeId> old_of;
+  const Tree t = live_tree(&old_of);
   const HeavyPathDecomposition hpd(t);
   const nca::HeavyPathCodes codes(hpd, kPolicy);
-  const NodeId n = t.size();
   const std::int32_t m = hpd.num_paths();
 
-  heavy_.resize(static_cast<std::size_t>(n));
-  path_of_.resize(static_cast<std::size_t>(n));
-  pos_in_path_.resize(static_cast<std::size_t>(n));
-  light_depth_.resize(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    const auto i = static_cast<std::size_t>(v);
-    heavy_[i] = hpd.heavy_child(v);
-    path_of_[i] = hpd.path_of(v);
-    pos_in_path_[i] = hpd.pos_in_path(v);
-    light_depth_[i] = hpd.light_depth(v);
+  heavy_.assign(ids, kNoNode);
+  path_of_.assign(ids, -1);
+  pos_in_path_.assign(ids, 0);
+  light_depth_.assign(ids, 0);
+  for (NodeId nv = 0; nv < t.size(); ++nv) {
+    const auto o = static_cast<std::size_t>(old_of[static_cast<std::size_t>(nv)]);
+    const NodeId hc = hpd.heavy_child(nv);
+    heavy_[o] = hc == kNoNode ? kNoNode : old_of[static_cast<std::size_t>(hc)];
+    path_of_[o] = hpd.path_of(nv);
+    pos_in_path_[o] = hpd.pos_in_path(nv);
+    light_depth_[o] = hpd.light_depth(nv);
   }
   // The rebuild compacts the path table to exactly m fresh slots — ids a
   // prior restructure() recycled would now name live paths, so the free
   // list must not survive it.
   free_paths_.clear();
   path_nodes_.assign(static_cast<std::size_t>(m), {});
-  head_.resize(static_cast<std::size_t>(m));
-  pos_wts_.resize(static_cast<std::size_t>(m));
+  head_.assign(static_cast<std::size_t>(m), kNoNode);
+  pos_wts_.assign(static_cast<std::size_t>(m), {});
   pos_code_.assign(static_cast<std::size_t>(m), {});
   prefix_.assign(static_cast<std::size_t>(m), {});
   bounds_.assign(static_cast<std::size_t>(m), {});
@@ -85,8 +109,10 @@ void IncrementalRelabeler::full_rebuild() {
   for (std::int32_t p = 0; p < m; ++p) {
     const auto i = static_cast<std::size_t>(p);
     const auto nodes = hpd.path_nodes(p);
-    path_nodes_[i].assign(nodes.begin(), nodes.end());
-    head_[i] = hpd.head(p);
+    path_nodes_[i].reserve(nodes.size());
+    for (const NodeId nv : nodes)
+      path_nodes_[i].push_back(old_of[static_cast<std::size_t>(nv)]);
+    head_[i] = old_of[static_cast<std::size_t>(hpd.head(p))];
     pos_wts_[i] = position_weights(p);
     const auto pc = codes.position_codes(p);
     pos_code_[i].assign(pc.begin(), pc.end());
@@ -94,7 +120,7 @@ void IncrementalRelabeler::full_rebuild() {
     bounds_[i] = codes.prefix_bounds(p);
   }
   // Branch root distances, parents before children (same recurrence as
-  // AlstrupScheme::build).
+  // AlstrupScheme::build), in the stable (old) id space.
   std::vector<std::int32_t> order(static_cast<std::size_t>(m));
   for (std::int32_t p = 0; p < m; ++p) order[static_cast<std::size_t>(p)] = p;
   std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
@@ -111,7 +137,7 @@ void IncrementalRelabeler::full_rebuild() {
   }
 
   labels_ = bits::LabelArena::build(
-      static_cast<std::size_t>(n), opt_.threads,
+      ids, opt_.threads,
       [this, scratch = std::vector<std::uint64_t>{}](
           std::size_t i, BitWriter& w) mutable { emit_label(i, w, scratch); });
 }
@@ -179,6 +205,7 @@ void IncrementalRelabeler::rebuild_prefix(std::int32_t p) {
 void IncrementalRelabeler::emit_label(std::size_t i, BitWriter& w,
                                       std::vector<std::uint64_t>& scratch)
     const {
+  if (state_[i] != kLive) return;  // tombstone/detached: zero-length label
   const auto p = static_cast<std::size_t>(path_of_[i]);
   BitWriter nca_bits;
   nca::emit_nca_label(nca_bits, prefix_[p], bounds_[p],
@@ -196,11 +223,31 @@ void IncrementalRelabeler::append_node(NodeId parent, std::uint32_t weight) {
   children_.emplace_back();
   subtree_size_.push_back(1);
   root_dist_.push_back(root_dist_[pi] + weight);
+  state_.push_back(kLive);
+  ++live_;
+  base_of_cur_.push_back(kNoNode);  // no base label: always ships in a delta
+  delta_dirty_.push_back(0);
   for (NodeId v = parent; v != kNoNode; v = parent_[static_cast<std::size_t>(v)])
     ++subtree_size_[static_cast<std::size_t>(v)];
 }
 
-tree::NodeId IncrementalRelabeler::recheck_heavy(
+std::vector<NodeId> IncrementalRelabeler::chain_to(NodeId v) const {
+  std::vector<NodeId> chain;
+  for (NodeId a = v; a != kNoNode; a = parent_[static_cast<std::size_t>(a)])
+    chain.push_back(a);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void IncrementalRelabeler::add_sizes(const std::vector<NodeId>& chain,
+                                     std::int64_t delta) {
+  for (const NodeId a : chain)
+    subtree_size_[static_cast<std::size_t>(a)] = static_cast<NodeId>(
+        static_cast<std::int64_t>(subtree_size_[static_cast<std::size_t>(a)]) +
+        delta);
+}
+
+NodeId IncrementalRelabeler::recheck_heavy(
     const std::vector<NodeId>& chain, NodeId leaf, bool* extends) const {
   *extends = false;
   const NodeId parent = chain.back();
@@ -241,6 +288,34 @@ tree::NodeId IncrementalRelabeler::recheck_heavy(
   return kNoNode;
 }
 
+NodeId IncrementalRelabeler::recheck_heavy_resized(
+    const std::vector<NodeId>& chain) const {
+  std::int32_t prev = -1;
+  for (const NodeId a : chain) {
+    const std::int32_t p = path_of_[static_cast<std::size_t>(a)];
+    if (p == prev) continue;
+    prev = p;
+    const auto pi = static_cast<std::size_t>(p);
+    const NodeId n_path = subtree_size_[static_cast<std::size_t>(head_[pi])];
+    NodeId cur = head_[pi];
+    for (;;) {
+      const auto ci = static_cast<std::size_t>(cur);
+      NodeId next = kNoNode;
+      for (const NodeId c : children_[ci])
+        if (2 * static_cast<std::int64_t>(
+                    subtree_size_[static_cast<std::size_t>(c)]) >=
+            n_path) {
+          next = c;
+          break;
+        }
+      if (next != heavy_[ci]) return head_[pi];
+      if (next == kNoNode) break;
+      cur = next;
+    }
+  }
+  return kNoNode;
+}
+
 std::int32_t IncrementalRelabeler::alloc_path() {
   if (!free_paths_.empty()) {
     const std::int32_t p = free_paths_.back();
@@ -258,36 +333,38 @@ std::int32_t IncrementalRelabeler::alloc_path() {
   return p;
 }
 
-void IncrementalRelabeler::restructure(NodeId h) {
-  // Recycle every old path under h. All paths touching subtree(h) are
-  // contained in it (h is a path head, and heads hang by light edges), so
-  // freeing the path of each node exactly when we stand on its old head
-  // frees each id once. The new leaf carries a placeholder path id (-1).
-  {
-    std::vector<NodeId> stack{h};
-    while (!stack.empty()) {
-      const NodeId v = stack.back();
-      stack.pop_back();
-      const auto vi = static_cast<std::size_t>(v);
-      const std::int32_t p = path_of_[vi];
-      if (p >= 0 && head_[static_cast<std::size_t>(p)] == v) {
-        head_[static_cast<std::size_t>(p)] = kNoNode;
-        free_paths_.push_back(p);
-      }
-      for (const NodeId c : children_[vi]) stack.push_back(c);
+void IncrementalRelabeler::free_subtree_paths(NodeId h) {
+  // All paths touching subtree(h) except the one entering it from above are
+  // contained in it (heads hang by light edges), so freeing the path of
+  // each node exactly when we stand on its head frees each id once.
+  // path_of_ is cleared to -1 over the whole subtree so a later sweep (a
+  // restructure after a detach, say) cannot double-free a recycled id.
+  std::vector<NodeId> stack{h};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int32_t p = path_of_[vi];
+    if (p >= 0 && head_[static_cast<std::size_t>(p)] == v) {
+      head_[static_cast<std::size_t>(p)] = kNoNode;
+      path_nodes_[static_cast<std::size_t>(p)].clear();
+      free_paths_.push_back(p);
     }
+    path_of_[vi] = -1;
+    for (const NodeId c : children_[vi]) stack.push_back(c);
   }
+}
 
-  // Re-run the paper-half decomposition over subtree(h) — the same loop as
-  // HeavyPathDecomposition's, seeded at h with its (unchanged) light depth.
+void IncrementalRelabeler::decompose_subtree(NodeId h, std::int32_t ld0) {
+  // The paper-half decomposition over subtree(h) — the same loop as
+  // HeavyPathDecomposition's, seeded at h with the given light depth.
   // Parents-before-children order lets branch_rd_ fill by recurrence; the
   // prefixes are rebuilt later by the caller's dirty-head pass.
   struct PathStart {
     NodeId start;
     std::int32_t ld;
   };
-  std::vector<PathStart> stack{
-      {h, light_depth_[static_cast<std::size_t>(h)]}};
+  std::vector<PathStart> stack{{h, ld0}};
   while (!stack.empty()) {
     const auto [start, ld] = stack.back();
     stack.pop_back();
@@ -334,46 +411,181 @@ void IncrementalRelabeler::restructure(NodeId h) {
   }
 }
 
+void IncrementalRelabeler::restructure(NodeId h) {
+  const std::int32_t ld = light_depth_[static_cast<std::size_t>(h)];
+  free_subtree_paths(h);
+  decompose_subtree(h, ld);
+}
+
+std::size_t IncrementalRelabeler::dirty_limit() const {
+  return opt_.max_dirty_fraction <= 0.0
+             ? 0  // testing/ops escape hatch: rebuild on every edit
+             : std::max<std::size_t>(
+                   256, static_cast<std::size_t>(opt_.max_dirty_fraction *
+                                                 static_cast<double>(size())));
+}
+
+void IncrementalRelabeler::fall_back(bool flip) {
+  const bits::LabelArena old = std::move(labels_);
+  full_rebuild();
+  if (flip) {
+    ++stats_.full_heavy_flip;
+    last_outcome_ = RelabelOutcome::kFullHeavyFlip;
+  } else {
+    ++stats_.full_dirty_cone;
+    last_outcome_ = RelabelOutcome::kFullDirtyCone;
+  }
+  last_dirty_ = size();
+  // Delta tracking: the rebuild replaced the arena wholesale, but most
+  // labels usually come out bit-identical — diff against the old arena
+  // (word compares) so shipped deltas stay proportional to the real
+  // change, not to the fallback's bluntness.
+  if (delta_dirty_.size() < size()) delta_dirty_.resize(size(), 0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (delta_dirty_[i] != 0) continue;
+    if (i >= old.size() || old.label_bits(i) != labels_.label_bits(i) ||
+        !(old.view(i) == labels_.view(i)))
+      delta_dirty_[i] = 1;
+  }
+}
+
+void IncrementalRelabeler::mark_light_site(NodeId b,
+                                           std::vector<NodeId>& roots) const {
+  const auto bi = static_cast<std::size_t>(b);
+  for (const NodeId c : children_[bi])
+    if (c != heavy_[bi]) roots.push_back(c);
+}
+
+void IncrementalRelabeler::detect_table_changes(
+    const std::vector<NodeId>& chain, NodeId flip_head,
+    std::int64_t size_delta, std::vector<NodeId>& roots) {
+  // Position-code tables whose quantized weights moved: only paths crossed
+  // by the chain can change (all other paths see identical sizes). With a
+  // flip, stop above the flip head — everything at or under it was just
+  // re-decomposed with fresh tables.
+  for (const NodeId a : chain) {
+    if (a == flip_head) break;
+    const std::int32_t p = path_of_[static_cast<std::size_t>(a)];
+    const auto pi = static_cast<std::size_t>(p);
+    if (a != head_[pi]) continue;  // the chain enters each path at its head
+    std::vector<std::uint64_t> wts = position_weights(p);
+    if (wts != pos_wts_[pi]) {
+      pos_wts_[pi] = std::move(wts);
+      pos_code_[pi] = bits::alphabetic_code(pos_wts_[pi]);
+      roots.push_back(head_[pi]);
+    }
+  }
+  // Light-choice tables: changed at a branch node when its light child on
+  // the chain crossed a quantized-weight boundary (every chain node's size
+  // moved by size_delta). A changed table re-codes every light sibling, so
+  // their subtrees dirty. Membership changes (a light child appearing or
+  // disappearing at the edit site) are the caller's to mark.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const NodeId a = chain[i], c = chain[i + 1];
+    if (a == flip_head) break;
+    if (path_of_[static_cast<std::size_t>(a)] ==
+        path_of_[static_cast<std::size_t>(c)])
+      continue;  // heavy edge: no light table involved
+    const auto now = static_cast<std::int64_t>(
+        subtree_size_[static_cast<std::size_t>(c)]);
+    const auto before = static_cast<std::uint64_t>(now - size_delta);
+    if (nca::code_weight(before, kPolicy) !=
+        nca::code_weight(static_cast<std::uint64_t>(now), kPolicy))
+      mark_light_site(a, roots);
+    if (c == flip_head) break;
+  }
+}
+
+void IncrementalRelabeler::mark_cone(NodeId r, std::vector<std::uint8_t>& dirty,
+                                     std::size_t& count) const {
+  if (dirty[static_cast<std::size_t>(r)]) return;
+  std::vector<NodeId> stack{r};
+  dirty[static_cast<std::size_t>(r)] = 1;
+  ++count;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId c : children_[static_cast<std::size_t>(v)])
+      if (!dirty[static_cast<std::size_t>(c)]) {
+        dirty[static_cast<std::size_t>(c)] = 1;
+        ++count;
+        stack.push_back(c);
+      }
+  }
+}
+
+void IncrementalRelabeler::splice_dirty(const std::vector<std::uint8_t>& dirty,
+                                        std::size_t count, bool flipped) {
+  // Rebuild the prefixes of every dirty path head, parents before children
+  // (a head's parent path either kept its prefix or sits earlier in
+  // light-depth order).
+  std::vector<std::int32_t> dirty_paths;
+  for (std::size_t p = 0; p < path_nodes_.size(); ++p)
+    if (head_[p] != kNoNode && dirty[static_cast<std::size_t>(head_[p])])
+      dirty_paths.push_back(static_cast<std::int32_t>(p));
+  std::sort(dirty_paths.begin(), dirty_paths.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return light_depth_[static_cast<std::size_t>(head_[a])] <
+                     light_depth_[static_cast<std::size_t>(head_[b])];
+            });
+  for (const std::int32_t p : dirty_paths) rebuild_prefix(p);
+
+  // Splice: clean labels ride over as word runs, dirty labels re-emit
+  // (tombstoned/detached dirty ids re-emit as zero-length).
+  std::vector<std::uint64_t> scratch;
+  const bits::LabelArena old = std::move(labels_);
+  labels_ = bits::LabelArena::patched(
+      old, size(), dirty,
+      [&](std::size_t i, BitWriter& w) { emit_label(i, w, scratch); });
+
+  if (flipped) {
+    ++stats_.restructured;
+    last_outcome_ = RelabelOutcome::kRestructured;
+  } else {
+    ++stats_.incremental;
+    last_outcome_ = RelabelOutcome::kIncremental;
+  }
+  stats_.labels_reemitted += count;
+  stats_.labels_spliced += size() - count;
+  last_dirty_ = count;
+
+  // Delta tracking: a dirty-cone member whose re-emitted bits came out
+  // identical (a sibling at the quantization boundary, say) need not ship.
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!dirty[i] || delta_dirty_[i] != 0) continue;
+    if (i >= old.size() || old.label_bits(i) != labels_.label_bits(i) ||
+        !(old.view(i) == labels_.view(i)))
+      delta_dirty_[i] = 1;
+  }
+}
+
+void IncrementalRelabeler::log_edit(LabelEdit::Kind kind, std::uint64_t a,
+                                    std::uint64_t b) {
+  delta_edits_.push_back({kind, a, b});
+}
+
 NodeId IncrementalRelabeler::insert_leaf(NodeId parent, std::uint32_t weight) {
-  if (parent < 0 || static_cast<std::size_t>(parent) >= size())
+  if (!alive(parent))
     throw std::out_of_range("IncrementalRelabeler: parent out of range");
   ++stats_.edits;
+  log_edit(LabelEdit::Kind::kInsertLeaf, static_cast<std::uint64_t>(parent),
+           weight);
   const auto x = static_cast<NodeId>(size());
 
   // Root-to-parent chain (every node whose subtree grows).
-  std::vector<NodeId> chain;
-  for (NodeId v = parent; v != kNoNode;
-       v = parent_[static_cast<std::size_t>(v)])
-    chain.push_back(v);
-  std::reverse(chain.begin(), chain.end());
+  const std::vector<NodeId> chain = chain_to(parent);
 
   append_node(parent, weight);
 
   bool extends = false;
   const NodeId flip_head = recheck_heavy(chain, x, &extends);
 
-  const std::size_t limit =
-      opt_.max_dirty_fraction <= 0.0
-          ? 0  // testing/ops escape hatch: rebuild on every edit
-          : std::max<std::size_t>(
-                256, static_cast<std::size_t>(opt_.max_dirty_fraction *
-                                              static_cast<double>(size())));
-  const auto fall_back = [&](bool flip) {
-    full_rebuild();
-    if (flip) {
-      ++stats_.full_heavy_flip;
-      last_outcome_ = RelabelOutcome::kFullHeavyFlip;
-    } else {
-      ++stats_.full_dirty_cone;
-      last_outcome_ = RelabelOutcome::kFullDirtyCone;
-    }
-    last_dirty_ = size();
-    return x;
-  };
   if (flip_head != kNoNode &&
       static_cast<std::size_t>(
-          subtree_size_[static_cast<std::size_t>(flip_head)]) > limit)
-    return fall_back(true);  // restructure region too big: don't even start
+          subtree_size_[static_cast<std::size_t>(flip_head)]) > dirty_limit()) {
+    fall_back(true);  // restructure region too big: don't even start
+    return x;
+  }
 
   // Grow the decomposition state by the one new node, or re-decompose the
   // flip region (which assigns the new leaf's path as part of the sweep).
@@ -416,110 +628,389 @@ NodeId IncrementalRelabeler::insert_leaf(NodeId parent, std::uint32_t weight) {
   // then the table changes detected below.
   std::vector<NodeId> roots{x};
   if (flip_head != kNoNode) roots.push_back(flip_head);
+  detect_table_changes(chain, flip_head, +1, roots);
+  if (flip_head == kNoNode && !extends) mark_light_site(parent, roots);
 
-  // Position-code tables whose quantized weights moved: only paths crossed
-  // by the chain can change (all other paths see identical sizes). With a
-  // flip, stop above the flip head — everything at or under it was just
-  // re-decomposed with fresh tables.
-  for (const NodeId a : chain) {
-    if (a == flip_head) break;
-    const std::int32_t p = path_of_[static_cast<std::size_t>(a)];
-    const auto pi2 = static_cast<std::size_t>(p);
-    if (a != head_[pi2]) continue;  // the chain enters each path at its head
-    std::vector<std::uint64_t> wts = position_weights(p);
-    if (wts != pos_wts_[pi2]) {
-      pos_wts_[pi2] = std::move(wts);
-      pos_code_[pi2] = bits::alphabetic_code(pos_wts_[pi2]);
-      roots.push_back(head_[pi2]);
-    }
-  }
-
-  // Light-choice tables: changed at a branch node when its light child on
-  // the chain crossed a power of two, or (at `parent`) gained the new leaf.
-  // A changed table re-codes every light sibling, so their subtrees dirty.
-  // Sites at or under the flip head were rebuilt by restructure().
-  const auto mark_light_site = [&](NodeId b) {
-    const auto bi = static_cast<std::size_t>(b);
-    for (const NodeId c : children_[bi])
-      if (c != heavy_[bi]) roots.push_back(c);
-  };
-  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-    const NodeId a = chain[i], c = chain[i + 1];
-    if (a == flip_head) break;
-    if (path_of_[static_cast<std::size_t>(a)] ==
-        path_of_[static_cast<std::size_t>(c)])
-      continue;  // heavy edge: no light table involved
-    if (crossed_pow2(static_cast<std::uint64_t>(
-            subtree_size_[static_cast<std::size_t>(c)])))
-      mark_light_site(a);
-    if (c == flip_head) break;
-  }
-  if (flip_head == kNoNode && !extends) mark_light_site(parent);
-
-  // Mark the dirty cones.
   std::vector<std::uint8_t> dirty(size(), 0);
   std::size_t count = 0;
-  std::vector<NodeId> stack;
-  for (const NodeId r : roots) {
-    if (dirty[static_cast<std::size_t>(r)]) continue;
-    stack.push_back(r);
-    dirty[static_cast<std::size_t>(r)] = 1;
-    ++count;
-    while (!stack.empty()) {
-      const NodeId v = stack.back();
-      stack.pop_back();
-      for (const NodeId c : children_[static_cast<std::size_t>(v)])
-        if (!dirty[static_cast<std::size_t>(c)]) {
-          dirty[static_cast<std::size_t>(c)] = 1;
-          ++count;
-          stack.push_back(c);
-        }
-    }
+  for (const NodeId r : roots) mark_cone(r, dirty, count);
+  if (count > dirty_limit()) {
+    fall_back(flip_head != kNoNode);
+    return x;
   }
-  if (count > limit) return fall_back(flip_head != kNoNode);
-
-  // Rebuild the prefixes of every dirty path head, parents before children
-  // (a head's parent path either kept its prefix or sits earlier in
-  // light-depth order).
-  std::vector<std::int32_t> dirty_paths;
-  for (std::size_t p = 0; p < path_nodes_.size(); ++p)
-    if (head_[p] != kNoNode && dirty[static_cast<std::size_t>(head_[p])])
-      dirty_paths.push_back(static_cast<std::int32_t>(p));
-  std::sort(dirty_paths.begin(), dirty_paths.end(),
-            [&](std::int32_t a, std::int32_t b) {
-              return light_depth_[static_cast<std::size_t>(head_[a])] <
-                     light_depth_[static_cast<std::size_t>(head_[b])];
-            });
-  for (const std::int32_t p : dirty_paths) rebuild_prefix(p);
-
-  // Splice: clean labels ride over as word runs, dirty labels re-emit.
-  std::vector<std::uint64_t> scratch;
-  labels_ = bits::LabelArena::patched(
-      labels_, size(), dirty,
-      [&](std::size_t i, BitWriter& w) { emit_label(i, w, scratch); });
-
-  if (flip_head != kNoNode) {
-    ++stats_.restructured;
-    last_outcome_ = RelabelOutcome::kRestructured;
-  } else {
-    ++stats_.incremental;
-    last_outcome_ = RelabelOutcome::kIncremental;
-  }
-  stats_.labels_reemitted += count;
-  stats_.labels_spliced += size() - count;
-  last_dirty_ = count;
+  splice_dirty(dirty, count, flip_head != kNoNode);
   return x;
 }
 
+void IncrementalRelabeler::delete_leaf(NodeId v) {
+  if (!alive(v))
+    throw std::out_of_range("IncrementalRelabeler: delete_leaf id not live");
+  const auto vi = static_cast<std::size_t>(v);
+  if (parent_[vi] == kNoNode)
+    throw std::invalid_argument("IncrementalRelabeler: cannot delete the root");
+  if (!children_[vi].empty())
+    throw std::invalid_argument("IncrementalRelabeler: target is not a leaf");
+  ++stats_.edits;
+  log_edit(LabelEdit::Kind::kDeleteLeaf, static_cast<std::uint64_t>(v), 0);
+  const NodeId parent = parent_[vi];
+  const std::vector<NodeId> chain = chain_to(parent);
+
+  // Structural removal: the id stays (a tombstone with a zero-length label
+  // until compact()), the node leaves every live structure.
+  auto& pc = children_[static_cast<std::size_t>(parent)];
+  pc.erase(std::find(pc.begin(), pc.end(), v));
+  add_sizes(chain, -1);
+  state_[vi] = kDead;
+  --live_;
+
+  // Path bookkeeping: pop v off its path. A leaf is either its path's
+  // bottom (its parent's heavy child) or a singleton path of its own.
+  const std::int32_t pv = path_of_[vi];
+  const auto pvi = static_cast<std::size_t>(pv);
+  const bool was_heavy = head_[pvi] != v;
+  if (was_heavy) {
+    path_nodes_[pvi].pop_back();
+    heavy_[static_cast<std::size_t>(parent)] = kNoNode;
+  } else {
+    head_[pvi] = kNoNode;
+    path_nodes_[pvi].clear();
+    free_paths_.push_back(pv);
+  }
+  path_of_[vi] = -1;
+
+  const NodeId flip_head = recheck_heavy_resized(chain);
+  if (flip_head != kNoNode &&
+      static_cast<std::size_t>(
+          subtree_size_[static_cast<std::size_t>(flip_head)]) > dirty_limit())
+    return fall_back(true);
+  if (flip_head != kNoNode) restructure(flip_head);
+
+  std::vector<NodeId> roots;
+  if (flip_head != kNoNode) roots.push_back(flip_head);
+  detect_table_changes(chain, flip_head, -1, roots);
+  if (flip_head == kNoNode && !was_heavy) mark_light_site(parent, roots);
+
+  std::vector<std::uint8_t> dirty(size(), 0);
+  std::size_t count = 0;
+  dirty[vi] = 1;  // the tombstone's label is re-emitted as zero-length
+  ++count;
+  for (const NodeId r : roots) mark_cone(r, dirty, count);
+  if (count > dirty_limit()) return fall_back(flip_head != kNoNode);
+  splice_dirty(dirty, count, flip_head != kNoNode);
+}
+
+void IncrementalRelabeler::detach_subtree(NodeId v) {
+  if (!alive(v))
+    throw std::out_of_range("IncrementalRelabeler: detach id not live");
+  const auto vi = static_cast<std::size_t>(v);
+  if (parent_[vi] == kNoNode)
+    throw std::invalid_argument("IncrementalRelabeler: cannot detach the root");
+  if (detached_root_ != kNoNode)
+    throw std::logic_error("IncrementalRelabeler: a detach is already pending");
+  ++stats_.edits;
+  log_edit(LabelEdit::Kind::kDetach, static_cast<std::uint64_t>(v), 0);
+  const NodeId parent = parent_[vi];
+  const std::vector<NodeId> chain = chain_to(parent);
+  const auto k = static_cast<std::int64_t>(subtree_size_[vi]);
+
+  // Structural cut.
+  auto& pc = children_[static_cast<std::size_t>(parent)];
+  pc.erase(std::find(pc.begin(), pc.end(), v));
+  add_sizes(chain, -k);
+  const bool was_heavy = heavy_[static_cast<std::size_t>(parent)] == v;
+  if (was_heavy) {
+    // The path through v continues below parent only inside subtree(v):
+    // truncate it at parent.
+    const auto pp = static_cast<std::size_t>(
+        path_of_[static_cast<std::size_t>(parent)]);
+    path_nodes_[pp].resize(static_cast<std::size_t>(
+        pos_in_path_[static_cast<std::size_t>(parent)] + 1));
+    heavy_[static_cast<std::size_t>(parent)] = kNoNode;
+  }
+  free_subtree_paths(v);
+  {
+    std::vector<NodeId> stack{v};
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      state_[static_cast<std::size_t>(x)] = kDetached;
+      --live_;
+      for (const NodeId c : children_[static_cast<std::size_t>(x)])
+        stack.push_back(c);
+    }
+  }
+  detached_root_ = v;
+  parent_[vi] = kNoNode;
+
+  const NodeId flip_head = recheck_heavy_resized(chain);
+  if (flip_head != kNoNode &&
+      static_cast<std::size_t>(
+          subtree_size_[static_cast<std::size_t>(flip_head)]) > dirty_limit())
+    return fall_back(true);
+  if (flip_head != kNoNode) restructure(flip_head);
+
+  std::vector<NodeId> roots;
+  if (flip_head != kNoNode) roots.push_back(flip_head);
+  detect_table_changes(chain, flip_head, -k, roots);
+  if (flip_head == kNoNode && !was_heavy) mark_light_site(parent, roots);
+
+  std::vector<std::uint8_t> dirty(size(), 0);
+  std::size_t count = 0;
+  mark_cone(v, dirty, count);  // detached labels are re-emitted zero-length
+  for (const NodeId r : roots) mark_cone(r, dirty, count);
+  if (count > dirty_limit()) return fall_back(flip_head != kNoNode);
+  splice_dirty(dirty, count, flip_head != kNoNode);
+}
+
+void IncrementalRelabeler::attach_subtree(NodeId parent, std::uint32_t weight) {
+  if (detached_root_ == kNoNode)
+    throw std::logic_error("IncrementalRelabeler: no detach is pending");
+  if (!alive(parent))
+    throw std::out_of_range("IncrementalRelabeler: attach parent not live");
+  ++stats_.edits;
+  log_edit(LabelEdit::Kind::kAttach, static_cast<std::uint64_t>(parent),
+           weight);
+  const NodeId v = detached_root_;
+  const auto vi = static_cast<std::size_t>(v);
+  const std::vector<NodeId> chain = chain_to(parent);
+  const auto k = static_cast<std::int64_t>(subtree_size_[vi]);
+
+  // Structural graft (children stay in ascending-id order).
+  auto& pc = children_[static_cast<std::size_t>(parent)];
+  pc.insert(std::lower_bound(pc.begin(), pc.end(), v), v);
+  parent_[vi] = parent;
+  weight_[vi] = weight;
+  add_sizes(chain, +k);
+  {
+    // Revive the subtree and rebase its root distances under the new
+    // parent (parent-before-child order: a node's distance is read after
+    // its parent's was written).
+    std::vector<NodeId> stack{v};
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      const auto xi = static_cast<std::size_t>(x);
+      state_[xi] = kLive;
+      ++live_;
+      root_dist_[xi] =
+          root_dist_[static_cast<std::size_t>(parent_[xi])] + weight_[xi];
+      for (const NodeId c : children_[xi]) stack.push_back(c);
+    }
+  }
+  detached_root_ = kNoNode;
+
+  const NodeId flip_head = recheck_heavy_resized(chain);
+  if (flip_head != kNoNode &&
+      static_cast<std::size_t>(
+          subtree_size_[static_cast<std::size_t>(flip_head)]) > dirty_limit())
+    return fall_back(true);
+  if (flip_head != kNoNode) {
+    restructure(flip_head);  // re-decomposes the grafted subtree too
+  } else {
+    // v hangs by a light edge: decompose its subtree at the new depth.
+    decompose_subtree(v, light_depth_[static_cast<std::size_t>(parent)] + 1);
+  }
+
+  std::vector<NodeId> roots;
+  if (flip_head != kNoNode) roots.push_back(flip_head);
+  detect_table_changes(chain, flip_head, +k, roots);
+  if (flip_head == kNoNode) mark_light_site(parent, roots);
+
+  std::vector<std::uint8_t> dirty(size(), 0);
+  std::size_t count = 0;
+  mark_cone(v, dirty, count);  // every grafted label is fresh
+  for (const NodeId r : roots) mark_cone(r, dirty, count);
+  if (count > dirty_limit()) return fall_back(flip_head != kNoNode);
+  splice_dirty(dirty, count, flip_head != kNoNode);
+}
+
+void IncrementalRelabeler::set_edge_weight(NodeId v, std::uint32_t weight) {
+  if (!alive(v))
+    throw std::out_of_range("IncrementalRelabeler: weight id not live");
+  const auto vi = static_cast<std::size_t>(v);
+  if (parent_[vi] == kNoNode)
+    throw std::invalid_argument(
+        "IncrementalRelabeler: the root has no parent edge");
+  ++stats_.edits;
+  log_edit(LabelEdit::Kind::kSetWeight, static_cast<std::uint64_t>(v), weight);
+  if (weight_[vi] == weight) {  // no-op edit: nothing dirties
+    ++stats_.incremental;
+    last_outcome_ = RelabelOutcome::kIncremental;
+    last_dirty_ = 0;
+    return;
+  }
+  weight_[vi] = weight;
+
+  // Sizes are untouched, so the decomposition and every code table stay
+  // put; only distances move. Rebase root distances over subtree(v), then
+  // the branch-distance lists of every path headed inside it
+  // (parents-before-children so the recurrence reads refreshed parents).
+  std::vector<NodeId> order;
+  {
+    std::vector<NodeId> stack{v};
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      const auto xi = static_cast<std::size_t>(x);
+      root_dist_[xi] =
+          root_dist_[static_cast<std::size_t>(parent_[xi])] + weight_[xi];
+      order.push_back(x);
+      for (const NodeId c : children_[xi]) stack.push_back(c);
+    }
+  }
+  std::vector<std::int32_t> paths;
+  for (const NodeId x : order) {
+    const std::int32_t p = path_of_[static_cast<std::size_t>(x)];
+    if (head_[static_cast<std::size_t>(p)] == x) paths.push_back(p);
+  }
+  std::sort(paths.begin(), paths.end(), [&](std::int32_t a, std::int32_t b) {
+    return light_depth_[static_cast<std::size_t>(head_[a])] <
+           light_depth_[static_cast<std::size_t>(head_[b])];
+  });
+  for (const std::int32_t p : paths) {
+    const auto pi = static_cast<std::size_t>(p);
+    const NodeId b = parent_[static_cast<std::size_t>(head_[pi])];
+    branch_rd_[pi] = branch_rd_[static_cast<std::size_t>(
+        path_of_[static_cast<std::size_t>(b)])];
+    branch_rd_[pi].push_back(root_dist_[static_cast<std::size_t>(b)]);
+  }
+
+  std::vector<std::uint8_t> dirty(size(), 0);
+  std::size_t count = 0;
+  mark_cone(v, dirty, count);  // every label in subtree(v) stores a distance
+  if (count > dirty_limit()) return fall_back(false);
+  splice_dirty(dirty, count, false);
+}
+
+std::vector<NodeId> IncrementalRelabeler::dense_map() const {
+  std::vector<NodeId> map(size(), kNoNode);
+  NodeId next = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (state_[i] == kLive) map[i] = next++;
+  return map;
+}
+
+std::vector<NodeId> IncrementalRelabeler::compact() {
+  if (detached_root_ != kNoNode)
+    throw std::logic_error(
+        "IncrementalRelabeler: compact with a detach pending");
+  ++stats_.compactions;
+  log_edit(LabelEdit::Kind::kCompact, 0, 0);
+  const std::size_t n = size();
+  std::vector<NodeId> map(n, kNoNode);
+  std::vector<std::size_t> keep;
+  keep.reserve(live_);
+  for (std::size_t i = 0; i < n; ++i)
+    if (state_[i] == kLive) {
+      map[i] = static_cast<NodeId>(keep.size());
+      keep.push_back(i);
+    }
+  if (keep.size() == n) return map;  // no tombstones: identity
+
+  // Delta tracking: a dropped id that existed in the base epoch becomes a
+  // dropped run in the next delta; ids born and killed since the base just
+  // vanish.
+  for (std::size_t i = 0; i < n; ++i)
+    if (state_[i] != kLive && base_of_cur_[i] != kNoNode)
+      delta_dropped_.push_back(
+          static_cast<std::uint64_t>(base_of_cur_[i]));
+
+  const auto m = keep.size();
+  const auto take_id = [&](NodeId x) {
+    return x == kNoNode ? kNoNode : map[static_cast<std::size_t>(x)];
+  };
+  const auto gather = [&](auto& vec) {
+    std::remove_reference_t<decltype(vec)> out(m);
+    for (std::size_t j = 0; j < m; ++j) out[j] = std::move(vec[keep[j]]);
+    vec = std::move(out);
+  };
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t o = keep[j];
+    parent_[o] = take_id(parent_[o]);
+    heavy_[o] = take_id(heavy_[o]);
+    for (NodeId& c : children_[o]) c = take_id(c);  // monotone: order holds
+  }
+  gather(parent_);
+  gather(weight_);
+  gather(children_);
+  gather(subtree_size_);
+  gather(root_dist_);
+  gather(heavy_);
+  gather(path_of_);
+  gather(pos_in_path_);
+  gather(light_depth_);
+  gather(base_of_cur_);
+  gather(delta_dirty_);
+  state_.assign(m, kLive);
+  for (auto& pn : path_nodes_)
+    for (NodeId& x : pn) x = take_id(x);
+  for (NodeId& h : head_)
+    if (h != kNoNode) h = take_id(h);
+  labels_ = bits::LabelArena::gathered(labels_, keep);
+  return map;
+}
+
+LabelDelta IncrementalRelabeler::make_delta() const {
+  LabelDelta d;
+  d.scheme = scheme_tag();
+  d.base_count = delta_base_count_;
+  d.new_count = size();
+  d.base_lens_hash = delta_base_hash_;
+  std::vector<std::uint64_t> dropped = delta_dropped_;
+  std::sort(dropped.begin(), dropped.end());
+  d.dropped = id_runs(dropped);
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (delta_dirty_[i] != 0 || base_of_cur_[i] == kNoNode) ids.push_back(i);
+  d.dirty.assign(ids.begin(), ids.end());
+  d.payload = bits::LabelArena::gathered(labels_, ids);
+  d.edits = delta_edits_;
+  d.base_chain = delta_chain_;
+  d.new_chain = LabelStore::chain_hash(delta_chain_, d);
+  return d;
+}
+
+void IncrementalRelabeler::rebase_delta() {
+  delta_base_count_ = size();
+  delta_base_hash_ = LabelStore::lens_hash(labels_);
+  // A fresh base: the serving side derives the same chain start from the
+  // full arena it just loaded.
+  delta_chain_ = delta_base_hash_;
+  base_of_cur_.resize(size());
+  for (std::size_t i = 0; i < size(); ++i)
+    base_of_cur_[i] = static_cast<NodeId>(i);
+  delta_dropped_.clear();
+  delta_dirty_.assign(size(), 0);
+  delta_edits_.clear();
+}
+
+void IncrementalRelabeler::advance_delta(const LabelDelta& d) {
+  if (d.base_chain != delta_chain_)
+    throw std::logic_error(
+        "IncrementalRelabeler: delta does not chain from the current epoch");
+  rebase_delta();
+  delta_chain_ = d.new_chain;  // continue the chain, don't restart it
+}
+
+void IncrementalRelabeler::ship_delta(std::ostream& os) {
+  const LabelDelta d = make_delta();
+  LabelStore::save_delta(os, d);
+  advance_delta(d);
+}
+
 void IncrementalRelabeler::check_state() const {
-  const Tree t(parent_, weight_);
+  // Fresh pipeline on the compacted live tree, compared through the
+  // (order-preserving) dense map.
+  std::vector<NodeId> old_of;
+  const Tree t = live_tree(&old_of);
   const HeavyPathDecomposition hpd(t);
   const nca::HeavyPathCodes codes(hpd, kPolicy);
   const auto fail = [](const char* what, NodeId v) {
     throw std::logic_error(std::string("IncrementalRelabeler state: ") +
                            what + " diverges at node " + std::to_string(v));
   };
-  // Fresh branch-rd recurrence (same as full_rebuild's).
+  if (static_cast<std::size_t>(t.size()) != live_) fail("live count", -1);
+  // Fresh branch-rd recurrence (same as full_rebuild's), in fresh ids.
   std::vector<std::vector<std::uint64_t>> want_rd(
       static_cast<std::size_t>(hpd.num_paths()));
   {
@@ -539,19 +1030,28 @@ void IncrementalRelabeler::check_state() const {
       want_rd[static_cast<std::size_t>(p)] = std::move(rs);
     }
   }
-  for (NodeId v = 0; v < t.size(); ++v) {
+  for (NodeId nv = 0; nv < t.size(); ++nv) {
+    const NodeId v = old_of[static_cast<std::size_t>(nv)];
     const auto i = static_cast<std::size_t>(v);
-    if (heavy_[i] != hpd.heavy_child(v)) fail("heavy_child", v);
-    if (light_depth_[i] != hpd.light_depth(v)) fail("light_depth", v);
-    if (pos_in_path_[i] != hpd.pos_in_path(v)) fail("pos_in_path", v);
-    if (subtree_size_[i] != t.subtree_size(v)) fail("subtree_size", v);
-    if (root_dist_[i] != t.root_distance(v)) fail("root_distance", v);
+    const NodeId want_heavy =
+        hpd.heavy_child(nv) == kNoNode
+            ? kNoNode
+            : old_of[static_cast<std::size_t>(hpd.heavy_child(nv))];
+    if (heavy_[i] != want_heavy) fail("heavy_child", v);
+    if (light_depth_[i] != hpd.light_depth(nv)) fail("light_depth", v);
+    if (pos_in_path_[i] != hpd.pos_in_path(nv)) fail("pos_in_path", v);
+    if (subtree_size_[i] != t.subtree_size(nv)) fail("subtree_size", v);
+    if (root_dist_[i] != t.root_distance(nv)) fail("root_distance", v);
     const auto p = static_cast<std::size_t>(path_of_[i]);
-    const std::int32_t fp = hpd.path_of(v);
-    if (head_[p] != hpd.head(fp)) fail("path head", v);
+    const std::int32_t fp = hpd.path_of(nv);
+    if (head_[p] != old_of[static_cast<std::size_t>(hpd.head(fp))])
+      fail("path head", v);
     const auto nodes = hpd.path_nodes(fp);
-    if (path_nodes_[p] != std::vector<NodeId>(nodes.begin(), nodes.end()))
-      fail("path_nodes", v);
+    std::vector<NodeId> want_nodes;
+    want_nodes.reserve(nodes.size());
+    for (const NodeId x : nodes)
+      want_nodes.push_back(old_of[static_cast<std::size_t>(x)]);
+    if (path_nodes_[p] != want_nodes) fail("path_nodes", v);
     const auto want_pc = codes.position_codes(fp);
     if (pos_code_[p].size() != want_pc.size()) fail("pos_code size", v);
     for (std::size_t q = 0; q < want_pc.size(); ++q)
@@ -563,6 +1063,9 @@ void IncrementalRelabeler::check_state() const {
     if (branch_rd_[p] != want_rd[static_cast<std::size_t>(fp)])
       fail("branch_rd", v);
   }
+  for (std::size_t i = 0; i < size(); ++i)
+    if (state_[i] != kLive && path_of_[i] != -1)
+      fail("non-live node still names a path", static_cast<NodeId>(i));
   for (const std::int32_t p : free_paths_)
     if (head_[static_cast<std::size_t>(p)] != kNoNode)
       fail("free list names a live path", head_[static_cast<std::size_t>(p)]);
@@ -575,6 +1078,6 @@ LabelStore::LoadedArena IncrementalRelabeler::to_loaded() const {
   return out;
 }
 
-Tree IncrementalRelabeler::snapshot() const { return Tree(parent_, weight_); }
+Tree IncrementalRelabeler::snapshot() const { return live_tree(nullptr); }
 
 }  // namespace treelab::core

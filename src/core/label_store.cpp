@@ -310,6 +310,394 @@ LabelStore::LoadedArena LabelStore::load_arena(std::istream& is) {
   return out;
 }
 
+// --- version-3 (delta) container -------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const unsigned char* p,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t x) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(x >> (8 * i));
+  return fnv1a_bytes(h, b, 8);
+}
+
+/// In-memory little-endian reader over a fully buffered delta, with
+/// truncation-checked primitives. Buffering the whole container first keeps
+/// the trailing-checksum check trivial and makes every allocation below
+/// provably bounded by the buffer size.
+struct DeltaCursor {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t off = 0;
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return n - off; }
+  void need(std::size_t k) const {
+    if (k > remaining())
+      throw std::runtime_error("LabelStore: truncated delta");
+  }
+  std::uint8_t get_u8() {
+    need(1);
+    return p[off++];
+  }
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T x = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      x |= static_cast<T>(p[off + i]) << (8 * i);
+    off += sizeof(T);
+    return x;
+  }
+  std::string get_string(std::uint32_t max_len) {
+    const auto len = get_le<std::uint32_t>();
+    if (len > max_len)
+      throw std::runtime_error("LabelStore: oversized string");
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return s;
+  }
+};
+
+/// Structural validation shared by load_delta (wire) and apply_delta
+/// (program-built deltas take the same scrutiny). Throws std::runtime_error
+/// on any inconsistency; performs no allocation proportional to the counts.
+void validate_delta(const LabelDelta& d) {
+  const auto bad = [](const char* what) {
+    throw std::runtime_error(std::string("LabelStore: invalid delta: ") +
+                             what);
+  };
+  if (d.base_count > (std::uint64_t{1} << 32) ||
+      d.new_count > (std::uint64_t{1} << 32))
+    bad("implausible label count");
+  std::uint64_t prev_end = 0;
+  std::uint64_t total_dropped = 0;
+  bool first_run = true;
+  for (const IdRun& r : d.dropped) {
+    if (r.count == 0) bad("empty dropped run");
+    if (!first_run && r.first < prev_end)
+      bad("unsorted or overlapping dropped runs");
+    if (r.first > d.base_count || r.count > d.base_count - r.first)
+      bad("dropped run out of range");
+    prev_end = r.first + r.count;
+    total_dropped += r.count;
+    first_run = false;
+  }
+  const std::uint64_t survivors = d.base_count - total_dropped;
+  if (survivors > d.new_count) bad("survivors exceed the new label count");
+  std::uint64_t prev = 0;
+  bool first_id = true;
+  for (const std::uint64_t id : d.dirty) {
+    if (!first_id && id <= prev) bad("unsorted dirty ids");
+    if (id >= d.new_count) bad("dirty id out of range");
+    prev = id;
+    first_id = false;
+  }
+  if (d.payload.size() != d.dirty.size())
+    bad("payload/dirty size mismatch");
+  // Every id past the survivor range has no base source: it must carry a
+  // payload.
+  std::uint64_t expect = survivors;
+  for (auto it = std::lower_bound(d.dirty.begin(), d.dirty.end(), survivors);
+       it != d.dirty.end(); ++it, ++expect)
+    if (*it != expect) bad("appended ids not covered by dirty payload");
+  if (expect != d.new_count) bad("appended ids not covered by dirty payload");
+}
+
+}  // namespace
+
+std::vector<IdRun> id_runs(const std::vector<std::uint64_t>& sorted_ids) {
+  std::vector<IdRun> runs;
+  for (const std::uint64_t id : sorted_ids) {
+    if (!runs.empty() && runs.back().first + runs.back().count == id)
+      ++runs.back().count;
+    else
+      runs.push_back({id, 1});
+  }
+  return runs;
+}
+
+std::uint64_t LabelStore::lens_hash(const bits::LabelArena& a) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    h = fnv1a_u64(h, a.label_bits(i));
+  return h;
+}
+
+std::uint64_t LabelStore::lens_hash(const bits::MappedArena& a) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    h = fnv1a_u64(h, a.label_bits(i));
+  return h;
+}
+
+std::uint64_t LabelStore::chain_hash(std::uint64_t base_chain,
+                                     const LabelDelta& d) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, base_chain);
+  h = fnv1a_u64(h, d.base_count);
+  h = fnv1a_u64(h, d.new_count);
+  for (const IdRun& r : d.dropped) {
+    h = fnv1a_u64(h, r.first);
+    h = fnv1a_u64(h, r.count);
+  }
+  for (const std::uint64_t id : d.dirty) h = fnv1a_u64(h, id);
+  for (std::size_t i = 0; i < d.payload.size(); ++i) {
+    const std::size_t bits = d.payload.label_bits(i);
+    h = fnv1a_u64(h, bits);
+    const std::uint64_t* w = d.payload.label_words(i);
+    for (std::size_t j = 0; j < (bits + 63) / 64; ++j) h = fnv1a_u64(h, w[j]);
+  }
+  return h;
+}
+
+void LabelStore::save_delta(std::ostream& os, const LabelDelta& d) {
+  try {
+    validate_delta(d);
+  } catch (const std::runtime_error& e) {
+    throw std::invalid_argument(e.what());  // caller bug, not wire corruption
+  }
+  // Mirror load_delta's string caps: a producer must not be able to write
+  // a container its own loader refuses.
+  if (d.scheme.size() > 256 || d.params.size() > 4096)
+    throw std::invalid_argument(
+        "LabelStore: scheme/params too long for the delta container");
+  std::string out;
+  const auto put8 = [&](std::uint8_t x) { out.push_back(static_cast<char>(x)); };
+  const auto put32 = [&](std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) put8(static_cast<std::uint8_t>(x >> (8 * i)));
+  };
+  const auto put64 = [&](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) put8(static_cast<std::uint8_t>(x >> (8 * i)));
+  };
+  const auto puts = [&](std::string_view s) {
+    put32(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  };
+  out.append(kMagic, 4);
+  put32(kVersionDelta);
+  puts(d.scheme);
+  puts(d.params);
+  put64(d.base_count);
+  put64(d.new_count);
+  put64(d.base_lens_hash);
+  put64(d.base_chain);
+  put64(d.new_chain);
+  put64(d.dropped.size());
+  for (const IdRun& r : d.dropped) {
+    put64(r.first);
+    put64(r.count);
+  }
+  const std::vector<IdRun> dirty_runs = id_runs(d.dirty);
+  put64(dirty_runs.size());
+  for (const IdRun& r : dirty_runs) {
+    put64(r.first);
+    put64(r.count);
+  }
+  for (std::size_t i = 0; i < d.payload.size(); ++i)
+    put64(d.payload.label_bits(i));
+  while (out.size() % 8 != 0) put8(0);  // payload starts 8-byte aligned
+  for (std::size_t i = 0; i < d.payload.size(); ++i) {
+    const std::uint64_t* words = d.payload.label_words(i);
+    const std::size_t nw = (d.payload.label_bits(i) + 63) / 64;
+    for (std::size_t w = 0; w < nw; ++w) put64(words[w]);
+  }
+  put64(d.edits.size());
+  for (const LabelEdit& e : d.edits) {
+    put8(static_cast<std::uint8_t>(e.kind));
+    put64(e.a);
+    put64(e.b);
+  }
+  const std::uint64_t sum = fnv1a_bytes(
+      kFnvOffset, reinterpret_cast<const unsigned char*>(out.data()),
+      out.size());
+  put64(sum);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+LabelDelta LabelStore::load_delta(std::istream& is) {
+  // Buffer the whole container: the checksum covers everything before the
+  // trailing hash, and every count below is then verifiably bounded by the
+  // buffer size before anything is allocated.
+  std::string buf;
+  {
+    char chunk[1 << 16];
+    while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0)
+      buf.append(chunk, static_cast<std::size_t>(is.gcount()));
+  }
+  DeltaCursor c{reinterpret_cast<const unsigned char*>(buf.data()),
+                buf.size()};
+  c.need(4);
+  if (std::memcmp(buf.data(), kMagic, 4) != 0)
+    throw std::runtime_error("LabelStore: bad magic");
+  c.off += 4;
+  const auto version = c.get_le<std::uint32_t>();
+  if (version != kVersionDelta)
+    throw std::runtime_error("LabelStore: unsupported version");
+  LabelDelta d;
+  d.scheme = c.get_string(256);
+  d.params = c.get_string(4096);
+  d.base_count = c.get_le<std::uint64_t>();
+  d.new_count = c.get_le<std::uint64_t>();
+  if (d.base_count > (std::uint64_t{1} << 32) ||
+      d.new_count > (std::uint64_t{1} << 32))
+    throw std::runtime_error("LabelStore: implausible label count");
+  d.base_lens_hash = c.get_le<std::uint64_t>();
+  d.base_chain = c.get_le<std::uint64_t>();
+  d.new_chain = c.get_le<std::uint64_t>();
+
+  const auto n_drop = c.get_le<std::uint64_t>();
+  if (n_drop > c.remaining() / 16)
+    throw std::runtime_error("LabelStore: dropped runs exceed stream size");
+  d.dropped.reserve(static_cast<std::size_t>(n_drop));
+  for (std::uint64_t i = 0; i < n_drop; ++i) {
+    IdRun r;
+    r.first = c.get_le<std::uint64_t>();
+    r.count = c.get_le<std::uint64_t>();
+    d.dropped.push_back(r);
+  }
+
+  const auto n_dirty_runs = c.get_le<std::uint64_t>();
+  if (n_dirty_runs > c.remaining() / 16)
+    throw std::runtime_error("LabelStore: dirty runs exceed stream size");
+  std::vector<IdRun> dirty_runs;
+  dirty_runs.reserve(static_cast<std::size_t>(n_dirty_runs));
+  std::uint64_t dirty_total = 0;
+  for (std::uint64_t i = 0; i < n_dirty_runs; ++i) {
+    IdRun r;
+    r.first = c.get_le<std::uint64_t>();
+    r.count = c.get_le<std::uint64_t>();
+    if (r.count == 0)
+      throw std::runtime_error("LabelStore: invalid delta: empty dirty run");
+    if (dirty_total >
+        std::numeric_limits<std::uint64_t>::max() - r.count)
+      throw std::runtime_error("LabelStore: dirty run count overflows");
+    dirty_total += r.count;
+    dirty_runs.push_back(r);
+  }
+  // Every dirty id owns an 8-byte length entry still ahead in the stream —
+  // the bound that keeps run expansion allocation-safe on corrupt counts.
+  if (dirty_total > c.remaining() / 8)
+    throw std::runtime_error("LabelStore: dirty ids exceed stream size");
+  d.dirty.reserve(static_cast<std::size_t>(dirty_total));
+  for (const IdRun& r : dirty_runs) {
+    if (r.first > d.new_count || r.count > d.new_count - r.first)
+      throw std::runtime_error(
+          "LabelStore: invalid delta: dirty run out of range");
+    for (std::uint64_t k = 0; k < r.count; ++k)
+      d.dirty.push_back(r.first + k);
+  }
+
+  std::vector<std::size_t> lens(static_cast<std::size_t>(dirty_total));
+  std::uint64_t total_words = 0;
+  for (auto& l : lens) {
+    const auto bitlen = c.get_le<std::uint64_t>();
+    if (bitlen > (std::uint64_t{1} << 32))
+      throw std::runtime_error("LabelStore: implausible label length");
+    const std::uint64_t nw = bitlen / 64 + (bitlen % 64 != 0 ? 1 : 0);
+    if (total_words > std::numeric_limits<std::uint64_t>::max() - nw ||
+        total_words + nw >
+            std::numeric_limits<std::size_t>::max() / sizeof(std::uint64_t))
+      throw std::runtime_error("LabelStore: length directory overflows");
+    total_words += nw;
+    l = static_cast<std::size_t>(bitlen);
+  }
+  while (c.off % 8 != 0) {
+    if (c.get_u8() != 0)
+      throw std::runtime_error("LabelStore: invalid delta: nonzero padding");
+  }
+  if (total_words > c.remaining() / 8)
+    throw std::runtime_error("LabelStore: truncated delta payload");
+  d.payload = bits::LabelArena::build(
+      lens.size(), 1, [&](std::size_t i, bits::BitWriter& w) {
+        std::size_t left = lens[i];
+        while (left > 0) {
+          const auto word = c.get_le<std::uint64_t>();
+          const int take = static_cast<int>(std::min<std::size_t>(64, left));
+          w.put_bits(word, take);
+          left -= static_cast<std::size_t>(take);
+        }
+      });
+
+  const auto n_edits = c.get_le<std::uint64_t>();
+  if (n_edits > c.remaining() / 17)
+    throw std::runtime_error("LabelStore: edit log exceeds stream size");
+  d.edits.reserve(static_cast<std::size_t>(n_edits));
+  for (std::uint64_t i = 0; i < n_edits; ++i) {
+    const std::uint8_t kind = c.get_u8();
+    if (kind > static_cast<std::uint8_t>(LabelEdit::Kind::kCompact))
+      throw std::runtime_error("LabelStore: invalid delta: unknown edit kind");
+    LabelEdit e;
+    e.kind = static_cast<LabelEdit::Kind>(kind);
+    e.a = c.get_le<std::uint64_t>();
+    e.b = c.get_le<std::uint64_t>();
+    d.edits.push_back(e);
+  }
+
+  const std::size_t hashed = c.off;
+  const auto want = c.get_le<std::uint64_t>();
+  if (c.off != c.n)
+    throw std::runtime_error("LabelStore: trailing bytes after delta");
+  const std::uint64_t got = fnv1a_bytes(
+      kFnvOffset, reinterpret_cast<const unsigned char*>(buf.data()), hashed);
+  if (got != want)
+    throw std::runtime_error("LabelStore: delta checksum mismatch");
+  validate_delta(d);
+  return d;
+}
+
+bits::LabelArena LabelStore::apply_delta(const bits::MappedArena& base,
+                                         const LabelDelta& d) {
+  validate_delta(d);
+  if (base.size() != d.base_count)
+    throw std::runtime_error("LabelStore: delta base count mismatch");
+  if (lens_hash(base) != d.base_lens_hash)
+    throw std::runtime_error("LabelStore: delta does not match base labeling");
+  // Source of each new label: the delta payload for dirty ids, the
+  // (drop-shifted) base label otherwise. Survivors occupy the first
+  // base_count - dropped new ids in base order; validate_delta guarantees
+  // everything past that range is dirty.
+  const auto n = static_cast<std::size_t>(d.new_count);
+  std::vector<std::int64_t> src(n);
+  {
+    std::size_t next_drop = 0;
+    std::uint64_t new_id = 0;
+    for (std::uint64_t b = 0; b < d.base_count && new_id < d.new_count; ++b) {
+      while (next_drop < d.dropped.size() &&
+             b >= d.dropped[next_drop].first + d.dropped[next_drop].count)
+        ++next_drop;
+      if (next_drop < d.dropped.size() &&
+          b >= d.dropped[next_drop].first)
+        continue;  // dropped base id
+      src[static_cast<std::size_t>(new_id++)] = static_cast<std::int64_t>(b);
+    }
+    for (std::size_t t = 0; t < d.dirty.size(); ++t)
+      src[static_cast<std::size_t>(d.dirty[t])] =
+          ~static_cast<std::int64_t>(t);
+  }
+  return bits::LabelArena::composed(n, [&](std::size_t i) {
+    const std::int64_t s = src[i];
+    if (s >= 0) {
+      const auto b = static_cast<std::size_t>(s);
+      return bits::LabelArena::LabelRef{base.label_words(b),
+                                        base.label_bits(b)};
+    }
+    const auto t = static_cast<std::size_t>(~s);
+    return bits::LabelArena::LabelRef{d.payload.label_words(t),
+                                      d.payload.label_bits(t)};
+  });
+}
+
 LabelStore::MappedLoaded LabelStore::open_mapped(const std::string& path) {
   {
     std::ifstream is(path, std::ios::binary);

@@ -37,6 +37,78 @@
 
 namespace treelab::core {
 
+/// One tree-shape edit, as recorded in a delta's edit log. The log is the
+/// shape half of a delta: label payloads say *what* changed, the log says
+/// *why* — consumers that mirror the tree (replicas, replay tooling, the
+/// edit fuzzer's repro files) apply it to their own shape copy.
+struct LabelEdit {
+  enum class Kind : std::uint8_t {
+    kInsertLeaf = 0,  ///< a = parent id, b = edge weight (new id = count)
+    kDeleteLeaf = 1,  ///< a = leaf id
+    kDetach = 2,      ///< a = subtree root id
+    kAttach = 3,      ///< a = new parent id, b = edge weight
+    kSetWeight = 4,   ///< a = node id, b = new edge weight
+    kCompact = 5,     ///< ids renumbered (the delta's dropped runs say how)
+  };
+  Kind kind = Kind::kInsertLeaf;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const LabelEdit&, const LabelEdit&) = default;
+};
+
+/// A maximal run of consecutive ids [first, first + count).
+struct IdRun {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const IdRun&, const IdRun&) = default;
+};
+
+/// Compresses a sorted, duplicate-free id list into maximal IdRuns.
+[[nodiscard]] std::vector<IdRun> id_runs(
+    const std::vector<std::uint64_t>& sorted_ids);
+
+/// A label delta: everything needed to turn the base-epoch labeling (the
+/// one whose length directory hashes to `base_lens_hash`) into the current
+/// one. Applied in two steps: first the `dropped` base ids are removed and
+/// the survivors renumbered densely (order-preserving — compact()'s remap),
+/// then every id in `dirty` (new-id space) takes its payload label; ids not
+/// dropped and not dirty keep their base bits at their shifted position.
+/// Dropped ids stay run-compressed (a compaction can drop half the tree;
+/// runs keep the delta, and every allocation parsing it, proportional to
+/// the *change*); dirty ids are expanded (each one carries a payload, so
+/// the list is payload-bounded anyway). Produced by
+/// IncrementalRelabeler::make_delta(), shipped as the LabelStore version-3
+/// container, applied by LabelStore::apply_delta /
+/// serve::ForestIndex::apply_delta.
+struct LabelDelta {
+  std::string scheme;
+  std::string params;
+  std::uint64_t base_count = 0;     ///< labels in the base arena
+  std::uint64_t new_count = 0;      ///< labels after application
+  std::uint64_t base_lens_hash = 0; ///< LabelStore::lens_hash of the base
+  /// Epoch chain: base_chain is the chain value of the epoch this delta
+  /// applies to (lens_hash of the arena for a freshly hand-off'ed base;
+  /// the previous delta's new_chain afterwards); new_chain =
+  /// LabelStore::chain_hash(base_chain, *this). The chain is
+  /// content-derived, so a skipped or reordered delta is rejected even
+  /// when the labelings' length directories happen to collide.
+  std::uint64_t base_chain = 0;
+  std::uint64_t new_chain = 0;
+  std::vector<IdRun> dropped;       ///< base-id runs, sorted, disjoint
+  std::vector<std::uint64_t> dirty; ///< new-space ids, sorted ascending
+  bits::LabelArena payload;         ///< payload[i] = label of dirty[i]
+  std::vector<LabelEdit> edits;     ///< shape edits, in order
+
+  /// Ids dropped (sum of run lengths).
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const IdRun& r : dropped) n += r.count;
+    return n;
+  }
+};
+
 class LabelStore {
  public:
   struct Loaded {
@@ -93,10 +165,53 @@ class LabelStore {
   /// directory and bounds the word buffer against the file size.
   [[nodiscard]] static MappedLoaded open_mapped(const std::string& path);
 
+  // --- version-3 delta container --------------------------------------------
+
+  /// Structural fingerprint of a labeling: FNV-1a over the label count and
+  /// every label's exact bit length. O(n) with no payload reads (cheap even
+  /// on an mmap'ed arena — the word buffer is never touched), so
+  /// apply_delta can verify a delta targets the right base without paging
+  /// the labels in. Identical for LabelArena and MappedArena views of the
+  /// same labeling.
+  [[nodiscard]] static std::uint64_t lens_hash(const bits::LabelArena& a);
+  [[nodiscard]] static std::uint64_t lens_hash(const bits::MappedArena& a);
+
+  /// The successor epoch-chain value of applying `d` to an epoch whose
+  /// chain value is `base_chain`: FNV-1a over the chain value and the
+  /// delta's content (counts, dropped runs, dirty ids, payload bits).
+  /// Unlike lens_hash this folds the payload *contents*, so two deltas
+  /// producing length-identical labelings still chain apart.
+  [[nodiscard]] static std::uint64_t chain_hash(std::uint64_t base_chain,
+                                                const LabelDelta& d);
+
+  /// Writes `d` as a version-3 delta container (see README for the byte
+  /// layout): header, dropped/dirty id runs, dirty label length directory,
+  /// word-aligned payload, edit log, trailing FNV-1a checksum of the whole
+  /// delta. Throws std::invalid_argument on a structurally invalid delta
+  /// (unsorted runs, payload/dirty size mismatch).
+  static void save_delta(std::ostream& os, const LabelDelta& d);
+
+  /// Parses a version-3 container. Every field is validated — bad magic or
+  /// version, unsorted/overlapping/out-of-range runs, implausible counts,
+  /// truncation anywhere, and checksum mismatch all throw
+  /// std::runtime_error; corrupt input never reads out of bounds or makes
+  /// count-sized allocations.
+  [[nodiscard]] static LabelDelta load_delta(std::istream& is);
+
+  /// Applies `d` to `base` copy-on-write: returns a fresh owned arena, the
+  /// base (possibly an mmap'ed file serving concurrent queries) is never
+  /// written. Validates that the delta targets this base (count + lens
+  /// hash) and that the delta is self-consistent (every id past the
+  /// survivor range carries a payload); throws std::runtime_error
+  /// otherwise.
+  [[nodiscard]] static bits::LabelArena apply_delta(
+      const bits::MappedArena& base, const LabelDelta& d);
+
  private:
   static constexpr char kMagic[4] = {'T', 'L', 'A', 'B'};
   static constexpr std::uint32_t kVersion = 1;
   static constexpr std::uint32_t kVersionMappable = 2;
+  static constexpr std::uint32_t kVersionDelta = 3;
 };
 
 }  // namespace treelab::core

@@ -1,8 +1,10 @@
 #include "serve/forest_index.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/parallel.hpp"
 
@@ -13,12 +15,6 @@ namespace {
 std::uint64_t cache_key(TreeId tree, tree::NodeId u) noexcept {
   return (static_cast<std::uint64_t>(tree) << 32) |
          static_cast<std::uint32_t>(u);
-}
-
-void check_nodes(const Request& r, std::size_t n) {
-  if (r.u < 0 || r.v < 0 || static_cast<std::size_t>(r.u) >= n ||
-      static_cast<std::size_t>(r.v) >= n)
-    throw std::out_of_range("ForestIndex: node id out of range");
 }
 
 }  // namespace
@@ -38,21 +34,39 @@ ForestIndex::EntryPtr ForestIndex::entry(TreeId tree) const {
   return trees_[tree]->load(std::memory_order_acquire);
 }
 
-ForestIndex::EntryPtr ForestIndex::make_entry(std::string_view scheme,
-                                              std::string_view params,
-                                              bits::MappedArena labels,
-                                              std::uint64_t epoch) {
+tree::NodeId ForestIndex::resolve(const TreeEntry& e, tree::NodeId ext) {
+  if (ext < 0 || static_cast<std::size_t>(ext) >= e.ext_size())
+    throw std::out_of_range("ForestIndex: node id out of range");
+  const tree::NodeId i =
+      e.ext_to_int.empty() ? ext
+                           : e.ext_to_int[static_cast<std::size_t>(ext)];
+  // kNoNode: the id was compacted away. Zero-length label: the id is a
+  // tombstone a delta shipped (deleted/detached node). Both must fail the
+  // same deterministic way — never answer for whatever occupies the slot.
+  if (i == tree::kNoNode ||
+      e.labels.label_bits(static_cast<std::size_t>(i)) == 0)
+    throw std::out_of_range("ForestIndex: node id is no longer in the tree");
+  return i;
+}
+
+std::shared_ptr<ForestIndex::TreeEntry> ForestIndex::make_entry(
+    std::string_view scheme, std::string_view params, bits::MappedArena labels,
+    std::uint64_t epoch, std::vector<tree::NodeId> ext_map) {
   auto e = std::make_shared<TreeEntry>();
   e->scheme = AnyScheme::make(scheme, params);
+  e->scheme_name = scheme;
+  e->params = params;
   e->labels = std::move(labels);
   e->epoch = epoch;
+  e->chain = core::LabelStore::lens_hash(e->labels);
+  e->ext_to_int = std::move(ext_map);
   return e;
 }
 
 TreeId ForestIndex::add_entry(std::string_view scheme, std::string_view params,
                               bits::MappedArena labels) {
   trees_.push_back(std::make_unique<std::atomic<EntryPtr>>(
-      make_entry(scheme, params, std::move(labels), 0)));
+      make_entry(scheme, params, std::move(labels), 0, {})));
   return static_cast<TreeId>(trees_.size() - 1);
 }
 
@@ -66,44 +80,199 @@ TreeId ForestIndex::add(core::LabelStore::LoadedArena loaded) {
                    bits::MappedArena::adopt(std::move(loaded.labels)));
 }
 
+std::vector<tree::NodeId> ForestIndex::compose_ext_map(
+    const TreeEntry& old, std::span<const tree::NodeId> remap,
+    std::size_t new_int_count, const std::vector<std::uint8_t>* dirty_int,
+    std::vector<tree::NodeId>* dead_or_dirty) {
+  const std::size_t ext_size = old.ext_size();
+  std::vector<tree::NodeId> out(ext_size, tree::kNoNode);
+  std::vector<std::uint8_t> covered(new_int_count, 0);
+  bool identity = true;
+  for (std::size_t e = 0; e < ext_size; ++e) {
+    const tree::NodeId old_int =
+        old.ext_to_int.empty() ? static_cast<tree::NodeId>(e)
+                               : old.ext_to_int[e];
+    tree::NodeId ni = tree::kNoNode;
+    if (old_int != tree::kNoNode)
+      ni = remap[static_cast<std::size_t>(old_int)];
+    out[e] = ni;
+    if (ni == tree::kNoNode) {
+      identity = false;
+      if (old_int != tree::kNoNode && dead_or_dirty != nullptr)
+        dead_or_dirty->push_back(static_cast<tree::NodeId>(e));
+      continue;
+    }
+    covered[static_cast<std::size_t>(ni)] = 1;
+    if (ni != static_cast<tree::NodeId>(e)) identity = false;
+    if (dirty_int != nullptr &&
+        (*dirty_int)[static_cast<std::size_t>(ni)] != 0 &&
+        dead_or_dirty != nullptr)
+      dead_or_dirty->push_back(static_cast<tree::NodeId>(e));
+  }
+  // Labels the remap does not reach were appended after the compaction:
+  // give them fresh external ids at the top of the space, in internal
+  // order. (They cannot have cached attachments yet.) An append-only delta
+  // keeps ext == int throughout, so the identity fast path survives the
+  // common grow-only workload.
+  for (std::size_t ni = 0; ni < new_int_count; ++ni)
+    if (covered[ni] == 0) {
+      if (ni != out.size()) identity = false;
+      out.push_back(static_cast<tree::NodeId>(ni));
+    }
+  if (identity && out.size() == new_int_count) return {};
+  return out;
+}
+
 std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
                                       std::string_view params,
-                                      bits::MappedArena labels) {
+                                      bits::MappedArena labels,
+                                      const std::vector<tree::NodeId>* remap) {
   if (tree >= trees_.size())
     throw std::out_of_range("ForestIndex: tree id out of range");
-  // Swap and invalidate under the shard lock: concurrent updates of the
-  // same tree serialize (epochs stay monotonic), and every query runs its
-  // attach/cache section under the same lock, re-loading the slot there —
-  // so any section ordered after this one sees the new entry, and no stale
-  // attachment can be re-inserted once the erase has run.
   Shard& sh = *shards_[shard_of(tree)];
-  const std::lock_guard<std::mutex> lock(sh.mu);
-  const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
-  const EntryPtr fresh =
-      make_entry(scheme, params, std::move(labels), old->epoch + 1);
-  trees_[tree]->store(fresh, std::memory_order_release);
-  sh.invalidated += sh.cache.erase_if([tree](std::uint64_t key) {
-    return static_cast<TreeId>(key >> 32) == tree;
-  });
-  return fresh->epoch;
+  for (;;) {
+    // Entry construction (scheme parse, chain seed, ext-map composition —
+    // O(n) work) runs OUTSIDE the shard lock against a snapshot; the lock
+    // covers only the validate-and-swap plus the invalidation. Every query
+    // runs its attach/cache section under the same lock, re-loading the
+    // slot there — so any section ordered after ours sees the new entry,
+    // and no stale attachment can be re-inserted once the erase has run.
+    const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
+    std::vector<tree::NodeId> ext_map;
+    if (remap != nullptr) {
+      if (remap->size() != old->labels.size())
+        throw std::invalid_argument(
+            "ForestIndex: remap does not match the current labeling");
+      ext_map = compose_ext_map(*old, *remap, labels.size(), nullptr, nullptr);
+    }
+    std::shared_ptr<TreeEntry> fresh = make_entry(
+        scheme, params, std::move(labels), old->epoch + 1, std::move(ext_map));
+    {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      if (trees_[tree]->load(std::memory_order_acquire) == old) {
+        trees_[tree]->store(EntryPtr(std::move(fresh)),
+                            std::memory_order_release);
+        sh.invalidated += sh.cache.erase_if([tree](std::uint64_t key) {
+          return static_cast<TreeId>(key >> 32) == tree;
+        });
+        return old->epoch + 1;
+      }
+    }
+    // Raced another writer: take the labels back and retry against the new
+    // entry (epochs stay monotonic).
+    labels = std::move(fresh->labels);
+  }
 }
 
 std::uint64_t ForestIndex::update(TreeId tree,
                                   core::LabelStore::LoadedArena loaded) {
   return swap_entry(tree, loaded.scheme, loaded.params,
-                    bits::MappedArena::adopt(std::move(loaded.labels)));
+                    bits::MappedArena::adopt(std::move(loaded.labels)),
+                    nullptr);
+}
+
+std::uint64_t ForestIndex::update(TreeId tree,
+                                  core::LabelStore::LoadedArena loaded,
+                                  std::span<const tree::NodeId> remap) {
+  const std::vector<tree::NodeId> r(remap.begin(), remap.end());
+  return swap_entry(tree, loaded.scheme, loaded.params,
+                    bits::MappedArena::adopt(std::move(loaded.labels)), &r);
 }
 
 std::uint64_t ForestIndex::update_file(TreeId tree, const std::string& path) {
   auto loaded = core::LabelStore::open_mapped(path);
   return swap_entry(tree, loaded.scheme, loaded.params,
-                    std::move(loaded.labels));
+                    std::move(loaded.labels), nullptr);
+}
+
+std::uint64_t ForestIndex::apply_delta(TreeId tree,
+                                       const core::LabelDelta& d) {
+  if (tree >= trees_.size())
+    throw std::out_of_range("ForestIndex: tree id out of range");
+  Shard& sh = *shards_[shard_of(tree)];
+  for (;;) {
+    // All the O(n) work — validation, the copy-on-write patch, the ext-map
+    // composition — happens OUTSIDE the shard lock, against a snapshot of
+    // the entry, so concurrent queries on this shard never stall behind a
+    // large patch. The lock is only taken for the swap+invalidate; if
+    // another writer replaced the entry meanwhile, start over (the delta
+    // is then re-validated against the new epoch and rejected cleanly).
+    const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
+    if (d.scheme != old->scheme_name || d.params != old->params)
+      throw std::invalid_argument("ForestIndex: delta scheme mismatch");
+    // The epoch chain is the strong ordering check: lens_hash alone could
+    // collide across epochs whose label lengths happen to match.
+    if (d.base_chain != old->chain)
+      throw std::runtime_error(
+          "ForestIndex: delta does not chain from the live epoch");
+    // Copy-on-write: the patched arena is materialized while the old entry
+    // — possibly a zero-copy mmap — keeps serving. apply_delta validates
+    // the delta against the base (count + length-directory hash) first.
+    bits::LabelArena patched = core::LabelStore::apply_delta(old->labels, d);
+
+    // Internal remap implied by the delta's dropped runs (old → new int).
+    std::vector<tree::NodeId> remap(old->labels.size());
+    {
+      std::size_t next_drop = 0;
+      std::uint64_t dropped_before = 0;
+      for (std::size_t b = 0; b < remap.size(); ++b) {
+        while (next_drop < d.dropped.size() &&
+               b >= d.dropped[next_drop].first + d.dropped[next_drop].count) {
+          dropped_before += d.dropped[next_drop].count;
+          ++next_drop;
+        }
+        const bool dropped = next_drop < d.dropped.size() &&
+                             b >= d.dropped[next_drop].first;
+        remap[b] = dropped ? tree::kNoNode
+                           : static_cast<tree::NodeId>(b - dropped_before);
+      }
+    }
+    std::vector<std::uint8_t> dirty_int(patched.size(), 0);
+    for (const std::uint64_t id : d.dirty)
+      dirty_int[static_cast<std::size_t>(id)] = 1;
+    std::vector<tree::NodeId> stale_ext;
+    std::vector<tree::NodeId> ext_map = compose_ext_map(
+        *old, remap, patched.size(), &dirty_int, &stale_ext);
+
+    std::shared_ptr<TreeEntry> fresh =
+        make_entry(old->scheme_name, old->params,
+                   bits::MappedArena::adopt(std::move(patched)),
+                   old->epoch + 1, std::move(ext_map));
+    fresh->chain = d.new_chain;
+    const std::unordered_set<tree::NodeId> stale(stale_ext.begin(),
+                                                 stale_ext.end());
+
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    if (trees_[tree]->load(std::memory_order_acquire) != old)
+      continue;  // raced another writer: re-validate against its epoch
+    trees_[tree]->store(EntryPtr(std::move(fresh)),
+                        std::memory_order_release);
+    // Selective invalidation: only attachments whose labels changed (or
+    // whose ids died) go; clean hot labels stay attached across the swap.
+    sh.invalidated += sh.cache.erase_if([tree, &stale](std::uint64_t key) {
+      return static_cast<TreeId>(key >> 32) == tree &&
+             stale.count(static_cast<tree::NodeId>(
+                 static_cast<std::uint32_t>(key))) != 0;
+    });
+    return old->epoch + 1;
+  }
+}
+
+std::uint64_t ForestIndex::apply_delta_file(TreeId tree,
+                                            const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("ForestIndex: cannot open " + path);
+  return apply_delta(tree, core::LabelStore::load_delta(is));
 }
 
 AnyScheme ForestIndex::scheme(TreeId tree) const { return entry(tree)->scheme; }
 
 std::size_t ForestIndex::label_count(TreeId tree) const {
   return entry(tree)->labels.size();
+}
+
+std::size_t ForestIndex::id_bound(TreeId tree) const {
+  return entry(tree)->ext_size();
 }
 
 bool ForestIndex::mapped(TreeId tree) const {
@@ -116,20 +285,22 @@ std::uint64_t ForestIndex::update_epoch(TreeId tree) const {
 
 AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
                                                     tree::NodeId u,
+                                                    tree::NodeId iu,
                                                     const TreeEntry& e) const {
   const std::uint64_t key = cache_key(tree, u);
   if (AnyScheme::AttachedPtr* hit = sh.cache.get(key)) return *hit;
   AnyScheme::AttachedPtr att = e.scheme.attach(e.labels.view(
-      static_cast<std::size_t>(u)));
+      static_cast<std::size_t>(iu)));
   sh.cache.put(key, att, att->cost_bytes());
   return att;
 }
 
 Dist ForestIndex::query_entry_locked(Shard& sh, const Request& r,
                                      const TreeEntry& e) const {
-  check_nodes(r, e.labels.size());
-  const AnyScheme::AttachedPtr au = attached_locked(sh, r.tree, r.u, e);
-  const AnyScheme::AttachedPtr av = attached_locked(sh, r.tree, r.v, e);
+  const tree::NodeId iu = resolve(e, r.u);
+  const tree::NodeId iv = resolve(e, r.v);
+  const AnyScheme::AttachedPtr au = attached_locked(sh, r.tree, r.u, iu, e);
+  const AnyScheme::AttachedPtr av = attached_locked(sh, r.tree, r.v, iv, e);
   return e.scheme.query(*au, *av);
 }
 
@@ -137,8 +308,10 @@ Dist ForestIndex::query_entry_uncached(const Request& r,
                                        const TreeEntry& e) const {
   // Raw-label query path for entries that are no longer live (a batch
   // snapshot overtaken by update()): correct against e, never cached.
-  return e.scheme.query(e.labels.view(static_cast<std::size_t>(r.u)),
-                        e.labels.view(static_cast<std::size_t>(r.v)));
+  const tree::NodeId iu = resolve(e, r.u);
+  const tree::NodeId iv = resolve(e, r.v);
+  return e.scheme.query(e.labels.view(static_cast<std::size_t>(iu)),
+                        e.labels.view(static_cast<std::size_t>(iv)));
 }
 
 Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
@@ -163,9 +336,11 @@ std::vector<Dist> ForestIndex::query_batch(
   // Serial pre-pass: validate tree AND node ids in request order (a bad
   // request must fail deterministically, not from whichever parallel chunk
   // reaches it first), while partitioning request indices by shard and
-  // snapshotting one entry per distinct tree. Within a shard, requests are
-  // then sorted by tree so one tree's arena (and its cached attachments)
-  // is walked contiguously.
+  // snapshotting one entry per distinct tree. Node validation goes through
+  // resolve(), so tombstoned / compacted-away external ids are rejected
+  // here, deterministically, too. Within a shard, requests are then sorted
+  // by tree so one tree's arena (and its cached attachments) is walked
+  // contiguously.
   std::unordered_map<TreeId, EntryPtr> snap;
   std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -174,7 +349,8 @@ std::vector<Dist> ForestIndex::query_batch(
       throw std::out_of_range("ForestIndex: tree id out of range");
     EntryPtr& e = snap[r.tree];  // load each referenced slot once per batch
     if (e == nullptr) e = trees_[r.tree]->load(std::memory_order_acquire);
-    check_nodes(r, e->labels.size());
+    (void)resolve(*e, r.u);
+    (void)resolve(*e, r.v);
     by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
   }
   util::parallel_for_chunks(

@@ -20,12 +20,27 @@
 //     invalidation of that tree's attached-label cache keys — safe under
 //     concurrent query()/query_batch(). This is how a serving node takes an
 //     IncrementalRelabeler's refreshed labels without downtime.
+//   * delta shipping: apply_delta() patches one tree's labeling from a
+//     LabelStore v3 delta instead of a whole file — the new entry is built
+//     copy-on-write next to the live one (the mmap'ed base is never
+//     written), swapped under the same epoch'd slot machinery, and only the
+//     cached attachments whose labels actually changed are invalidated
+//     (LruCache::erase_if over the dirty/dropped id set); clean hot labels
+//     stay attached across the swap.
+//   * stable external ids: node ids in requests are *external* ids — the
+//     ids clients learned when the tree was last fully loaded. A delta that
+//     carries a compaction (or an update() given compact()'s remap) shifts
+//     the internal label indices; ForestIndex composes the remap into a
+//     per-tree external→internal map so surviving nodes keep answering
+//     under their original ids and deleted/compacted-away ids fail
+//     deterministically (std::out_of_range "NotFound") instead of silently
+//     answering for whatever node now occupies the slot.
 //
-// Thread-safety: query(), query_batch(), update(), cache_stats() and the
-// per-tree accessors may all run concurrently. add_file()/add() grow the
-// tree table and must not race with anything — build the initial index
-// first, then serve (updates of *existing* trees are the supported
-// mutation on a live index).
+// Thread-safety: query(), query_batch(), update(), apply_delta(),
+// cache_stats() and the per-tree accessors may all run concurrently.
+// add_file()/add() grow the tree table and must not race with anything —
+// build the initial index first, then serve (updates of *existing* trees
+// are the supported mutation on a live index).
 #pragma once
 
 #include <atomic>
@@ -83,13 +98,42 @@ class ForestIndex {
   /// scheme; typically a grown tree's refreshed labels). The swap is atomic
   /// — concurrent queries see either the old or the new labeling, never a
   /// mix — and the tree's attached-label cache entries are invalidated, so
-  /// no stale attachment outlives the update. Bumps the tree's epoch and
+  /// no stale attachment outlives the update. Resets the tree's external
+  /// id space to the new labeling's (dense) ids. Bumps the tree's epoch and
   /// returns it. Throws std::out_of_range on a bad id, and what
   /// AnyScheme::make throws on a bad header.
   std::uint64_t update(TreeId tree, core::LabelStore::LoadedArena loaded);
 
+  /// update() that *preserves* the tree's external id space across an id
+  /// compaction: `remap` is IncrementalRelabeler::compact()'s old-id →
+  /// new-id map (kNoNode = dropped), sized to the tree's current internal
+  /// label count. External ids keep answering for the nodes they always
+  /// named; remapped-away ids fail queries with std::out_of_range from then
+  /// on (deterministic NotFound, never the wrong node's answer). Labels the
+  /// remap does not reach (appended after the compaction) get fresh
+  /// external ids at the top of the id space. Throws std::invalid_argument
+  /// if remap's size does not match the current labeling.
+  std::uint64_t update(TreeId tree, core::LabelStore::LoadedArena loaded,
+                       std::span<const tree::NodeId> remap);
+
   /// update() from a label file (mappable containers are mmap'ed).
   std::uint64_t update_file(TreeId tree, const std::string& path);
+
+  /// Patches tree `tree`'s labeling with a v3 delta (typically shipped by
+  /// IncrementalRelabeler::ship_delta): validates that the delta targets
+  /// the live labeling (count + length-directory hash), materializes the
+  /// patched arena copy-on-write, composes the delta's dropped runs into
+  /// the tree's external-id map, and hot-swaps the entry under the epoch'd
+  /// slot machinery. Only the cached attachments whose labels changed —
+  /// dirty ids and dropped/shifted ids — are invalidated; clean cached
+  /// attachments survive. The delta's scheme/params must match the tree's.
+  /// Returns the new epoch. Throws std::out_of_range on a bad id,
+  /// std::invalid_argument on a scheme mismatch, std::runtime_error when
+  /// the delta does not match the live labeling or is corrupt.
+  std::uint64_t apply_delta(TreeId tree, const core::LabelDelta& delta);
+
+  /// apply_delta() from a v3 delta file.
+  std::uint64_t apply_delta_file(TreeId tree, const std::string& path);
 
   [[nodiscard]] std::size_t tree_count() const noexcept {
     return trees_.size();
@@ -102,6 +146,11 @@ class ForestIndex {
   /// from).
   [[nodiscard]] AnyScheme scheme(TreeId tree) const;
   [[nodiscard]] std::size_t label_count(TreeId tree) const;
+  /// Upper bound of the tree's external node-id space. Equal to
+  /// label_count() until a compaction flows through update(remap) /
+  /// apply_delta(); after that it only grows — dropped external ids stay
+  /// reserved (and fail deterministically) rather than being reused.
+  [[nodiscard]] std::size_t id_bound(TreeId tree) const;
   /// True when the tree's labels are served zero-copy from an mmap'ed file.
   [[nodiscard]] bool mapped(TreeId tree) const;
   /// How many times update() replaced this tree's labeling (0 = original).
@@ -138,8 +187,22 @@ class ForestIndex {
  private:
   struct TreeEntry {
     AnyScheme scheme;
+    std::string scheme_name;  ///< LabelStore header tag (delta validation)
+    std::string params;
     bits::MappedArena labels;
     std::uint64_t epoch = 0;
+    /// Epoch-chain value this entry sits at: lens_hash of the arena for a
+    /// fully loaded base, the applied delta's new_chain afterwards. A delta
+    /// must present this as its base_chain — which rejects skipped or
+    /// reordered deltas even when label lengths happen to collide.
+    std::uint64_t chain = 0;
+    /// External-id → internal label index; empty = identity. kNoNode marks
+    /// an id whose node was deleted/compacted away (deterministic NotFound).
+    std::vector<tree::NodeId> ext_to_int;
+
+    [[nodiscard]] std::size_t ext_size() const noexcept {
+      return ext_to_int.empty() ? labels.size() : ext_to_int.size();
+    }
   };
   using EntryPtr = std::shared_ptr<const TreeEntry>;
   struct Shard {
@@ -157,17 +220,39 @@ class ForestIndex {
   }
   TreeId add_entry(std::string_view scheme, std::string_view params,
                    bits::MappedArena labels);
-  [[nodiscard]] static EntryPtr make_entry(std::string_view scheme,
-                                           std::string_view params,
-                                           bits::MappedArena labels,
-                                           std::uint64_t epoch);
+  /// Builds a fresh (still mutable) entry; the chain starts at the arena's
+  /// lens_hash — apply_delta overrides it with the delta's new_chain.
+  [[nodiscard]] static std::shared_ptr<TreeEntry> make_entry(
+      std::string_view scheme, std::string_view params,
+      bits::MappedArena labels, std::uint64_t epoch,
+      std::vector<tree::NodeId> ext_map);
+  /// External → internal id, validating range, tombstones (zero-length
+  /// labels) and compacted-away ids. Throws std::out_of_range.
+  [[nodiscard]] static tree::NodeId resolve(const TreeEntry& e,
+                                            tree::NodeId ext);
+  /// The next entry's ext_to_int after replacing `old`'s labeling with one
+  /// of `new_int_count` labels under `remap` (old-internal → new-internal,
+  /// kNoNode = dropped). New internal ids the remap does not reach get
+  /// fresh external ids appended in internal order. When `dead_or_dirty`
+  /// is given, collects the external ids whose cached attachments must go:
+  /// ids that died plus ids whose new internal index is flagged in
+  /// `dirty_int`.
+  [[nodiscard]] static std::vector<tree::NodeId> compose_ext_map(
+      const TreeEntry& old, std::span<const tree::NodeId> remap,
+      std::size_t new_int_count, const std::vector<std::uint8_t>* dirty_int,
+      std::vector<tree::NodeId>* dead_or_dirty);
   /// Shared body of update()/update_file(): swap the slot and invalidate
-  /// the tree's cached attachments, both under the shard lock.
+  /// the tree's cached attachments, both under the shard lock. `remap`
+  /// non-null composes the external-id map (see update(remap)); null
+  /// resets it.
   std::uint64_t swap_entry(TreeId tree, std::string_view scheme,
-                           std::string_view params, bits::MappedArena labels);
-  /// Cache lookup-or-attach; the shard's mutex must be held.
+                           std::string_view params, bits::MappedArena labels,
+                           const std::vector<tree::NodeId>* remap);
+  /// Cache lookup-or-attach for external id u resolved to internal iu; the
+  /// shard's mutex must be held.
   [[nodiscard]] AnyScheme::AttachedPtr attached_locked(Shard& sh, TreeId tree,
                                                        tree::NodeId u,
+                                                       tree::NodeId iu,
                                                        const TreeEntry& e)
       const;
   [[nodiscard]] Dist query_entry_locked(Shard& sh, const Request& r,

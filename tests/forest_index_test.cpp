@@ -447,6 +447,238 @@ TEST(ForestIndex, ShrinkingUpdatesCannotFailAValidatedBatch) {
   EXPECT_GT(served.load(), 0u);
 }
 
+TEST(ForestIndex, ApplyDeltaInvalidatesOnlyDirtyAttachments) {
+  // The selective-invalidation contract: after a delta swap, only cached
+  // attachments whose labels actually changed (or whose ids died) are
+  // dropped — clean hot labels survive, and cache_stats().invalidated
+  // counts exactly the dropped ones.
+  ForestOptions opt;
+  opt.shards = 1;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(200, 101);
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+
+  // Attach every label once.
+  for (NodeId u = 0; u < 200; ++u) (void)index.query({id, u, NodeId{0}});
+  const auto warm = index.cache_stats();
+  ASSERT_EQ(warm.entries, 200u);
+  ASSERT_EQ(warm.invalidated, 0u);
+
+  // One leaf insert: a small dirty cone.
+  (void)relab.insert_leaf(NodeId{150});
+  const core::LabelDelta d = relab.make_delta();
+  relab.advance_delta(d);
+  ASSERT_LT(d.dirty.size(), 100u);  // the point of the incremental path
+  std::size_t stale_cached = 0;     // dirty ids that were cached (ext < 200)
+  for (const std::uint64_t x : d.dirty)
+    if (x < 200) ++stale_cached;
+
+  EXPECT_EQ(index.apply_delta(id, d), 1u);
+  EXPECT_EQ(index.update_epoch(id), 1u);
+  EXPECT_EQ(index.label_count(id), 201u);
+  const auto after = index.cache_stats();
+  EXPECT_EQ(after.invalidated, stale_cached);
+  EXPECT_EQ(after.entries, 200u - stale_cached);  // clean entries survived
+
+  // Everything still answers exactly, including the new node.
+  const Tree now = relab.snapshot();
+  const tree::NcaIndex oracle(now);
+  for (NodeId u = 0; u < now.size(); u += 7)
+    for (NodeId v = 0; v < now.size(); v += 13)
+      EXPECT_EQ(index.query({id, u, v}).value, oracle.distance(u, v));
+}
+
+TEST(ForestIndex, ApplyDeltaShipsTombstonesAndRefusesDeadIds) {
+  ForestOptions opt;
+  opt.shards = 1;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(150, 102);
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+
+  // Find and delete a leaf through the relabeler, ship the delta.
+  NodeId victim = tree::kNoNode;
+  for (NodeId v = 149; v > 0; --v) {
+    try {
+      relab.delete_leaf(v);
+      victim = v;
+      break;
+    } catch (const std::exception&) {
+    }
+  }
+  ASSERT_NE(victim, tree::kNoNode);
+  std::stringstream ss;
+  relab.ship_delta(ss);
+  EXPECT_EQ(index.apply_delta(id, core::LabelStore::load_delta(ss)), 1u);
+
+  // The dead id fails deterministically; live pairs still answer.
+  EXPECT_THROW((void)index.query({id, victim, NodeId{0}}), std::out_of_range);
+  const std::vector<Request> batch{{id, 0, 1}, {id, victim, 2}};
+  EXPECT_THROW((void)index.query_batch(batch), std::out_of_range);
+  const Tree now = relab.snapshot();
+  const tree::NcaIndex oracle(now);
+  const std::vector<NodeId> map = relab.dense_map();
+  for (NodeId u = 0; u < 140; u += 11) {
+    if (map[static_cast<std::size_t>(u)] == tree::kNoNode) continue;
+    EXPECT_EQ(index.query({id, u, NodeId{0}}).value,
+              oracle.distance(map[static_cast<std::size_t>(u)],
+                              map[0]));
+  }
+}
+
+TEST(ForestIndex, QueryByOldIdAfterCompactionIsNotFoundNotWrong) {
+  // The id-stability regression: compact() renumbers internal label
+  // indices; a client still holding pre-compaction ids must get a
+  // deterministic NotFound for dropped ids and the SAME node's answer for
+  // surviving ids — never the answer of whatever node now occupies the
+  // slot. Both update(remap) and apply_delta (whose delta carries the
+  // compaction) must thread the remap.
+  for (const bool via_delta : {false, true}) {
+    ForestOptions opt;
+    opt.shards = 1;
+    ForestIndex index(opt);
+    const Tree t0 = tree::random_tree(180, 103);
+    const tree::NcaIndex oracle0(t0);
+    core::IncrementalRelabeler relab(t0);
+    const TreeId id = index.add(relab.to_loaded());
+
+    std::vector<NodeId> killed;
+    std::mt19937_64 rng(104);
+    while (killed.size() < 30) {
+      const auto v = static_cast<NodeId>(1 + rng() % 179);
+      try {
+        relab.delete_leaf(v);
+        killed.push_back(v);
+      } catch (const std::exception&) {
+      }
+    }
+    if (via_delta) {
+      (void)relab.compact();
+      std::stringstream ss;
+      relab.ship_delta(ss);
+      EXPECT_EQ(index.apply_delta(id, core::LabelStore::load_delta(ss)), 1u);
+    } else {
+      const std::vector<NodeId> remap = relab.compact();
+      EXPECT_EQ(index.update(id, relab.to_loaded(), remap), 1u);
+    }
+    EXPECT_EQ(index.label_count(id), 150u);  // compacted internally
+    EXPECT_EQ(index.id_bound(id), 180u);     // external ids stay reserved
+
+    // Dropped old ids: deterministic NotFound.
+    for (const NodeId v : killed)
+      EXPECT_THROW((void)index.query({id, v, NodeId{0}}), std::out_of_range)
+          << "via_delta=" << via_delta << " id " << v;
+    // Surviving old ids: the answer the client always got. Deleting leaves
+    // never changes distances between survivors, so the original oracle is
+    // the ground truth under the original ids.
+    std::vector<std::uint8_t> dead(180, 0);
+    for (const NodeId v : killed) dead[static_cast<std::size_t>(v)] = 1;
+    for (NodeId u = 0; u < 180; u += 7) {
+      if (dead[static_cast<std::size_t>(u)]) continue;
+      EXPECT_EQ(index.query({id, u, NodeId{0}}).value, oracle0.distance(u, 0))
+          << "via_delta=" << via_delta << " id " << u;
+    }
+  }
+}
+
+TEST(ForestIndex, ApplyDeltaRejectsMismatches) {
+  ForestOptions opt;
+  opt.shards = 1;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(90, 105);
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+  (void)relab.insert_leaf(3);
+  const core::LabelDelta d = relab.make_delta();
+
+  // Wrong scheme tag.
+  core::LabelDelta bad = d;
+  bad.scheme = "fgnw";
+  EXPECT_THROW((void)index.apply_delta(id, bad), std::invalid_argument);
+  // Bad tree id.
+  EXPECT_THROW((void)index.apply_delta(TreeId{9}, d), std::out_of_range);
+  // Applying against the wrong epoch (apply twice): the second must refuse
+  // (the live labeling no longer matches the delta's base hash).
+  EXPECT_EQ(index.apply_delta(id, d), 1u);
+  EXPECT_THROW((void)index.apply_delta(id, d), std::runtime_error);
+  EXPECT_EQ(index.update_epoch(id), 1u);  // failed apply left epoch alone
+}
+
+TEST(ForestIndex, ApplyDeltaIsSafeUnderConcurrentBatchQueries) {
+  // The delta-shipping serving loop: readers hammer query_batch over the
+  // original nodes while the writer ships a delta per edit — inserts,
+  // deletes of grown leaves, and periodic compactions. Original nodes
+  // survive every epoch with stable external ids and stable distances, so
+  // every admitted answer must be exact no matter which epoch served it.
+  // (The ASan+UBSan CI job races this too.)
+  ForestOptions opt;
+  opt.shards = 2;
+  opt.threads = 2;
+  ForestIndex index(opt);
+  const Tree t0 = tree::random_tree(160, 106);
+  core::IncrementalRelabeler relab(t0);
+  const TreeId id = index.add(relab.to_loaded());
+
+  const tree::NcaIndex oracle(t0);
+  std::vector<Request> reqs;
+  std::vector<std::uint64_t> want;
+  std::mt19937_64 rng(107);
+  for (int i = 0; i < 192; ++i) {
+    const auto u = static_cast<NodeId>(rng() % 160);
+    const auto v = static_cast<NodeId>(rng() % 160);
+    reqs.push_back({id, u, v});
+    want.push_back(oracle.distance(u, v));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> wrong{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<Dist> got = index.query_batch(reqs);
+        for (std::size_t i = 0; i < got.size(); ++i)
+          if (!got[i].within || got[i].value != want[i])
+            wrong.fetch_add(1, std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  std::mt19937_64 wrng(108);
+  std::vector<NodeId> grown;
+  std::uint64_t epochs = 0;
+  for (int e = 0; e < 48; ++e) {
+    if (e % 5 == 4 && !grown.empty()) {
+      try {
+        relab.delete_leaf(grown.back());
+        grown.pop_back();
+      } catch (const std::exception&) {
+      }
+    } else {
+      grown.push_back(relab.insert_leaf(
+          static_cast<NodeId>(wrng() % 160)));
+    }
+    if (e % 12 == 11) {
+      // compact() renumbers the relabeler's ids: the writer must remap its
+      // own handles (readers are insulated by the index's external-id map).
+      const std::vector<NodeId> map = relab.compact();
+      for (NodeId& g : grown) g = map[static_cast<std::size_t>(g)];
+    }
+    const core::LabelDelta d = relab.make_delta();
+    relab.advance_delta(d);
+    epochs = index.apply_delta(id, d);
+  }
+  while (batches.load(std::memory_order_relaxed) < 8) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(epochs, 48u);
+  EXPECT_EQ(index.update_epoch(id), 48u);
+}
+
 TEST(ForestIndex, BadIdsThrow) {
   ForestOptions opt;
   opt.shards = 2;

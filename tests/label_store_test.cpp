@@ -9,11 +9,14 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <limits>
+#include <random>
 #include <string>
 
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
 #include "core/fgnw_scheme.hpp"
+#include "core/incremental_relabeler.hpp"
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
@@ -217,6 +220,181 @@ TEST(LabelStoreFailure, BitFlippedV2ContainerNeverReadsOutOfBounds) {
     out.close();
     return std::move(core::LabelStore::open_mapped(path).labels);
   }, "v2 open_mapped");
+  std::remove(path.c_str());
+}
+
+// --- version-3 delta container sweeps --------------------------------------
+
+/// A small but representative delta: inserts + deletes + a compaction on a
+/// stable-weight relabeler, shipped through the real producer.
+struct DeltaFixture {
+  bits::LabelArena base;
+  std::string wire;
+  core::LabelDelta delta;  // the parsed form (known-good)
+};
+
+DeltaFixture make_delta_fixture() {
+  const Tree t = tree::random_tree(80, 51);
+  core::IncrementalRelabeler r(t);
+  DeltaFixture f;
+  f.base = r.labels();
+  std::mt19937_64 rng(52);
+  for (int e = 0; e < 12; ++e) {
+    try {
+      if (e % 3 == 0)
+        r.delete_leaf(static_cast<NodeId>(rng() % r.size()));
+      else
+        (void)r.insert_leaf(static_cast<NodeId>(rng() % r.size()));
+    } catch (const std::exception&) {
+    }
+  }
+  (void)r.compact();
+  std::stringstream ss;
+  r.ship_delta(ss);
+  f.wire = ss.str();
+  std::stringstream in(f.wire);
+  f.delta = core::LabelStore::load_delta(in);
+  return f;
+}
+
+/// One corrupted delta image: must either throw std::runtime_error (from
+/// load or from apply-against-base) or produce an arena that is safe to
+/// walk — never UB/OOM. The checksum catches nearly everything; the
+/// structural validation is the backstop the adversarial tests poke at
+/// directly.
+void expect_delta_throws_or_applies(const DeltaFixture& f,
+                                    const std::string& bad, std::size_t pos) {
+  try {
+    std::stringstream in(bad);
+    const core::LabelDelta d = core::LabelStore::load_delta(in);
+    bits::LabelArena copy = f.base;
+    const bits::LabelArena out = core::LabelStore::apply_delta(
+        bits::MappedArena::adopt(std::move(copy)), d);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto v = out.view(i);
+      if (v.size() != 0) (void)v.get(v.size() - 1);
+    }
+  } catch (const std::runtime_error&) {
+    // loud failure is the other acceptable outcome
+  } catch (...) {
+    FAIL() << "unexpected exception type at bit " << pos;
+  }
+}
+
+TEST(LabelStoreDelta, BitFlippedDeltaNeverReadsOutOfBounds) {
+  const DeltaFixture f = make_delta_fixture();
+  for (std::size_t bit = 0; bit < f.wire.size() * 8; bit += 1 + bit / 24) {
+    std::string bad = f.wire;
+    bad[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bad[bit / 8]) ^ (1u << (bit % 8)));
+    expect_delta_throws_or_applies(f, bad, bit);
+  }
+}
+
+TEST(LabelStoreDelta, TruncatedDeltaAlwaysThrows) {
+  const DeltaFixture f = make_delta_fixture();
+  for (std::size_t len = 0; len < f.wire.size(); len += 1 + len / 9) {
+    std::stringstream in(f.wire.substr(0, len));
+    EXPECT_THROW((void)core::LabelStore::load_delta(in), std::runtime_error)
+        << "prefix " << len;
+  }
+}
+
+TEST(LabelStoreDelta, AdversarialRunDirectories) {
+  // Program-built deltas take the same structural scrutiny as wire ones:
+  // overlapping/unsorted runs, out-of-range ids, wrapping counts, and
+  // payload/dirty mismatches must all throw — from save_delta (caller bug:
+  // invalid_argument) and from apply_delta (runtime_error) — never
+  // allocate count-sized memory or read out of bounds.
+  const DeltaFixture f = make_delta_fixture();
+  const auto expect_invalid = [&](core::LabelDelta d, const char* what) {
+    std::stringstream ss;
+    EXPECT_THROW(core::LabelStore::save_delta(ss, d), std::invalid_argument)
+        << what;
+    bits::LabelArena copy = f.base;
+    EXPECT_THROW((void)core::LabelStore::apply_delta(
+                     bits::MappedArena::adopt(std::move(copy)), d),
+                 std::runtime_error)
+        << what;
+  };
+  {
+    core::LabelDelta d = f.delta;
+    d.dropped = {{5, 4}, {3, 2}};  // unsorted + overlapping
+    expect_invalid(std::move(d), "unsorted dropped runs");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    d.dropped = {{70, 1u << 20}};  // far past base_count
+    expect_invalid(std::move(d), "dropped run out of range");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    d.dropped = {{0, 0}};  // empty run
+    expect_invalid(std::move(d), "empty dropped run");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    d.dropped.push_back(
+        {std::numeric_limits<std::uint64_t>::max() - 1, 2});  // wraps
+    expect_invalid(std::move(d), "wrapping dropped run");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    if (!d.dirty.empty()) {
+      d.dirty.back() = d.new_count + 7;  // out of range
+      expect_invalid(std::move(d), "dirty id out of range");
+    }
+  }
+  {
+    core::LabelDelta d = f.delta;
+    std::reverse(d.dirty.begin(), d.dirty.end());  // unsorted
+    if (d.dirty.size() > 1)
+      expect_invalid(std::move(d), "unsorted dirty ids");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    d.dirty.pop_back();  // payload no longer matches
+    expect_invalid(std::move(d), "payload/dirty mismatch");
+  }
+  {
+    core::LabelDelta d = f.delta;
+    d.new_count += 3;  // appended tail has no payload
+    expect_invalid(std::move(d), "uncovered appended ids");
+  }
+}
+
+TEST(LabelStoreDelta, ApplyRefusesTheWrongBase) {
+  const DeltaFixture f = make_delta_fixture();
+  // A different tree's labeling with the same node count: the lens hash
+  // must refuse it before any splicing happens.
+  const core::AlstrupScheme other(
+      tree::random_tree(80, 77), {nca::CodeWeights::kStablePow2, 1});
+  bits::LabelArena copy = other.labels();
+  EXPECT_THROW((void)core::LabelStore::apply_delta(
+                   bits::MappedArena::adopt(std::move(copy)), f.delta),
+               std::runtime_error);
+  // And a right-sized arena truncated by one label fails on the count.
+  std::vector<std::size_t> ids(79);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  bits::LabelArena short_base = bits::LabelArena::gathered(f.base, ids);
+  EXPECT_THROW((void)core::LabelStore::apply_delta(
+                   bits::MappedArena::adopt(std::move(short_base)), f.delta),
+               std::runtime_error);
+}
+
+TEST(LabelStoreDelta, LensHashIsRepresentationIndependent) {
+  const Tree t = tree::random_tree(120, 53);
+  const core::AlstrupScheme s(t);
+  const std::uint64_t h1 = core::LabelStore::lens_hash(s.labels());
+  // Through the v2 container and back via open_mapped (owned or mapped —
+  // the hash must not care).
+  const std::string path = testing::TempDir() + "treelab_lens_hash.lbl";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    core::LabelStore::save_mappable(out, "alstrup", s.labels(), "");
+  }
+  const auto opened = core::LabelStore::open_mapped(path);
+  EXPECT_EQ(core::LabelStore::lens_hash(opened.labels), h1);
   std::remove(path.c_str());
 }
 
