@@ -9,7 +9,11 @@
 //     (1, 2, 4, ...), the tentpole curve: per-shard caches mean no shared
 //     state on the hot path, so batch throughput should track the fan-out
 //     until the hardware runs out,
-//   * threads-under-fixed-shards — the fan-out knob alone.
+//   * threads-under-fixed-shards — the fan-out knob alone,
+//   * failpoints — the cost of the fault-injection hooks on the serving
+//     path: a disarmed failpoint::check() is one relaxed atomic load, and
+//     arming an *unrelated* site must not dent batch QPS beyond noise
+//     (CI asserts the armed/off ratio from the JSON).
 //
 // Emits BENCH_serve.json (same shape as BENCH_build/BENCH_query) with the
 // configuration and the cache counters of the last run.
@@ -35,6 +39,7 @@
 #include "core/tree_scaffold.hpp"
 #include "serve/forest_index.hpp"
 #include "tree/generators.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 using namespace treelab;
@@ -181,6 +186,29 @@ int main(int argc, char** argv) {
         run_config(s, static_cast<int>(s)));
   for (const int t : {1, 2})
     add("batch_shards4_t" + std::to_string(t), run_config(4, t));
+
+  // Failpoint overhead. First the microcost of one disarmed check (the
+  // fast path every instrumented I/O call pays), then the macro pair: the
+  // same serving config with no failpoint armed vs an unrelated site armed
+  // (arming anything forces every check onto the registry-lookup slow
+  // path — the worst case a production deployment with one armed knob
+  // sees). The two QPS numbers must agree to within noise.
+  {
+    const double cps = bench::measure_qps(
+        [&](std::size_t m) {
+          std::uint64_t acc = 0;
+          while (m--)
+            acc += util::failpoint::check("bench.never").has_value() ? 1 : 0;
+          benchmark_sink = benchmark_sink + acc;
+        },
+        1 << 16);
+    add("failpoint_check_disarmed", cps);
+    std::printf("  (%.2f ns per disarmed check)\n", 1e9 / cps);
+  }
+  add("failpoint_off_shards2_t2", run_config(2, 2));
+  util::failpoint::arm("bench.unrelated.site", util::FailMode::kError);
+  add("failpoint_armed_shards2_t2", run_config(2, 2));
+  util::failpoint::disarm_all();
 
   const char* path = "BENCH_serve.json";
   std::FILE* f = std::fopen(path, "w");

@@ -48,6 +48,22 @@
 //                                                  serving node does via
 //                                                  ForestIndex::apply_delta
 //                                                  — and write the result)
+//   treelab_cli journal info <base.lbl>           (open the crash-safe delta
+//                                                  journal beside base.lbl,
+//                                                  run recovery, report what
+//                                                  it replayed/truncated)
+//   treelab_cli journal append <base.lbl> <in.delta>
+//                                                 (append a delta to the
+//                                                  journal, rechaining it to
+//                                                  the journal's epoch chain
+//                                                  when needed)
+//   treelab_cli journal checkpoint <base.lbl>     (fold the journal into the
+//                                                  base file atomically)
+//
+// All label/delta outputs are written atomically (temp + fsync + rename):
+// a crash mid-write never leaves a torn file behind. Exit codes separate
+// failure kinds: 0 ok, 1 other error, 2 usage, 3 I/O error (path + errno
+// on stderr), 4 corrupt/invalid input.
 //
 // Example:
 //   treelab_cli gen random 1000 7 > t.txt
@@ -58,6 +74,7 @@
 //   treelab_cli update t.txt t2.lbl --edits 500 --tree-out t2.txt
 //   treelab_cli delta-save t.txt base.lbl churn.delta --edits 200
 //   treelab_cli delta-apply base.lbl churn.delta patched.lbl
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -71,6 +88,7 @@
 
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
+#include "core/delta_journal.hpp"
 #include "core/fgnw_scheme.hpp"
 #include "core/incremental_relabeler.hpp"
 #include "core/kdistance_scheme.hpp"
@@ -79,6 +97,7 @@
 #include "serve/forest_index.hpp"
 #include "tree/generators.hpp"
 #include "tree/io.hpp"
+#include "util/io_error.hpp"
 
 using namespace treelab;
 
@@ -100,6 +119,9 @@ int usage() {
                "  treelab_cli delta-save <tree.txt> <base.lbl> <out.delta> "
                "[--edits E] [--seed X] [--inserts-only] [--tree-out f]\n"
                "  treelab_cli delta-apply <base.lbl> <in.delta> <out.lbl>\n"
+               "  treelab_cli journal info <base.lbl>\n"
+               "  treelab_cli journal append <base.lbl> <in.delta>\n"
+               "  treelab_cli journal checkpoint <base.lbl>\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -158,7 +180,9 @@ int cmd_label(int argc, char** argv) {
 
 core::LabelStore::Loaded load_file(const char* path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  if (!in)
+    throw util::IoError(path, "open labels for reading",
+                        errno != 0 ? errno : ENOENT);
   return core::LabelStore::load(in);
 }
 
@@ -215,21 +239,8 @@ int cmd_save(int argc, char** argv) {
     return 1;
   }
   const auto loaded = core::LabelStore::load_arena(in);
-  std::ofstream out(argv[3], std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", argv[3]);
-    return 1;
-  }
-  if (format == "mappable")
-    core::LabelStore::save_mappable(out, loaded.scheme, loaded.labels,
-                                    loaded.params);
-  else
-    core::LabelStore::save(out, loaded.scheme, loaded.labels, loaded.params);
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "write to %s failed\n", argv[3]);
-    return 1;
-  }
+  core::LabelStore::save_file(argv[3], loaded.scheme, loaded.labels,
+                              loaded.params, format == "mappable");
   std::printf("rewrote %zu %s labels -> %s (%s container)\n",
               loaded.labels.size(), loaded.scheme.c_str(), argv[3],
               format.c_str());
@@ -381,19 +392,9 @@ int cmd_update(int argc, char** argv) {
   const double edit_ms =
       std::chrono::duration<double, std::milli>(clock::now() - t0).count();
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
-    return 1;
-  }
   const auto loaded = relab.to_loaded();
-  core::LabelStore::save_mappable(out, loaded.scheme, loaded.labels,
-                                  loaded.params);
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "write to %s failed\n", out_path);
-    return 1;
-  }
+  core::LabelStore::save_file(out_path, loaded.scheme, loaded.labels,
+                              loaded.params);
   if (tree_out != nullptr) {
     std::ofstream tout(tree_out);
     if (!tout) {
@@ -475,19 +476,9 @@ int cmd_delta_save(int argc, char** argv) {
 
   // The base epoch: what a serving node already holds.
   {
-    std::ofstream base(base_path, std::ios::binary);
-    if (!base) {
-      std::fprintf(stderr, "cannot open %s for writing\n", base_path);
-      return 1;
-    }
     const auto loaded = relab.to_loaded();
-    core::LabelStore::save_mappable(base, loaded.scheme, loaded.labels,
-                                    loaded.params);
-    base.flush();
-    if (!base) {
-      std::fprintf(stderr, "write to %s failed\n", base_path);
-      return 1;
-    }
+    core::LabelStore::save_file(base_path, loaded.scheme, loaded.labels,
+                                loaded.params);
   }
   relab.rebase_delta();
 
@@ -534,19 +525,7 @@ int cmd_delta_save(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(clock::now() - t0).count();
 
   const core::LabelDelta d = relab.make_delta();
-  {
-    std::ofstream out(delta_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", delta_path);
-      return 1;
-    }
-    core::LabelStore::save_delta(out, d);
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "write to %s failed\n", delta_path);
-      return 1;
-    }
-  }
+  core::LabelStore::save_delta_file(delta_path, d);
   if (tree_out != nullptr) {
     std::ofstream tout(tree_out);
     if (!tout) {
@@ -591,31 +570,20 @@ int cmd_delta_apply(int argc, char** argv) {
   if (argc != 5) return usage();
   const auto base = core::LabelStore::open_mapped(argv[2]);
   std::ifstream din(argv[3], std::ios::binary);
-  if (!din) {
-    std::fprintf(stderr, "cannot open %s\n", argv[3]);
-    return 1;
-  }
+  if (!din)
+    throw util::IoError(argv[3], "open delta for reading",
+                        errno != 0 ? errno : ENOENT);
   const core::LabelDelta d = core::LabelStore::load_delta(din);
   if (d.scheme != base.scheme || d.params != base.params) {
     std::fprintf(stderr, "delta is for scheme '%s' params '%s', base holds "
                  "'%s'/'%s'\n",
                  d.scheme.c_str(), d.params.c_str(), base.scheme.c_str(),
                  base.params.c_str());
-    return 1;
+    return 4;
   }
   const bits::LabelArena patched =
       core::LabelStore::apply_delta(base.labels, d);
-  std::ofstream out(argv[4], std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", argv[4]);
-    return 1;
-  }
-  core::LabelStore::save_mappable(out, d.scheme, patched, d.params);
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "write to %s failed\n", argv[4]);
-    return 1;
-  }
+  core::LabelStore::save_file(argv[4], d.scheme, patched, d.params);
   std::printf(
       "patched %zu -> %zu labels (%zu dirty, %llu dropped, %zu shape edits) "
       "-> %s\n",
@@ -623,6 +591,61 @@ int cmd_delta_apply(int argc, char** argv) {
       static_cast<unsigned long long>(d.dropped_count()), d.edits.size(),
       argv[4]);
   return 0;
+}
+
+int cmd_journal(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string verb = argv[2];
+  const std::string base_path = argv[3];
+  core::DeltaJournal j = core::DeltaJournal::open(base_path);
+  const auto& rec = j.recovery();
+  std::printf(
+      "journal %s: %zu records replayed, %llu bytes truncated%s%s\n"
+      "state: %zu records (%llu bytes) pending, chain %016llx, %zu labels\n",
+      core::DeltaJournal::journal_path(base_path).c_str(),
+      static_cast<std::size_t>(rec.records_replayed),
+      static_cast<unsigned long long>(rec.bytes_truncated),
+      rec.journal_reset ? ", journal reset" : "",
+      rec.created ? ", created" : "", static_cast<std::size_t>(j.record_count()),
+      static_cast<unsigned long long>(j.journal_bytes()),
+      static_cast<unsigned long long>(j.chain()), j.labels().size());
+
+  if (verb == "info") {
+    if (argc != 4) return usage();
+    return 0;
+  }
+  if (verb == "append") {
+    if (argc != 5) return usage();
+    std::ifstream din(argv[4], std::ios::binary);
+    if (!din)
+      throw util::IoError(argv[4], "open delta for reading",
+                          errno != 0 ? errno : ENOENT);
+    core::LabelDelta d = core::LabelStore::load_delta(din);
+    if (d.base_chain != j.chain()) {
+      std::printf("rechaining delta %016llx -> journal chain %016llx\n",
+                  static_cast<unsigned long long>(d.base_chain),
+                  static_cast<unsigned long long>(j.chain()));
+      core::LabelStore::rechain(d, j.chain());
+    }
+    j.append(d);
+    std::printf("appended: %zu records (%llu bytes), chain %016llx, "
+                "%zu labels\n",
+                static_cast<std::size_t>(j.record_count()),
+                static_cast<unsigned long long>(j.journal_bytes()),
+                static_cast<unsigned long long>(j.chain()),
+                j.labels().size());
+    return 0;
+  }
+  if (verb == "checkpoint") {
+    if (argc != 4) return usage();
+    j.checkpoint();
+    std::printf("checkpointed into %s (chain %016llx, %zu labels)\n",
+                base_path.c_str(),
+                static_cast<unsigned long long>(j.chain()),
+                j.labels().size());
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_stats(int argc, char** argv) {
@@ -654,6 +677,17 @@ int main(int argc, char** argv) {
       return cmd_delta_save(argc, argv);
     if (std::strcmp(argv[1], "delta-apply") == 0)
       return cmd_delta_apply(argc, argv);
+    if (std::strcmp(argv[1], "journal") == 0) return cmd_journal(argc, argv);
+  } catch (const util::IoError& e) {
+    // I/O failures (missing files, ENOSPC, permissions): exit 3, with the
+    // path and errno the error carries. Must precede the runtime_error
+    // handler — IoError derives from it.
+    std::fprintf(stderr, "io error: %s\n", e.what());
+    return 3;
+  } catch (const std::runtime_error& e) {
+    // Corrupt or invalid inputs (bad containers, torn deltas, bad chains).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define TREELAB_HAVE_MMAP 1
 #include <fcntl.h>
@@ -18,6 +20,10 @@ namespace treelab::bits {
 std::optional<MappedArena> MappedArena::map(const char* path,
                                             std::size_t words_offset,
                                             std::vector<std::size_t> lens) {
+  // Any hit means "mmap unavailable here": callers must take the same
+  // streamed-fallback path they would on a platform without mmap, which
+  // is exactly what the fallback-parity tests force and verify.
+  if (util::failpoint::check("mapped_arena.map")) return std::nullopt;
 #if TREELAB_HAVE_MMAP
   // The file stores words as little-endian bytes; reinterpreting them as
   // uint64_t is only the identity on a little-endian host.

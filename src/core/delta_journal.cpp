@@ -1,0 +1,261 @@
+#include "core/delta_journal.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "bits/mapped_arena.hpp"
+#include "util/fs.hpp"
+#include "util/io_error.hpp"
+
+namespace treelab::core {
+namespace {
+
+constexpr char kJournalMagic[4] = {'T', 'L', 'J', 'N'};
+constexpr char kRecordMagic[4] = {'T', 'L', 'R', 'C'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kFrameBytes = 4 + 4 + 8 + 8;
+// A single record cannot meaningfully exceed this; anything larger in a
+// length field is a torn/garbage frame, not a real delta.
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 40;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const char* p, std::size_t n,
+                    std::uint64_t h = kFnvOffset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+std::string DeltaJournal::journal_path(const std::string& base_path) {
+  return base_path + ".journal";
+}
+
+void DeltaJournal::write_fresh_journal() {
+  std::string hdr;
+  hdr.reserve(kHeaderBytes);
+  hdr.append(kJournalMagic, 4);
+  put_u32(hdr, kJournalVersion);
+  put_u64(hdr, chain_);
+  put_u64(hdr, LabelStore::lens_hash(labels_));
+  put_u64(hdr, fnv1a(hdr.data(), hdr.size()));
+  util::atomic_write_file(journal_path_, hdr);
+  record_count_ = 0;
+  journal_bytes_ = hdr.size();
+}
+
+void DeltaJournal::apply_in_memory(const LabelDelta& d) {
+  bits::LabelArena base = labels_;
+  labels_ = LabelStore::apply_delta(bits::MappedArena::adopt(std::move(base)),
+                                    d);
+}
+
+DeltaJournal DeltaJournal::create(const std::string& base_path,
+                                  const LabelStore::LoadedArena& initial,
+                                  JournalOptions opt) {
+  DeltaJournal j;
+  j.base_path_ = base_path;
+  j.journal_path_ = journal_path(base_path);
+  j.opt_ = opt;
+  j.scheme_ = initial.scheme;
+  j.params_ = initial.params;
+  j.labels_ = initial.labels;
+  LabelStore::save_file(base_path, j.scheme_, j.labels_, j.params_);
+  j.chain_ = LabelStore::lens_hash(j.labels_);
+  j.write_fresh_journal();
+  j.recovery_.created = true;
+  return j;
+}
+
+DeltaJournal DeltaJournal::open(const std::string& base_path,
+                                JournalOptions opt) {
+  DeltaJournal j;
+  j.base_path_ = base_path;
+  j.journal_path_ = journal_path(base_path);
+  j.opt_ = opt;
+  {
+    const std::string base_bytes = util::read_file(base_path);
+    std::istringstream is(base_bytes, std::ios::binary);
+    LabelStore::LoadedArena la = LabelStore::load_arena(is);
+    j.scheme_ = std::move(la.scheme);
+    j.params_ = std::move(la.params);
+    j.labels_ = std::move(la.labels);
+  }
+  const std::uint64_t base_hash = LabelStore::lens_hash(j.labels_);
+
+  if (!util::file_exists(j.journal_path_)) {
+    j.chain_ = base_hash;
+    j.write_fresh_journal();
+    j.recovery_.journal_reset = true;
+    return j;
+  }
+
+  const std::string jb = util::read_file(j.journal_path_);
+  if (jb.size() < kHeaderBytes ||
+      std::memcmp(jb.data(), kJournalMagic, 4) != 0 ||
+      get_u32(jb.data() + 4) != kJournalVersion ||
+      get_u64(jb.data() + kHeaderBytes - 8) !=
+          fnv1a(jb.data(), kHeaderBytes - 8))
+    // Headers only ever land via atomic full-file writes, so a crash
+    // cannot tear one: a bad header is real corruption.
+    throw std::runtime_error("DeltaJournal: corrupt journal header in " +
+                             j.journal_path_);
+  const std::uint64_t hdr_chain = get_u64(jb.data() + 8);
+  const std::uint64_t hdr_lens = get_u64(jb.data() + 16);
+
+  if (hdr_lens != base_hash) {
+    // The crash window inside checkpoint(): new base renamed in, journal
+    // not yet reset. Every journal record is already folded into the
+    // base, so the stale journal is simply replaced.
+    j.chain_ = base_hash;
+    j.write_fresh_journal();
+    j.recovery_.journal_reset = true;
+    return j;
+  }
+
+  j.chain_ = hdr_chain;
+  std::size_t off = kHeaderBytes;
+  std::size_t committed_end = off;
+  while (off < jb.size()) {
+    // Frame-check, parse, and chain-check; the first failure is the torn
+    // tail — stop, truncate, done.
+    if (jb.size() - off < kFrameBytes) break;
+    if (std::memcmp(jb.data() + off, kRecordMagic, 4) != 0) break;
+    const std::uint64_t len = get_u64(jb.data() + off + 8);
+    if (len > kMaxPayload || len > jb.size() - off - kFrameBytes) break;
+    const char* payload = jb.data() + off + kFrameBytes;
+    if (get_u64(jb.data() + off + 16) !=
+        fnv1a(payload, static_cast<std::size_t>(len)))
+      break;
+    LabelDelta d;
+    try {
+      std::istringstream ps(
+          std::string(payload, static_cast<std::size_t>(len)),
+          std::ios::binary);
+      d = LabelStore::load_delta(ps);
+    } catch (const std::runtime_error&) {
+      break;
+    }
+    if (d.scheme != j.scheme_ || d.params != j.params_) break;
+    if (d.base_chain != j.chain_) break;
+    try {
+      j.apply_in_memory(d);
+    } catch (const std::runtime_error&) {
+      break;
+    }
+    j.chain_ = d.new_chain;
+    ++j.recovery_.records_replayed;
+    off += kFrameBytes + static_cast<std::size_t>(len);
+    committed_end = off;
+  }
+  if (committed_end < jb.size()) {
+    j.recovery_.bytes_truncated = jb.size() - committed_end;
+    util::truncate_file(j.journal_path_, committed_end);
+  }
+  j.record_count_ = j.recovery_.records_replayed;
+  j.journal_bytes_ = committed_end;
+
+  if (j.opt_.auto_checkpoint && j.checkpoint_due()) j.checkpoint();
+  return j;
+}
+
+void DeltaJournal::append(const LabelDelta& d) {
+  if (!healthy_)
+    throw std::logic_error(
+        "DeltaJournal: poisoned by a failed append/checkpoint; reopen to "
+        "recover");
+  if (d.scheme != scheme_ || d.params != params_)
+    throw std::invalid_argument("DeltaJournal: delta scheme/params mismatch");
+  if (d.base_chain != chain_)
+    throw std::runtime_error(
+        "DeltaJournal: delta does not chain from the journal epoch (rebase "
+        "with LabelStore::rechain)");
+  if (d.new_chain != LabelStore::chain_hash(d.base_chain, d))
+    throw std::runtime_error("DeltaJournal: delta new_chain is inconsistent");
+
+  // Validate + materialize the successor epoch BEFORE any byte is
+  // written: a bad delta must not reach the file.
+  bits::LabelArena base = labels_;
+  bits::LabelArena patched = LabelStore::apply_delta(
+      bits::MappedArena::adopt(std::move(base)), d);
+
+  std::ostringstream ps(std::ios::binary);
+  LabelStore::save_delta(ps, d);
+  const std::string payload = ps.str();
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  frame.append(kRecordMagic, 4);
+  put_u32(frame, 0);
+  put_u64(frame, payload.size());
+  put_u64(frame, fnv1a(payload.data(), payload.size()));
+  frame += payload;
+
+  try {
+    util::append_file(journal_path_, frame, opt_.sync);
+  } catch (...) {
+    // The file may now end mid-frame; leave it exactly as the crash
+    // would have, for open() to truncate.
+    healthy_ = false;
+    throw;
+  }
+
+  labels_ = std::move(patched);
+  chain_ = d.new_chain;
+  ++record_count_;
+  journal_bytes_ += frame.size();
+  ++stats_.appends;
+
+  if (opt_.auto_checkpoint && checkpoint_due()) checkpoint();
+}
+
+void DeltaJournal::checkpoint() {
+  if (!healthy_)
+    throw std::logic_error(
+        "DeltaJournal: poisoned by a failed append/checkpoint; reopen to "
+        "recover");
+  try {
+    LabelStore::save_file(base_path_, scheme_, labels_, params_);
+    // Chain intentionally preserved across the fold: producers keep
+    // chaining as if nothing happened. Recovery from a crash between the
+    // two writes rebases instead (see open()).
+    write_fresh_journal();
+  } catch (...) {
+    healthy_ = false;
+    throw;
+  }
+  ++stats_.checkpoints;
+}
+
+}  // namespace treelab::core

@@ -1,0 +1,177 @@
+// DeltaJournal — crash-safe persistence for a delta-maintained labeling.
+//
+// The v3 delta stream with its epoch chain (IncrementalRelabeler ->
+// LabelStore::save_delta -> apply_delta) is the replication log of the
+// serving design; this class makes that log durable. On disk a journaled
+// labeling is a *pair* of files:
+//
+//   <base>          full LabelStore container: the base epoch
+//   <base>.journal  header + append-only framed v3 delta records
+//
+// Journal layout (all integers little-endian):
+//   header:  "TLJN" | u32 version=1 | u64 base_chain | u64 base_lens_hash
+//            | u64 fnv (over the 24 bytes before it)
+//   record*: "TLRC" | u32 reserved=0 | u64 payload_len | u64 payload_fnv
+//            | payload  (payload = one LabelStore v3 delta container)
+//
+// Durability discipline:
+//  * append(d) writes the frame and fsyncs (JournalOptions::sync) before
+//    the in-memory epoch advances; a failed append poisons the object
+//    (the file may now end mid-frame) — reopen() is the only repair path.
+//  * Full files (the base, the journal header) are only ever written via
+//    util::atomic_write_file (temp + fsync + rename): a crash leaves the
+//    old file or the new one, never a torn mix.
+//  * checkpoint() folds the chain into a fresh base, then resets the
+//    journal — two atomic renames. A crash between them leaves a new
+//    base under the old journal; open() detects that by lens hash and
+//    resets the journal, discarding exactly the records already folded
+//    into the base.
+//
+// Recovery (open()) replays records in order; each must frame-check
+// (magic, length bound, payload FNV), parse as a v3 delta, and chain from
+// the running epoch. The first record failing any check is a torn tail:
+// the file is truncated at the last good record boundary and replay
+// stops. Recovery therefore always lands on the longest committed prefix
+// — the "last committed epoch" the crash-recovery fuzzer asserts
+// bit-identically against its from-scratch oracle.
+//
+// Epoch chain across folds: a fresh or reset journal starts its chain at
+// lens_hash(base) (the same rebase rule as a full-file hand-off);
+// checkpoint() *preserves* the running chain in the new header, so a
+// producer shipping deltas never notices a clean fold. Only crash
+// recovery rebases — a producer sees chain() != its epoch and re-keys
+// its pending delta with LabelStore::rechain().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bits/label_arena.hpp"
+#include "core/label_store.hpp"
+
+namespace treelab::core {
+
+struct JournalOptions {
+  /// Fold the chain into a fresh base once the journal holds at least
+  /// this many records (auto_checkpoint) — bounds replay work on open.
+  std::uint64_t checkpoint_records = 64;
+  /// ... or once the journal file exceeds this many bytes.
+  std::uint64_t checkpoint_bytes = std::uint64_t{64} << 20;
+  /// Checkpoint automatically inside append()/open() when due.
+  bool auto_checkpoint = true;
+  /// fsync every append before it counts as committed. Turning this off
+  /// trades the append-durability guarantee for speed (bulk loads,
+  /// tests); recovery correctness is unaffected.
+  bool sync = true;
+};
+
+/// What open() found and did. A reset/truncation is not an error — it is
+/// recovery working as designed — but callers (CLI, ops) want to see it.
+struct JournalRecovery {
+  std::uint64_t records_replayed = 0;
+  std::uint64_t bytes_truncated = 0;  ///< torn tail dropped from the journal
+  bool journal_reset = false;  ///< journal missing/stale -> fresh (chain rebased)
+  bool created = false;        ///< create() wrote a brand-new pair
+};
+
+struct JournalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t checkpoints = 0;  ///< explicit + automatic
+};
+
+class DeltaJournal {
+ public:
+  DeltaJournal(DeltaJournal&&) = default;
+  DeltaJournal& operator=(DeltaJournal&&) = default;
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+
+  /// Starts a journaled labeling at `base_path`: writes the base file
+  /// (atomic, mappable container) and a fresh journal, replacing any
+  /// existing pair. Chain starts at lens_hash(initial.labels).
+  [[nodiscard]] static DeltaJournal create(const std::string& base_path,
+                                           const LabelStore::LoadedArena& initial,
+                                           JournalOptions opt = {});
+
+  /// Opens and recovers an existing pair (see the recovery rules above).
+  /// Throws util::IoError if the base cannot be read, std::runtime_error
+  /// if the base container or the journal *header* is corrupt (headers
+  /// are atomically written, so a bad one is real corruption, not a
+  /// crash artifact). Torn record tails are truncated, not errors.
+  [[nodiscard]] static DeltaJournal open(const std::string& base_path,
+                                         JournalOptions opt = {});
+
+  /// The journal file path for a given base path ("<base>.journal").
+  [[nodiscard]] static std::string journal_path(const std::string& base_path);
+
+  /// Appends one delta: it must match the scheme/params and chain from
+  /// chain(). The frame is on disk (fsync'd when opt.sync) before the
+  /// in-memory labeling advances. Any I/O failure (or simulated crash)
+  /// poisons the journal — healthy() turns false and further appends
+  /// throw std::logic_error; reopen with open() to recover. Integrity
+  /// failures (wrong chain/scheme/base) throw without writing anything
+  /// and do NOT poison. May auto-checkpoint afterwards.
+  void append(const LabelDelta& d);
+
+  /// Folds the journal into a fresh base file and resets the journal,
+  /// preserving the epoch chain. Poisons on I/O failure like append().
+  void checkpoint();
+
+  [[nodiscard]] bool checkpoint_due() const noexcept {
+    return record_count_ > 0 && (record_count_ >= opt_.checkpoint_records ||
+                                 journal_bytes_ >= opt_.checkpoint_bytes);
+  }
+
+  [[nodiscard]] const std::string& base_path() const noexcept {
+    return base_path_;
+  }
+  [[nodiscard]] const std::string& scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const std::string& params() const noexcept { return params_; }
+  /// The labeling at the last committed epoch.
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
+    return labels_;
+  }
+  /// Current epoch-chain value (what the next delta's base_chain must be).
+  [[nodiscard]] std::uint64_t chain() const noexcept { return chain_; }
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return record_count_;
+  }
+  [[nodiscard]] std::uint64_t journal_bytes() const noexcept {
+    return journal_bytes_;
+  }
+  [[nodiscard]] bool healthy() const noexcept { return healthy_; }
+  [[nodiscard]] const JournalRecovery& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const JournalStats& stats() const noexcept { return stats_; }
+
+  /// Copy of the committed labeling in hand-off form (e.g. to seed a
+  /// ForestIndex entry).
+  [[nodiscard]] LabelStore::LoadedArena to_loaded() const {
+    return {scheme_, params_, labels_};
+  }
+
+ private:
+  DeltaJournal() = default;
+
+  /// Atomically writes a fresh journal holding only a header with
+  /// base_chain = chain_ and base_lens_hash = lens_hash(labels_).
+  void write_fresh_journal();
+  /// labels_ <- apply_delta(labels_, d); validates count + lens hash.
+  void apply_in_memory(const LabelDelta& d);
+
+  std::string base_path_;
+  std::string journal_path_;
+  JournalOptions opt_;
+  std::string scheme_;
+  std::string params_;
+  bits::LabelArena labels_;
+  std::uint64_t chain_ = 0;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t journal_bytes_ = 0;
+  bool healthy_ = true;
+  JournalRecovery recovery_;
+  JournalStats stats_;
+};
+
+}  // namespace treelab::core

@@ -1,14 +1,19 @@
 #include "core/label_store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "bits/bitio.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+#include "util/io_error.hpp"
 
 namespace treelab::core {
 
@@ -699,10 +704,12 @@ bits::LabelArena LabelStore::apply_delta(const bits::MappedArena& base,
 }
 
 LabelStore::MappedLoaded LabelStore::open_mapped(const std::string& path) {
+  if (auto fp = util::failpoint::check("label_store.open_mapped"))
+    util::failpoint::raise(*fp, "label_store.open_mapped", path);
   {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-      throw std::runtime_error("LabelStore: cannot open " + path);
+      throw util::IoError(path, "open labels for reading", errno);
     const Header h = read_and_check_header(is, kMagic, kVersionMappable);
     check_count_plausible(is, h.count);
     if (h.version == kVersionMappable) {
@@ -725,13 +732,36 @@ LabelStore::MappedLoaded LabelStore::open_mapped(const std::string& path) {
   // be mapped (its validation also catches a word buffer shorter than the
   // directory promises, which map() refuses silently).
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("LabelStore: cannot open " + path);
+  if (!is) throw util::IoError(path, "open labels for reading", errno);
   LoadedArena la = load_arena(is);
   MappedLoaded out;
   out.scheme = std::move(la.scheme);
   out.params = std::move(la.params);
   out.labels = bits::MappedArena::adopt(std::move(la.labels));
   return out;
+}
+
+void LabelStore::save_file(const std::string& path, std::string_view scheme,
+                           const bits::LabelArena& labels,
+                           std::string_view params, bool mappable) {
+  std::ostringstream os(std::ios::binary);
+  if (mappable)
+    save_mappable(os, scheme, labels, params);
+  else
+    save(os, scheme, labels, params);
+  util::atomic_write_file(path, os.str());
+}
+
+void LabelStore::save_delta_file(const std::string& path,
+                                 const LabelDelta& d) {
+  std::ostringstream os(std::ios::binary);
+  save_delta(os, d);
+  util::atomic_write_file(path, os.str());
+}
+
+void LabelStore::rechain(LabelDelta& d, std::uint64_t base_chain) {
+  d.base_chain = base_chain;
+  d.new_chain = chain_hash(base_chain, d);
 }
 
 }  // namespace treelab::core

@@ -207,6 +207,29 @@ class LabelStore {
   [[nodiscard]] static bits::LabelArena apply_delta(
       const bits::MappedArena& base, const LabelDelta& d);
 
+  // --- crash-safe file writes -----------------------------------------------
+
+  /// Serializes the labeling (save_mappable() when `mappable`, else the
+  /// compact save()) and writes `path` crash-safely: the bytes go to a
+  /// temp file that is fsync'd and atomically renamed over `path`, so a
+  /// crash mid-save leaves either the old file or the new one, never a
+  /// torn mix. I/O failures throw util::IoError (path + errno).
+  static void save_file(const std::string& path, std::string_view scheme,
+                        const bits::LabelArena& labels,
+                        std::string_view params = {}, bool mappable = true);
+
+  /// save_delta() with the same temp + fsync + rename discipline.
+  static void save_delta_file(const std::string& path, const LabelDelta& d);
+
+  /// Re-keys `d` to chain from `base_chain`: overwrites d.base_chain and
+  /// recomputes d.new_chain with chain_hash(). Sound because the chain is
+  /// content-derived — the delta's effect is untouched, only its position
+  /// in an epoch chain moves. This is what a producer does when the
+  /// consumer's chain was rebased under it (a journal reset after a
+  /// crash, or a replica that reloaded a full file and restarted its
+  /// chain at lens_hash).
+  static void rechain(LabelDelta& d, std::uint64_t base_chain);
+
  private:
   static constexpr char kMagic[4] = {'T', 'L', 'A', 'B'};
   static constexpr std::uint32_t kVersion = 1;

@@ -1,11 +1,16 @@
 #include "serve/forest_index.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <chrono>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+#include "util/io_error.hpp"
 #include "util/parallel.hpp"
 
 namespace treelab::serve {
@@ -15,6 +20,13 @@ namespace {
 std::uint64_t cache_key(TreeId tree, tree::NodeId u) noexcept {
   return (static_cast<std::uint64_t>(tree) << 32) |
          static_cast<std::uint32_t>(u);
+}
+
+void backoff_sleep(int base_ms, int attempt) {
+  // base * 2^attempt, floored at something non-zero so the retry actually
+  // yields the failing resource a moment.
+  const int ms = std::max(1, base_ms) * (1 << std::min(attempt, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
@@ -28,10 +40,65 @@ ForestIndex::ForestIndex(ForestOptions opt) : opt_(opt) {
     shards_.push_back(std::make_unique<Shard>(opt_.cache_bytes_per_shard));
 }
 
-ForestIndex::EntryPtr ForestIndex::entry(TreeId tree) const {
+ForestIndex::Slot& ForestIndex::slot(TreeId tree) const {
   if (tree >= trees_.size())
     throw std::out_of_range("ForestIndex: tree id out of range");
-  return trees_[tree]->load(std::memory_order_acquire);
+  return *trees_[tree];
+}
+
+ForestIndex::EntryPtr ForestIndex::entry(TreeId tree) const {
+  return slot(tree).entry.load(std::memory_order_acquire);
+}
+
+TreeHealth ForestIndex::health(TreeId tree) const {
+  return health_of(slot(tree));
+}
+
+void ForestIndex::note_success(Slot& s) const noexcept {
+  s.integrity_fails.store(0, std::memory_order_relaxed);
+  s.health.store(static_cast<std::uint8_t>(TreeHealth::kLive),
+                 std::memory_order_release);
+}
+
+void ForestIndex::note_integrity_failure(Slot& s) noexcept {
+  integrity_failures_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t streak =
+      s.integrity_fails.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto threshold =
+      static_cast<std::uint32_t>(std::max(opt_.quarantine_after, 1));
+  if (streak >= threshold &&
+      health_of(s) != TreeHealth::kQuarantined) {
+    s.health.store(static_cast<std::uint8_t>(TreeHealth::kQuarantined),
+                   std::memory_order_release);
+    quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ForestIndex::note_stale(Slot& s) noexcept {
+  std::uint8_t live = static_cast<std::uint8_t>(TreeHealth::kLive);
+  // Only live -> stale; a quarantined tree must not look merely stale.
+  s.health.compare_exchange_strong(
+      live, static_cast<std::uint8_t>(TreeHealth::kStale),
+      std::memory_order_acq_rel);
+}
+
+core::LabelStore::MappedLoaded ForestIndex::open_with_retries(
+    Slot& s, const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return core::LabelStore::open_mapped(path);
+    } catch (const util::IoError&) {
+      transient_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt >= opt_.retries) {
+        // Persistent: the tree keeps serving its last good labeling,
+        // flagged stale so operators can see the refresh is failing.
+        note_stale(s);
+        throw;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(opt_.retry_backoff_ms, attempt);
+    }
+  }
 }
 
 tree::NodeId ForestIndex::resolve(const TreeEntry& e, tree::NodeId ext) {
@@ -65,7 +132,7 @@ std::shared_ptr<ForestIndex::TreeEntry> ForestIndex::make_entry(
 
 TreeId ForestIndex::add_entry(std::string_view scheme, std::string_view params,
                               bits::MappedArena labels) {
-  trees_.push_back(std::make_unique<std::atomic<EntryPtr>>(
+  trees_.push_back(std::make_unique<Slot>(
       make_entry(scheme, params, std::move(labels), 0, {})));
   return static_cast<TreeId>(trees_.size() - 1);
 }
@@ -127,8 +194,9 @@ std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
                                       std::string_view params,
                                       bits::MappedArena labels,
                                       const std::vector<tree::NodeId>* remap) {
-  if (tree >= trees_.size())
-    throw std::out_of_range("ForestIndex: tree id out of range");
+  Slot& sl = slot(tree);
+  if (auto fp = util::failpoint::check("forest.swap"))
+    util::failpoint::raise(*fp, "forest.swap", "tree " + std::to_string(tree));
   Shard& sh = *shards_[shard_of(tree)];
   for (;;) {
     // Entry construction (scheme parse, chain seed, ext-map composition —
@@ -137,7 +205,7 @@ std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
     // runs its attach/cache section under the same lock, re-loading the
     // slot there — so any section ordered after ours sees the new entry,
     // and no stale attachment can be re-inserted once the erase has run.
-    const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
+    const EntryPtr old = sl.entry.load(std::memory_order_acquire);
     std::vector<tree::NodeId> ext_map;
     if (remap != nullptr) {
       if (remap->size() != old->labels.size())
@@ -149,12 +217,14 @@ std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
         scheme, params, std::move(labels), old->epoch + 1, std::move(ext_map));
     {
       const std::lock_guard<std::mutex> lock(sh.mu);
-      if (trees_[tree]->load(std::memory_order_acquire) == old) {
-        trees_[tree]->store(EntryPtr(std::move(fresh)),
-                            std::memory_order_release);
+      if (sl.entry.load(std::memory_order_acquire) == old) {
+        sl.entry.store(EntryPtr(std::move(fresh)),
+                       std::memory_order_release);
         sh.invalidated += sh.cache.erase_if([tree](std::uint64_t key) {
           return static_cast<TreeId>(key >> 32) == tree;
         });
+        // A clean full swap is the repair path: live again, streaks reset.
+        note_success(sl);
         return old->epoch + 1;
       }
     }
@@ -180,15 +250,51 @@ std::uint64_t ForestIndex::update(TreeId tree,
 }
 
 std::uint64_t ForestIndex::update_file(TreeId tree, const std::string& path) {
-  auto loaded = core::LabelStore::open_mapped(path);
-  return swap_entry(tree, loaded.scheme, loaded.params,
-                    std::move(loaded.labels), nullptr);
+  Slot& sl = slot(tree);
+  try {
+    auto loaded = open_with_retries(sl, path);
+    return swap_entry(tree, loaded.scheme, loaded.params,
+                      std::move(loaded.labels), nullptr);
+  } catch (const util::IoError&) {
+    throw;  // counted (and the tree marked stale) in open_with_retries
+  } catch (const util::FailpointAbort&) {
+    throw;  // a simulated crash is not a health event
+  } catch (const std::bad_alloc&) {
+    transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const std::exception&) {
+    // The file was readable but wrong (corrupt container, unknown scheme):
+    // an integrity failure of the shipped artifact, not of the transport.
+    note_integrity_failure(sl);
+    throw;
+  }
 }
 
 std::uint64_t ForestIndex::apply_delta(TreeId tree,
                                        const core::LabelDelta& d) {
-  if (tree >= trees_.size())
-    throw std::out_of_range("ForestIndex: tree id out of range");
+  Slot& sl = slot(tree);
+  try {
+    if (auto fp = util::failpoint::check("forest.apply_delta"))
+      util::failpoint::raise(*fp, "forest.apply_delta",
+                             "tree " + std::to_string(tree));
+    const std::uint64_t e = apply_delta_impl(tree, d);
+    note_success(sl);
+    return e;
+  } catch (const util::FailpointAbort&) {
+    throw;  // a simulated crash is not a health event
+  } catch (const std::bad_alloc&) {
+    transient_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const std::exception&) {
+    // Scheme mismatch, broken epoch chain, corrupt payload: the delta is
+    // wrong for this tree, and retrying the same bytes cannot fix it.
+    note_integrity_failure(sl);
+    throw;
+  }
+}
+
+std::uint64_t ForestIndex::apply_delta_impl(TreeId tree,
+                                            const core::LabelDelta& d) {
   Shard& sh = *shards_[shard_of(tree)];
   for (;;) {
     // All the O(n) work — validation, the copy-on-write patch, the ext-map
@@ -197,7 +303,7 @@ std::uint64_t ForestIndex::apply_delta(TreeId tree,
     // large patch. The lock is only taken for the swap+invalidate; if
     // another writer replaced the entry meanwhile, start over (the delta
     // is then re-validated against the new epoch and rejected cleanly).
-    const EntryPtr old = trees_[tree]->load(std::memory_order_acquire);
+    const EntryPtr old = trees_[tree]->entry.load(std::memory_order_acquire);
     if (d.scheme != old->scheme_name || d.params != old->params)
       throw std::invalid_argument("ForestIndex: delta scheme mismatch");
     // The epoch chain is the strong ordering check: lens_hash alone could
@@ -243,10 +349,10 @@ std::uint64_t ForestIndex::apply_delta(TreeId tree,
                                                  stale_ext.end());
 
     const std::lock_guard<std::mutex> lock(sh.mu);
-    if (trees_[tree]->load(std::memory_order_acquire) != old)
+    if (trees_[tree]->entry.load(std::memory_order_acquire) != old)
       continue;  // raced another writer: re-validate against its epoch
-    trees_[tree]->store(EntryPtr(std::move(fresh)),
-                        std::memory_order_release);
+    trees_[tree]->entry.store(EntryPtr(std::move(fresh)),
+                              std::memory_order_release);
     // Selective invalidation: only attachments whose labels changed (or
     // whose ids died) go; clean hot labels stay attached across the swap.
     sh.invalidated += sh.cache.erase_if([tree, &stale](std::uint64_t key) {
@@ -260,9 +366,29 @@ std::uint64_t ForestIndex::apply_delta(TreeId tree,
 
 std::uint64_t ForestIndex::apply_delta_file(TreeId tree,
                                             const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("ForestIndex: cannot open " + path);
-  return apply_delta(tree, core::LabelStore::load_delta(is));
+  Slot& sl = slot(tree);
+  core::LabelDelta d;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const std::string bytes = util::read_file(path);
+      std::istringstream is(bytes, std::ios::binary);
+      d = core::LabelStore::load_delta(is);
+      break;
+    } catch (const util::IoError&) {
+      transient_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt >= opt_.retries) {
+        note_stale(sl);
+        throw;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(opt_.retry_backoff_ms, attempt);
+    } catch (const std::runtime_error&) {
+      // The bytes were read fine but are not a valid delta container.
+      note_integrity_failure(sl);
+      throw;
+    }
+  }
+  return apply_delta(tree, d);
 }
 
 AnyScheme ForestIndex::scheme(TreeId tree) const { return entry(tree)->scheme; }
@@ -318,13 +444,14 @@ Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
   // Load the slot *under the shard lock*: anything this query inserts into
   // the cache belongs to the labeling a concurrent update() will (or did)
   // invalidate against — see swap_entry().
-  const EntryPtr e = trees_[r.tree]->load(std::memory_order_acquire);
+  const EntryPtr e = trees_[r.tree]->entry.load(std::memory_order_acquire);
   return query_entry_locked(sh, r, *e);
 }
 
 Dist ForestIndex::query(const Request& r) const {
-  if (r.tree >= trees_.size())
-    throw std::out_of_range("ForestIndex: tree id out of range");
+  const Slot& sl = slot(r.tree);
+  if (health_of(sl) == TreeHealth::kQuarantined)
+    throw QuarantinedError(r.tree);
   Shard& sh = *shards_[shard_of(r.tree)];
   const std::lock_guard<std::mutex> lock(sh.mu);
   return query_locked(sh, r);
@@ -347,8 +474,11 @@ std::vector<Dist> ForestIndex::query_batch(
     const Request& r = reqs[i];
     if (r.tree >= trees_.size())
       throw std::out_of_range("ForestIndex: tree id out of range");
+    if (health_of(*trees_[r.tree]) == TreeHealth::kQuarantined)
+      throw QuarantinedError(r.tree);
     EntryPtr& e = snap[r.tree];  // load each referenced slot once per batch
-    if (e == nullptr) e = trees_[r.tree]->load(std::memory_order_acquire);
+    if (e == nullptr)
+      e = trees_[r.tree]->entry.load(std::memory_order_acquire);
     (void)resolve(*e, r.u);
     (void)resolve(*e, r.v);
     by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
@@ -379,10 +509,71 @@ std::vector<Dist> ForestIndex::query_batch(
             cur = reqs[i].tree;
             e = snap.find(cur)->second.get();
             cacheable =
-                trees_[cur]->load(std::memory_order_acquire).get() == e;
+                trees_[cur]->entry.load(std::memory_order_acquire).get() == e;
           }
           out[i] = cacheable ? query_entry_locked(sh, reqs[i], *e)
                              : query_entry_uncached(reqs[i], *e);
+        }
+      });
+  return out;
+}
+
+std::vector<QueryResult> ForestIndex::query_batch_checked(
+    std::span<const Request> reqs) const {
+  std::vector<QueryResult> out(reqs.size());
+  // Same serial pre-pass as query_batch(), but a bad request is *recorded*
+  // (typed status, request order) instead of aborting the batch: one
+  // quarantined tree or one bad client id must not cost every other
+  // request its answer.
+  std::unordered_map<TreeId, EntryPtr> snap;
+  std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& r = reqs[i];
+    if (r.tree >= trees_.size()) {
+      out[i].status = QueryStatus::kBadTree;
+      continue;
+    }
+    if (health_of(*trees_[r.tree]) == TreeHealth::kQuarantined) {
+      out[i].status = QueryStatus::kQuarantined;
+      continue;
+    }
+    EntryPtr& e = snap[r.tree];
+    if (e == nullptr)
+      e = trees_[r.tree]->entry.load(std::memory_order_acquire);
+    try {
+      (void)resolve(*e, r.u);
+      (void)resolve(*e, r.v);
+    } catch (const std::out_of_range&) {
+      out[i].status = QueryStatus::kBadNode;
+      continue;
+    }
+    by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
+  }
+  // The answering fan-out is query_batch()'s, writing out[i].dist; the
+  // snapshot/caching rules (and their rationale) are documented there.
+  util::parallel_for_chunks(
+      shards_.size(), shards_.size(), util::resolve_threads(opt_.threads),
+      [&](std::size_t s, std::size_t, std::size_t) {
+        std::vector<std::uint32_t>& idxs = by_shard[s];
+        if (idxs.empty()) return;
+        std::stable_sort(idxs.begin(), idxs.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return reqs[a].tree < reqs[b].tree;
+                         });
+        Shard& sh = *shards_[s];
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        TreeId cur = 0;
+        const TreeEntry* e = nullptr;
+        bool cacheable = false;
+        for (const std::uint32_t i : idxs) {
+          if (e == nullptr || reqs[i].tree != cur) {
+            cur = reqs[i].tree;
+            e = snap.find(cur)->second.get();
+            cacheable =
+                trees_[cur]->entry.load(std::memory_order_acquire).get() == e;
+          }
+          out[i].dist = cacheable ? query_entry_locked(sh, reqs[i], *e)
+                                  : query_entry_uncached(reqs[i], *e);
         }
       });
   return out;
@@ -398,6 +589,15 @@ ForestIndex::CacheStats ForestIndex::cache_stats() const {
     st.entries += sh->cache.size();
     st.bytes += sh->cache.bytes();
     st.invalidated += sh->invalidated;
+  }
+  st.retries = retries_.load(std::memory_order_relaxed);
+  st.transient_failures = transient_failures_.load(std::memory_order_relaxed);
+  st.integrity_failures = integrity_failures_.load(std::memory_order_relaxed);
+  st.quarantine_events = quarantine_events_.load(std::memory_order_relaxed);
+  for (const auto& sl : trees_) {
+    const TreeHealth h = health_of(*sl);
+    if (h == TreeHealth::kStale) ++st.stale;
+    if (h == TreeHealth::kQuarantined) ++st.quarantined;
   }
   return st;
 }

@@ -36,6 +36,19 @@
 //     deterministically (std::out_of_range "NotFound") instead of silently
 //     answering for whatever node now occupies the slot.
 //
+//   * graceful degradation: every tree carries a health state (live /
+//     stale / quarantined). Transient I/O failures (util::IoError) in the
+//     file-fed update paths are retried with exponential backoff; if they
+//     persist the tree is marked *stale* — it keeps serving its last good
+//     labeling. Integrity failures (corrupt files, deltas that do not
+//     chain) are never retried; after ForestOptions::quarantine_after
+//     consecutive ones the tree is *quarantined*: its queries fail with a
+//     typed error (QuarantinedError from the throwing API, kQuarantined
+//     from query_batch_checked()) while every other tree keeps serving.
+//     A subsequent clean update()/apply_delta() is the repair path — it
+//     restores the tree to live. cache_stats() exposes the retry /
+//     failure / health counters.
+//
 // Thread-safety: query(), query_batch(), update(), apply_delta(),
 // cache_stats() and the per-tree accessors may all run concurrently.
 // add_file()/add() grow the tree table and must not race with anything —
@@ -48,6 +61,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -69,6 +83,42 @@ struct Request {
   tree::NodeId v = 0;
 };
 
+/// Per-tree serving health. Stale and quarantined trees differ in what
+/// they still answer: a stale tree serves its last good labeling (only
+/// its *refresh* is failing); a quarantined tree refuses queries with a
+/// typed error until repaired by a clean update/delta.
+enum class TreeHealth : std::uint8_t {
+  kLive = 0,
+  kStale = 1,
+  kQuarantined = 2,
+};
+
+/// Typed per-query outcome for the non-throwing batch API.
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kBadTree = 1,      ///< tree id out of range
+  kBadNode = 2,      ///< node id out of range / deleted / compacted away
+  kQuarantined = 3,  ///< tree is quarantined (rest of the forest serves)
+};
+
+struct QueryResult {
+  Dist dist;  ///< valid only when status == kOk
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Thrown by the throwing query API for a quarantined tree.
+class QuarantinedError : public std::runtime_error {
+ public:
+  explicit QuarantinedError(TreeId tree)
+      : std::runtime_error("ForestIndex: tree " + std::to_string(tree) +
+                           " is quarantined"),
+        tree_(tree) {}
+  [[nodiscard]] TreeId tree() const noexcept { return tree_; }
+
+ private:
+  TreeId tree_;
+};
+
 struct ForestOptions {
   /// Shard count (trees are assigned round-robin by id). 0 = one shard per
   /// hardware thread.
@@ -78,6 +128,15 @@ struct ForestOptions {
   /// Threads for query_batch fan-out: at most one per shard is useful.
   /// 0 = TREELAB_THREADS / hardware default.
   int threads = 0;
+  /// Transient (util::IoError) failures in update_file()/apply_delta_file()
+  /// are retried this many times beyond the first attempt...
+  int retries = 2;
+  /// ...sleeping this long before the first retry, doubling each time.
+  int retry_backoff_ms = 1;
+  /// Consecutive integrity failures (corrupt file/delta, broken epoch
+  /// chain) on one tree before it is quarantined. <= 0 quarantines on the
+  /// first integrity failure.
+  int quarantine_after = 3;
 };
 
 class ForestIndex {
@@ -156,8 +215,12 @@ class ForestIndex {
   /// How many times update() replaced this tree's labeling (0 = original).
   [[nodiscard]] std::uint64_t update_epoch(TreeId tree) const;
 
+  /// The tree's current health. Throws std::out_of_range on a bad id.
+  [[nodiscard]] TreeHealth health(TreeId tree) const;
+
   /// One query through the shard's attached-label cache. Throws
-  /// std::out_of_range on a bad tree or node id.
+  /// std::out_of_range on a bad tree or node id, QuarantinedError on a
+  /// quarantined tree.
   [[nodiscard]] Dist query(const Request& r) const;
 
   /// Answers every request, one result per request in request order.
@@ -173,6 +236,17 @@ class ForestIndex {
   [[nodiscard]] std::vector<Dist> query_batch(
       std::span<const Request> reqs) const;
 
+  /// Non-throwing query_batch: every request gets a typed QueryStatus in
+  /// request order instead of the first offender aborting the batch. Bad
+  /// tree ids, bad/tombstoned node ids and quarantined trees are reported
+  /// per-request; everything else is answered exactly like query_batch()
+  /// (same snapshotting, sharding and caching rules). This is the front
+  /// end a network server should call — one poisoned tree (or one bad
+  /// client id) must not take down a batch that also touches healthy
+  /// trees.
+  [[nodiscard]] std::vector<QueryResult> query_batch_checked(
+      std::span<const Request> reqs) const;
+
   struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -180,6 +254,13 @@ class ForestIndex {
     std::size_t entries = 0;
     std::size_t bytes = 0;
     std::size_t invalidated = 0;  ///< attached labels dropped by update()
+    // Degradation counters (process-lifetime totals unless noted).
+    std::size_t retries = 0;             ///< transient-failure retries taken
+    std::size_t transient_failures = 0;  ///< IoError/alloc failures observed
+    std::size_t integrity_failures = 0;  ///< corrupt files/deltas, bad chains
+    std::size_t quarantine_events = 0;   ///< live/stale -> quarantined edges
+    std::size_t stale = 0;               ///< trees currently stale
+    std::size_t quarantined = 0;         ///< trees currently quarantined
   };
   /// Aggregated over all shards.
   [[nodiscard]] CacheStats cache_stats() const;
@@ -205,6 +286,17 @@ class ForestIndex {
     }
   };
   using EntryPtr = std::shared_ptr<const TreeEntry>;
+  /// One tree: the epoch'd entry slot plus its health word. Health lives
+  /// beside the slot (not inside TreeEntry) so quarantining or repairing a
+  /// tree does not republish its labeling.
+  struct Slot {
+    explicit Slot(EntryPtr e) : entry(std::move(e)) {}
+    std::atomic<EntryPtr> entry;
+    std::atomic<std::uint8_t> health{
+        static_cast<std::uint8_t>(TreeHealth::kLive)};
+    /// Consecutive integrity failures; reset by any clean swap.
+    std::atomic<std::uint32_t> integrity_fails{0};
+  };
   struct Shard {
     explicit Shard(std::size_t capacity_bytes) : cache(capacity_bytes) {}
     mutable std::mutex mu;
@@ -265,11 +357,34 @@ class ForestIndex {
   /// shard lock, so cached attachments always match the live labeling).
   [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const;
 
+  [[nodiscard]] Slot& slot(TreeId tree) const;
+  [[nodiscard]] static TreeHealth health_of(const Slot& s) noexcept {
+    return static_cast<TreeHealth>(s.health.load(std::memory_order_acquire));
+  }
+  /// A clean swap landed: the tree is (back to) live, streaks reset.
+  void note_success(Slot& s) const noexcept;
+  /// Corrupt input / broken chain: bump the streak, maybe quarantine.
+  void note_integrity_failure(Slot& s) noexcept;
+  /// Persistent transient failure: live -> stale (a quarantined tree
+  /// stays quarantined — stale would understate it).
+  void note_stale(Slot& s) noexcept;
+  /// open_mapped with the transient-retry policy (see ForestOptions).
+  [[nodiscard]] core::LabelStore::MappedLoaded open_with_retries(
+      Slot& s, const std::string& path);
+  /// apply_delta() minus the health accounting (the optimistic
+  /// validate-patch-swap loop).
+  std::uint64_t apply_delta_impl(TreeId tree, const core::LabelDelta& d);
+
   ForestOptions opt_;
-  // One atomic slot per tree: queries load the slot, update() stores it.
-  // The vector itself only grows in the (serialized) build phase.
-  std::vector<std::unique_ptr<std::atomic<EntryPtr>>> trees_;
+  // One slot per tree: queries load slot.entry, update() stores it. The
+  // vector itself only grows in the (serialized) build phase.
+  std::vector<std::unique_ptr<Slot>> trees_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Degradation counters (see CacheStats).
+  mutable std::atomic<std::size_t> retries_{0};
+  mutable std::atomic<std::size_t> transient_failures_{0};
+  mutable std::atomic<std::size_t> integrity_failures_{0};
+  mutable std::atomic<std::size_t> quarantine_events_{0};
 };
 
 }  // namespace treelab::serve

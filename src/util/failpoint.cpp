@@ -1,0 +1,193 @@
+#include "util/failpoint.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+
+#include "util/io_error.hpp"
+
+namespace treelab::util {
+
+FailpointAbort::FailpointAbort(std::string_view site)
+    : site_(site), what_("failpoint: simulated crash at " + site_) {}
+
+namespace failpoint {
+namespace detail {
+
+std::atomic<int> armed_sites{0};
+
+namespace {
+
+struct Spec {
+  FailMode mode = FailMode::kError;
+  std::uint64_t skip = 0;    // hits still to let pass
+  std::int64_t count = -1;   // trips left; -1 = unlimited
+  std::uint64_t arg = 0;
+};
+
+// One mutex guards both maps; armed_sites keeps the hot path off it.
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+std::map<std::string, Spec, std::less<>>& armed() {
+  static std::map<std::string, Spec, std::less<>> m;
+  return m;
+}
+std::map<std::string, std::uint64_t, std::less<>>& tripped() {
+  static std::map<std::string, std::uint64_t, std::less<>> m;
+  return m;
+}
+
+bool parse_mode(std::string_view s, FailMode& out) {
+  if (s == "error") out = FailMode::kError;
+  else if (s == "short-read") out = FailMode::kShortRead;
+  else if (s == "short-write") out = FailMode::kShortWrite;
+  else if (s == "torn-write") out = FailMode::kTornWrite;
+  else if (s == "throw") out = FailMode::kThrow;
+  else if (s == "alloc-fail") out = FailMode::kAllocFail;
+  else return false;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10)
+      return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+// Arms TREELAB_FAILPOINTS before main() so even static-init-time I/O
+// (none today) would see the sites.
+const bool env_armed = [] {
+  return parse_spec(std::getenv("TREELAB_FAILPOINTS"));
+}();
+
+}  // namespace
+
+std::optional<FailpointHit> check_slow(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu());
+  auto it = armed().find(site);
+  if (it == armed().end()) return std::nullopt;
+  Spec& s = it->second;
+  if (s.skip > 0) {
+    --s.skip;
+    return std::nullopt;
+  }
+  if (s.count == 0) return std::nullopt;
+  if (s.count > 0) --s.count;
+  ++tripped()[it->first];
+  return FailpointHit{s.mode, s.arg};
+}
+
+}  // namespace detail
+
+void arm(std::string_view site, FailMode mode, std::uint64_t skip,
+         std::int64_t count, std::uint64_t arg) {
+  std::lock_guard<std::mutex> lock(detail::mu());
+  auto [it, inserted] = detail::armed().insert_or_assign(
+      std::string(site), detail::Spec{mode, skip, count, arg});
+  (void)it;
+  if (inserted)
+    detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(detail::mu());
+  auto it = detail::armed().find(site);
+  if (it == detail::armed().end()) return;
+  detail::armed().erase(it);
+  detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(detail::mu());
+  detail::armed().clear();
+  detail::armed_sites.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trips(std::string_view site) {
+  std::lock_guard<std::mutex> lock(detail::mu());
+  auto it = detail::tripped().find(site);
+  return it == detail::tripped().end() ? 0 : it->second;
+}
+
+bool parse_spec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return true;
+  std::string_view rest(spec);
+  bool ok = true;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view clause = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      ok = false;
+      continue;
+    }
+    const std::string_view site = clause.substr(0, eq);
+    std::string_view params = clause.substr(eq + 1);
+    // mode[:skip[:count[:arg]]]
+    std::string_view field[4];
+    int nf = 0;
+    while (nf < 4) {
+      const std::size_t colon = params.find(':');
+      field[nf++] = params.substr(0, colon);
+      if (colon == std::string_view::npos) break;
+      params = params.substr(colon + 1);
+    }
+    FailMode mode{};
+    std::uint64_t skip = 0, arg = 0, count_u = 0;
+    std::int64_t count = -1;
+    bool good = nf >= 1 && detail::parse_mode(field[0], mode);
+    if (good && nf >= 2) good = detail::parse_u64(field[1], skip);
+    if (good && nf >= 3) {
+      if (field[2] == "-1") {
+        count = -1;
+      } else if (detail::parse_u64(field[2], count_u) &&
+                 count_u <= std::uint64_t{1} << 62) {
+        count = static_cast<std::int64_t>(count_u);
+      } else {
+        good = false;
+      }
+    }
+    if (good && nf >= 4) good = detail::parse_u64(field[3], arg);
+    if (!good) {
+      ok = false;
+      continue;
+    }
+    arm(site, mode, skip, count, arg);
+  }
+  return ok;
+}
+
+void raise(const FailpointHit& hit, std::string_view site,
+           const std::string& path) {
+  switch (hit.mode) {
+    case FailMode::kThrow:
+      throw std::runtime_error("failpoint: injected fault at " +
+                               std::string(site));
+    case FailMode::kAllocFail:
+      throw std::bad_alloc();
+    case FailMode::kTornWrite:
+      throw FailpointAbort(site);
+    case FailMode::kError:
+    case FailMode::kShortRead:
+    case FailMode::kShortWrite:
+      break;
+  }
+  throw IoError(path, "failpoint [" + std::string(site) + "]", EIO);
+}
+
+}  // namespace failpoint
+}  // namespace treelab::util

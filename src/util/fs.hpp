@@ -1,0 +1,57 @@
+// util/fs — the file primitives under the durability layer.
+//
+// Everything that touches disk in treelab's persistence paths goes
+// through these helpers, for two reasons:
+//
+//  * crash discipline: atomic_write_file() is temp + fsync + rename, so a
+//    crash at any instant leaves the target either untouched or fully
+//    replaced; append_file() optionally fsyncs so an append is on disk
+//    before the caller treats it as committed. The delta journal's
+//    recovery rules are stated entirely in terms of these two guarantees.
+//
+//  * fault injection: each primitive checks named failpoints
+//    ("fs.open_read", "fs.read", "fs.open_write", "fs.write", "fs.fsync",
+//    "fs.rename", "fs.open_append", "fs.truncate") so tests and the
+//    crash-recovery fuzzer can tear a write mid-frame or fail an fsync at
+//    will. Short/torn writes persist a prefix of the bytes for real —
+//    recovery code sees exactly what a crashed process would have left.
+//
+// Failures surface as util::IoError carrying the path and errno.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace treelab::util {
+
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Size in bytes; IoError if the file cannot be stat'ed.
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+/// Whole file into memory. Failpoints: "fs.open_read", "fs.read"
+/// (short-read keeps the first `arg` bytes).
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Crash-safe full-file replace: write `path`.tmp, fsync it, rename over
+/// `path`, fsync the directory (best-effort). A torn-write failpoint
+/// tears the *temp* file and aborts — the target must survive intact;
+/// that asymmetry is what the atomicity tests pin down. Failpoints:
+/// "fs.open_write", "fs.write", "fs.fsync", "fs.rename".
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Appends to an existing file, fsync'ing when `sync`. A torn-write
+/// failpoint persists a prefix of `bytes` then aborts — the torn tail
+/// stays in the file for recovery to truncate. Failpoints:
+/// "fs.open_append", "fs.write", "fs.fsync".
+void append_file(const std::string& path, std::string_view bytes, bool sync);
+
+/// Truncates to `size` bytes (recovery dropping a torn journal tail).
+/// Failpoint: "fs.truncate".
+void truncate_file(const std::string& path, std::uint64_t size);
+
+/// Removes `path`; missing is not an error.
+void remove_file(const std::string& path);
+
+}  // namespace treelab::util

@@ -1,0 +1,37 @@
+// util/io_error — an I/O failure that names its file and errno.
+//
+// Error taxonomy across the durability layer: util::IoError means the
+// environment failed (open/read/write/fsync/rename — possibly transient,
+// the serving side retries it), while a plain std::runtime_error from the
+// same code means the *bytes* are wrong (bad magic, checksum mismatch,
+// broken epoch chain — retrying cannot help, the integrity/quarantine
+// path handles it). Keep the distinction when adding failure sites.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+
+namespace treelab::util {
+
+class IoError : public std::runtime_error {
+ public:
+  /// `op` reads like a verb phrase: "open for reading", "write", ...
+  /// Message: "<op> <path>: <strerror> (errno <n>)".
+  IoError(std::string path, const std::string& op, int err)
+      : std::runtime_error(op + " " + path + ": " +
+                           std::generic_category().message(err) + " (errno " +
+                           std::to_string(err) + ")"),
+        path_(std::move(path)),
+        errno_(err) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] int error_code() const noexcept { return errno_; }
+
+ private:
+  std::string path_;
+  int errno_;
+};
+
+}  // namespace treelab::util

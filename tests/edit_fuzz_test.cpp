@@ -28,16 +28,19 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/alstrup_scheme.hpp"
+#include "core/delta_journal.hpp"
 #include "core/incremental_relabeler.hpp"
 #include "core/label_store.hpp"
 #include "nca/nca_labeling.hpp"
 #include "tree/generators.hpp"
+#include "util/fs.hpp"
 
 namespace {
 
@@ -86,7 +89,20 @@ class FuzzDriver {
           base.parent(v))];
     }
     shadow_ = r_.labels();
+    // Every shipped delta also rides through a DeltaJournal, so the fuzz
+    // run doubles as a journal append/replay differential (fsync off: the
+    // recovery rules under crashes are crash_recovery_fuzz_test's job).
+    journal_base_ = artifact_dir() + "treelab_edit_fuzz_" + shape + "_" +
+                    std::to_string(rng_seed) + ".lbl";
+    cleanup_journal();
+    core::JournalOptions jopt;
+    jopt.sync = false;
+    jopt.checkpoint_records = 4;  // fold often: replay crosses checkpoints
+    journal_.emplace(core::DeltaJournal::create(journal_base_, r_.to_loaded(),
+                                                jopt));
   }
+
+  ~FuzzDriver() { cleanup_journal(); }
 
   IncrementalRelabeler& relabeler() { return r_; }
 
@@ -216,8 +232,9 @@ class FuzzDriver {
     std::stringstream ss;
     r_.ship_delta(ss);
     bits::LabelArena applied;
+    core::LabelDelta d;
     try {
-      const core::LabelDelta d = LabelStore::load_delta(ss);
+      d = LabelStore::load_delta(ss);
       bits::LabelArena base_copy = shadow_;
       applied = LabelStore::apply_delta(
           bits::MappedArena::adopt(std::move(base_copy)), d);
@@ -237,6 +254,31 @@ class FuzzDriver {
         return false;
       }
     shadow_ = std::move(applied);
+    // The same delta goes through the journal; its folded/replayed state
+    // must track the live arena epoch for epoch.
+    try {
+      journal_->append(d);
+      if (++chained_ % 4 == 0) {
+        core::JournalOptions jopt;
+        jopt.sync = false;
+        jopt.checkpoint_records = 4;
+        journal_.emplace(core::DeltaJournal::open(journal_base_, jopt));
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("journal append/replay: ") + e.what());
+      return false;
+    }
+    const auto& jgot = journal_->labels();
+    if (jgot.size() != want.size()) {
+      fail("journal arena size mismatch");
+      return false;
+    }
+    for (std::size_t i = 0; i < want.size(); ++i)
+      if (jgot.label_bits(i) != want.label_bits(i) ||
+          !(jgot.view(i) == want.view(i))) {
+        fail("journal label mismatch at id " + std::to_string(i));
+        return false;
+      }
     return true;
   }
 
@@ -355,6 +397,17 @@ class FuzzDriver {
   NodeId detached_ = kNoNode;
   std::vector<std::string> log_;
   bits::LabelArena shadow_;  // delta-chain base (last shipped epoch)
+  std::string journal_base_;
+  std::optional<core::DeltaJournal> journal_;
+  int chained_ = 0;
+
+  void cleanup_journal() {
+    util::remove_file(journal_base_);
+    util::remove_file(journal_base_ + ".tmp");
+    util::remove_file(core::DeltaJournal::journal_path(journal_base_));
+    util::remove_file(core::DeltaJournal::journal_path(journal_base_) +
+                      ".tmp");
+  }
 };
 
 Tree make_base(const std::string& shape, NodeId n, std::uint64_t gen_seed) {

@@ -26,6 +26,9 @@
 #include "serve/lru_cache.hpp"
 #include "tree/generators.hpp"
 #include "tree/nca_index.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+#include "util/io_error.hpp"
 
 namespace {
 
@@ -690,6 +693,144 @@ TEST(ForestIndex, BadIdsThrow) {
   EXPECT_THROW((void)index.query({0, NodeId{-1}, 0}), std::out_of_range);
   const std::vector<Request> batch{{0, 0, 1}, {99, 0, 0}};
   EXPECT_THROW((void)index.query_batch(batch), std::out_of_range);
+  cleanup(files);
+}
+
+// --- graceful degradation -------------------------------------------------
+
+namespace failpoint = util::failpoint;
+using serve::QueryStatus;
+using serve::TreeHealth;
+
+/// A two-tree index (both alstrup) plus an on-disk refresh file for tree 0,
+/// for driving the update_file/health paths.
+struct DegradationRig {
+  DegradationRig() {
+    path = temp_path("degradation");
+    core::IncrementalRelabeler r0(tree::random_tree(60, 31));
+    core::IncrementalRelabeler r1(tree::random_tree(60, 32));
+    t0 = index.add(r0.to_loaded());
+    t1 = index.add(r1.to_loaded());
+    for (int i = 0; i < 5; ++i) r0.insert_leaf(0);
+    core::LabelStore::save_file(path, "alstrup", r0.labels());
+  }
+  ~DegradationRig() {
+    failpoint::disarm_all();
+    util::remove_file(path);
+    util::remove_file(path + ".tmp");
+  }
+  ForestIndex index;
+  TreeId t0 = 0;
+  TreeId t1 = 0;
+  std::string path;
+};
+
+TEST(ForestIndexDegradation, TransientOpenErrorsAreRetriedThenSucceed) {
+  DegradationRig rig;
+  // Two transient failures, then the file opens: with retries=2 (default)
+  // the update lands on the third attempt without surfacing an error.
+  failpoint::arm("label_store.open_mapped", util::FailMode::kError, 0, 2);
+  const std::uint64_t epoch = rig.index.update_file(rig.t0, rig.path);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(rig.index.health(rig.t0), TreeHealth::kLive);
+  const auto st = rig.index.cache_stats();
+  EXPECT_EQ(st.retries, 2u);
+  EXPECT_EQ(st.transient_failures, 2u);
+  EXPECT_EQ(st.stale, 0u);
+}
+
+TEST(ForestIndexDegradation, PersistentIoErrorMarksStaleButKeepsServing) {
+  DegradationRig rig;
+  const Dist before = rig.index.query({rig.t0, 0, 1});
+  failpoint::arm("label_store.open_mapped", util::FailMode::kError);
+  EXPECT_THROW((void)rig.index.update_file(rig.t0, rig.path), util::IoError);
+  EXPECT_EQ(rig.index.health(rig.t0), TreeHealth::kStale);
+  EXPECT_EQ(rig.index.cache_stats().stale, 1u);
+  // Stale = refresh failing, serving intact: the old labeling still answers.
+  EXPECT_EQ(rig.index.query({rig.t0, 0, 1}), before);
+  const std::vector<Request> one{{rig.t0, 0, 1}};
+  EXPECT_EQ(rig.index.query_batch_checked(one)[0].status, QueryStatus::kOk);
+  // The moment a refresh lands, the tree is live again.
+  failpoint::disarm_all();
+  (void)rig.index.update_file(rig.t0, rig.path);
+  EXPECT_EQ(rig.index.health(rig.t0), TreeHealth::kLive);
+  EXPECT_EQ(rig.index.cache_stats().stale, 0u);
+}
+
+TEST(ForestIndexDegradation, CorruptFileStreakQuarantinesTypedErrorsRepair) {
+  DegradationRig rig;
+  const std::string bad = temp_path("degradation_bad");
+  util::atomic_write_file(bad, "this is not a label container");
+  // Integrity failures are never retried; quarantine_after=3 consecutive
+  // ones quarantine the tree.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW((void)rig.index.update_file(rig.t0, bad),
+                 std::runtime_error);
+    EXPECT_EQ(rig.index.health(rig.t0),
+              i < 2 ? TreeHealth::kLive : TreeHealth::kQuarantined);
+  }
+  EXPECT_EQ(rig.index.cache_stats().quarantined, 1u);
+  EXPECT_GE(rig.index.cache_stats().integrity_failures, 3u);
+  EXPECT_EQ(rig.index.cache_stats().quarantine_events, 1u);
+  // Typed refusal from both query APIs; the other tree keeps serving.
+  EXPECT_THROW((void)rig.index.query({rig.t0, 0, 1}),
+               serve::QuarantinedError);
+  const std::vector<Request> reqs{{rig.t0, 0, 1}, {rig.t1, 0, 1}};
+  const auto res = rig.index.query_batch_checked(reqs);
+  EXPECT_EQ(res[0].status, QueryStatus::kQuarantined);
+  EXPECT_EQ(res[1].status, QueryStatus::kOk);
+  EXPECT_EQ(res[1].dist, rig.index.query({rig.t1, 0, 1}));
+  // A clean update is the repair path.
+  (void)rig.index.update_file(rig.t0, rig.path);
+  EXPECT_EQ(rig.index.health(rig.t0), TreeHealth::kLive);
+  EXPECT_EQ(rig.index.query_batch_checked({reqs.data(), 1})[0].status,
+            QueryStatus::kOk);
+  util::remove_file(bad);
+}
+
+TEST(ForestIndexDegradation, FailedApplyDeltaLeavesOldEpochServing) {
+  core::IncrementalRelabeler r(tree::random_tree(60, 33));
+  ForestIndex index;
+  const TreeId id = index.add(r.to_loaded());
+  const Dist before = index.query({id, 0, 1});
+  for (int i = 0; i < 4; ++i) r.insert_leaf(1);
+  const core::LabelDelta d = r.make_delta();
+  r.advance_delta(d);
+  // An allocation failure mid-apply must not publish anything.
+  failpoint::arm("forest.apply_delta", util::FailMode::kAllocFail, 0, 1);
+  EXPECT_THROW((void)index.apply_delta(id, d), std::bad_alloc);
+  EXPECT_EQ(index.update_epoch(id), 0u);
+  EXPECT_EQ(index.query({id, 0, 1}), before);
+  EXPECT_EQ(index.health(id), TreeHealth::kLive);  // transient, no streak
+  // The retry applies cleanly.
+  EXPECT_EQ(index.apply_delta(id, d), 1u);
+  failpoint::disarm_all();
+}
+
+TEST(ForestIndexDegradation, CheckedBatchReportsBadIdsPerRequest) {
+  ForestOptions opt;
+  opt.shards = 2;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  const std::vector<Tree> trees = build_forest(index, files);
+  const std::vector<Request> reqs{
+      {0, 2, 7},          {99, 0, 0}, {1, 0, NodeId{100000}},
+      {4, 5, 9},          {2, 1, 3},  {0, NodeId{-1}, 0},
+  };
+  const auto res = index.query_batch_checked(reqs);
+  ASSERT_EQ(res.size(), reqs.size());
+  EXPECT_EQ(res[0].status, QueryStatus::kOk);
+  EXPECT_EQ(res[1].status, QueryStatus::kBadTree);
+  EXPECT_EQ(res[2].status, QueryStatus::kBadNode);
+  EXPECT_EQ(res[3].status, QueryStatus::kOk);
+  EXPECT_EQ(res[4].status, QueryStatus::kOk);
+  EXPECT_EQ(res[5].status, QueryStatus::kBadNode);
+  // Answered requests answer exactly like the throwing API.
+  for (std::size_t i : {std::size_t{0}, std::size_t{3}, std::size_t{4}}) {
+    expect_correct(trees[reqs[i].tree], reqs[i].tree, reqs[i].u, reqs[i].v,
+                   res[i].dist);
+    EXPECT_EQ(res[i].dist, index.query(reqs[i]));
+  }
   cleanup(files);
 }
 

@@ -6,6 +6,7 @@
 // from the wire indistinguishable from the originals.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -23,6 +24,8 @@
 #include "core/tree_scaffold.hpp"
 #include "tree/generators.hpp"
 #include "tree/nca_index.hpp"
+#include "util/failpoint.hpp"
+#include "util/io_error.hpp"
 
 namespace {
 
@@ -396,6 +399,46 @@ TEST(LabelStoreDelta, LensHashIsRepresentationIndependent) {
   const auto opened = core::LabelStore::open_mapped(path);
   EXPECT_EQ(core::LabelStore::lens_hash(opened.labels), h1);
   std::remove(path.c_str());
+}
+
+TEST(LabelStorePersistence, SaveFileIsAtomicUnderTornWrite) {
+  const Tree t = tree::random_tree(40, 49);
+  const core::AlstrupScheme s(t);
+  const std::string path =
+      testing::TempDir() + "treelab_store_atomic.lbl";
+  core::LabelStore::save_file(path, "alstrup", s.labels());
+  const auto before = core::LabelStore::open_mapped(path);
+
+  // A crash mid-overwrite must leave the previous file fully readable:
+  // save_file goes through temp + fsync + rename.
+  const core::FgnwScheme other(t);
+  util::failpoint::arm("fs.write", util::FailMode::kTornWrite, 0, 1, 8);
+  EXPECT_THROW(core::LabelStore::save_file(path, "fgnw", other.labels()),
+               util::FailpointAbort);
+  util::failpoint::disarm_all();
+  const auto after = core::LabelStore::open_mapped(path);
+  EXPECT_EQ(after.scheme, "alstrup");
+  ASSERT_EQ(after.labels.size(), before.labels.size());
+  for (std::size_t i = 0; i < after.labels.size(); ++i)
+    EXPECT_TRUE(after.labels.view(i) == before.labels.view(i));
+
+  // Without the failpoint the overwrite completes and swaps cleanly.
+  core::LabelStore::save_file(path, "fgnw", other.labels());
+  EXPECT_EQ(core::LabelStore::open_mapped(path).scheme, "fgnw");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(LabelStorePersistence, MissingFileIsIoErrorWithPathAndErrno) {
+  const std::string path =
+      testing::TempDir() + "treelab_store_no_such_file.lbl";
+  try {
+    (void)core::LabelStore::open_mapped(path);
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.error_code(), ENOENT);
+  }
 }
 
 TEST(LabelStoreFailure, CorruptHeaderFields) {

@@ -15,6 +15,7 @@
 #include "core/label_store.hpp"
 #include "tree/generators.hpp"
 #include "tree/nca_index.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -74,6 +75,39 @@ TEST(MappedArena, MappableFileServesZeroCopyAndBitIdentical) {
     for (NodeId v = 0; v < kN; v += 17)
       ASSERT_EQ(core::FgnwScheme::query(opened.labels[u], opened.labels[v]),
                 oracle.distance(u, v));
+  std::remove(path.c_str());
+}
+
+TEST(MappedArena, MapFailureFallsBackToStreamedReadBitIdentical) {
+  // When mmap is unavailable (here: forced off via the failpoint), a
+  // mappable file must still open — streamed into an owned arena — and
+  // serve the exact same bits as the zero-copy path.
+  const Tree t = tree::random_tree(kN, 57);
+  const core::FgnwScheme s(t);
+  const std::string path = temp_path("fgnw_nofallocmap");
+  write_file(path, mappable_wire(s.labels(), "fgnw", ""));
+
+  util::failpoint::arm("mapped_arena.map", util::FailMode::kError);
+  const auto fallback = core::LabelStore::open_mapped(path);
+  util::failpoint::disarm_all();
+  EXPECT_FALSE(fallback.labels.mapped());
+
+  const auto mapped = core::LabelStore::open_mapped(path);
+  ASSERT_EQ(fallback.labels.size(), mapped.labels.size());
+  for (std::size_t i = 0; i < mapped.labels.size(); ++i) {
+    EXPECT_EQ(fallback.labels.label_bits(i), mapped.labels.label_bits(i));
+    EXPECT_TRUE(fallback.labels.view(i) == mapped.labels.view(i))
+        << "label " << i;
+  }
+  EXPECT_EQ(fallback.labels.total_label_bits(),
+            mapped.labels.total_label_bits());
+  // The fallback arena answers queries exactly like the scheme.
+  const tree::NcaIndex oracle(t);
+  for (NodeId u = 0; u < kN; u += 13)
+    for (NodeId v = 0; v < kN; v += 19)
+      ASSERT_EQ(
+          core::FgnwScheme::query(fallback.labels[u], fallback.labels[v]),
+          oracle.distance(u, v));
   std::remove(path.c_str());
 }
 
