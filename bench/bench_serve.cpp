@@ -2,21 +2,31 @@
 // heterogeneous forest (all five schemes), labels shipped through mappable
 // LabelStore files and mmap'ed back, batch queries fanned out over shards.
 //
-// Three sections:
+// Sections:
 //   * baseline — raw per-request queries (parse both labels every call),
 //     the cost a node pays without any serving machinery,
 //   * scaling — query_batch QPS as shards and threads grow together
 //     (1, 2, 4, ...), the tentpole curve: per-shard caches mean no shared
 //     state on the hot path, so batch throughput should track the fan-out
-//     until the hardware runs out,
+//     until the hardware runs out. Every batch row also records the thread
+//     fan-out the index actually PLANNED for this batch size
+//     (ForestIndex::planned_fanout) — on a small machine the plan clamps
+//     to the hardware, which is the fix for the old 1-core regression
+//     where 8 configured threads lost to 1,
 //   * threads-under-fixed-shards — the fan-out knob alone,
 //   * failpoints — the cost of the fault-injection hooks on the serving
 //     path: a disarmed failpoint::check() is one relaxed atomic load, and
 //     arming an *unrelated* site must not dent batch QPS beyond noise
-//     (CI asserts the armed/off ratio from the JSON).
+//     (CI asserts the armed/off ratio from the JSON),
+//   * loopback — the same batches through net::Server over 127.0.0.1
+//     (frame encode + TCP + decode on both sides), and the overload path:
+//     flooders that never read their replies fill the server's output
+//     budget, and a probe measures how batches are shed with kOverloaded
+//     while the server keeps answering once the pressure lifts.
 //
 // Emits BENCH_serve.json (same shape as BENCH_build/BENCH_query) with the
-// configuration and the cache counters of the last run.
+// configuration, per-row fan-out plans, the cache counters of the last
+// run, and the overload-shedding observations.
 //
 // Usage: bench_serve [--n N] [--trees T] [--batch B] [--seed S]
 #include <cstdio>
@@ -29,6 +39,13 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
 #include "bench_util.hpp"
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
@@ -37,6 +54,10 @@
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
 #include "core/tree_scaffold.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/net_io.hpp"
+#include "net/server.hpp"
 #include "serve/forest_index.hpp"
 #include "tree/generators.hpp"
 #include "util/failpoint.hpp"
@@ -60,6 +81,7 @@ std::int64_t flag(int argc, char** argv, const char* name,
 struct Row {
   std::string name;
   double qps = 0;
+  int fanout = 0;  ///< planned_fanout for batch rows; 0 = not applicable
 };
 
 }  // namespace
@@ -126,9 +148,14 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   serve::ForestIndex::CacheStats last_stats;
-  const auto add = [&](std::string name, double qps) {
-    rows.push_back({std::move(name), qps});
-    std::printf("  %-30s %14.0f q/s\n", rows.back().name.c_str(), qps);
+  int last_fanout = 0;
+  const auto add = [&](std::string name, double qps, int fanout = 0) {
+    rows.push_back({std::move(name), qps, fanout});
+    if (fanout > 0)
+      std::printf("  %-30s %14.0f q/s  (fanout %d)\n",
+                  rows.back().name.c_str(), qps, fanout);
+    else
+      std::printf("  %-30s %14.0f q/s\n", rows.back().name.c_str(), qps);
   };
 
   // Baseline: raw per-request queries (parse both labels every call) over
@@ -179,13 +206,18 @@ int main(int argc, char** argv) {
         },
         batch);
     last_stats = index.cache_stats();
+    last_fanout = index.planned_fanout(batch);
     return qps;
   };
-  for (std::size_t s = 1; s <= 8; s *= 2)
-    add("batch_shards" + std::to_string(s) + "_t" + std::to_string(s),
-        run_config(s, static_cast<int>(s)));
-  for (const int t : {1, 2})
-    add("batch_shards4_t" + std::to_string(t), run_config(4, t));
+  for (std::size_t s = 1; s <= 8; s *= 2) {
+    const double qps = run_config(s, static_cast<int>(s));
+    add("batch_shards" + std::to_string(s) + "_t" + std::to_string(s), qps,
+        last_fanout);
+  }
+  for (const int t : {1, 2}) {
+    const double qps = run_config(4, t);
+    add("batch_shards4_t" + std::to_string(t), qps, last_fanout);
+  }
 
   // Failpoint overhead. First the microcost of one disarmed check (the
   // fast path every instrumented I/O call pays), then the macro pair: the
@@ -205,10 +237,126 @@ int main(int argc, char** argv) {
     add("failpoint_check_disarmed", cps);
     std::printf("  (%.2f ns per disarmed check)\n", 1e9 / cps);
   }
-  add("failpoint_off_shards2_t2", run_config(2, 2));
+  {
+    const double qps = run_config(2, 2);
+    add("failpoint_off_shards2_t2", qps, last_fanout);
+  }
   util::failpoint::arm("bench.unrelated.site", util::FailMode::kError);
-  add("failpoint_armed_shards2_t2", run_config(2, 2));
+  {
+    const double qps = run_config(2, 2);
+    add("failpoint_armed_shards2_t2", qps, last_fanout);
+  }
   util::failpoint::disarm_all();
+
+  // Loopback: the identical batches through the batch-RPC front end —
+  // what a remote client pays on top of the in-process numbers above.
+  std::size_t overload_probes = 0, overload_shed = 0, overload_ok = 0;
+  std::uint64_t server_overloaded = 0, server_read_paused = 0;
+  {
+    serve::ForestOptions opt;
+    opt.shards = 4;
+    opt.threads = 4;
+    opt.cache_bytes_per_shard = kTotalCacheBytes / 4;
+    serve::ForestIndex index(opt);
+    for (const auto& fpath : files) (void)index.add_file(fpath);
+
+    net::ServerOptions sopt;
+    net::Server server(index, sopt);
+    server.start();
+    {
+      net::QueryClient client("127.0.0.1", server.port());
+      if (!client.connected()) {
+        std::fprintf(stderr, "loopback connect failed\n");
+        return 1;
+      }
+      std::vector<serve::QueryResult> out;
+      std::size_t at = 0;
+      const double qps = bench::measure_qps(
+          [&](std::size_t m) {
+            const std::size_t lo = (at++ * batch) % (pool.size() - m + 1);
+            if (client.query_batch(std::span(pool).subspan(lo, m), out) !=
+                net::QueryClient::BatchStatus::kOk)
+              std::abort();  // no faults armed: a non-kOk reply is a bug
+            benchmark_sink = benchmark_sink + out[0].dist.value;
+          },
+          batch);
+      add("loopback_batch_shards4_t4", qps, index.planned_fanout(batch));
+    }
+    server.stop();
+
+    // Overload shedding: a deliberately small output budget, two flooder
+    // connections that write batches but never read replies. Backpressure
+    // stops the server reading from them; their queued replies hold the
+    // global budget over the line, so a well-behaved probe sees explicit
+    // kOverloaded sheds instead of unbounded queue growth.
+    net::ServerOptions tight;
+    tight.write_buffer_limit = 64 << 10;
+    tight.max_buffered_bytes = 128 << 10;
+    net::Server shedder(index, tight);
+    shedder.start();
+    std::atomic<bool> flood_stop{false};
+    std::string flood_frame = net::encode_frame(
+        net::MsgType::kQueryBatch,
+        net::encode_query_batch(std::span(pool).subspan(0, batch)));
+    const auto flooder = [&] {
+      const int fd =
+          net::connect_with_timeout("127.0.0.1", shedder.port(), 2'000);
+      if (fd < 0) return;
+      fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      std::size_t off = 0;  // partial sends must resume, not restart
+      while (!flood_stop.load(std::memory_order_acquire)) {
+        const ssize_t r = ::send(fd, flood_frame.data() + off,
+                                 flood_frame.size() - off, MSG_NOSIGNAL);
+        if (r > 0) {
+          off += static_cast<std::size_t>(r);
+          if (off == flood_frame.size()) off = 0;
+        } else if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // Kernel buffer full: the server stopped reading (backpressure).
+          pollfd p{fd, POLLOUT, 0};
+          (void)::poll(&p, 1, 20);
+        } else {
+          break;
+        }
+      }
+      ::close(fd);
+    };
+    std::thread f1(flooder), f2(flooder);
+    // Let the flooders actually pressurize the server before probing: wait
+    // until backpressure has engaged (or give up after a few seconds).
+    for (int waited = 0;
+         shedder.stats().read_paused == 0 && waited < 3'000; waited += 10)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    {
+      net::QueryClient probe("127.0.0.1", shedder.port());
+      std::vector<serve::QueryResult> out;
+      for (int i = 0; i < 200 && probe.connected(); ++i) {
+        switch (probe.query_batch(std::span(pool).subspan(0, 64), out)) {
+          case net::QueryClient::BatchStatus::kOk:
+            ++overload_ok;
+            break;
+          case net::QueryClient::BatchStatus::kOverloaded:
+            ++overload_shed;
+            break;
+          case net::QueryClient::BatchStatus::kError:
+            break;
+        }
+        ++overload_probes;
+      }
+    }
+    flood_stop.store(true, std::memory_order_release);
+    f1.join();
+    f2.join();
+    const net::Server::Stats st = shedder.stats();
+    server_overloaded = st.overloaded;
+    server_read_paused = st.read_paused;
+    shedder.stop();
+    std::printf(
+        "  overload probe: %zu batches -> %zu ok, %zu shed "
+        "(server overloaded=%llu read_paused=%llu)\n",
+        overload_probes, overload_ok, overload_shed,
+        static_cast<unsigned long long>(server_overloaded),
+        static_cast<unsigned long long>(server_read_paused));
+  }
 
   const char* path = "BENCH_serve.json";
   std::FILE* f = std::fopen(path, "w");
@@ -223,10 +371,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(seed), hw);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i)
-    std::fprintf(f, "    {\"case\": \"%s\", \"qps\": %.0f}%s\n",
-                 rows[i].name.c_str(), rows[i].qps,
+    std::fprintf(f, "    {\"case\": \"%s\", \"qps\": %.0f, \"fanout\": %d}%s\n",
+                 rows[i].name.c_str(), rows[i].qps, rows[i].fanout,
                  i + 1 < rows.size() ? "," : "");
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"overload\": {\"probe_batches\": %zu, \"ok\": %zu, "
+               "\"shed\": %zu, \"server_overloaded\": %llu, "
+               "\"server_read_paused\": %llu},\n",
+               overload_probes, overload_ok, overload_shed,
+               static_cast<unsigned long long>(server_overloaded),
+               static_cast<unsigned long long>(server_read_paused));
   std::fprintf(f,
                "  \"cache_last_run\": {\"hits\": %zu, \"misses\": %zu, "
                "\"evictions\": %zu, \"entries\": %zu, \"bytes\": %zu}\n",

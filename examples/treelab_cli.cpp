@@ -59,6 +59,26 @@
 //                                                  when needed)
 //   treelab_cli journal checkpoint <base.lbl>     (fold the journal into the
 //                                                  base file atomically)
+//   treelab_cli serve <tree.txt> <base.lbl> [--port P] [--edits E]
+//                     [--seed X] [--wait-subscribers N] [--port-file F]
+//                                                 (replication leader: build
+//                                                  incremental labels, start
+//                                                  the batch-RPC server with
+//                                                  the delta journal
+//                                                  attached, churn E random
+//                                                  leaf inserts through it,
+//                                                  then either wait for N
+//                                                  followers to fully catch
+//                                                  up or serve until
+//                                                  SIGINT/SIGTERM; on exit
+//                                                  checkpoint the journal
+//                                                  into base.lbl)
+//   treelab_cli follow <host>:<port> <out.lbl>    (replication follower:
+//                                                  tail the leader until its
+//                                                  end-of-stream, then write
+//                                                  the converged labels —
+//                                                  bit-identical to the
+//                                                  leader's checkpoint)
 //
 // All label/delta outputs are written atomically (temp + fsync + rename):
 // a crash mid-write never leaves a torn file behind. Exit codes separate
@@ -74,8 +94,10 @@
 //   treelab_cli update t.txt t2.lbl --edits 500 --tree-out t2.txt
 //   treelab_cli delta-save t.txt base.lbl churn.delta --edits 200
 //   treelab_cli delta-apply base.lbl churn.delta patched.lbl
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -83,6 +105,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -94,7 +117,10 @@
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
+#include "net/replicator.hpp"
+#include "net/server.hpp"
 #include "serve/forest_index.hpp"
+#include "util/fs.hpp"
 #include "tree/generators.hpp"
 #include "tree/io.hpp"
 #include "util/io_error.hpp"
@@ -122,6 +148,10 @@ int usage() {
                "  treelab_cli journal info <base.lbl>\n"
                "  treelab_cli journal append <base.lbl> <in.delta>\n"
                "  treelab_cli journal checkpoint <base.lbl>\n"
+               "  treelab_cli serve <tree.txt> <base.lbl> [--port P] "
+               "[--edits E] [--seed X] [--wait-subscribers N] "
+               "[--port-file F]\n"
+               "  treelab_cli follow <host>:<port> <out.lbl>\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -648,6 +678,207 @@ int cmd_journal(int argc, char** argv) {
   return usage();
 }
 
+// serve: SIGINT/SIGTERM ask the server for a graceful drain. The handler
+// only touches async-signal-safe state (request_stop is one write() on the
+// server's wake pipe, the flag is a lock-free atomic).
+net::Server* g_signal_server = nullptr;
+std::atomic<bool> g_signal_stop{false};
+void serve_signal_handler(int) {
+  g_signal_stop.store(true, std::memory_order_release);
+  if (g_signal_server != nullptr) g_signal_server->request_stop();
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const char* tree_path = argv[2];
+  const char* base_path = argv[3];
+  long long port = 0, edits = 0, wait_subscribers = 0;
+  std::uint64_t seed = 1;
+  const char* port_file = nullptr;
+  for (int i = 4; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name.c_str());
+      return 2;
+    }
+    const char* val = argv[++i];
+    if (name == "--port-file") {
+      port_file = val;
+      continue;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(val, &end, 10);
+    if (*val == '\0' || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", val, name.c_str());
+      return 2;
+    }
+    if (name == "--port")
+      port = v;
+    else if (name == "--edits")
+      edits = v;
+    else if (name == "--seed")
+      seed = static_cast<std::uint64_t>(v);
+    else if (name == "--wait-subscribers")
+      wait_subscribers = v;
+    else
+      return usage();
+  }
+
+  std::ifstream in(tree_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", tree_path);
+    return 1;
+  }
+  const tree::Tree t = tree::read_text(in);
+  core::IncrementalRelabeler relab(t);
+
+  core::JournalOptions jopt;
+  jopt.sync = false;  // the exit checkpoint is the durability point here
+  jopt.checkpoint_records = 32;  // frequent folds: followers exercise the
+                                 // snapshot catch-up path, not just deltas
+  core::DeltaJournal journal =
+      core::DeltaJournal::create(base_path, relab.to_loaded(), jopt);
+
+  serve::ForestIndex index;
+  const serve::TreeId tree0 = index.add(relab.to_loaded());
+
+  net::ServerOptions sopt;
+  sopt.port = static_cast<std::uint16_t>(port);
+  net::Server server(index, sopt);
+  server.attach_journal(&journal, tree0);
+  server.start();
+  g_signal_server = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::printf("serving %zu %s labels on 127.0.0.1:%u (journal %s)\n",
+              relab.labels().size(), core::IncrementalRelabeler::scheme_tag(),
+              server.port(),
+              core::DeltaJournal::journal_path(base_path).c_str());
+  std::fflush(stdout);
+  if (port_file != nullptr)
+    util::atomic_write_file(port_file, std::to_string(server.port()));
+
+  // Churn: random leaf inserts shipped as journal deltas, which the server
+  // streams live to every subscriber.
+  std::mt19937_64 rng(seed);
+  int pending = 0;
+  for (long long e = 0; e < edits && !g_signal_stop.load(); ++e) {
+    (void)relab.insert_leaf(
+        static_cast<tree::NodeId>(rng() % relab.size()),
+        static_cast<std::uint32_t>(1 + rng() % 8));
+    ++pending;
+    if (rng() % 4 == 0) {
+      const core::LabelDelta d = relab.make_delta();
+      server.replicate(d);
+      relab.advance_delta(d);
+      index.apply_delta(tree0, d);
+      pending = 0;
+    }
+    if (e % 16 == 15)  // stretch the stream so followers interleave
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (pending > 0) {
+    const core::LabelDelta d = relab.make_delta();
+    server.replicate(d);
+    relab.advance_delta(d);
+    index.apply_delta(tree0, d);
+  }
+  if (edits > 0)
+    std::printf("churned %lld edits (chain %016llx)\n", edits,
+                static_cast<unsigned long long>(journal.chain()));
+
+  if (wait_subscribers > 0) {
+    server.announce_end();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (server.subscribers_finished() <
+               static_cast<std::uint64_t>(wait_subscribers) &&
+           !g_signal_stop.load()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "timed out waiting for %lld subscriber(s)\n",
+                     wait_subscribers);
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  } else {
+    while (!g_signal_stop.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.stop();
+  g_signal_server = nullptr;
+  const net::Server::Stats st = server.stats();
+  std::printf(
+      "served: %llu conns, %llu batches (%llu queries), %llu deltas + "
+      "%llu snapshots streamed, %llu bad frames, %llu shed\n",
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.query_batches),
+      static_cast<unsigned long long>(st.queries),
+      static_cast<unsigned long long>(st.deltas_sent),
+      static_cast<unsigned long long>(st.snapshots_sent),
+      static_cast<unsigned long long>(st.bad_frames),
+      static_cast<unsigned long long>(st.overloaded));
+  journal.checkpoint();
+  std::printf("checkpointed into %s (chain %016llx, %zu labels)\n",
+              base_path, static_cast<unsigned long long>(journal.chain()),
+              journal.labels().size());
+  return 0;
+}
+
+int cmd_follow(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const std::string target = argv[2];
+  const char* out_path = argv[3];
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= target.size())
+    return usage();
+  const std::string host = target.substr(0, colon);
+  const long long port = std::atoll(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return usage();
+
+  // Any placeholder labeling works: its chain matches nothing the leader
+  // ever had, so the first reply is a full snapshot.
+  serve::ForestIndex index;
+  const core::IncrementalRelabeler placeholder(tree::path(1));
+  const serve::TreeId tree0 = index.add(placeholder.to_loaded());
+
+  net::ReplicatorOptions ropt;
+  ropt.host = host;
+  ropt.port = static_cast<std::uint16_t>(port);
+  ropt.tree = tree0;
+  ropt.stop_on_end = true;
+  ropt.max_attempts = 60;
+  net::Replicator repl(index, ropt);
+  std::printf("following %s:%lld ...\n", host.c_str(), port);
+  std::fflush(stdout);
+  const bool ended = repl.run();
+  const net::Replicator::Stats rs = repl.stats();
+  std::printf(
+      "follower: %llu connects (%llu failed, %llu resubscribes), "
+      "%llu snapshots + %llu deltas applied, %llu frame errors, "
+      "%llu chain rejects\n",
+      static_cast<unsigned long long>(rs.connects),
+      static_cast<unsigned long long>(rs.connect_failures),
+      static_cast<unsigned long long>(rs.reconnects),
+      static_cast<unsigned long long>(rs.snapshots_applied),
+      static_cast<unsigned long long>(rs.deltas_applied),
+      static_cast<unsigned long long>(rs.frame_errors),
+      static_cast<unsigned long long>(rs.chain_rejects));
+  if (!ended) {
+    std::fprintf(stderr, "gave up: leader made no progress for %d attempts\n",
+                 ropt.max_attempts);
+    return 1;
+  }
+  const core::LabelStore::LoadedArena snap = index.snapshot_labels(tree0);
+  core::LabelStore::save_file(out_path, snap.scheme, snap.labels, snap.params,
+                              /*mappable=*/true);
+  std::printf("converged at chain %016llx: wrote %zu labels -> %s\n",
+              static_cast<unsigned long long>(index.chain(tree0)),
+              snap.labels.size(), out_path);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (argc != 3) return usage();
   const auto store = load_file(argv[2]);
@@ -678,6 +909,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "delta-apply") == 0)
       return cmd_delta_apply(argc, argv);
     if (std::strcmp(argv[1], "journal") == 0) return cmd_journal(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+    if (std::strcmp(argv[1], "follow") == 0) return cmd_follow(argc, argv);
   } catch (const util::IoError& e) {
     // I/O failures (missing files, ENOSPC, permissions): exit 3, with the
     // path and errno the error carries. Must precede the runtime_error

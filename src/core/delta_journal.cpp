@@ -1,15 +1,20 @@
 #include "core/delta_journal.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "bits/mapped_arena.hpp"
 #include "util/fs.hpp"
+#include "util/hash.hpp"
 #include "util/io_error.hpp"
 
 namespace treelab::core {
+
+using util::fnv1a;
+
 namespace {
 
 constexpr char kJournalMagic[4] = {'T', 'L', 'J', 'N'};
@@ -20,18 +25,6 @@ constexpr std::size_t kFrameBytes = 4 + 4 + 8 + 8;
 // A single record cannot meaningfully exceed this; anything larger in a
 // length field is a torn/garbage frame, not a real delta.
 constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 40;
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv1a(const char* p, std::size_t n,
-                    std::uint64_t h = kFnvOffset) {
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(p[i]);
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i)
@@ -59,11 +52,30 @@ std::uint64_t get_u64(const char* p) {
 
 }  // namespace
 
+/// The cursor publication state: the commit boundary grows after each
+/// successful append; a reset (checkpoint fold, recovery) bumps the
+/// generation *before* the file is replaced and rewinds the boundary after,
+/// so a reader can never mistake bytes of the new file for the old one —
+/// any read straddling a reset sees a generation change and reports kLost.
+struct DeltaJournal::Tail::Shared {
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> generation{0};
+};
+
 std::string DeltaJournal::journal_path(const std::string& base_path) {
   return base_path + ".journal";
 }
 
+void DeltaJournal::publish_committed() noexcept {
+  if (tail_shared_ != nullptr)
+    tail_shared_->committed.store(journal_bytes_, std::memory_order_release);
+}
+
 void DeltaJournal::write_fresh_journal() {
+  if (tail_shared_ == nullptr)
+    tail_shared_ = std::make_shared<Tail::Shared>();
+  // Invalidate cursors before the file changes underneath them.
+  tail_shared_->generation.fetch_add(1, std::memory_order_acq_rel);
   std::string hdr;
   hdr.reserve(kHeaderBytes);
   hdr.append(kJournalMagic, 4);
@@ -74,6 +86,7 @@ void DeltaJournal::write_fresh_journal() {
   util::atomic_write_file(journal_path_, hdr);
   record_count_ = 0;
   journal_bytes_ = hdr.size();
+  publish_committed();
 }
 
 void DeltaJournal::apply_in_memory(const LabelDelta& d) {
@@ -186,6 +199,8 @@ DeltaJournal DeltaJournal::open(const std::string& base_path,
   }
   j.record_count_ = j.recovery_.records_replayed;
   j.journal_bytes_ = committed_end;
+  j.tail_shared_ = std::make_shared<Tail::Shared>();
+  j.publish_committed();
 
   if (j.opt_.auto_checkpoint && j.checkpoint_due()) j.checkpoint();
   return j;
@@ -236,6 +251,7 @@ void DeltaJournal::append(const LabelDelta& d) {
   ++record_count_;
   journal_bytes_ += frame.size();
   ++stats_.appends;
+  publish_committed();
 
   if (opt_.auto_checkpoint && checkpoint_due()) checkpoint();
 }
@@ -256,6 +272,105 @@ void DeltaJournal::checkpoint() {
     throw;
   }
   ++stats_.checkpoints;
+}
+
+namespace {
+
+/// Reads and validates one record frame at `off`, strictly inside the
+/// committed boundary. Any failure (short read, bad magic, bad checksum,
+/// unparsable payload) returns false — within a stable generation the
+/// committed prefix always validates, so a failure means the file was
+/// replaced under the reader.
+bool read_committed_record(std::ifstream& in, std::uint64_t off,
+                           std::uint64_t committed, LabelDelta& out,
+                           std::uint64_t& next_off) {
+  if (off + kFrameBytes > committed) return false;
+  char hdr[kFrameBytes];
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(off));
+  if (!in.read(hdr, kFrameBytes)) return false;
+  if (std::memcmp(hdr, kRecordMagic, 4) != 0) return false;
+  const std::uint64_t len = get_u64(hdr + 8);
+  const std::uint64_t sum = get_u64(hdr + 16);
+  if (len > kMaxPayload || off + kFrameBytes + len > committed) return false;
+  std::string payload(static_cast<std::size_t>(len), '\0');
+  if (!in.read(payload.data(), static_cast<std::streamsize>(len)))
+    return false;
+  if (fnv1a(payload.data(), payload.size()) != sum) return false;
+  try {
+    std::istringstream ps(payload, std::ios::binary);
+    out = LabelStore::load_delta(ps);
+  } catch (const std::exception&) {
+    return false;
+  }
+  next_off = off + kFrameBytes + len;
+  return true;
+}
+
+}  // namespace
+
+DeltaJournal::TailStatus DeltaJournal::Tail::next(LabelDelta& out) {
+  if (shared_->generation.load(std::memory_order_acquire) != generation_)
+    return TailStatus::kLost;
+  const std::uint64_t committed =
+      shared_->committed.load(std::memory_order_acquire);
+  if (offset_ + kFrameBytes > committed) {
+    // The boundary only rewinds across a reset; re-check the generation so
+    // a racing fold reads as kLost, not as a quiet catch-up.
+    if (shared_->generation.load(std::memory_order_acquire) != generation_)
+      return TailStatus::kLost;
+    return TailStatus::kCaughtUp;
+  }
+  std::ifstream in(path_, std::ios::binary);
+  LabelDelta d;
+  std::uint64_t next_off = 0;
+  const bool ok =
+      in.is_open() && read_committed_record(in, offset_, committed, d,
+                                            next_off);
+  // A fold may have swapped the file mid-read; the bytes are then garbage
+  // regardless of whether they happened to frame-check.
+  if (shared_->generation.load(std::memory_order_acquire) != generation_)
+    return TailStatus::kLost;
+  if (!ok || d.base_chain != chain_) return TailStatus::kLost;
+  chain_ = d.new_chain;
+  offset_ = next_off;
+  out = std::move(d);
+  return TailStatus::kRecord;
+}
+
+std::optional<DeltaJournal::Tail> DeltaJournal::tail_from(
+    std::uint64_t from_chain) const {
+  Tail t;
+  t.path_ = journal_path_;
+  t.shared_ = tail_shared_;
+  t.generation_ = tail_shared_->generation.load(std::memory_order_acquire);
+  const std::uint64_t committed =
+      tail_shared_->committed.load(std::memory_order_acquire);
+  std::ifstream in(journal_path_, std::ios::binary);
+  char hdr[kHeaderBytes];
+  if (!in.is_open() || !in.read(hdr, kHeaderBytes)) return std::nullopt;
+  if (std::memcmp(hdr, kJournalMagic, 4) != 0 ||
+      get_u32(hdr + 4) != kJournalVersion ||
+      get_u64(hdr + kHeaderBytes - 8) != fnv1a(hdr, kHeaderBytes - 8))
+    return std::nullopt;
+  t.offset_ = kHeaderBytes;
+  t.chain_ = get_u64(hdr + 8);
+  // Walk the committed records until the running chain meets from_chain;
+  // running off the committed end means that epoch predates this journal
+  // (or was folded away): the reader needs a snapshot.
+  while (t.chain_ != from_chain) {
+    LabelDelta d;
+    std::uint64_t next_off = 0;
+    if (!read_committed_record(in, t.offset_, committed, d, next_off) ||
+        d.base_chain != t.chain_)
+      return std::nullopt;
+    t.chain_ = d.new_chain;
+    t.offset_ = next_off;
+  }
+  if (tail_shared_->generation.load(std::memory_order_acquire) !=
+      t.generation_)
+    return std::nullopt;
+  return t;
 }
 
 }  // namespace treelab::core

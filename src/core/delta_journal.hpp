@@ -43,7 +43,10 @@
 // its pending delta with LabelStore::rechain().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "bits/label_arena.hpp"
@@ -151,6 +154,55 @@ class DeltaJournal {
     return {scheme_, params_, labels_};
   }
 
+  // --- tail cursors (the replication feed) ----------------------------------
+  //
+  // A Tail reads committed records out of the journal *file*, in epoch
+  // order, from another thread while the owner keeps appending. The commit
+  // boundary is published atomically after each successful append — a
+  // record whose bytes are mid-write (or written but not yet committed) is
+  // never surfaced, so a tailing replicator ships exactly the records a
+  // crash-recovery open() would replay. checkpoint() (and crash-recovery
+  // resets) replace the journal file; a cursor created before that returns
+  // kLost from then on — the reader is "too far behind" and must re-plan
+  // from a fresh snapshot of the labeling.
+
+  /// What the shared publication state says about the cursor's position.
+  enum class TailStatus : std::uint8_t {
+    kRecord = 0,    ///< one committed record was read into `out`
+    kCaughtUp = 1,  ///< no committed record past the cursor (yet)
+    kLost = 2,      ///< the journal was reset/folded under the cursor
+  };
+
+  class Tail {
+   public:
+    /// Reads the next committed record. On kRecord, `out` holds the delta
+    /// and chain() has advanced to its new_chain; on kCaughtUp/kLost, `out`
+    /// is untouched. Never blocks, never throws on torn bytes (a frame
+    /// that fails any check while inside the committed boundary means the
+    /// file was replaced under the cursor: kLost).
+    [[nodiscard]] TailStatus next(LabelDelta& out);
+    /// Chain value the cursor sits at (base_chain of the next record).
+    [[nodiscard]] std::uint64_t chain() const noexcept { return chain_; }
+    [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+   private:
+    friend class DeltaJournal;
+    struct Shared;
+    std::string path_;
+    std::shared_ptr<const Shared> shared_;
+    std::uint64_t generation_ = 0;
+    std::uint64_t offset_ = 0;
+    std::uint64_t chain_ = 0;
+  };
+
+  /// A cursor positioned at the first committed record whose base_chain is
+  /// `from_chain` (from_chain == chain() gives an empty cursor at the
+  /// committed end). nullopt when that epoch is not in the journal — the
+  /// reader is behind the last fold and must catch up from a full
+  /// snapshot. Safe to call (and to use the cursor) concurrently with
+  /// append() from the owning thread.
+  [[nodiscard]] std::optional<Tail> tail_from(std::uint64_t from_chain) const;
+
  private:
   DeltaJournal() = default;
 
@@ -159,6 +211,10 @@ class DeltaJournal {
   void write_fresh_journal();
   /// labels_ <- apply_delta(labels_, d); validates count + lens hash.
   void apply_in_memory(const LabelDelta& d);
+
+  /// Publishes the commit boundary to cursors (append: committed bytes
+  /// grow; checkpoint/reset: generation bumps, boundary rewinds).
+  void publish_committed() noexcept;
 
   std::string base_path_;
   std::string journal_path_;
@@ -172,6 +228,7 @@ class DeltaJournal {
   bool healthy_ = true;
   JournalRecovery recovery_;
   JournalStats stats_;
+  std::shared_ptr<Tail::Shared> tail_shared_;
 };
 
 }  // namespace treelab::core

@@ -1,0 +1,134 @@
+// net/frame — the wire protocol of treelab's serving layer.
+//
+// Every message is one length-prefixed, checksum-framed unit, reusing the
+// delta journal's TLRC framing discipline byte for byte (24-byte header,
+// little-endian integers, FNV-1a over the payload):
+//
+//   "TLNF" | u32 type | u64 payload_len | u64 payload_fnv | payload
+//
+// so a torn or corrupted frame is detected the same way on the wire as in
+// the journal file: the checksum fails, the connection (like the journal
+// tail) is declared out of sync and re-planned — never parsed into garbage.
+//
+// Message types and their payloads (all integers little-endian):
+//
+//   kQueryBatch  u32 count | count x (u32 tree | i32 u | i32 v)
+//   kQueryReply  u32 count | count x (u8 status | u8 within | u64 value)
+//   kError       utf-8 reason (diagnostic only; the connection closes)
+//   kOverloaded  empty — the batch was shed, retry later
+//   kSubscribe   u64 chain | u8 flags (bit 0: force full snapshot)
+//   kSnapshot    u64 chain | LabelStore mappable container bytes
+//   kDelta       LabelStore v3 delta container bytes
+//   kEnd         empty — the leader drained; no more deltas will come
+//
+// FrameReader is the incremental decoder both peers run: bytes are fed in
+// as they arrive, frames come out when complete. A frame that fails any
+// check (magic, bound, checksum) is kBad — the stream has lost sync and
+// the connection must be dropped; there is no resynchronization scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/forest_index.hpp"
+
+namespace treelab::net {
+
+enum class MsgType : std::uint32_t {
+  kQueryBatch = 1,
+  kQueryReply = 2,
+  kError = 3,
+  kOverloaded = 4,
+  kSubscribe = 5,
+  kSnapshot = 6,
+  kDelta = 7,
+  kEnd = 8,
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 8;
+/// A single message cannot meaningfully exceed this (the largest real
+/// payload is a full snapshot); a bigger length field is a framing error.
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 32;
+
+/// Appends one encoded frame to `out`.
+void append_frame(std::string& out, MsgType type, std::string_view payload);
+
+[[nodiscard]] inline std::string encode_frame(MsgType type,
+                                              std::string_view payload) {
+  std::string out;
+  append_frame(out, type, payload);
+  return out;
+}
+
+/// Incremental frame decoder over a byte stream.
+class FrameReader {
+ public:
+  enum class Status : std::uint8_t {
+    kFrame = 0,     ///< one complete, validated frame in `out`
+    kNeedMore = 1,  ///< no complete frame buffered yet
+    kBad = 2,       ///< framing violation — drop the connection
+  };
+
+  /// `max_payload` bounds what a peer may make this side buffer (beyond
+  /// the protocol-wide kMaxFramePayload); a length field above it is kBad.
+  explicit FrameReader(std::uint64_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame. Once kBad, stays kBad.
+  [[nodiscard]] Status next(Frame& out);
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::uint64_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool bad_ = false;
+};
+
+// --- payload codecs ---------------------------------------------------------
+//
+// Decoders return false on any structural violation (truncation, trailing
+// bytes, implausible counts) without throwing — a malformed payload from a
+// peer is an expected input, not an exceptional one.
+
+[[nodiscard]] std::string encode_query_batch(
+    std::span<const serve::Request> reqs);
+[[nodiscard]] bool decode_query_batch(std::string_view payload,
+                                      std::vector<serve::Request>& out);
+
+[[nodiscard]] std::string encode_query_reply(
+    std::span<const serve::QueryResult> results);
+[[nodiscard]] bool decode_query_reply(std::string_view payload,
+                                      std::vector<serve::QueryResult>& out);
+
+struct Subscribe {
+  std::uint64_t chain = 0;      ///< follower's current epoch-chain value
+  bool force_snapshot = false;  ///< start from a full snapshot regardless
+};
+[[nodiscard]] std::string encode_subscribe(const Subscribe& s);
+[[nodiscard]] bool decode_subscribe(std::string_view payload, Subscribe& out);
+
+/// Snapshot payload: the chain value the labeling sits at, then the
+/// labeling as a LabelStore mappable container.
+[[nodiscard]] std::string encode_snapshot(
+    std::uint64_t chain, const core::LabelStore::LoadedArena& loaded);
+/// Splits the payload; the container bytes are parsed by the caller via
+/// LabelStore::load_arena (whose validation and errors apply).
+[[nodiscard]] bool decode_snapshot_header(std::string_view payload,
+                                          std::uint64_t& chain,
+                                          std::string_view& container);
+
+}  // namespace treelab::net

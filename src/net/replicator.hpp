@@ -1,0 +1,123 @@
+// net/Replicator — the follower half of journal replication.
+//
+// A Replicator keeps one tree of a local ForestIndex converged onto a
+// leader's DeltaJournal over the wire protocol (net/frame.hpp):
+//
+//   1. connect, send kSubscribe carrying the epoch-chain value the local
+//      tree sits at (ForestIndex::chain) — or force_snapshot when the
+//      local state is untrusted,
+//   2. the leader tails its journal from exactly that epoch: kDelta frames
+//      are verified (the delta's new_chain must equal
+//      LabelStore::chain_hash(base_chain, delta) — a corrupted-but-
+//      checksum-colliding record cannot slip in) and applied through
+//      ForestIndex::apply_delta, which itself rejects any delta that does
+//      not chain from the live epoch,
+//   3. when the follower is too far behind (its epoch was folded out of
+//      the leader's journal), the leader sends a full kSnapshot instead;
+//      the follower installs it with ForestIndex::update(tree, loaded,
+//      chain) — adopting the leader's chain verbatim, because the journal
+//      preserves its chain across checkpoint folds,
+//   4. any failure — connect refused, read timeout, torn or corrupt frame,
+//      a delta that does not apply — drops the connection and reconnects
+//      with jittered exponential backoff, resubscribing from whatever
+//      epoch the local tree actually reached. Progress resets the backoff.
+//
+// Because every applied step is verified against the epoch chain, the
+// follower's arena after catch-up is bit-identical to the leader's — the
+// property tests/net_fault_fuzz_test asserts under injected faults.
+//
+// The target tree must already exist in the index (any placeholder
+// labeling will do; the first snapshot replaces it wholesale).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serve/forest_index.hpp"
+
+namespace treelab::net {
+
+struct ReplicatorOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  serve::TreeId tree = 0;   ///< tree to converge (must exist in the index)
+  int connect_timeout_ms = 2'000;
+  /// No frame for this long mid-session means a dead leader: reconnect.
+  int read_timeout_ms = 5'000;
+  int backoff_min_ms = 5;
+  int backoff_max_ms = 1'000;
+  std::uint64_t backoff_seed = 1;  ///< jitter PRNG seed (deterministic tests)
+  /// run() returns after the leader's kEnd (drain protocols, tests);
+  /// false keeps following across leader restarts until stop().
+  bool stop_on_end = false;
+  /// Consecutive no-progress connection attempts before run() gives up;
+  /// -1 = never.
+  int max_attempts = -1;
+  /// Start from a full snapshot even if the local chain might match.
+  bool force_snapshot = false;
+};
+
+class Replicator {
+ public:
+  Replicator(serve::ForestIndex& index, ReplicatorOptions opt);
+  ~Replicator();
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Blocking follow loop. Returns true when it ended deliberately (kEnd
+  /// with stop_on_end, or stop()); false when max_attempts consecutive
+  /// attempts made no progress.
+  bool run();
+
+  /// run() on a background thread.
+  void start();
+  /// Signals the loop to exit and joins the thread (if start()ed).
+  void stop();
+
+  /// start()'s eventual run() result; meaningful after stop().
+  [[nodiscard]] bool ended_cleanly() const noexcept {
+    return ended_cleanly_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t connects = 0;
+    std::uint64_t connect_failures = 0;
+    std::uint64_t reconnects = 0;        ///< sessions that died mid-stream
+    std::uint64_t snapshots_applied = 0;
+    std::uint64_t deltas_applied = 0;
+    std::uint64_t chain_rejects = 0;     ///< deltas failing chain checks
+    std::uint64_t frame_errors = 0;      ///< torn/corrupt/unparsable frames
+    std::uint64_t ends_seen = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  enum class SessionEnd : std::uint8_t { kReconnect, kEnded, kStopped };
+
+  [[nodiscard]] SessionEnd session(int fd);
+  [[nodiscard]] bool apply_snapshot(const std::string& payload);
+  [[nodiscard]] bool apply_delta(const std::string& payload);
+  void backoff(int consecutive_failures);
+  [[nodiscard]] std::uint64_t next_rand() noexcept;
+
+  serve::ForestIndex& index_;
+  ReplicatorOptions opt_;
+  std::uint64_t rng_;
+  bool force_snapshot_;
+  bool progressed_ = false;  ///< any apply succeeded this session
+  std::thread thread_;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> ended_cleanly_{false};
+
+  struct Counters {
+    std::atomic<std::uint64_t> connects{0}, connect_failures{0},
+        reconnects{0}, snapshots_applied{0}, deltas_applied{0},
+        chain_rejects{0}, frame_errors{0}, ends_seen{0};
+  };
+  Counters ctr_;
+};
+
+}  // namespace treelab::net

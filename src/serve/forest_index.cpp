@@ -193,7 +193,8 @@ std::vector<tree::NodeId> ForestIndex::compose_ext_map(
 std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
                                       std::string_view params,
                                       bits::MappedArena labels,
-                                      const std::vector<tree::NodeId>* remap) {
+                                      const std::vector<tree::NodeId>* remap,
+                                      const std::uint64_t* chain) {
   Slot& sl = slot(tree);
   if (auto fp = util::failpoint::check("forest.swap"))
     util::failpoint::raise(*fp, "forest.swap", "tree " + std::to_string(tree));
@@ -215,6 +216,7 @@ std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
     }
     std::shared_ptr<TreeEntry> fresh = make_entry(
         scheme, params, std::move(labels), old->epoch + 1, std::move(ext_map));
+    if (chain != nullptr) fresh->chain = *chain;
     {
       const std::lock_guard<std::mutex> lock(sh.mu);
       if (sl.entry.load(std::memory_order_acquire) == old) {
@@ -247,6 +249,14 @@ std::uint64_t ForestIndex::update(TreeId tree,
   const std::vector<tree::NodeId> r(remap.begin(), remap.end());
   return swap_entry(tree, loaded.scheme, loaded.params,
                     bits::MappedArena::adopt(std::move(loaded.labels)), &r);
+}
+
+std::uint64_t ForestIndex::update(TreeId tree,
+                                  core::LabelStore::LoadedArena loaded,
+                                  std::uint64_t chain) {
+  return swap_entry(tree, loaded.scheme, loaded.params,
+                    bits::MappedArena::adopt(std::move(loaded.labels)), nullptr,
+                    &chain);
 }
 
 std::uint64_t ForestIndex::update_file(TreeId tree, const std::string& path) {
@@ -409,6 +419,35 @@ std::uint64_t ForestIndex::update_epoch(TreeId tree) const {
   return entry(tree)->epoch;
 }
 
+std::uint64_t ForestIndex::chain(TreeId tree) const {
+  return entry(tree)->chain;
+}
+
+core::LabelStore::LoadedArena ForestIndex::snapshot_labels(TreeId tree) const {
+  const EntryPtr e = entry(tree);
+  bits::LabelArena copy = bits::LabelArena::composed(
+      e->labels.size(), [&](std::size_t i) {
+        return bits::LabelArena::LabelRef{e->labels.label_words(i),
+                                          e->labels.label_bits(i)};
+      });
+  return {e->scheme_name, e->params, std::move(copy)};
+}
+
+int ForestIndex::planned_fanout(std::size_t batch) const noexcept {
+  // resolve_threads returns an explicitly configured positive count as-is —
+  // which is how BENCH_serve grew rows where 8 "threads" time-sliced one
+  // core and lost to the serial path. Clamp to what can actually run in
+  // parallel, then to what the batch can feed: fewer than
+  // kFanoutBatchPerThread requests per thread and the pool's startup +
+  // synchronization costs more than the overlap buys.
+  std::size_t t = static_cast<std::size_t>(util::resolve_threads(opt_.threads));
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0) t = std::min(t, static_cast<std::size_t>(hw));
+  t = std::min(t, shards_.size());
+  t = std::min(t, std::max<std::size_t>(batch / kFanoutBatchPerThread, 1));
+  return static_cast<int>(std::max<std::size_t>(t, 1));
+}
+
 AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
                                                     tree::NodeId u,
                                                     tree::NodeId iu,
@@ -484,7 +523,7 @@ std::vector<Dist> ForestIndex::query_batch(
     by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
   }
   util::parallel_for_chunks(
-      shards_.size(), shards_.size(), util::resolve_threads(opt_.threads),
+      shards_.size(), shards_.size(), planned_fanout(reqs.size()),
       [&](std::size_t s, std::size_t, std::size_t) {
         std::vector<std::uint32_t>& idxs = by_shard[s];
         if (idxs.empty()) return;
@@ -552,7 +591,7 @@ std::vector<QueryResult> ForestIndex::query_batch_checked(
   // The answering fan-out is query_batch()'s, writing out[i].dist; the
   // snapshot/caching rules (and their rationale) are documented there.
   util::parallel_for_chunks(
-      shards_.size(), shards_.size(), util::resolve_threads(opt_.threads),
+      shards_.size(), shards_.size(), planned_fanout(reqs.size()),
       [&](std::size_t s, std::size_t, std::size_t) {
         std::vector<std::uint32_t>& idxs = by_shard[s];
         if (idxs.empty()) return;

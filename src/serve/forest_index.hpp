@@ -175,6 +175,15 @@ class ForestIndex {
   std::uint64_t update(TreeId tree, core::LabelStore::LoadedArena loaded,
                        std::span<const tree::NodeId> remap);
 
+  /// update() that pins the entry's epoch-chain value instead of seeding it
+  /// from the arena's lens_hash. This is the snapshot hand-off of the
+  /// replication protocol: a leader's journal *preserves* its chain across
+  /// checkpoint folds, so a follower installing a full snapshot must adopt
+  /// the leader's chain verbatim — re-deriving it from the bytes would
+  /// diverge after the first fold and reject every subsequent delta.
+  std::uint64_t update(TreeId tree, core::LabelStore::LoadedArena loaded,
+                       std::uint64_t chain);
+
   /// update() from a label file (mappable containers are mmap'ed).
   std::uint64_t update_file(TreeId tree, const std::string& path);
 
@@ -214,6 +223,28 @@ class ForestIndex {
   [[nodiscard]] bool mapped(TreeId tree) const;
   /// How many times update() replaced this tree's labeling (0 = original).
   [[nodiscard]] std::uint64_t update_epoch(TreeId tree) const;
+
+  /// Epoch-chain value the tree's live labeling sits at (what the next
+  /// delta's base_chain must be — and what a follower reports to a leader
+  /// when subscribing). Throws std::out_of_range on a bad id.
+  [[nodiscard]] std::uint64_t chain(TreeId tree) const;
+
+  /// Owned copy of the tree's live labeling in hand-off form. This is the
+  /// leader side of snapshot catch-up (and the convergence probe of the
+  /// replication tests): the copy is taken from one atomic entry load, so
+  /// it is internally consistent under concurrent updates. O(total bits).
+  [[nodiscard]] core::LabelStore::LoadedArena snapshot_labels(
+      TreeId tree) const;
+
+  /// The thread fan-out query_batch()/query_batch_checked() will use for a
+  /// batch of `batch` requests: the configured thread count clamped to the
+  /// hardware, the shard count, and the batch size (one thread per
+  /// kFanoutBatchPerThread requests, floor 1). A fan-out of 1 runs the
+  /// whole batch serially inline — no pool, no synchronization.
+  [[nodiscard]] int planned_fanout(std::size_t batch) const noexcept;
+
+  /// Below this many requests per thread, fan-out overhead beats the win.
+  static constexpr std::size_t kFanoutBatchPerThread = 256;
 
   /// The tree's current health. Throws std::out_of_range on a bad id.
   [[nodiscard]] TreeHealth health(TreeId tree) const;
@@ -336,10 +367,12 @@ class ForestIndex {
   /// Shared body of update()/update_file(): swap the slot and invalidate
   /// the tree's cached attachments, both under the shard lock. `remap`
   /// non-null composes the external-id map (see update(remap)); null
-  /// resets it.
+  /// resets it. `chain` non-null pins the entry's chain (snapshot
+  /// hand-off); null seeds it from the arena's lens_hash.
   std::uint64_t swap_entry(TreeId tree, std::string_view scheme,
                            std::string_view params, bits::MappedArena labels,
-                           const std::vector<tree::NodeId>* remap);
+                           const std::vector<tree::NodeId>* remap,
+                           const std::uint64_t* chain = nullptr);
   /// Cache lookup-or-attach for external id u resolved to internal iu; the
   /// shard's mutex must be held.
   [[nodiscard]] AnyScheme::AttachedPtr attached_locked(Shard& sh, TreeId tree,

@@ -49,6 +49,7 @@ bool parse_mode(std::string_view s, FailMode& out) {
   else if (s == "torn-write") out = FailMode::kTornWrite;
   else if (s == "throw") out = FailMode::kThrow;
   else if (s == "alloc-fail") out = FailMode::kAllocFail;
+  else if (s == "corrupt") out = FailMode::kCorrupt;
   else return false;
   return true;
 }
@@ -184,6 +185,7 @@ void raise(const FailpointHit& hit, std::string_view site,
     case FailMode::kError:
     case FailMode::kShortRead:
     case FailMode::kShortWrite:
+    case FailMode::kCorrupt:  // nothing to corrupt here: degrade to EIO
       break;
   }
   throw IoError(path, "failpoint [" + std::string(site) + "]", EIO);

@@ -15,7 +15,7 @@
 //   e.g. TREELAB_FAILPOINTS="fs.write=torn-write:2:1:100"
 //
 // with modes error | short-read | short-write | torn-write | throw |
-// alloc-fail; `skip` hits pass through before the point fires, it fires
+// alloc-fail | corrupt; `skip` hits pass through before the point fires, it fires
 // `count` times (-1 = forever), and `arg` is mode-specific (bytes kept by
 // a short/torn read or write).
 //
@@ -44,6 +44,7 @@ enum class FailMode : std::uint8_t {
   kTornWrite,   ///< a write persists only `arg` bytes, then FailpointAbort
   kThrow,       ///< the site throws std::runtime_error
   kAllocFail,   ///< the site throws std::bad_alloc
+  kCorrupt,     ///< the site flips a byte in its buffer (bit `arg` % width)
 };
 
 /// The simulated crash. Deliberately NOT a std::runtime_error: recovery

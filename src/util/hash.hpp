@@ -1,0 +1,24 @@
+// util/hash — the FNV-1a primitive shared by every checksummed byte format
+// in treelab: the delta journal's TLJN/TLRC frames and the network layer's
+// TLNF frames all use the same 64-bit FNV-1a so corruption detection is one
+// discipline, not three.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace treelab::util {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a(const char* p, std::size_t n,
+                                         std::uint64_t h = kFnvOffset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace treelab::util

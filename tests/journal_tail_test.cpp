@@ -1,0 +1,272 @@
+// DeltaJournal::Tail tests — the cursor protocol net::Server streams
+// replication from. The single-threaded contracts first (positioning,
+// catch-up, loss across checkpoints and recovery resets), then the
+// concurrency property the whole design exists for: a reader tailing the
+// journal file WHILE the owner appends sees only fully committed records,
+// in order, with an unbroken epoch chain — never a torn frame, never a
+// record a crash-recovery open() would not also replay. The concurrent
+// suites are the ones the CI sanitizer jobs (ASan and TSan) run hot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/delta_journal.hpp"
+#include "core/incremental_relabeler.hpp"
+#include "core/label_store.hpp"
+#include "tree/generators.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace treelab;
+using core::DeltaJournal;
+using core::IncrementalRelabeler;
+using core::LabelDelta;
+using TailStatus = core::DeltaJournal::TailStatus;
+
+class JournalTailTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = testing::TempDir() + "journal_tail_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".lbl";
+    cleanup();
+    relab_.emplace(tree::random_tree(24, 7));
+  }
+  void TearDown() override { cleanup(); }
+
+  void cleanup() {
+    util::remove_file(base_);
+    util::remove_file(base_ + ".tmp");
+    util::remove_file(DeltaJournal::journal_path(base_));
+    util::remove_file(DeltaJournal::journal_path(base_) + ".tmp");
+  }
+
+  [[nodiscard]] core::JournalOptions quiet_options() const {
+    core::JournalOptions o;
+    o.sync = false;
+    o.checkpoint_records = std::uint64_t{1} << 30;  // never fold
+    o.checkpoint_bytes = std::uint64_t{1} << 40;
+    return o;
+  }
+
+  /// One edit, shipped: appends the resulting delta and returns it.
+  LabelDelta edit_and_append(DeltaJournal& j) {
+    (void)relab_->insert_leaf(
+        static_cast<tree::NodeId>(relab_->size() - 1), 1);
+    LabelDelta d = relab_->make_delta();
+    j.append(d);
+    relab_->advance_delta(d);
+    return d;
+  }
+
+  std::string base_;
+  std::optional<IncrementalRelabeler> relab_;
+};
+
+TEST_F(JournalTailTest, EmptyJournalIsCaughtUpAtItsOwnChain) {
+  DeltaJournal j =
+      DeltaJournal::create(base_, relab_->to_loaded(), quiet_options());
+  std::optional<DeltaJournal::Tail> t = j.tail_from(j.chain());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->chain(), j.chain());
+  LabelDelta d;
+  EXPECT_EQ(t->next(d), TailStatus::kCaughtUp);
+  EXPECT_EQ(t->next(d), TailStatus::kCaughtUp);  // stable, not consuming
+}
+
+TEST_F(JournalTailTest, UnknownChainMeansSnapshotNeeded) {
+  DeltaJournal j =
+      DeltaJournal::create(base_, relab_->to_loaded(), quiet_options());
+  EXPECT_FALSE(j.tail_from(j.chain() ^ 1).has_value());
+  EXPECT_FALSE(j.tail_from(0).has_value());
+}
+
+TEST_F(JournalTailTest, ReadsAppendedRecordsInOrderThenCatchesUp) {
+  DeltaJournal j =
+      DeltaJournal::create(base_, relab_->to_loaded(), quiet_options());
+  const std::uint64_t start = j.chain();
+  std::vector<std::uint64_t> chains;  // new_chain of each appended record
+  for (int i = 0; i < 5; ++i) chains.push_back(edit_and_append(j).new_chain);
+
+  std::optional<DeltaJournal::Tail> t = j.tail_from(start);
+  ASSERT_TRUE(t.has_value());
+  LabelDelta d;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(t->next(d), TailStatus::kRecord) << "record " << i;
+    EXPECT_EQ(d.new_chain, chains[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(t->chain(), d.new_chain);
+  }
+  EXPECT_EQ(t->next(d), TailStatus::kCaughtUp);
+
+  // A caught-up cursor picks up records appended after it was created.
+  const std::uint64_t next_chain = edit_and_append(j).new_chain;
+  ASSERT_EQ(t->next(d), TailStatus::kRecord);
+  EXPECT_EQ(d.new_chain, next_chain);
+  EXPECT_EQ(t->next(d), TailStatus::kCaughtUp);
+
+  // Positioning mid-journal skips exactly the records already consumed.
+  std::optional<DeltaJournal::Tail> mid = j.tail_from(chains[2]);
+  ASSERT_TRUE(mid.has_value());
+  ASSERT_EQ(mid->next(d), TailStatus::kRecord);
+  EXPECT_EQ(d.base_chain, chains[2]);
+}
+
+TEST_F(JournalTailTest, CheckpointLosesCursorsAndFoldsHistory) {
+  core::JournalOptions o = quiet_options();
+  DeltaJournal j = DeltaJournal::create(base_, relab_->to_loaded(), o);
+  const std::uint64_t start = j.chain();
+  for (int i = 0; i < 3; ++i) (void)edit_and_append(j);
+  std::optional<DeltaJournal::Tail> behind = j.tail_from(start);
+  ASSERT_TRUE(behind.has_value());
+
+  j.checkpoint();
+  LabelDelta d;
+  EXPECT_EQ(behind->next(d), TailStatus::kLost);
+  EXPECT_EQ(behind->next(d), TailStatus::kLost);  // sticky
+  // The folded epochs are gone: re-planning from them demands a snapshot,
+  // while the preserved chain tip tails cleanly.
+  EXPECT_FALSE(j.tail_from(start).has_value());
+  std::optional<DeltaJournal::Tail> tip = j.tail_from(j.chain());
+  ASSERT_TRUE(tip.has_value());
+  EXPECT_EQ(tip->next(d), TailStatus::kCaughtUp);
+}
+
+TEST_F(JournalTailTest, AutoCheckpointMidStreamLosesTheLaggard) {
+  core::JournalOptions o = quiet_options();
+  o.checkpoint_records = 4;  // folds on the 4th append
+  DeltaJournal j = DeltaJournal::create(base_, relab_->to_loaded(), o);
+  std::optional<DeltaJournal::Tail> t = j.tail_from(j.chain());
+  ASSERT_TRUE(t.has_value());
+  LabelDelta d;
+  ASSERT_EQ(t->next(d), TailStatus::kCaughtUp);
+  for (int i = 0; i < 2; ++i) (void)edit_and_append(j);
+  // Two records are committed and readable...
+  ASSERT_EQ(t->next(d), TailStatus::kRecord);
+  for (int i = 0; i < 2; ++i) (void)edit_and_append(j);  // trips the fold
+  EXPECT_EQ(j.record_count(), 0u);
+  // ...but the cursor's remaining position died with the old file.
+  EXPECT_EQ(t->next(d), TailStatus::kLost);
+}
+
+TEST_F(JournalTailTest, ConcurrentAppendWhileTailing) {
+  // The real thing: one writer thread appending edits, two reader threads
+  // tailing from the initial chain. Readers must observe a prefix-ordered,
+  // chain-continuous stream with no torn or phantom records, and reach the
+  // writer's final chain. No checkpoints here — loss-free streaming.
+  DeltaJournal j =
+      DeltaJournal::create(base_, relab_->to_loaded(), quiet_options());
+  const std::uint64_t start = j.chain();
+  constexpr int kRecords = 200;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> final_chain{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kRecords; ++i) (void)edit_and_append(j);
+    final_chain.store(j.chain(), std::memory_order_release);
+    done.store(true, std::memory_order_release);
+  });
+
+  auto read_all = [&](std::vector<std::uint64_t>& seen) {
+    std::optional<DeltaJournal::Tail> t = j.tail_from(start);
+    ASSERT_TRUE(t.has_value());
+    LabelDelta d;
+    for (;;) {
+      const TailStatus st = t->next(d);
+      ASSERT_NE(st, TailStatus::kLost);  // nothing folds in this test
+      if (st == TailStatus::kRecord) {
+        // Tail::next already verified base_chain continuity; record the
+        // epochs so the final sequence can be checked against the writer.
+        seen.push_back(d.new_chain);
+        EXPECT_EQ(core::LabelStore::chain_hash(d.base_chain, d), d.new_chain);
+        continue;
+      }
+      if (done.load(std::memory_order_acquire) &&
+          t->chain() == final_chain.load(std::memory_order_acquire))
+        return;
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::uint64_t> seen_a, seen_b;
+  std::thread reader_a([&] { read_all(seen_a); });
+  std::thread reader_b([&] { read_all(seen_b); });
+  writer.join();
+  reader_a.join();
+  reader_b.join();
+
+  ASSERT_EQ(seen_a.size(), static_cast<std::size_t>(kRecords));
+  EXPECT_EQ(seen_a, seen_b);
+  EXPECT_EQ(seen_a.back(), final_chain.load());
+}
+
+TEST_F(JournalTailTest, ConcurrentTailAcrossCheckpoints) {
+  // Same interleaving with aggressive folding: readers now legitimately
+  // lose the tail mid-stream and must re-plan. The property that survives
+  // folds: every record a reader DOES see is committed and chains from the
+  // epoch the cursor sat at, and re-planning from the current chain always
+  // works (the fallback-to-snapshot path net::Server drives).
+  core::JournalOptions o = quiet_options();
+  o.checkpoint_records = 5;
+  DeltaJournal j = DeltaJournal::create(base_, relab_->to_loaded(), o);
+  constexpr int kRecords = 300;
+
+  std::atomic<bool> done{false};
+  // chain()/append() belong to the owning thread (net::Server serializes
+  // them under its journal mutex); the writer publishes the chain tip for
+  // the readers the same way the server hands it to its subscriber pump.
+  std::atomic<std::uint64_t> tip{j.chain()};
+  std::thread writer([&] {
+    for (int i = 0; i < kRecords; ++i) {
+      (void)edit_and_append(j);
+      tip.store(j.chain(), std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  auto chase = [&](std::uint64_t& records, std::uint64_t& losses) {
+    std::optional<DeltaJournal::Tail> t;
+    LabelDelta d;
+    while (!done.load(std::memory_order_acquire)) {
+      if (!t.has_value()) {
+        // The published tip races the folds: it may be gone by the time
+        // the cursor is planned, in which case keep re-planning.
+        t = j.tail_from(tip.load(std::memory_order_acquire));
+        if (!t.has_value()) continue;
+      }
+      switch (t->next(d)) {
+        case TailStatus::kRecord:
+          ++records;
+          EXPECT_EQ(core::LabelStore::chain_hash(d.base_chain, d),
+                    d.new_chain);
+          break;
+        case TailStatus::kLost:
+          ++losses;
+          t.reset();
+          break;
+        case TailStatus::kCaughtUp:
+          std::this_thread::yield();
+          break;
+      }
+    }
+  };
+
+  std::uint64_t records_a = 0, losses_a = 0, records_b = 0, losses_b = 0;
+  std::thread reader_a([&] { chase(records_a, losses_a); });
+  std::thread reader_b([&] { chase(records_b, losses_b); });
+  writer.join();
+  reader_a.join();
+  reader_b.join();
+
+  // Both the streaming and the loss/re-plan paths must actually have run
+  // (with a fold every 5 appends over 300 appends, both always do).
+  EXPECT_GT(records_a + records_b, 0u);
+  EXPECT_GT(losses_a + losses_b, 0u);
+  EXPECT_GT(j.stats().checkpoints, 0u);
+}
+
+}  // namespace
