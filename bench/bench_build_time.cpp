@@ -370,8 +370,8 @@ int main(int argc, char** argv) {
                static_cast<int>(n), static_cast<unsigned long long>(seed));
   std::fprintf(f, "  \"tree\": \"random(seed=%llu)\",\n",
                static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"threads\": %d,\n  \"threads_available\": %d,\n", par,
-               hw);
+  std::fprintf(f, "  \"threads\": %d,\n", par);
+  bench::json_provenance(f, par);
   std::fprintf(f, "  \"suite_shared_vs_own_speedup\": %.2f,\n",
                suite_own / suite_shared);
   std::fprintf(f, "  \"suite_parallel_vs_own_speedup\": %.2f,\n",

@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n  \"bench\": \"oracle\",\n  \"quick\": %s,\n",
                quick ? "true" : "false");
+  bench::json_provenance(f, 0);
   std::fprintf(f, "  \"accuracy\": [\n");
   for (std::size_t i = 0; i < accuracy.size(); ++i)
     std::fprintf(

@@ -304,6 +304,7 @@ void write_json_summary(const char* path, tree::NodeId kN) {
                static_cast<int>(kN));
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(g_seed));
+  bench::json_provenance(f, 0);
   std::fprintf(f, "  \"tree\": \"random(seed=%llu)\",\n  \"results\": [\n",
                static_cast<unsigned long long>(g_seed));
   for (std::size_t i = 0; i < cases.size(); ++i) {

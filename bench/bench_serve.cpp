@@ -29,6 +29,7 @@
 // run, and the overload-shedding observations.
 //
 // Usage: bench_serve [--n N] [--trees T] [--batch B] [--seed S]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +48,7 @@
 #include <atomic>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "core/alstrup_scheme.hpp"
 #include "core/approx_scheme.hpp"
 #include "core/fgnw_scheme.hpp"
@@ -367,8 +369,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
   std::fprintf(f, "  \"n\": %d,\n  \"trees\": %zu,\n  \"batch\": %zu,\n",
                static_cast<int>(n), n_trees, batch);
-  std::fprintf(f, "  \"seed\": %llu,\n  \"threads_available\": %d,\n",
-               static_cast<unsigned long long>(seed), hw);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  int planned_fanout = 0;
+  for (const auto& r : rows) planned_fanout = std::max(planned_fanout, r.fanout);
+  bench::json_provenance(f, planned_fanout);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::fprintf(f, "    {\"case\": \"%s\", \"qps\": %.0f, \"fanout\": %d}%s\n",
@@ -384,9 +389,32 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(server_read_paused));
   std::fprintf(f,
                "  \"cache_last_run\": {\"hits\": %zu, \"misses\": %zu, "
-               "\"evictions\": %zu, \"entries\": %zu, \"bytes\": %zu}\n",
+               "\"evictions\": %zu, \"entries\": %zu, \"bytes\": %zu},\n",
                last_stats.hits, last_stats.misses, last_stats.evictions,
                last_stats.entries, last_stats.bytes);
+  // Latency-histogram summaries from the obs registry, accumulated across
+  // everything this process ran. All zeros under -DTREELAB_OBS=OFF.
+  {
+    const char* hist_names[] = {"serve.query.latency_ns",
+                                "serve.batch.latency_ns",
+                                "net.server.request_ns"};
+    std::fprintf(f, "  \"metrics\": {\n");
+    for (std::size_t i = 0; i < std::size(hist_names); ++i) {
+      const obs::Histogram::Snapshot s =
+          obs::Registry::global().histogram(hist_names[i]).snapshot();
+      std::fprintf(f,
+                   "    \"%s\": {\"count\": %llu, \"p50\": %llu, "
+                   "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}%s\n",
+                   hist_names[i],
+                   static_cast<unsigned long long>(s.count()),
+                   static_cast<unsigned long long>(s.percentile(0.50)),
+                   static_cast<unsigned long long>(s.percentile(0.90)),
+                   static_cast<unsigned long long>(s.percentile(0.99)),
+                   static_cast<unsigned long long>(s.max),
+                   i + 1 < std::size(hist_names) ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);

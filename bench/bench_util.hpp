@@ -7,7 +7,9 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace treelab::bench {
@@ -29,6 +31,27 @@ inline double measure_qps(F&& f, std::size_t batch = 4096,
     dt = std::chrono::duration<double>(clock::now() - t0).count();
   } while (dt < min_seconds);
   return static_cast<double>(done) / dt;
+}
+
+/// UTC wall-clock provenance stamp, e.g. "2026-08-08T12:34:56Z".
+inline std::string timestamp_utc() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// The shared BENCH_*.json provenance header: when the run happened, how
+/// many hardware threads the machine offered, and the fan-out the bench
+/// planned to drive (0 = single-threaded / not applicable). Call inside an
+/// open JSON object; emits trailing-comma'd fields.
+inline void json_provenance(std::FILE* f, int planned_fanout) {
+  std::fprintf(f, "  \"timestamp_utc\": \"%s\",\n", timestamp_utc().c_str());
+  std::fprintf(f, "  \"threads_available\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"planned_fanout\": %d,\n", planned_fanout);
 }
 
 /// Prints a row of right-aligned cells (12 chars each, first cell 26).

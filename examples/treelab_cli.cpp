@@ -7,7 +7,15 @@
 //                                                  approx:<1/eps>)
 //   treelab_cli query out.lbl <u> <v>             (labels only; the tree
 //                                                  file is NOT read)
-//   treelab_cli stats out.lbl
+//   treelab_cli stats out.lbl                     (label-size statistics)
+//   treelab_cli stats <host>:<port> [--probe N]   (live metrics: send kStats
+//                                                  to a running server and
+//                                                  print its obs registry as
+//                                                  `name value` lines; with
+//                                                  --probe, send N small
+//                                                  query batches first so
+//                                                  the latency histograms
+//                                                  are warm)
 //   treelab_cli save <in.lbl> <out.lbl> [v1|mappable]
 //                                                 (convert container
 //                                                  versions; mappable files
@@ -73,12 +81,21 @@
 //                                                  SIGINT/SIGTERM; on exit
 //                                                  checkpoint the journal
 //                                                  into base.lbl)
-//   treelab_cli follow <host>:<port> <out.lbl>    (replication follower:
+//   treelab_cli follow <host>:<port> <out.lbl>
+//                      [--stats-port-file F] [--linger-ms M]
+//                                                 (replication follower:
 //                                                  tail the leader until its
 //                                                  end-of-stream, then write
 //                                                  the converged labels —
 //                                                  bit-identical to the
-//                                                  leader's checkpoint)
+//                                                  leader's checkpoint; with
+//                                                  --stats-port-file, also
+//                                                  run a query/stats server
+//                                                  over the follower index
+//                                                  and keep it up M ms after
+//                                                  convergence so a peer can
+//                                                  probe the follower's
+//                                                  metrics)
 //
 // All label/delta outputs are written atomically (temp + fsync + rename):
 // a crash mid-write never leaves a torn file behind. Exit codes separate
@@ -102,6 +119,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -117,6 +135,7 @@
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
+#include "net/client.hpp"
 #include "net/replicator.hpp"
 #include "net/server.hpp"
 #include "serve/forest_index.hpp"
@@ -136,6 +155,7 @@ int usage() {
                "  treelab_cli label <scheme> <tree.txt> <out.lbl>\n"
                "  treelab_cli query <labels.lbl> <u> <v>\n"
                "  treelab_cli stats <labels.lbl>\n"
+               "  treelab_cli stats <host>:<port> [--probe N]\n"
                "  treelab_cli save <in.lbl> <out.lbl> [v1|mappable]\n"
                "  treelab_cli load <labels.lbl>\n"
                "  treelab_cli serve-bench <labels.lbl...> [--shards S] "
@@ -151,7 +171,8 @@ int usage() {
                "  treelab_cli serve <tree.txt> <base.lbl> [--port P] "
                "[--edits E] [--seed X] [--wait-subscribers N] "
                "[--port-file F]\n"
-               "  treelab_cli follow <host>:<port> <out.lbl>\n"
+               "  treelab_cli follow <host>:<port> <out.lbl> "
+               "[--stats-port-file F] [--linger-ms M]\n"
                "shapes: path star caterpillar broom spider balanced-binary "
                "random random-binary\n"
                "schemes: fgnw alstrup peleg kdist:<k> approx:<inv_eps>\n");
@@ -827,9 +848,33 @@ int cmd_serve(int argc, char** argv) {
 }
 
 int cmd_follow(int argc, char** argv) {
-  if (argc != 4) return usage();
+  if (argc < 4) return usage();
   const std::string target = argv[2];
   const char* out_path = argv[3];
+  const char* stats_port_file = nullptr;
+  long long linger_ms = 0;
+  for (int i = 4; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name.c_str());
+      return 2;
+    }
+    const char* val = argv[++i];
+    if (name == "--stats-port-file") {
+      stats_port_file = val;
+      continue;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(val, &end, 10);
+    if (*val == '\0' || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "bad value '%s' for %s\n", val, name.c_str());
+      return 2;
+    }
+    if (name == "--linger-ms")
+      linger_ms = v;
+    else
+      return usage();
+  }
   const std::size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon + 1 >= target.size())
     return usage();
@@ -842,6 +887,19 @@ int cmd_follow(int argc, char** argv) {
   serve::ForestIndex index;
   const core::IncrementalRelabeler placeholder(tree::path(1));
   const serve::TreeId tree0 = index.add(placeholder.to_loaded());
+
+  // The follower's own front end: while (and after) it converges, a peer
+  // can query it and pull its metrics — replication-lag gauges included.
+  std::optional<net::Server> stats_server;
+  if (stats_port_file != nullptr) {
+    stats_server.emplace(index);
+    stats_server->start();
+    util::atomic_write_file(stats_port_file,
+                            std::to_string(stats_server->port()));
+    std::printf("follower stats server on 127.0.0.1:%u\n",
+                stats_server->port());
+    std::fflush(stdout);
+  }
 
   net::ReplicatorOptions ropt;
   ropt.host = host;
@@ -876,10 +934,76 @@ int cmd_follow(int argc, char** argv) {
   std::printf("converged at chain %016llx: wrote %zu labels -> %s\n",
               static_cast<unsigned long long>(index.chain(tree0)),
               snap.labels.size(), out_path);
+  std::fflush(stdout);
+  if (stats_server.has_value()) {
+    // Stay probe-able past convergence so a peer can read the final gauges
+    // (net.replicator.behind should be 0 here).
+    if (linger_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    stats_server->stop();
+  }
+  return 0;
+}
+
+int cmd_stats_remote(int argc, char** argv) {
+  const std::string target = argv[2];
+  const std::size_t colon = target.rfind(':');
+  const std::string host = target.substr(0, colon);
+  const long long port = std::atoll(target.c_str() + colon + 1);
+  if (colon == 0 || port <= 0 || port > 65535) return usage();
+  long long probe = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string name = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", name.c_str());
+      return 2;
+    }
+    const char* val = argv[++i];
+    char* end = nullptr;
+    const long long v = std::strtoll(val, &end, 10);
+    if (name != "--probe" || *val == '\0' || *end != '\0' || v < 0)
+      return usage();
+    probe = v;
+  }
+
+  net::QueryClient client(host, static_cast<std::uint16_t>(port));
+  if (!client.connected()) {
+    std::fprintf(stderr, "cannot connect to %s\n", target.c_str());
+    return 1;
+  }
+  // Warm the server's query/latency metrics before the dump. Out-of-range
+  // ids only degrade individual results (query_batch_checked), so blind
+  // probes against a small tree are safe.
+  std::mt19937_64 rng(1);
+  for (long long b = 0; b < probe; ++b) {
+    std::vector<serve::Request> reqs(64);
+    for (auto& r : reqs) {
+      r.tree = 0;
+      r.u = static_cast<tree::NodeId>(rng() % 256);
+      r.v = static_cast<tree::NodeId>(rng() % 256);
+    }
+    std::vector<serve::QueryResult> out;
+    if (client.query_batch(reqs, out) == net::QueryClient::BatchStatus::kError) {
+      std::fprintf(stderr, "probe batch failed against %s\n", target.c_str());
+      return 1;
+    }
+  }
+  std::vector<net::StatLine> lines;
+  if (!client.stats(lines)) {
+    std::fprintf(stderr, "stats request failed against %s\n", target.c_str());
+    return 1;
+  }
+  for (const auto& l : lines)
+    std::printf("%s %llu\n", l.name.c_str(),
+                static_cast<unsigned long long>(l.value));
   return 0;
 }
 
 int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  // Dual mode: `host:port` probes a live server's metrics registry over
+  // the wire; a plain path reports label-size statistics from a file.
+  if (std::strchr(argv[2], ':') != nullptr) return cmd_stats_remote(argc, argv);
   if (argc != 3) return usage();
   const auto store = load_file(argv[2]);
   core::LabelStats st;

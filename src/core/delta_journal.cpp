@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bits/mapped_arena.hpp"
+#include "obs/metrics.hpp"
 #include "util/fs.hpp"
 #include "util/hash.hpp"
 #include "util/io_error.hpp"
@@ -16,6 +17,33 @@ namespace treelab::core {
 using util::fnv1a;
 
 namespace {
+
+// Registry references resolved once (the registry never deletes owned
+// metrics). Journal metrics are process-wide: every instance feeds the
+// same histograms, and the size gauges track the most recently mutated
+// journal — one journal per serving process in practice.
+struct JournalMetrics {
+  obs::Histogram& append_ns;
+  obs::Histogram& fsync_ns;
+  obs::Histogram& checkpoint_ns;
+  obs::Counter& appends;
+  obs::Counter& checkpoints;
+  obs::Gauge& records;
+  obs::Gauge& bytes;
+  static JournalMetrics& get() {
+    static JournalMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return JournalMetrics{r.histogram("journal.append_ns"),
+                            r.histogram("journal.fsync_ns"),
+                            r.histogram("journal.checkpoint_ns"),
+                            r.counter("journal.appends"),
+                            r.counter("journal.checkpoints"),
+                            r.gauge("journal.records"),
+                            r.gauge("journal.bytes")};
+    }();
+    return m;
+  }
+};
 
 constexpr char kJournalMagic[4] = {'T', 'L', 'J', 'N'};
 constexpr char kRecordMagic[4] = {'T', 'L', 'R', 'C'};
@@ -237,20 +265,28 @@ void DeltaJournal::append(const LabelDelta& d) {
   put_u64(frame, fnv1a(payload.data(), payload.size()));
   frame += payload;
 
+  JournalMetrics& m = JournalMetrics::get();
+  const std::uint64_t t0 = obs::now_ns();
+  std::uint64_t fsync_ns = 0;
   try {
-    util::append_file(journal_path_, frame, opt_.sync);
+    util::append_file(journal_path_, frame, opt_.sync, &fsync_ns);
   } catch (...) {
     // The file may now end mid-frame; leave it exactly as the crash
     // would have, for open() to truncate.
     healthy_ = false;
     throw;
   }
+  m.append_ns.record(obs::now_ns() - t0);
+  if (opt_.sync) m.fsync_ns.record(fsync_ns);
+  m.appends.add();
 
   labels_ = std::move(patched);
   chain_ = d.new_chain;
   ++record_count_;
   journal_bytes_ += frame.size();
   ++stats_.appends;
+  m.records.set(record_count_);
+  m.bytes.set(journal_bytes_);
   publish_committed();
 
   if (opt_.auto_checkpoint && checkpoint_due()) checkpoint();
@@ -261,6 +297,8 @@ void DeltaJournal::checkpoint() {
     throw std::logic_error(
         "DeltaJournal: poisoned by a failed append/checkpoint; reopen to "
         "recover");
+  JournalMetrics& m = JournalMetrics::get();
+  const std::uint64_t t0 = obs::now_ns();
   try {
     LabelStore::save_file(base_path_, scheme_, labels_, params_);
     // Chain intentionally preserved across the fold: producers keep
@@ -271,6 +309,10 @@ void DeltaJournal::checkpoint() {
     healthy_ = false;
     throw;
   }
+  m.checkpoint_ns.record(obs::now_ns() - t0);
+  m.checkpoints.add();
+  m.records.set(record_count_);
+  m.bytes.set(journal_bytes_);
   ++stats_.checkpoints;
 }
 
@@ -334,6 +376,7 @@ DeltaJournal::TailStatus DeltaJournal::Tail::next(LabelDelta& out) {
   if (!ok || d.base_chain != chain_) return TailStatus::kLost;
   chain_ = d.new_chain;
   offset_ = next_off;
+  ++records_read_;
   out = std::move(d);
   return TailStatus::kRecord;
 }
@@ -366,6 +409,7 @@ std::optional<DeltaJournal::Tail> DeltaJournal::tail_from(
       return std::nullopt;
     t.chain_ = d.new_chain;
     t.offset_ = next_off;
+    ++t.records_read_;  // skipped records still count as consumed
   }
   if (tail_shared_->generation.load(std::memory_order_acquire) !=
       t.generation_)

@@ -184,6 +184,13 @@ class DeltaJournal {
     /// Chain value the cursor sits at (base_chain of the next record).
     [[nodiscard]] std::uint64_t chain() const noexcept { return chain_; }
     [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+    /// Committed records this cursor has consumed, including the ones
+    /// tail_from() skipped to reach its starting epoch. Compared against
+    /// the owner's record_count() this is the cursor's replication lag in
+    /// records — the `net.server.subscriber_lag_records` gauge.
+    [[nodiscard]] std::uint64_t records_read() const noexcept {
+      return records_read_;
+    }
 
    private:
     friend class DeltaJournal;
@@ -193,6 +200,7 @@ class DeltaJournal {
     std::uint64_t generation_ = 0;
     std::uint64_t offset_ = 0;
     std::uint64_t chain_ = 0;
+    std::uint64_t records_read_ = 0;
   };
 
   /// A cursor positioned at the first committed record whose base_chain is

@@ -75,4 +75,50 @@ QueryClient::BatchStatus QueryClient::query_batch(
   return BatchStatus::kOk;
 }
 
+bool QueryClient::stats(std::vector<StatLine>& out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::string frame = encode_frame(MsgType::kStats, {});
+  maybe_corrupt_frame(frame);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const IoResult w =
+        write_some(fd_, frame.data() + sent, frame.size() - sent);
+    if (w.status != IoStatus::kOk) {
+      close();
+      return false;
+    }
+    sent += w.n;
+  }
+  FrameReader reader;
+  Frame f;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const FrameReader::Status st = reader.next(f);
+    if (st == FrameReader::Status::kBad) {
+      close();
+      return false;
+    }
+    if (st == FrameReader::Status::kFrame) break;
+    if (Clock::now() >= deadline) {
+      close();
+      return false;
+    }
+    if (!wait_readable(fd_, 100)) continue;
+    char buf[64 * 1024];
+    const IoResult r = read_some(fd_, buf, sizeof(buf));
+    if (r.status == IoStatus::kOk)
+      reader.feed(buf, r.n);
+    else if (r.status != IoStatus::kWouldBlock) {
+      close();
+      return false;
+    }
+  }
+  if (f.type != MsgType::kStatsReply || !decode_stats_reply(f.payload, out)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace treelab::net

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "serve/forest_index.hpp"
 
 namespace treelab::net {
@@ -35,6 +36,11 @@ class QueryClient {
   [[nodiscard]] BatchStatus query_batch(std::span<const serve::Request> reqs,
                                         std::vector<serve::QueryResult>& out,
                                         int timeout_ms = 5'000);
+
+  /// Sends kStats and waits for the kStatsReply metrics dump — the wire
+  /// view of the server process's obs registry, sorted by name. Returns
+  /// false on connection/protocol failure (connection then unusable).
+  [[nodiscard]] bool stats(std::vector<StatLine>& out, int timeout_ms = 5'000);
 
   void close() noexcept;
 

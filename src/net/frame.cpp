@@ -1,5 +1,6 @@
 #include "net/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -12,6 +13,11 @@ using util::fnv1a;
 namespace {
 
 constexpr char kFrameMagic[4] = {'T', 'L', 'N', 'F'};
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
 
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i)
@@ -46,6 +52,18 @@ struct Cursor {
 
   explicit Cursor(std::string_view s) : p(s.data()), left(s.size()) {}
 
+  std::uint16_t u16() {
+    if (left < 2) {
+      ok = false;
+      return 0;
+    }
+    const auto v = static_cast<std::uint16_t>(
+        static_cast<unsigned char>(p[0]) |
+        (static_cast<unsigned char>(p[1]) << 8));
+    p += 2;
+    left -= 2;
+    return v;
+  }
   std::uint32_t u32() {
     if (left < 4) {
       ok = false;
@@ -110,7 +128,7 @@ FrameReader::Status FrameReader::next(Frame& out) {
   const std::uint64_t len = get_u64(hdr + 8);
   const std::uint64_t sum = get_u64(hdr + 16);
   if (type < static_cast<std::uint32_t>(MsgType::kQueryBatch) ||
-      type > static_cast<std::uint32_t>(MsgType::kEnd) ||
+      type > static_cast<std::uint32_t>(kMaxMsgType) ||
       len > kMaxFramePayload || len > max_payload_) {
     bad_ = true;
     return Status::kBad;
@@ -205,6 +223,56 @@ bool decode_subscribe(std::string_view payload, Subscribe& out) {
   const std::uint8_t flags = c.u8();
   if (flags > 1) return false;
   out.force_snapshot = (flags & 1) != 0;
+  return c.done();
+}
+
+std::string encode_stats_reply(std::span<const StatLine> lines) {
+  std::string out;
+  std::size_t bytes = 4;
+  for (const StatLine& l : lines) bytes += 2 + l.name.size() + 8;
+  out.reserve(bytes);
+  put_u32(out, static_cast<std::uint32_t>(lines.size()));
+  for (const StatLine& l : lines) {
+    // Metric names are short by construction; a name past u16 range would
+    // be a bug on the encoding side, so truncate defensively.
+    const std::size_t n = std::min<std::size_t>(l.name.size(), 0xffff);
+    put_u16(out, static_cast<std::uint16_t>(n));
+    out.append(l.name.data(), n);
+    put_u64(out, l.value);
+  }
+  return out;
+}
+
+bool decode_stats_reply(std::string_view payload, std::vector<StatLine>& out) {
+  Cursor c(payload);
+  const std::uint32_t n = c.u32();
+  // Minimum 10 bytes per line (empty name): a count the payload cannot
+  // hold is a lie — refuse before the count-sized allocation.
+  if (!c.ok || static_cast<std::size_t>(n) > c.left / 10) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint16_t name_len = c.u16();
+    if (!c.ok || c.left < static_cast<std::size_t>(name_len) + 8) return false;
+    StatLine l;
+    l.name.assign(c.p, name_len);
+    c.p += name_len;
+    c.left -= name_len;
+    l.value = c.u64();
+    out.push_back(std::move(l));
+  }
+  return c.done();
+}
+
+std::string encode_caught_up(std::uint64_t chain) {
+  std::string out;
+  put_u64(out, chain);
+  return out;
+}
+
+bool decode_caught_up(std::string_view payload, std::uint64_t& chain) {
+  Cursor c(payload);
+  chain = c.u64();
   return c.done();
 }
 

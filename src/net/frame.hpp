@@ -20,6 +20,10 @@
 //   kSnapshot    u64 chain | LabelStore mappable container bytes
 //   kDelta       LabelStore v3 delta container bytes
 //   kEnd         empty — the leader drained; no more deltas will come
+//   kStats       empty — dump the peer's metrics registry
+//   kStatsReply  u32 count | count x (u16 name_len | name | u64 value)
+//   kCaughtUp    u64 chain — the subscriber has replayed every committed
+//                record; sent once per catch-up (re-armed by new deltas)
 //
 // FrameReader is the incremental decoder both peers run: bytes are fed in
 // as they arrive, frames come out when complete. A frame that fails any
@@ -46,7 +50,13 @@ enum class MsgType : std::uint32_t {
   kSnapshot = 6,
   kDelta = 7,
   kEnd = 8,
+  kStats = 9,
+  kStatsReply = 10,
+  kCaughtUp = 11,
 };
+
+/// Highest value a frame header may carry; FrameReader rejects beyond it.
+inline constexpr MsgType kMaxMsgType = MsgType::kCaughtUp;
 
 struct Frame {
   MsgType type = MsgType::kError;
@@ -120,6 +130,21 @@ struct Subscribe {
 };
 [[nodiscard]] std::string encode_subscribe(const Subscribe& s);
 [[nodiscard]] bool decode_subscribe(std::string_view payload, Subscribe& out);
+
+/// One line of a kStatsReply: a flattened metric from the peer's registry
+/// (kept independent of obs/ so the codec layer stays self-contained).
+struct StatLine {
+  std::string name;
+  std::uint64_t value = 0;
+};
+[[nodiscard]] std::string encode_stats_reply(std::span<const StatLine> lines);
+[[nodiscard]] bool decode_stats_reply(std::string_view payload,
+                                      std::vector<StatLine>& out);
+
+/// kCaughtUp payload: the chain value the subscriber is caught up at.
+[[nodiscard]] std::string encode_caught_up(std::uint64_t chain);
+[[nodiscard]] bool decode_caught_up(std::string_view payload,
+                                    std::uint64_t& chain);
 
 /// Snapshot payload: the chain value the labeling sits at, then the
 /// labeling as a LabelStore mappable container.

@@ -27,6 +27,26 @@ Replicator::Replicator(serve::ForestIndex& index, ReplicatorOptions opt)
   if (opt_.tree >= index_.tree_count())
     throw std::invalid_argument(
         "net::Replicator: target tree does not exist in the index");
+  register_metrics();
+}
+
+void Replicator::register_metrics() {
+  if constexpr (!obs::kEnabled) return;
+  obs::Registry& reg = obs::Registry::global();
+  const auto expose = [&](const char* name,
+                          const std::atomic<std::uint64_t>& a) {
+    obs_guards_.push_back(reg.set_callback(
+        name, [&a] { return a.load(std::memory_order_relaxed); }));
+  };
+  expose("net.replicator.connects", ctr_.connects);
+  expose("net.replicator.connect_failures", ctr_.connect_failures);
+  expose("net.replicator.reconnects", ctr_.reconnects);
+  expose("net.replicator.snapshots_applied", ctr_.snapshots_applied);
+  expose("net.replicator.deltas_applied", ctr_.deltas_applied);
+  expose("net.replicator.chain_rejects", ctr_.chain_rejects);
+  expose("net.replicator.frame_errors", ctr_.frame_errors);
+  expose("net.replicator.ends_seen", ctr_.ends_seen);
+  expose("net.replicator.caught_ups_seen", ctr_.caught_ups_seen);
 }
 
 Replicator::~Replicator() { stop(); }
@@ -83,6 +103,7 @@ bool Replicator::apply_snapshot(const std::string& payload) {
   force_snapshot_ = false;
   progressed_ = true;
   ctr_.snapshots_applied.fetch_add(1, std::memory_order_relaxed);
+  chain_gauge_.set(chain);
   return true;
 }
 
@@ -112,10 +133,14 @@ bool Replicator::apply_delta(const std::string& payload) {
   }
   progressed_ = true;
   ctr_.deltas_applied.fetch_add(1, std::memory_order_relaxed);
+  chain_gauge_.set(d.new_chain);
   return true;
 }
 
 Replicator::SessionEnd Replicator::session(int fd) {
+  // Pessimistic until the leader says otherwise: a fresh session is
+  // behind until its first kCaughtUp (or kEnd) arrives.
+  behind_gauge_.set(1);
   Subscribe sub;
   sub.force_snapshot = force_snapshot_;
   sub.chain = index_.chain(opt_.tree);
@@ -159,13 +184,26 @@ Replicator::SessionEnd Replicator::session(int fd) {
     last_frame = Clock::now();
     switch (f.type) {
       case MsgType::kSnapshot:
+        behind_gauge_.set(1);  // more of the stream may follow
         if (!apply_snapshot(f.payload)) return SessionEnd::kReconnect;
         break;
       case MsgType::kDelta:
+        behind_gauge_.set(1);
         if (!apply_delta(f.payload)) return SessionEnd::kReconnect;
         break;
+      case MsgType::kCaughtUp: {
+        std::uint64_t leader_chain = 0;
+        if (!decode_caught_up(f.payload, leader_chain)) {
+          ctr_.frame_errors.fetch_add(1, std::memory_order_relaxed);
+          return SessionEnd::kReconnect;
+        }
+        ctr_.caught_ups_seen.fetch_add(1, std::memory_order_relaxed);
+        behind_gauge_.set(0);
+        break;
+      }
       case MsgType::kEnd:
         ctr_.ends_seen.fetch_add(1, std::memory_order_relaxed);
+        behind_gauge_.set(0);  // a drained leader has nothing we lack
         if (opt_.stop_on_end) return SessionEnd::kEnded;
         break;  // leader drained; keep the session for its successor
       default:
@@ -230,6 +268,7 @@ Replicator::Stats Replicator::stats() const {
   s.chain_rejects = ctr_.chain_rejects.load(std::memory_order_relaxed);
   s.frame_errors = ctr_.frame_errors.load(std::memory_order_relaxed);
   s.ends_seen = ctr_.ends_seen.load(std::memory_order_relaxed);
+  s.caught_ups_seen = ctr_.caught_ups_seen.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -17,6 +17,11 @@
 //      the follower installs it with ForestIndex::update(tree, loaded,
 //      chain) — adopting the leader's chain verbatim, because the journal
 //      preserves its chain across checkpoint folds,
+//   3b. whenever the follower drains the leader's committed records the
+//      leader sends one kCaughtUp; the follower flips its
+//      `net.replicator.behind` gauge to 0 — the observable signal that the
+//      local tree equals the leader's (it goes back to 1 on the next
+//      delta/snapshot, and a fresh session always starts at 1),
 //   4. any failure — connect refused, read timeout, torn or corrupt frame,
 //      a delta that does not apply — drops the connection and reconnects
 //      with jittered exponential backoff, resubscribing from whatever
@@ -34,7 +39,9 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/forest_index.hpp"
 
 namespace treelab::net {
@@ -90,6 +97,7 @@ class Replicator {
     std::uint64_t chain_rejects = 0;     ///< deltas failing chain checks
     std::uint64_t frame_errors = 0;      ///< torn/corrupt/unparsable frames
     std::uint64_t ends_seen = 0;
+    std::uint64_t caught_ups_seen = 0;   ///< leader said lag hit zero
   };
   [[nodiscard]] Stats stats() const;
 
@@ -101,6 +109,7 @@ class Replicator {
   [[nodiscard]] bool apply_delta(const std::string& payload);
   void backoff(int consecutive_failures);
   [[nodiscard]] std::uint64_t next_rand() noexcept;
+  void register_metrics();
 
   serve::ForestIndex& index_;
   ReplicatorOptions opt_;
@@ -115,9 +124,19 @@ class Replicator {
   struct Counters {
     std::atomic<std::uint64_t> connects{0}, connect_failures{0},
         reconnects{0}, snapshots_applied{0}, deltas_applied{0},
-        chain_rejects{0}, frame_errors{0}, ends_seen{0};
+        chain_rejects{0}, frame_errors{0}, ends_seen{0}, caught_ups_seen{0};
   };
   Counters ctr_;
+
+  // Registry exposition: `net.replicator.behind` is 1 from session start
+  // until the leader's kCaughtUp/kEnd says the stream drained;
+  // `net.replicator.chain` mirrors the epoch the local tree last reached.
+  // Counters above ride callbacks (guards unregister them at destruction).
+  obs::Gauge& behind_gauge_ =
+      obs::Registry::global().gauge("net.replicator.behind");
+  obs::Gauge& chain_gauge_ =
+      obs::Registry::global().gauge("net.replicator.chain");
+  std::vector<obs::CallbackGuard> obs_guards_;
 };
 
 }  // namespace treelab::net

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -18,6 +19,7 @@
 
 #include "net/frame.hpp"
 #include "net/net_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 #include "util/io_error.hpp"
 
@@ -59,10 +61,24 @@ struct Server::Impl {
   struct Counters {
     std::atomic<std::uint64_t> accepted{0}, closed{0}, frames_in{0},
         bad_frames{0}, query_batches{0}, queries{0}, overloaded{0},
-        snapshots_sent{0}, deltas_sent{0}, ends_sent{0}, reaped_idle{0},
-        reaped_stalled{0}, accept_faults{0}, read_paused{0};
+        subscribes{0}, stats_requests{0}, snapshots_sent{0}, deltas_sent{0},
+        ends_sent{0}, caught_up_sent{0}, reaped_idle{0}, reaped_stalled{0},
+        accept_faults{0}, read_paused{0};
   };
   Counters ctr;
+
+  // Registry exposition: the request-latency histogram and the replication
+  // gauges are owned (written from the loop thread, read from anywhere);
+  // the per-message-type counters above are exposed through callbacks so
+  // Server::Stats keeps its per-instance semantics (latest live server
+  // wins the registry name).
+  obs::Histogram& request_ns =
+      obs::Registry::global().histogram("net.server.request_ns");
+  obs::Gauge& lag_gauge =
+      obs::Registry::global().gauge("net.server.subscriber_lag_records");
+  obs::Gauge& subs_gauge =
+      obs::Registry::global().gauge("net.server.subscribers");
+  std::vector<obs::CallbackGuard> obs_guards;
 
   struct Conn {
     int fd = -1;
@@ -80,18 +96,58 @@ struct Server::Impl {
     std::uint64_t chain = 0;
     bool need_snapshot = false;
     bool sent_end = false;
+    /// One kCaughtUp per catch-up transition: re-armed whenever a new
+    /// delta or snapshot is queued at this subscriber.
+    bool sent_caught_up = false;
     std::optional<core::DeltaJournal::Tail> tail;
 
     explicit Conn(int f, std::uint64_t max_payload, Clock::time_point now)
         : fd(f), reader(max_payload), last_activity(now) {}
   };
   std::map<int, Conn> conns;
-  std::size_t total_out = 0;  ///< queued output across all connections
+  /// Queued output across all connections. Mutated only by the loop
+  /// thread, but atomic so the registry's buffered-bytes callback can read
+  /// it from a stats snapshot on any thread.
+  std::atomic<std::size_t> total_out{0};
 
   bool draining = false;
   Clock::time_point drain_deadline;
 
-  Impl(serve::ForestIndex& idx, ServerOptions o) : index(idx), opt(o) {}
+  Impl(serve::ForestIndex& idx, ServerOptions o) : index(idx), opt(o) {
+    register_metrics();
+  }
+
+  /// Exposes the per-message-type counters and the buffered-output gauge
+  /// on the process registry. Callbacks read relaxed atomics only, so they
+  /// are safe from any snapshotting thread; the guards unregister them
+  /// before this Impl dies.
+  void register_metrics() {
+    if constexpr (!obs::kEnabled) return;
+    obs::Registry& reg = obs::Registry::global();
+    const auto expose = [&](const char* name,
+                            const std::atomic<std::uint64_t>& a) {
+      obs_guards.push_back(reg.set_callback(
+          name, [&a] { return a.load(std::memory_order_relaxed); }));
+    };
+    expose("net.server.accepted", ctr.accepted);
+    expose("net.server.closed", ctr.closed);
+    expose("net.server.frames_in", ctr.frames_in);
+    expose("net.server.bad_frames", ctr.bad_frames);
+    expose("net.server.query_batches", ctr.query_batches);
+    expose("net.server.queries", ctr.queries);
+    expose("net.server.overloaded", ctr.overloaded);
+    expose("net.server.subscribes", ctr.subscribes);
+    expose("net.server.stats_requests", ctr.stats_requests);
+    expose("net.server.snapshots_sent", ctr.snapshots_sent);
+    expose("net.server.deltas_sent", ctr.deltas_sent);
+    expose("net.server.ends_sent", ctr.ends_sent);
+    expose("net.server.caught_up_sent", ctr.caught_up_sent);
+    expose("net.server.read_paused", ctr.read_paused);
+    obs_guards.push_back(reg.set_callback("net.server.buffered_bytes", [this] {
+      return static_cast<std::uint64_t>(
+          total_out.load(std::memory_order_relaxed));
+    }));
+  }
 
   [[nodiscard]] static std::size_t pending(const Conn& c) noexcept {
     return c.out.size() - c.out_pos;
@@ -168,16 +224,37 @@ struct Server::Impl {
     }
     if (total_out > opt.max_buffered_bytes) {
       // Shed: an explicit tiny refusal instead of executing work whose
-      // reply would only deepen the queue.
+      // reply would only deepen the queue. Shed batches do no work, so
+      // they do not pollute the request-latency histogram.
       ctr.overloaded.fetch_add(1, std::memory_order_relaxed);
       queue_frame(c, MsgType::kOverloaded, {});
       return;
     }
+    const std::uint64_t t0 = obs::now_ns();
     const std::vector<serve::QueryResult> results =
         index.query_batch_checked(reqs);
     ctr.query_batches.fetch_add(1, std::memory_order_relaxed);
     ctr.queries.fetch_add(reqs.size(), std::memory_order_relaxed);
     queue_frame(c, MsgType::kQueryReply, encode_query_reply(results));
+    if constexpr (obs::kEnabled) request_ns.record(obs::now_ns() - t0);
+  }
+
+  /// kStats: dump the whole process registry at the peer as one
+  /// kStatsReply. The request carries no payload — anything else is a
+  /// framing violation, same as an unknown type.
+  void handle_stats(Conn& c, const std::string& payload) {
+    if (!payload.empty()) {
+      ctr.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      send_error(c, "malformed stats request");
+      return;
+    }
+    ctr.stats_requests.fetch_add(1, std::memory_order_relaxed);
+    update_lag_gauges();  // the dump should carry fresh lag, not last tick's
+    const std::vector<obs::Sample> samples = obs::Registry::global().snapshot();
+    std::vector<StatLine> lines;
+    lines.reserve(samples.size());
+    for (const obs::Sample& s : samples) lines.push_back({s.name, s.value});
+    queue_frame(c, MsgType::kStatsReply, encode_stats_reply(lines));
   }
 
   void handle_subscribe(Conn& c, const std::string& payload) {
@@ -191,10 +268,12 @@ struct Server::Impl {
       send_error(c, "no journal attached");
       return;
     }
+    ctr.subscribes.fetch_add(1, std::memory_order_relaxed);
     c.subscriber = true;
     c.chain = s.chain;
     c.need_snapshot = s.force_snapshot;
     c.sent_end = false;
+    c.sent_caught_up = false;
     c.tail.reset();
     pump_subscriber(c);
   }
@@ -222,6 +301,7 @@ struct Server::Impl {
         queue_frame(c, MsgType::kSnapshot, payload);
         ctr.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
         c.need_snapshot = false;
+        c.sent_caught_up = false;
         continue;
       }
       if (!c.tail.has_value()) {
@@ -244,9 +324,17 @@ struct Server::Impl {
         queue_frame(c, MsgType::kDelta, os.str());
         ctr.deltas_sent.fetch_add(1, std::memory_order_relaxed);
         c.chain = c.tail->chain();
+        c.sent_caught_up = false;
         continue;
       }
       if (st == core::DeltaJournal::TailStatus::kCaughtUp) {
+        if (!c.sent_caught_up) {
+          // Tell the follower its lag hit zero — once per transition, so
+          // a quiet caught-up subscriber is not spammed every tick.
+          queue_frame(c, MsgType::kCaughtUp, encode_caught_up(c.chain));
+          c.sent_caught_up = true;
+          ctr.caught_up_sent.fetch_add(1, std::memory_order_relaxed);
+        }
         if (ended.load(std::memory_order_acquire) && !c.sent_end) {
           queue_frame(c, MsgType::kEnd, {});
           c.sent_end = true;
@@ -260,6 +348,33 @@ struct Server::Impl {
       c.tail.reset();
       if (--replans <= 0) return;
     }
+  }
+
+  /// Refreshes net.server.subscribers and net.server.subscriber_lag_records
+  /// (worst records-behind across subscribers). A subscriber awaiting a
+  /// snapshot, or without a planned cursor yet, conservatively counts as
+  /// the whole journal behind.
+  void update_lag_gauges() {
+    if constexpr (!obs::kEnabled) return;
+    std::uint64_t subs = 0;
+    std::uint64_t worst = 0;
+    std::uint64_t records = 0;
+    if (journal != nullptr) {
+      const std::lock_guard<std::mutex> lock(journal_mu);
+      records = journal->record_count();
+    }
+    for (const auto& [fd, c] : conns) {
+      if (!c.subscriber) continue;
+      ++subs;
+      std::uint64_t lag = records;
+      if (!c.need_snapshot && c.tail.has_value()) {
+        const std::uint64_t read = c.tail->records_read();
+        lag = read < records ? records - read : 0;
+      }
+      worst = std::max(worst, lag);
+    }
+    subs_gauge.set(subs);
+    lag_gauge.set(worst);
   }
 
   void process_frames(Conn& c) {
@@ -280,6 +395,9 @@ struct Server::Impl {
           break;
         case MsgType::kSubscribe:
           handle_subscribe(c, f.payload);
+          break;
+        case MsgType::kStats:
+          handle_stats(c, f.payload);
           break;
         default:
           send_error(c, "unexpected message type");
@@ -424,6 +542,7 @@ struct Server::Impl {
       if (journal != nullptr)
         for (auto& [fd, c] : conns)
           if (c.subscriber) pump_subscriber(c);
+      update_lag_gauges();
       finalize_conns(now);
       if (draining && (total_out == 0 || now >= drain_deadline)) break;
     }
@@ -534,9 +653,12 @@ Server::Stats Server::stats() const {
   s.query_batches = c.query_batches.load(std::memory_order_relaxed);
   s.queries = c.queries.load(std::memory_order_relaxed);
   s.overloaded = c.overloaded.load(std::memory_order_relaxed);
+  s.subscribes = c.subscribes.load(std::memory_order_relaxed);
+  s.stats_requests = c.stats_requests.load(std::memory_order_relaxed);
   s.snapshots_sent = c.snapshots_sent.load(std::memory_order_relaxed);
   s.deltas_sent = c.deltas_sent.load(std::memory_order_relaxed);
   s.ends_sent = c.ends_sent.load(std::memory_order_relaxed);
+  s.caught_up_sent = c.caught_up_sent.load(std::memory_order_relaxed);
   s.reaped_idle = c.reaped_idle.load(std::memory_order_relaxed);
   s.reaped_stalled = c.reaped_stalled.load(std::memory_order_relaxed);
   s.accept_faults = c.accept_faults.load(std::memory_order_relaxed);

@@ -8,7 +8,12 @@
 // kSubscribe and the server streams the attached DeltaJournal's committed
 // records (kDelta frames) at it, falling back to a full kSnapshot when the
 // follower's epoch predates the journal (see net/replicator.hpp for the
-// other side).
+// other side). A subscriber that drains the committed records gets one
+// kCaughtUp frame (re-armed by every later delta/snapshot), and any peer
+// may send kStats to receive the process's full metrics registry as a
+// kStatsReply — the wire half of the obs/ layer; the loop also keeps the
+// `net.server.subscriber_lag_records` / `net.server.subscribers` gauges
+// fresh from the journal tail positions.
 //
 // Robustness posture — a misbehaving peer must never take the server down:
 //   * framing violations (bad magic, bad checksum, oversized length) get
@@ -115,9 +120,12 @@ class Server {
     std::uint64_t query_batches = 0;  ///< batches executed
     std::uint64_t queries = 0;        ///< individual requests answered
     std::uint64_t overloaded = 0;     ///< batches shed past the budget
+    std::uint64_t subscribes = 0;     ///< kSubscribe frames accepted
+    std::uint64_t stats_requests = 0;  ///< kStats frames answered
     std::uint64_t snapshots_sent = 0;
     std::uint64_t deltas_sent = 0;
     std::uint64_t ends_sent = 0;      ///< subscribers that finished
+    std::uint64_t caught_up_sent = 0;  ///< kCaughtUp notifications sent
     std::uint64_t reaped_idle = 0;
     std::uint64_t reaped_stalled = 0;
     std::uint64_t accept_faults = 0;  ///< net.accept failpoint trips

@@ -29,6 +29,26 @@ void backoff_sleep(int base_ms, int attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+// Latency/size histograms shared by every ForestIndex in the process;
+// references resolved once so the batch hot path never touches the
+// registry map. The batch path pays exactly two clock reads per *batch*
+// (never per query): the per-query histogram is fed the batch's mean once
+// per batch, plus exact timings from the single-query path.
+struct ServeMetrics {
+  obs::Histogram& query_ns;
+  obs::Histogram& batch_ns;
+  obs::Histogram& batch_size;
+  static ServeMetrics& get() {
+    static ServeMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return ServeMetrics{r.histogram("serve.query.latency_ns"),
+                          r.histogram("serve.batch.latency_ns"),
+                          r.histogram("serve.batch.size")};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 ForestIndex::ForestIndex(ForestOptions opt) : opt_(opt) {
@@ -38,6 +58,42 @@ ForestIndex::ForestIndex(ForestOptions opt) : opt_(opt) {
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s)
     shards_.push_back(std::make_unique<Shard>(opt_.cache_bytes_per_shard));
+  register_metrics();
+}
+
+void ForestIndex::register_metrics() {
+  if constexpr (!obs::kEnabled) return;
+  obs::Registry& reg = obs::Registry::global();
+  // Callback metrics cost nothing until somebody snapshots the registry;
+  // each one re-aggregates cache_stats() then (stats-path cost only).
+  const auto stat = [&](const char* name, auto field) {
+    obs_guards_.push_back(reg.set_callback(
+        name, [this, field] { return static_cast<std::uint64_t>(
+                                  cache_stats().*field); }));
+  };
+  stat("serve.cache.hits", &CacheStats::hits);
+  stat("serve.cache.misses", &CacheStats::misses);
+  stat("serve.cache.evictions", &CacheStats::evictions);
+  stat("serve.cache.entries", &CacheStats::entries);
+  stat("serve.cache.bytes", &CacheStats::bytes);
+  stat("serve.cache.invalidated", &CacheStats::invalidated);
+  stat("serve.degradation.retries", &CacheStats::retries);
+  stat("serve.degradation.transient_failures",
+       &CacheStats::transient_failures);
+  stat("serve.degradation.integrity_failures",
+       &CacheStats::integrity_failures);
+  stat("serve.degradation.quarantine_events",
+       &CacheStats::quarantine_events);
+  stat("serve.trees.stale", &CacheStats::stale);
+  stat("serve.trees.quarantined", &CacheStats::quarantined);
+  obs_guards_.push_back(reg.set_callback("serve.trees.total", [this] {
+    return static_cast<std::uint64_t>(trees_.size());
+  }));
+  obs_guards_.push_back(
+      reg.set_callback("serve.cache.byte_budget", [this] {
+        return static_cast<std::uint64_t>(opt_.cache_bytes_per_shard *
+                                          shards_.size());
+      }));
 }
 
 ForestIndex::Slot& ForestIndex::slot(TreeId tree) const {
@@ -488,6 +544,7 @@ Dist ForestIndex::query_locked(Shard& sh, const Request& r) const {
 }
 
 Dist ForestIndex::query(const Request& r) const {
+  const obs::ScopedTimer timer(ServeMetrics::get().query_ns);
   const Slot& sl = slot(r.tree);
   if (health_of(sl) == TreeHealth::kQuarantined)
     throw QuarantinedError(r.tree);
@@ -498,6 +555,7 @@ Dist ForestIndex::query(const Request& r) const {
 
 std::vector<Dist> ForestIndex::query_batch(
     std::span<const Request> reqs) const {
+  const std::uint64_t t0 = obs::now_ns();
   std::vector<Dist> out(reqs.size());
   // Serial pre-pass: validate tree AND node ids in request order (a bad
   // request must fail deterministically, not from whichever parallel chunk
@@ -554,11 +612,19 @@ std::vector<Dist> ForestIndex::query_batch(
                              : query_entry_uncached(reqs[i], *e);
         }
       });
+  if constexpr (obs::kEnabled) {
+    ServeMetrics& m = ServeMetrics::get();
+    const std::uint64_t ns = obs::now_ns() - t0;
+    m.batch_ns.record(ns);
+    m.batch_size.record(reqs.size());
+    if (!reqs.empty()) m.query_ns.record(ns / reqs.size());
+  }
   return out;
 }
 
 std::vector<QueryResult> ForestIndex::query_batch_checked(
     std::span<const Request> reqs) const {
+  const std::uint64_t t0 = obs::now_ns();
   std::vector<QueryResult> out(reqs.size());
   // Same serial pre-pass as query_batch(), but a bad request is *recorded*
   // (typed status, request order) instead of aborting the batch: one
@@ -615,6 +681,13 @@ std::vector<QueryResult> ForestIndex::query_batch_checked(
                                   : query_entry_uncached(reqs[i], *e);
         }
       });
+  if constexpr (obs::kEnabled) {
+    ServeMetrics& m = ServeMetrics::get();
+    const std::uint64_t ns = obs::now_ns() - t0;
+    m.batch_ns.record(ns);
+    m.batch_size.record(reqs.size());
+    if (!reqs.empty()) m.query_ns.record(ns / reqs.size());
+  }
   return out;
 }
 

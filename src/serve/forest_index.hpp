@@ -68,6 +68,7 @@
 
 #include "bits/mapped_arena.hpp"
 #include "core/label_store.hpp"
+#include "obs/metrics.hpp"
 #include "serve/any_scheme.hpp"
 #include "serve/lru_cache.hpp"
 #include "tree/tree.hpp"
@@ -293,7 +294,12 @@ class ForestIndex {
     std::size_t stale = 0;               ///< trees currently stale
     std::size_t quarantined = 0;         ///< trees currently quarantined
   };
-  /// Aggregated over all shards.
+  /// Aggregated over all shards. This struct is now a *view* of the same
+  /// counters the metrics registry exposes: the registry's `serve.cache.*`
+  /// / `serve.trees.*` / `serve.degradation.*` callbacks evaluate this
+  /// very aggregation at snapshot time (per instance, latest-registered
+  /// index wins), so nothing is double-counted and the struct API keeps
+  /// its per-instance semantics for tests.
   [[nodiscard]] CacheStats cache_stats() const;
 
  private:
@@ -408,11 +414,19 @@ class ForestIndex {
   /// validate-patch-swap loop).
   std::uint64_t apply_delta_impl(TreeId tree, const core::LabelDelta& d);
 
+  /// Registers this instance's `serve.*` callback metrics (cache, tree
+  /// health, degradation counters) with the global registry.
+  void register_metrics();
+
   ForestOptions opt_;
   // One slot per tree: queries load slot.entry, update() stores it. The
   // vector itself only grows in the (serialized) build phase.
   std::vector<std::unique_ptr<Slot>> trees_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // RAII registrations; removed (and the `this` captures dropped) on
+  // destruction, so short-lived indexes in tests never leave stale
+  // callbacks behind.
+  std::vector<obs::CallbackGuard> obs_guards_;
   // Degradation counters (see CacheStats).
   mutable std::atomic<std::size_t> retries_{0};
   mutable std::atomic<std::size_t> transient_failures_{0};

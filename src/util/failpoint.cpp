@@ -122,6 +122,13 @@ std::uint64_t trips(std::string_view site) {
   return it == detail::tripped().end() ? 0 : it->second;
 }
 
+std::uint64_t total_trips() {
+  std::lock_guard<std::mutex> lock(detail::mu());
+  std::uint64_t total = 0;
+  for (const auto& [site, n] : detail::tripped()) total += n;
+  return total;
+}
+
 bool parse_spec(const char* spec) {
   if (spec == nullptr || *spec == '\0') return true;
   std::string_view rest(spec);

@@ -105,6 +105,10 @@ void disarm_all();
 /// How many times `site` has fired since process start (survives disarm).
 [[nodiscard]] std::uint64_t trips(std::string_view site);
 
+/// Total trips across every site since process start (survives disarm).
+/// Exposed through the metrics registry as `util.failpoint.trips`.
+[[nodiscard]] std::uint64_t total_trips();
+
 /// Parses a TREELAB_FAILPOINTS-style spec and arms it. Returns false (and
 /// arms nothing from the bad clause) on a malformed spec. nullptr/"" is
 /// trivially true. Called once at startup with the environment variable.

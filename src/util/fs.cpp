@@ -2,6 +2,7 @@
 
 #include <cerrno>
 
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 #include "util/io_error.hpp"
 
@@ -148,13 +149,19 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
   fsync_parent_dir(path);
 }
 
-void append_file(const std::string& path, std::string_view bytes, bool sync) {
+void append_file(const std::string& path, std::string_view bytes, bool sync,
+                 std::uint64_t* fsync_ns) {
+  if (fsync_ns != nullptr) *fsync_ns = 0;
   if (auto fp = failpoint::check("fs.open_append"))
     failpoint::raise(*fp, "fs.open_append", path);
   FdGuard fd(::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC));
   if (fd.fd < 0) throw IoError(path, "open for append", errno);
   write_all(fd.fd, path, bytes);
-  if (sync) fsync_fd(fd.fd, path);
+  if (sync) {
+    const std::uint64_t t0 = obs::now_ns();
+    fsync_fd(fd.fd, path);
+    if (fsync_ns != nullptr) *fsync_ns = obs::now_ns() - t0;
+  }
 }
 
 void truncate_file(const std::string& path, std::uint64_t size) {
@@ -247,7 +254,9 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
   if (ec) throw IoError(path, "rename into place", ec.value());
 }
 
-void append_file(const std::string& path, std::string_view bytes, bool sync) {
+void append_file(const std::string& path, std::string_view bytes, bool sync,
+                 std::uint64_t* fsync_ns) {
+  if (fsync_ns != nullptr) *fsync_ns = 0;
   if (auto fp = failpoint::check("fs.open_append"))
     failpoint::raise(*fp, "fs.open_append", path);
   if (!file_exists(path)) throw IoError(path, "open for append", ENOENT);

@@ -44,8 +44,11 @@ void atomic_write_file(const std::string& path, std::string_view bytes);
 /// Appends to an existing file, fsync'ing when `sync`. A torn-write
 /// failpoint persists a prefix of `bytes` then aborts — the torn tail
 /// stays in the file for recovery to truncate. Failpoints:
-/// "fs.open_append", "fs.write", "fs.fsync".
-void append_file(const std::string& path, std::string_view bytes, bool sync);
+/// "fs.open_append", "fs.write", "fs.fsync". When `fsync_ns` is non-null
+/// it receives the nanoseconds spent in the fsync alone (0 when !sync),
+/// so the journal can split commit latency into write vs flush.
+void append_file(const std::string& path, std::string_view bytes, bool sync,
+                 std::uint64_t* fsync_ns = nullptr);
 
 /// Truncates to `size` bytes (recovery dropping a torn journal tail).
 /// Failpoint: "fs.truncate".

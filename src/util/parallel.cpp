@@ -14,7 +14,9 @@ std::atomic<std::uint64_t> rejections{0};
 /// A rejected TREELAB_THREADS is operator input gone wrong; falling back
 /// silently would let a typo masquerade as a deliberate setting. Warn once
 /// per process (the value is re-read on every build, so per-call warnings
-/// would spam).
+/// would spam). The counter is the machine-checkable side: it increments
+/// on EVERY rejection, before and independently of the warn-once gate —
+/// the registry exposes it as `util.thread_env_rejections`.
 int reject(const char* s, int hardware) noexcept {
   rejections.fetch_add(1, std::memory_order_relaxed);
   static std::atomic_flag warned = ATOMIC_FLAG_INIT;

@@ -41,7 +41,8 @@ TEST(NetFrame, RoundTripAllTypes) {
   for (const MsgType t :
        {MsgType::kQueryBatch, MsgType::kQueryReply, MsgType::kError,
         MsgType::kOverloaded, MsgType::kSubscribe, MsgType::kSnapshot,
-        MsgType::kDelta, MsgType::kEnd}) {
+        MsgType::kDelta, MsgType::kEnd, MsgType::kStats, MsgType::kStatsReply,
+        MsgType::kCaughtUp}) {
     const std::string payload = "payload-for-" +
                                 std::to_string(static_cast<unsigned>(t));
     const Frame f = decode_one(net::encode_frame(t, payload));
@@ -189,6 +190,47 @@ TEST(NetFrame, SnapshotHeaderSplit) {
   EXPECT_FALSE(net::decode_snapshot_header("1234567", chain, container));
 }
 
+TEST(NetFrame, StatsReplyRoundTripAndRejects) {
+  std::vector<net::StatLine> lines{{"net.server.queries", 12345},
+                                   {"", 0},
+                                   {"journal.appends", ~std::uint64_t{0}}};
+  const std::string payload = net::encode_stats_reply(lines);
+  std::vector<net::StatLine> out;
+  ASSERT_TRUE(net::decode_stats_reply(payload, out));
+  ASSERT_EQ(out.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(out[i].name, lines[i].name);
+    EXPECT_EQ(out[i].value, lines[i].value);
+  }
+  // Truncated, trailing, and count-lying payloads must all refuse.
+  EXPECT_FALSE(
+      net::decode_stats_reply(payload.substr(0, payload.size() - 1), out));
+  EXPECT_FALSE(net::decode_stats_reply(payload + "z", out));
+  std::string lying = payload;
+  lying[0] = 100;  // claims 100 lines, carries 3
+  EXPECT_FALSE(net::decode_stats_reply(lying, out));
+  // A name length pointing past the payload end must refuse, not read.
+  std::string long_name = payload;
+  long_name[4] = '\xff';  // first line's name_len low byte
+  long_name[5] = '\xff';
+  EXPECT_FALSE(net::decode_stats_reply(long_name, out));
+  EXPECT_FALSE(net::decode_stats_reply("ab", out));
+  // Empty dump is legal.
+  ASSERT_TRUE(net::decode_stats_reply(net::encode_stats_reply({}), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NetFrame, CaughtUpRoundTripAndRejects) {
+  const std::uint64_t chain = 0x0123456789abcdefULL;
+  const std::string payload = net::encode_caught_up(chain);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(net::decode_caught_up(payload, out));
+  EXPECT_EQ(out, chain);
+  EXPECT_FALSE(net::decode_caught_up(payload.substr(0, 7), out));
+  EXPECT_FALSE(net::decode_caught_up(payload + "x", out));
+  EXPECT_FALSE(net::decode_caught_up("", out));
+}
+
 TEST(NetFrame, RandomizedCodecFuzz) {
   // Random bytes must never crash a decoder, and random valid requests
   // must always round-trip — a quick property sweep on top of the pinned
@@ -202,10 +244,13 @@ TEST(NetFrame, RandomizedCodecFuzz) {
     net::Subscribe sub;
     std::uint64_t chain;
     std::string_view container;
+    std::vector<net::StatLine> stat_lines;
     (void)net::decode_query_batch(junk, reqs);
     (void)net::decode_query_reply(junk, results);
     (void)net::decode_subscribe(junk, sub);
     (void)net::decode_snapshot_header(junk, chain, container);
+    (void)net::decode_stats_reply(junk, stat_lines);
+    (void)net::decode_caught_up(junk, chain);
 
     reqs.resize(rng() % 8);
     for (serve::Request& r : reqs) {

@@ -1,0 +1,214 @@
+// Wire-level round trips for the Stats RPC (kStats -> kStatsReply) plus
+// the replication-lag metrics: after real query traffic the counters and
+// latency histograms a dump carries must be non-zero; after a follower
+// converges the lag gauges must read caught-up; and a malformed kStats
+// frame (non-empty payload) must be rejected without hurting the server.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/delta_journal.hpp"
+#include "core/incremental_relabeler.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/net_io.hpp"
+#include "net/replicator.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/forest_index.hpp"
+#include "tree/generators.hpp"
+
+namespace {
+
+using namespace treelab;
+using core::DeltaJournal;
+using core::IncrementalRelabeler;
+
+std::uint64_t stat_value(const std::vector<net::StatLine>& lines,
+                         const std::string& name) {
+  for (const auto& l : lines)
+    if (l.name == name) return l.value;
+  ADD_FAILURE() << "stats dump is missing " << name;
+  return 0;
+}
+
+bool has_stat(const std::vector<net::StatLine>& lines,
+              const std::string& name) {
+  return std::any_of(lines.begin(), lines.end(),
+                     [&](const net::StatLine& l) { return l.name == name; });
+}
+
+TEST(NetStats, QueryTrafficShowsUpInStatsReply) {
+  serve::ForestIndex index;
+  IncrementalRelabeler relab(tree::random_tree(300, 11));
+  const serve::TreeId tree0 = index.add(relab.to_loaded());
+
+  net::Server server(index);
+  server.start();
+  net::QueryClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.connected());
+
+  std::vector<serve::Request> reqs;
+  for (tree::NodeId u = 0; u < 64; ++u)
+    reqs.push_back({tree0, u, static_cast<tree::NodeId>(299 - u)});
+  std::vector<serve::QueryResult> results;
+  ASSERT_EQ(client.query_batch(reqs, results),
+            net::QueryClient::BatchStatus::kOk);
+  ASSERT_EQ(results.size(), reqs.size());
+
+  std::vector<net::StatLine> lines;
+  ASSERT_TRUE(client.stats(lines));
+  ASSERT_FALSE(lines.empty());
+  // The wire dump is the registry snapshot: name-sorted.
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end(),
+                             [](const net::StatLine& a,
+                                const net::StatLine& b) {
+                               return a.name < b.name;
+                             }));
+  // The batch we just ran is visible in the server's counters, its request
+  // latency histogram, and the serving layer's batch histogram. The
+  // registry is process-global, so across a suite these only grow: >=.
+  EXPECT_GE(stat_value(lines, "net.server.query_batches"), 1u);
+  EXPECT_GE(stat_value(lines, "net.server.queries"), reqs.size());
+  EXPECT_GE(stat_value(lines, "net.server.request_ns_count"), 1u);
+  EXPECT_GE(stat_value(lines, "net.server.stats_requests"), 1u);
+  EXPECT_GE(stat_value(lines, "serve.batch.latency_ns_count"), 1u);
+  EXPECT_GE(stat_value(lines, "serve.query.latency_ns_count"), 1u);
+  // Cache + util metrics ride the same dump.
+  EXPECT_TRUE(has_stat(lines, "serve.cache.hits"));
+  EXPECT_TRUE(has_stat(lines, "serve.trees.total"));
+  EXPECT_TRUE(has_stat(lines, "util.thread_env_rejections"));
+  server.stop();
+}
+
+TEST(NetStats, ReplicationLagReachesZeroAndCaughtUpFlows) {
+  const std::string base_path =
+      testing::TempDir() + "/net_stats_base_" + std::to_string(::getpid()) +
+      ".lbl";
+  IncrementalRelabeler relab(tree::random_tree(120, 3));
+  core::JournalOptions jopt;
+  jopt.sync = false;
+  DeltaJournal journal = DeltaJournal::create(base_path, relab.to_loaded(),
+                                              jopt);
+
+  serve::ForestIndex leader_index;
+  const serve::TreeId ltree = leader_index.add(relab.to_loaded());
+  net::Server server(leader_index);
+  server.attach_journal(&journal, ltree);
+  server.start();
+
+  // Churn a few deltas through the journal before the follower shows up.
+  for (int round = 0; round < 5; ++round) {
+    for (int e = 0; e < 8; ++e)
+      (void)relab.insert_leaf(
+          static_cast<tree::NodeId>((round * 8 + e) % relab.size()));
+    const core::LabelDelta d = relab.make_delta();
+    server.replicate(d);
+    relab.advance_delta(d);
+    leader_index.apply_delta(ltree, d);
+  }
+  server.announce_end();
+
+  serve::ForestIndex follower_index;
+  const serve::TreeId ftree = follower_index.add(
+      {IncrementalRelabeler::scheme_tag(), journal.params(), {}});
+  net::ReplicatorOptions ropt;
+  ropt.port = server.port();
+  ropt.tree = ftree;
+  ropt.stop_on_end = true;
+  ropt.max_attempts = 60;
+  net::Replicator repl(follower_index, ropt);
+  ASSERT_TRUE(repl.run());
+
+  // Follower side: the stream ended, so the leader told us we are caught
+  // up (kCaughtUp and/or kEnd) and the behind gauge must read 0.
+  const net::Replicator::Stats rs = repl.stats();
+  EXPECT_GE(rs.ends_seen, 1u);
+  EXPECT_GE(rs.snapshots_applied + rs.deltas_applied, 1u);
+  EXPECT_EQ(obs::Registry::global().gauge("net.replicator.behind").value(),
+            0u);
+  EXPECT_EQ(obs::Registry::global().gauge("net.replicator.chain").value(),
+            follower_index.chain(ftree));
+
+  // Leader side, over the wire: journal activity, the caught-up
+  // notification, and a lag gauge at 0 (the only subscriber converged).
+  net::QueryClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.connected());
+  std::vector<net::StatLine> lines;
+  ASSERT_TRUE(client.stats(lines));
+  EXPECT_GE(stat_value(lines, "journal.appends"), 1u);
+  EXPECT_GE(stat_value(lines, "journal.append_ns_count"), 1u);
+  EXPECT_GE(stat_value(lines, "net.server.subscribes"), 1u);
+  EXPECT_GE(stat_value(lines, "net.server.caught_up_sent"), 1u);
+  EXPECT_GE(stat_value(lines, "net.server.snapshots_sent") +
+                stat_value(lines, "net.server.deltas_sent"),
+            1u);
+  EXPECT_EQ(stat_value(lines, "net.server.subscriber_lag_records"), 0u);
+  server.stop();
+}
+
+TEST(NetStats, MalformedStatsFrameIsRejected) {
+  serve::ForestIndex index;
+  IncrementalRelabeler relab(tree::random_tree(50, 5));
+  const serve::TreeId tree0 = index.add(relab.to_loaded());
+  net::Server server(index);
+  server.start();
+
+  // A kStats frame must carry an empty payload; anything else is a
+  // protocol violation answered with kError + close.
+  const int fd = net::connect_with_timeout("127.0.0.1", server.port(), 2'000);
+  ASSERT_GE(fd, 0);
+  const std::string bad = net::encode_frame(net::MsgType::kStats, "junk");
+  std::size_t sent = 0;
+  while (sent < bad.size()) {
+    const net::IoResult w =
+        net::write_some(fd, bad.data() + sent, bad.size() - sent);
+    ASSERT_EQ(w.status, net::IoStatus::kOk);
+    sent += w.n;
+  }
+  net::FrameReader reader;
+  net::Frame reply;
+  bool got_reply = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const net::FrameReader::Status st = reader.next(reply);
+    if (st == net::FrameReader::Status::kFrame) {
+      got_reply = true;
+      break;
+    }
+    ASSERT_NE(st, net::FrameReader::Status::kBad);
+    if (!net::wait_readable(fd, 100)) continue;
+    char buf[4096];
+    const net::IoResult r = net::read_some(fd, buf, sizeof(buf));
+    if (r.status == net::IoStatus::kOk)
+      reader.feed(buf, r.n);
+    else if (r.status != net::IoStatus::kWouldBlock)
+      break;
+  }
+  ASSERT_TRUE(got_reply);
+  EXPECT_EQ(reply.type, net::MsgType::kError);
+  ::close(fd);
+
+  // The violation is counted, and the server still answers honest peers.
+  EXPECT_GE(server.stats().bad_frames, 1u);
+  net::QueryClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.connected());
+  std::vector<serve::Request> reqs{{tree0, 0, 49}};
+  std::vector<serve::QueryResult> results;
+  EXPECT_EQ(client.query_batch(reqs, results),
+            net::QueryClient::BatchStatus::kOk);
+  std::vector<net::StatLine> lines;
+  EXPECT_TRUE(client.stats(lines));
+  EXPECT_GE(stat_value(lines, "net.server.bad_frames"), 1u);
+  server.stop();
+}
+
+}  // namespace

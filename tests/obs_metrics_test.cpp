@@ -1,0 +1,290 @@
+// Locks down the observability layer: histogram bucket math (exact range,
+// octave sub-buckets, overflow), percentile/merge semantics, registry
+// accessor stability, callback latest-wins + RAII removal, the text
+// exposition format, and — under TSan in CI — concurrent record() against
+// snapshot().
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace treelab::obs {
+namespace {
+
+TEST(Histogram, ExactBucketsBelowSixteen) {
+  for (std::uint64_t v = 0; v < 16; ++v)
+    EXPECT_EQ(Histogram::bucket_of(v), static_cast<int>(v)) << v;
+  EXPECT_EQ(Histogram::bucket_of(16), 16);  // first octave bucket
+}
+
+TEST(Histogram, BucketFloorIsExactInverse) {
+  // Every bucket's floor must map back to that bucket, and floors must be
+  // strictly increasing — together these pin the whole layout.
+  std::uint64_t prev = 0;
+  for (int b = 0; b < Histogram::kBucketCount; ++b) {
+    const std::uint64_t floor = Histogram::bucket_floor(b);
+    EXPECT_EQ(Histogram::bucket_of(floor), b) << "bucket " << b;
+    if (b > 0) EXPECT_GT(floor, prev) << "bucket " << b;
+    prev = floor;
+  }
+}
+
+TEST(Histogram, BucketBoundariesAreTight) {
+  // One below the next bucket's floor still lands in this bucket.
+  for (int b = 0; b + 1 < Histogram::kBucketCount; ++b) {
+    const std::uint64_t next = Histogram::bucket_floor(b + 1);
+    EXPECT_EQ(Histogram::bucket_of(next - 1), b) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, OverflowBucket) {
+  const int last = Histogram::kBucketCount - 1;
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 44), last);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), last);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 44) - 1), last - 1);
+}
+
+TEST(Histogram, RecordAndSnapshot) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(1'000'000);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.sum, 1'000'010u);
+  EXPECT_EQ(s.max, 1'000'000u);
+  EXPECT_EQ(s.buckets[5], 2u);
+}
+
+TEST(Histogram, PercentileWalksCumulativeCounts) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.percentile(0.50), 10u);
+  EXPECT_EQ(s.percentile(0.90), 10u);
+  // p99 falls in the 1000s; the answer is that bucket's floor.
+  const std::uint64_t p99 = s.percentile(0.99);
+  EXPECT_LE(p99, 1000u);
+  EXPECT_GT(p99, 500u);
+}
+
+TEST(Histogram, PercentileClampsToMaxAndHandlesEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().percentile(0.99), 0u);
+  h.record(7'000);
+  // A single sample: every quantile is that sample's bucket floor (within
+  // the <= 25% bucket width), never above max, never an overflow sentinel.
+  const Histogram::Snapshot s = h.snapshot();
+  const std::uint64_t p99 = s.percentile(0.99);
+  EXPECT_LE(p99, s.max);
+  EXPECT_GE(p99, s.max - s.max / 4);
+  // Overflow samples report the overflow floor, still bounded by max.
+  Histogram o;
+  o.record((std::uint64_t{1} << 44) + 123);
+  EXPECT_EQ(o.snapshot().percentile(0.99), std::uint64_t{1} << 44);
+  EXPECT_LE(o.snapshot().percentile(0.99), o.snapshot().max);
+}
+
+TEST(Histogram, MergeAddsCountsAndKeepsMax) {
+  Histogram a, b;
+  a.record(4);
+  a.record(100);
+  b.record(4);
+  b.record(50'000);
+  Histogram::Snapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.count(), 4u);
+  EXPECT_EQ(sa.sum, 4u + 100u + 4u + 50'000u);
+  EXPECT_EQ(sa.max, 50'000u);
+  EXPECT_EQ(sa.buckets[4], 2u);
+}
+
+TEST(CounterGauge, Basics) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12u);
+}
+
+TEST(Registry, AccessorsReturnStableReferences) {
+  Registry reg;
+  Counter& c1 = reg.counter("a.counter");
+  Counter& c2 = reg.counter("a.counter");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  // Interleaved registrations must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  EXPECT_EQ(reg.counter("a.counter").value(), 3u);
+  EXPECT_EQ(&reg.gauge("a.gauge"), &reg.gauge("a.gauge"));
+  EXPECT_EQ(&reg.histogram("a.hist"), &reg.histogram("a.hist"));
+}
+
+std::uint64_t sample_value(const std::vector<Sample>& samples,
+                           const std::string& name) {
+  for (const Sample& s : samples)
+    if (s.name == name) return s.value;
+  ADD_FAILURE() << "no sample named " << name;
+  return 0;
+}
+
+bool has_sample(const std::vector<Sample>& samples, const std::string& name) {
+  return std::any_of(samples.begin(), samples.end(),
+                     [&](const Sample& s) { return s.name == name; });
+}
+
+TEST(Registry, SnapshotFlattensHistograms) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(10);
+  h.record(30);
+  const auto samples = reg.snapshot();
+  EXPECT_EQ(sample_value(samples, "lat_count"), 2u);
+  EXPECT_EQ(sample_value(samples, "lat_sum"), 40u);
+  EXPECT_EQ(sample_value(samples, "lat_max"), 30u);
+  EXPECT_TRUE(has_sample(samples, "lat_p50"));
+  EXPECT_TRUE(has_sample(samples, "lat_p90"));
+  EXPECT_TRUE(has_sample(samples, "lat_p99"));
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry reg;
+  reg.counter("zzz");
+  reg.counter("aaa");
+  reg.gauge("mmm");
+  const auto samples = reg.snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      samples.begin(), samples.end(),
+      [](const Sample& a, const Sample& b) { return a.name < b.name; }));
+}
+
+TEST(Registry, CallbackLatestWinsAndGuardRemoves) {
+  Registry reg;
+  CallbackGuard g1 = reg.set_callback("cb", [] { return std::uint64_t{1}; });
+  EXPECT_EQ(sample_value(reg.snapshot(), "cb"), 1u);
+  {
+    CallbackGuard g2 = reg.set_callback("cb", [] { return std::uint64_t{2}; });
+    // Two live registrants: the later one wins the name.
+    EXPECT_EQ(sample_value(reg.snapshot(), "cb"), 2u);
+  }
+  // g2 died; g1 is the live registration again.
+  EXPECT_EQ(sample_value(reg.snapshot(), "cb"), 1u);
+  g1.release();
+  EXPECT_FALSE(has_sample(reg.snapshot(), "cb"));
+}
+
+TEST(Registry, GuardMoveTransfersOwnership) {
+  Registry reg;
+  CallbackGuard g = reg.set_callback("m", [] { return std::uint64_t{7}; });
+  CallbackGuard moved = std::move(g);
+  g.release();  // must be a no-op on the moved-from guard
+  EXPECT_EQ(sample_value(reg.snapshot(), "m"), 7u);
+  moved.release();
+  EXPECT_FALSE(has_sample(reg.snapshot(), "m"));
+}
+
+TEST(Registry, RenderTextFormat) {
+  Registry reg;
+  reg.counter("beta").add(2);
+  reg.gauge("alpha").set(1);
+  const std::string text = reg.render_text();
+  // Sorted `name value\n` lines.
+  EXPECT_EQ(text, "alpha 1\nbeta 2\n");
+}
+
+TEST(Registry, GlobalPreRegistersUtilMetrics) {
+  const auto samples = Registry::global().snapshot();
+  EXPECT_TRUE(has_sample(samples, "util.thread_env_rejections"));
+  EXPECT_TRUE(has_sample(samples, "util.failpoint.trips"));
+  EXPECT_EQ(sample_value(samples, "util.thread_env_rejections"),
+            util::thread_env_rejections());
+}
+
+TEST(Registry, CompiledIn) {
+  // The default build must carry live metrics — the compiled-out path is
+  // exercised by CI's -DTREELAB_OBS=OFF overhead baseline, not here.
+  EXPECT_TRUE(kEnabled);
+  Counter c;
+  c.add();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// The TSan CI job runs this suite: concurrent recorders against a
+// snapshotter must be data-race-free, and the final tallies exact.
+TEST(Concurrency, RecordersVsSnapshotters) {
+  Registry reg;
+  Histogram& h = reg.histogram("hot");
+  Counter& c = reg.counter("ops");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto s = h.snapshot();
+      // Values are all >= 1, so sum >= count up to the handful of records
+      // in flight between the two non-atomic field reads.
+      EXPECT_LE(s.count(), s.sum + kThreads);
+      (void)reg.snapshot();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(1 + ((t + i) & 15)));
+        c.add();
+      }
+    });
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Concurrency, CallbackRegistrationChurnVsSnapshot) {
+  Registry reg;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) (void)reg.snapshot();
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t)
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < 2'000; ++i) {
+        CallbackGuard g = reg.set_callback(
+            "churn." + std::to_string(t),
+            [v = static_cast<std::uint64_t>(i)] { return v; });
+        // Guard dies immediately: removal must be safe against snapshots.
+      }
+    });
+  for (auto& c : churners) c.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  for (int t = 0; t < 3; ++t)
+    EXPECT_FALSE(has_sample(reg.snapshot(), "churn." + std::to_string(t)));
+}
+
+TEST(RenderSamples, MatchesRegistryRendering) {
+  std::vector<Sample> samples{{"a", 1}, {"b", 22}};
+  EXPECT_EQ(render_samples(samples), "a 1\nb 22\n");
+}
+
+}  // namespace
+}  // namespace treelab::obs

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -68,6 +69,22 @@ TEST(ThreadConfig, RejectionsAreCountedNotSilent) {
   (void)thread_count();
   EXPECT_EQ(thread_env_rejections(), before + 5);
   unsetenv("TREELAB_THREADS");
+}
+
+TEST(ThreadConfig, RejectionCounterIsOnTheMetricsRegistry) {
+  // The rejection counter's second consumer: the global obs registry
+  // exposes it as `util.thread_env_rejections` (e.g. in a Stats RPC dump),
+  // and the exposed value is the live counter, not a stale copy.
+  using treelab::util::thread_env_rejections;
+  (void)parse_thread_count("definitely-not-a-number", 8);
+  bool found = false;
+  for (const auto& s : treelab::obs::Registry::global().snapshot())
+    if (s.name == "util.thread_env_rejections") {
+      found = true;
+      EXPECT_EQ(s.value, thread_env_rejections());
+      EXPECT_GE(s.value, 1u);
+    }
+  EXPECT_TRUE(found);
 }
 
 TEST(ThreadConfig, ThreadCountHonorsTheEnvironment) {
