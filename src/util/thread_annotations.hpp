@@ -1,0 +1,131 @@
+// util/thread_annotations — Clang thread-safety capability macros plus the
+// annotated mutex types the rest of the codebase locks with.
+//
+// Clang's -Wthread-safety analysis proves lock discipline at compile time:
+// a member declared TREELAB_GUARDED_BY(mu) cannot be read or written unless
+// the compiler can see `mu` held on every path to the access. The macros
+// below expand to the underlying attributes under Clang and to nothing
+// everywhere else, so gcc builds are unaffected.
+//
+// libstdc++'s std::mutex carries no capability attributes, so locking it
+// directly is invisible to the analysis. Code that wants checking uses:
+//
+//   util::Mutex mu;                    // a capability
+//   int x TREELAB_GUARDED_BY(mu);      // data it protects
+//   util::MutexLock lock(mu);          // RAII acquire, release on scope exit
+//
+// plus TREELAB_REQUIRES(mu) on helpers that assume the lock is already
+// held, and TREELAB_EXCLUDES(mu) on entry points that will take it (and
+// would self-deadlock if called with it held).
+//
+// util::ThreadRole is a *phantom* capability: it guards no mutex, only a
+// thread-confinement invariant ("this state is touched only from the event
+// loop thread"). The owning thread constructs one ThreadRoleGuard at the
+// top of its loop; every function touching the confined state declares
+// TREELAB_REQUIRES(role). Off-thread access then fails to compile instead
+// of failing under TSan three releases later.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TREELAB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TREELAB_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define TREELAB_CAPABILITY(x) TREELAB_THREAD_ANNOTATION(capability(x))
+
+#define TREELAB_SCOPED_CAPABILITY TREELAB_THREAD_ANNOTATION(scoped_lockable)
+
+#define TREELAB_GUARDED_BY(x) TREELAB_THREAD_ANNOTATION(guarded_by(x))
+
+#define TREELAB_PT_GUARDED_BY(x) TREELAB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define TREELAB_REQUIRES(...) \
+  TREELAB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define TREELAB_ACQUIRE(...) \
+  TREELAB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define TREELAB_RELEASE(...) \
+  TREELAB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define TREELAB_TRY_ACQUIRE(...) \
+  TREELAB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TREELAB_EXCLUDES(...) \
+  TREELAB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define TREELAB_RETURN_CAPABILITY(x) TREELAB_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Policy: at most two uses in src/, each carrying a comment
+// explaining why the analysis cannot see the invariant (treelab_lint's
+// review gate; see README "Static analysis").
+#define TREELAB_NO_THREAD_SAFETY_ANALYSIS \
+  TREELAB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace treelab::util {
+
+/// std::mutex with capability attributes so -Wthread-safety can track it.
+class TREELAB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TREELAB_ACQUIRE() { mu_.lock(); }
+  void unlock() TREELAB_RELEASE() { mu_.unlock(); }
+  bool try_lock() TREELAB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over util::Mutex; the analysis sees the capability held for
+/// exactly the guard's scope (the std::lock_guard equivalent).
+class TREELAB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TREELAB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TREELAB_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Phantom capability naming a thread-confinement invariant rather than a
+/// lock. Zero-size, zero-cost: acquiring it is a no-op at runtime; its only
+/// job is to make the compiler reject confined-state access from functions
+/// that never declared TREELAB_REQUIRES(role).
+class TREELAB_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  // Only ThreadRoleGuard may assert the role.
+  void acquire() TREELAB_ACQUIRE() {}
+  void release() TREELAB_RELEASE() {}
+};
+
+/// Declares "this scope runs on the role's owning thread". Constructed once
+/// at the top of the owning thread's entry function (e.g. the server's
+/// run_loop), never from anywhere else — that discipline is the one thing
+/// the analysis takes on faith.
+class TREELAB_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) TREELAB_ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~ThreadRoleGuard() TREELAB_RELEASE() { role_.release(); }
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace treelab::util
