@@ -51,7 +51,9 @@ Registry& Registry::global() {
   // util-layer globals ride along as permanent callbacks — their guards
   // are leaked too.
   static Registry* g = [] {
+    // lint: allow(naked-new): deliberate leak — must outlive static dtors
     auto* r = new Registry();
+    // lint: allow(naked-new): guards leak with the registry they point at
     auto* guards = new std::vector<CallbackGuard>();
     guards->push_back(r->set_callback("util.thread_env_rejections",
                                       [] { return util::thread_env_rejections(); }));
@@ -63,7 +65,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -72,7 +74,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -80,7 +82,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -94,7 +96,7 @@ CallbackGuard Registry::set_callback(std::string_view name,
   g.reg_ = this;
   g.name_ = std::string(name);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     g.id_ = next_callback_id_++;
     callbacks_[g.name_].push_back(CallbackEntry{g.id_, std::move(fn)});
   }
@@ -102,7 +104,7 @@ CallbackGuard Registry::set_callback(std::string_view name,
 }
 
 void Registry::remove_callback(std::string_view name, std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = callbacks_.find(name);
   if (it == callbacks_.end()) return;
   auto& v = it->second;
@@ -114,7 +116,7 @@ void Registry::remove_callback(std::string_view name, std::uint64_t id) {
 
 std::vector<Sample> Registry::snapshot() const {
   std::vector<Sample> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   out.reserve(counters_.size() + gauges_.size() + callbacks_.size() +
               6 * histograms_.size());
   for (const auto& [name, c] : counters_) out.push_back({name, c->value()});

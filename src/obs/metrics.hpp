@@ -30,10 +30,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace treelab::obs {
 
@@ -256,12 +257,19 @@ class Registry {
     std::function<std::uint64_t()> fn;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_;
-  std::uint64_t next_callback_id_ = 1;
+  // mu_ serializes name resolution and callback (un)registration only; the
+  // returned Counter/Gauge/Histogram objects are lock-free and accessed
+  // outside it (which is why they live behind stable unique_ptrs).
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TREELAB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TREELAB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TREELAB_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<CallbackEntry>, std::less<>> callbacks_
+      TREELAB_GUARDED_BY(mu_);
+  std::uint64_t next_callback_id_ TREELAB_GUARDED_BY(mu_) = 1;
 };
 
 /// Renders samples as sorted `name value\n` lines (helper shared by

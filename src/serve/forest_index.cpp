@@ -274,7 +274,7 @@ std::uint64_t ForestIndex::swap_entry(TreeId tree, std::string_view scheme,
         scheme, params, std::move(labels), old->epoch + 1, std::move(ext_map));
     if (chain != nullptr) fresh->chain = *chain;
     {
-      const std::lock_guard<std::mutex> lock(sh.mu);
+      const util::MutexLock lock(sh.mu);
       if (sl.entry.load(std::memory_order_acquire) == old) {
         sl.entry.store(EntryPtr(std::move(fresh)),
                        std::memory_order_release);
@@ -414,7 +414,7 @@ std::uint64_t ForestIndex::apply_delta_impl(TreeId tree,
     const std::unordered_set<tree::NodeId> stale(stale_ext.begin(),
                                                  stale_ext.end());
 
-    const std::lock_guard<std::mutex> lock(sh.mu);
+    const util::MutexLock lock(sh.mu);
     if (trees_[tree]->entry.load(std::memory_order_acquire) != old)
       continue;  // raced another writer: re-validate against its epoch
     trees_[tree]->entry.store(EntryPtr(std::move(fresh)),
@@ -549,7 +549,7 @@ Dist ForestIndex::query(const Request& r) const {
   if (health_of(sl) == TreeHealth::kQuarantined)
     throw QuarantinedError(r.tree);
   Shard& sh = *shards_[shard_of(r.tree)];
-  const std::lock_guard<std::mutex> lock(sh.mu);
+  const util::MutexLock lock(sh.mu);
   return query_locked(sh, r);
 }
 
@@ -590,7 +590,7 @@ std::vector<Dist> ForestIndex::query_batch(
                            return reqs[a].tree < reqs[b].tree;
                          });
         Shard& sh = *shards_[s];
-        const std::lock_guard<std::mutex> lock(sh.mu);
+        const util::MutexLock lock(sh.mu);
         // Answers come from the validated snapshot entries, so a batch
         // never throws past the pre-pass and sees one labeling per tree.
         // The shard cache may only be used while the snapshot still IS the
@@ -666,7 +666,7 @@ std::vector<QueryResult> ForestIndex::query_batch_checked(
                            return reqs[a].tree < reqs[b].tree;
                          });
         Shard& sh = *shards_[s];
-        const std::lock_guard<std::mutex> lock(sh.mu);
+        const util::MutexLock lock(sh.mu);
         TreeId cur = 0;
         const TreeEntry* e = nullptr;
         bool cacheable = false;
@@ -694,7 +694,7 @@ std::vector<QueryResult> ForestIndex::query_batch_checked(
 ForestIndex::CacheStats ForestIndex::cache_stats() const {
   CacheStats st;
   for (const auto& sh : shards_) {
-    const std::lock_guard<std::mutex> lock(sh->mu);
+    const util::MutexLock lock(sh->mu);
     st.hits += sh->cache.hits();
     st.misses += sh->cache.misses();
     st.evictions += sh->cache.evictions();

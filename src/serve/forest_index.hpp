@@ -59,7 +59,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -72,6 +71,7 @@
 #include "serve/any_scheme.hpp"
 #include "serve/lru_cache.hpp"
 #include "tree/tree.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace treelab::serve {
 
@@ -336,9 +336,10 @@ class ForestIndex {
   };
   struct Shard {
     explicit Shard(std::size_t capacity_bytes) : cache(capacity_bytes) {}
-    mutable std::mutex mu;
-    LruCache<std::uint64_t, AnyScheme::AttachedPtr> cache;
-    std::size_t invalidated = 0;
+    mutable util::Mutex mu;
+    LruCache<std::uint64_t, AnyScheme::AttachedPtr> cache
+        TREELAB_GUARDED_BY(mu);
+    std::size_t invalidated TREELAB_GUARDED_BY(mu) = 0;
   };
 
   /// The tree's current entry (one atomic load). Throws std::out_of_range
@@ -385,16 +386,18 @@ class ForestIndex {
                                                        tree::NodeId u,
                                                        tree::NodeId iu,
                                                        const TreeEntry& e)
-      const;
+      const TREELAB_REQUIRES(sh.mu);
   [[nodiscard]] Dist query_entry_locked(Shard& sh, const Request& r,
-                                        const TreeEntry& e) const;
+                                        const TreeEntry& e) const
+      TREELAB_REQUIRES(sh.mu);
   /// Cache-bypassing query against a snapshot entry that an update()
   /// overtook mid-batch (node ids already validated by the pre-pass).
   [[nodiscard]] Dist query_entry_uncached(const Request& r,
                                           const TreeEntry& e) const;
   /// One query against the *current* entry of r.tree (re-loaded under the
   /// shard lock, so cached attachments always match the live labeling).
-  [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const;
+  [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const
+      TREELAB_REQUIRES(sh.mu);
 
   [[nodiscard]] Slot& slot(TreeId tree) const;
   [[nodiscard]] static TreeHealth health_of(const Slot& s) noexcept {

@@ -3,11 +3,11 @@
 #include <cerrno>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 
 #include "util/io_error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace treelab::util {
 
@@ -29,18 +29,19 @@ struct Spec {
 };
 
 // One mutex guards both maps; armed_sites keeps the hot path off it.
-std::mutex& mu() {
-  static std::mutex m;
-  return m;
-}
-std::map<std::string, Spec, std::less<>>& armed() {
-  static std::map<std::string, Spec, std::less<>> m;
-  return m;
-}
-std::map<std::string, std::uint64_t, std::less<>>& tripped() {
-  static std::map<std::string, std::uint64_t, std::less<>> m;
-  return m;
-}
+// The maps live *inside* a registry struct (not as loose function-local
+// statics) so the capability analysis can tie them to the mutex.
+struct FpRegistry {
+  util::Mutex mu;
+  std::map<std::string, Spec, std::less<>> armed TREELAB_GUARDED_BY(mu);
+  std::map<std::string, std::uint64_t, std::less<>> tripped
+      TREELAB_GUARDED_BY(mu);
+
+  static FpRegistry& get() {
+    static FpRegistry r;  // function-local: safe before main()
+    return r;
+  }
+};
 
 bool parse_mode(std::string_view s, FailMode& out) {
   if (s == "error") out = FailMode::kError;
@@ -76,9 +77,10 @@ const bool env_armed = [] {
 }  // namespace
 
 std::optional<FailpointHit> check_slow(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu());
-  auto it = armed().find(site);
-  if (it == armed().end()) return std::nullopt;
+  FpRegistry& reg = FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
+  auto it = reg.armed.find(site);
+  if (it == reg.armed.end()) return std::nullopt;
   Spec& s = it->second;
   if (s.skip > 0) {
     --s.skip;
@@ -86,7 +88,7 @@ std::optional<FailpointHit> check_slow(std::string_view site) {
   }
   if (s.count == 0) return std::nullopt;
   if (s.count > 0) --s.count;
-  ++tripped()[it->first];
+  ++reg.tripped[it->first];
   return FailpointHit{s.mode, s.arg};
 }
 
@@ -94,8 +96,9 @@ std::optional<FailpointHit> check_slow(std::string_view site) {
 
 void arm(std::string_view site, FailMode mode, std::uint64_t skip,
          std::int64_t count, std::uint64_t arg) {
-  std::lock_guard<std::mutex> lock(detail::mu());
-  auto [it, inserted] = detail::armed().insert_or_assign(
+  detail::FpRegistry& reg = detail::FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
+  auto [it, inserted] = reg.armed.insert_or_assign(
       std::string(site), detail::Spec{mode, skip, count, arg});
   (void)it;
   if (inserted)
@@ -103,29 +106,33 @@ void arm(std::string_view site, FailMode mode, std::uint64_t skip,
 }
 
 void disarm(std::string_view site) {
-  std::lock_guard<std::mutex> lock(detail::mu());
-  auto it = detail::armed().find(site);
-  if (it == detail::armed().end()) return;
-  detail::armed().erase(it);
+  detail::FpRegistry& reg = detail::FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
+  auto it = reg.armed.find(site);
+  if (it == reg.armed.end()) return;
+  reg.armed.erase(it);
   detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void disarm_all() {
-  std::lock_guard<std::mutex> lock(detail::mu());
-  detail::armed().clear();
+  detail::FpRegistry& reg = detail::FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
+  reg.armed.clear();
   detail::armed_sites.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t trips(std::string_view site) {
-  std::lock_guard<std::mutex> lock(detail::mu());
-  auto it = detail::tripped().find(site);
-  return it == detail::tripped().end() ? 0 : it->second;
+  detail::FpRegistry& reg = detail::FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
+  auto it = reg.tripped.find(site);
+  return it == reg.tripped.end() ? 0 : it->second;
 }
 
 std::uint64_t total_trips() {
-  std::lock_guard<std::mutex> lock(detail::mu());
+  detail::FpRegistry& reg = detail::FpRegistry::get();
+  const util::MutexLock lock(reg.mu);
   std::uint64_t total = 0;
-  for (const auto& [site, n] : detail::tripped()) total += n;
+  for (const auto& [site, n] : reg.tripped) total += n;
   return total;
 }
 
