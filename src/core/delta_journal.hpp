@@ -51,6 +51,7 @@
 
 #include "bits/label_arena.hpp"
 #include "core/label_store.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace treelab::core {
 
@@ -82,6 +83,13 @@ struct JournalStats {
   std::uint64_t checkpoints = 0;  ///< explicit + automatic
 };
 
+// Thread-safety: the journal carries its own internal mutex (mu_). The
+// mutating API (append/checkpoint) and the scalar accessors lock it; a
+// Tail cursor never touches it — cursors read the journal *file* fenced
+// by the lock-free committed/generation publication state, so a tailing
+// replicator thread cannot block (or be blocked by) the appender. Moves
+// are still allowed (the mutex lives behind a stable unique_ptr) but, as
+// with any non-copyable resource owner, must not race other access.
 class DeltaJournal {
  public:
   DeltaJournal(DeltaJournal&&) = default;
@@ -114,45 +122,54 @@ class DeltaJournal {
   /// throw std::logic_error; reopen with open() to recover. Integrity
   /// failures (wrong chain/scheme/base) throw without writing anything
   /// and do NOT poison. May auto-checkpoint afterwards.
-  void append(const LabelDelta& d);
+  void append(const LabelDelta& d) TREELAB_EXCLUDES(*mu_);
 
   /// Folds the journal into a fresh base file and resets the journal,
   /// preserving the epoch chain. Poisons on I/O failure like append().
-  void checkpoint();
+  void checkpoint() TREELAB_EXCLUDES(*mu_);
 
-  [[nodiscard]] bool checkpoint_due() const noexcept {
-    return record_count_ > 0 && (record_count_ >= opt_.checkpoint_records ||
-                                 journal_bytes_ >= opt_.checkpoint_bytes);
-  }
+  [[nodiscard]] bool checkpoint_due() const TREELAB_EXCLUDES(*mu_);
 
   [[nodiscard]] const std::string& base_path() const noexcept {
     return base_path_;
   }
   [[nodiscard]] const std::string& scheme() const noexcept { return scheme_; }
   [[nodiscard]] const std::string& params() const noexcept { return params_; }
-  /// The labeling at the last committed epoch.
-  [[nodiscard]] const bits::LabelArena& labels() const noexcept {
+  /// The labeling at the last committed epoch. Owner-thread only: the
+  /// returned reference aliases state the next append()/checkpoint()
+  /// mutates, so it must not be held across either — concurrent readers
+  /// use to_loaded()/snapshot_plan() (which copy under the lock) instead.
+  /// Justified analysis escape 1 of 2 (see README "Static analysis"): a
+  /// by-reference accessor cannot hand back a lock with the data.
+  [[nodiscard]] const bits::LabelArena& labels() const noexcept
+      TREELAB_NO_THREAD_SAFETY_ANALYSIS {
     return labels_;
   }
   /// Current epoch-chain value (what the next delta's base_chain must be).
-  [[nodiscard]] std::uint64_t chain() const noexcept { return chain_; }
-  [[nodiscard]] std::uint64_t record_count() const noexcept {
-    return record_count_;
-  }
-  [[nodiscard]] std::uint64_t journal_bytes() const noexcept {
-    return journal_bytes_;
-  }
-  [[nodiscard]] bool healthy() const noexcept { return healthy_; }
+  [[nodiscard]] std::uint64_t chain() const TREELAB_EXCLUDES(*mu_);
+  [[nodiscard]] std::uint64_t record_count() const TREELAB_EXCLUDES(*mu_);
+  [[nodiscard]] std::uint64_t journal_bytes() const TREELAB_EXCLUDES(*mu_);
+  [[nodiscard]] bool healthy() const TREELAB_EXCLUDES(*mu_);
   [[nodiscard]] const JournalRecovery& recovery() const noexcept {
-    return recovery_;
+    return recovery_;  // immutable after create()/open()
   }
-  [[nodiscard]] const JournalStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] JournalStats stats() const TREELAB_EXCLUDES(*mu_);
 
   /// Copy of the committed labeling in hand-off form (e.g. to seed a
-  /// ForestIndex entry).
-  [[nodiscard]] LabelStore::LoadedArena to_loaded() const {
-    return {scheme_, params_, labels_};
-  }
+  /// ForestIndex entry). Taken under the internal lock: always one
+  /// committed epoch, never a mid-append mix.
+  [[nodiscard]] LabelStore::LoadedArena to_loaded() const
+      TREELAB_EXCLUDES(*mu_);
+
+  /// A consistent (labeling copy, chain) pair taken under one lock hold —
+  /// the leader side of snapshot catch-up. The caller then plans a Tail
+  /// with tail_from(plan.chain): if a checkpoint folds the journal in
+  /// between, tail_from reports nullopt and the caller simply re-plans.
+  struct SnapshotPlan {
+    LabelStore::LoadedArena loaded;
+    std::uint64_t chain = 0;
+  };
+  [[nodiscard]] SnapshotPlan snapshot_plan() const TREELAB_EXCLUDES(*mu_);
 
   // --- tail cursors (the replication feed) ----------------------------------
   //
@@ -208,35 +225,51 @@ class DeltaJournal {
   /// committed end). nullopt when that epoch is not in the journal — the
   /// reader is behind the last fold and must catch up from a full
   /// snapshot. Safe to call (and to use the cursor) concurrently with
-  /// append() from the owning thread.
-  [[nodiscard]] std::optional<Tail> tail_from(std::uint64_t from_chain) const;
+  /// append() from the owning thread: the walk reads only the journal
+  /// file and the lock-free publication state, never mu_-guarded members
+  /// — hence EXCLUDES, the cursor plan can never deadlock the appender.
+  [[nodiscard]] std::optional<Tail> tail_from(std::uint64_t from_chain) const
+      TREELAB_EXCLUDES(*mu_);
 
  private:
   DeltaJournal() = default;
 
+  /// checkpoint() body; split out so append()'s auto-checkpoint (and
+  /// open()'s post-replay fold) run it under the already-held lock
+  /// instead of self-deadlocking through the public wrapper.
+  void checkpoint_locked() TREELAB_REQUIRES(*mu_);
+  [[nodiscard]] bool checkpoint_due_locked() const TREELAB_REQUIRES(*mu_) {
+    return record_count_ > 0 && (record_count_ >= opt_.checkpoint_records ||
+                                 journal_bytes_ >= opt_.checkpoint_bytes);
+  }
+
   /// Atomically writes a fresh journal holding only a header with
   /// base_chain = chain_ and base_lens_hash = lens_hash(labels_).
-  void write_fresh_journal();
+  void write_fresh_journal() TREELAB_REQUIRES(*mu_);
   /// labels_ <- apply_delta(labels_, d); validates count + lens hash.
-  void apply_in_memory(const LabelDelta& d);
+  void apply_in_memory(const LabelDelta& d) TREELAB_REQUIRES(*mu_);
 
   /// Publishes the commit boundary to cursors (append: committed bytes
   /// grow; checkpoint/reset: generation bumps, boundary rewinds).
-  void publish_committed() noexcept;
+  void publish_committed() noexcept TREELAB_REQUIRES(*mu_);
 
+  // Heap-held (not inline) so the defaulted moves keep working — tests
+  // and the CLI move journals into std::optional slots. The pointer is
+  // set once at construction and never reseated.
+  std::unique_ptr<util::Mutex> mu_ = std::make_unique<util::Mutex>();
   std::string base_path_;
   std::string journal_path_;
   JournalOptions opt_;
   std::string scheme_;
   std::string params_;
-  bits::LabelArena labels_;
-  std::uint64_t chain_ = 0;
-  std::uint64_t record_count_ = 0;
-  std::uint64_t journal_bytes_ = 0;
-  bool healthy_ = true;
-  JournalRecovery recovery_;
-  JournalStats stats_;
-  std::shared_ptr<Tail::Shared> tail_shared_;
+  bits::LabelArena labels_ TREELAB_GUARDED_BY(*mu_);
+  std::uint64_t chain_ TREELAB_GUARDED_BY(*mu_) = 0;
+  std::uint64_t record_count_ TREELAB_GUARDED_BY(*mu_) = 0;
+  std::uint64_t journal_bytes_ TREELAB_GUARDED_BY(*mu_) = 0;
+  bool healthy_ TREELAB_GUARDED_BY(*mu_) = true;
+  JournalRecovery recovery_;  ///< written before hand-off, then immutable
+  JournalStats stats_ TREELAB_GUARDED_BY(*mu_);
+  std::shared_ptr<Tail::Shared> tail_shared_;  ///< set once, pointee atomic
 };
 
 }  // namespace treelab::core
