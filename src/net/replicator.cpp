@@ -215,6 +215,9 @@ Replicator::SessionEnd Replicator::session(int fd) {
 }
 
 bool Replicator::run() {
+  // The calling thread (or the one start() spawned) IS the follow loop;
+  // assert its confinement capability for the whole run.
+  const util::ThreadRoleGuard on_follow_thread(follow_role_);
   int fails = 0;
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return true;

@@ -43,6 +43,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/forest_index.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace treelab::net {
 
@@ -104,18 +105,28 @@ class Replicator {
  private:
   enum class SessionEnd : std::uint8_t { kReconnect, kEnded, kStopped };
 
-  [[nodiscard]] SessionEnd session(int fd);
-  [[nodiscard]] bool apply_snapshot(const std::string& payload);
-  [[nodiscard]] bool apply_delta(const std::string& payload);
-  void backoff(int consecutive_failures);
-  [[nodiscard]] std::uint64_t next_rand() noexcept;
+  [[nodiscard]] SessionEnd session(int fd) TREELAB_REQUIRES(follow_role_);
+  [[nodiscard]] bool apply_snapshot(const std::string& payload)
+      TREELAB_REQUIRES(follow_role_);
+  [[nodiscard]] bool apply_delta(const std::string& payload)
+      TREELAB_REQUIRES(follow_role_);
+  void backoff(int consecutive_failures) TREELAB_REQUIRES(follow_role_);
+  [[nodiscard]] std::uint64_t next_rand() noexcept
+      TREELAB_REQUIRES(follow_role_);
   void register_metrics();
 
   serve::ForestIndex& index_;
   ReplicatorOptions opt_;
-  std::uint64_t rng_;
-  bool force_snapshot_;
-  bool progressed_ = false;  ///< any apply succeeded this session
+  /// Confinement capability of the follow loop: exactly one thread runs
+  /// run() at a time (the caller's, or the one start() spawns), and only
+  /// run() asserts the role. The session state below is thread-local to
+  /// that loop in all but storage — the annotation makes the compiler
+  /// keep it that way.
+  util::ThreadRole follow_role_;
+  std::uint64_t rng_ TREELAB_GUARDED_BY(follow_role_);
+  bool force_snapshot_ TREELAB_GUARDED_BY(follow_role_);
+  /// Any apply succeeded this session.
+  bool progressed_ TREELAB_GUARDED_BY(follow_role_) = false;
   std::thread thread_;
   bool started_ = false;
   std::atomic<bool> stop_{false};

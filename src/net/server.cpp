@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 #include "util/io_error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace treelab::net {
 
@@ -51,9 +52,14 @@ struct Server::Impl {
   std::thread loop;
   bool running = false;
 
-  /// Serializes replicate() appends against snapshot builds in the loop;
-  /// delta streaming itself reads the journal file lock-free (Tail).
-  std::mutex journal_mu;
+  /// The loop thread's confinement capability: held (via ThreadRoleGuard)
+  /// for the whole of run_loop() and required by every loop-only method,
+  /// so touching the connection table or drain state from another thread
+  /// is a compile error under Clang, not a latent race. The journal needs
+  /// no lock here — DeltaJournal serializes replicate() appends against
+  /// the loop's snapshot builds internally, and delta streaming reads the
+  /// journal file lock-free (Tail).
+  util::ThreadRole loop_role;
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> ended{false};
   std::atomic<std::uint64_t> finished_subs{0};
@@ -104,16 +110,17 @@ struct Server::Impl {
     explicit Conn(int f, std::uint64_t max_payload, Clock::time_point now)
         : fd(f), reader(max_payload), last_activity(now) {}
   };
-  std::map<int, Conn> conns;
+  std::map<int, Conn> conns TREELAB_GUARDED_BY(loop_role);
   /// Queued output across all connections. Mutated only by the loop
   /// thread, but atomic so the registry's buffered-bytes callback can read
   /// it from a stats snapshot on any thread.
   std::atomic<std::size_t> total_out{0};
 
-  bool draining = false;
-  Clock::time_point drain_deadline;
+  bool draining TREELAB_GUARDED_BY(loop_role) = false;
+  Clock::time_point drain_deadline TREELAB_GUARDED_BY(loop_role);
 
-  Impl(serve::ForestIndex& idx, ServerOptions o) : index(idx), opt(o) {
+  Impl(serve::ForestIndex& idx, ServerOptions o)
+      : index(idx), opt(std::move(o)) {
     register_metrics();
   }
 
@@ -156,10 +163,13 @@ struct Server::Impl {
   void wake() noexcept {
     const char b = 'w';
     // A full pipe already guarantees a pending wake; errors are moot.
+    // lint: allow(io-failpoint): self-pipe poke, async-signal-safe by
+    // lint: allow(io-failpoint): contract — a failpoint here could throw
     [[maybe_unused]] const ssize_t r = ::write(wake_w, &b, 1);
   }
 
-  void queue_frame(Conn& c, MsgType type, std::string_view payload) {
+  void queue_frame(Conn& c, MsgType type, std::string_view payload)
+      TREELAB_REQUIRES(loop_role) {
     const std::size_t before = c.out.size();
     append_frame(c.out, type, payload);
     // One byte of this frame may be flipped by the net.frame.corrupt
@@ -168,12 +178,13 @@ struct Server::Impl {
     total_out += c.out.size() - before;
   }
 
-  void send_error(Conn& c, std::string_view reason) {
+  void send_error(Conn& c, std::string_view reason)
+      TREELAB_REQUIRES(loop_role) {
     queue_frame(c, MsgType::kError, reason);
     c.close_after_flush = true;
   }
 
-  void close_conn(int fd) {
+  void close_conn(int fd) TREELAB_REQUIRES(loop_role) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     total_out -= pending(it->second);
@@ -183,7 +194,7 @@ struct Server::Impl {
     ctr.closed.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void do_accept(Clock::time_point now) {
+  void do_accept(Clock::time_point now) TREELAB_REQUIRES(loop_role) {
     for (;;) {
       const int fd =
           ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -215,7 +226,8 @@ struct Server::Impl {
     }
   }
 
-  void handle_query_batch(Conn& c, const std::string& payload) {
+  void handle_query_batch(Conn& c, const std::string& payload)
+      TREELAB_REQUIRES(loop_role) {
     std::vector<serve::Request> reqs;
     if (!decode_query_batch(payload, reqs)) {
       ctr.bad_frames.fetch_add(1, std::memory_order_relaxed);
@@ -242,7 +254,8 @@ struct Server::Impl {
   /// kStats: dump the whole process registry at the peer as one
   /// kStatsReply. The request carries no payload — anything else is a
   /// framing violation, same as an unknown type.
-  void handle_stats(Conn& c, const std::string& payload) {
+  void handle_stats(Conn& c, const std::string& payload)
+      TREELAB_REQUIRES(loop_role) {
     if (!payload.empty()) {
       ctr.bad_frames.fetch_add(1, std::memory_order_relaxed);
       send_error(c, "malformed stats request");
@@ -257,7 +270,8 @@ struct Server::Impl {
     queue_frame(c, MsgType::kStatsReply, encode_stats_reply(lines));
   }
 
-  void handle_subscribe(Conn& c, const std::string& payload) {
+  void handle_subscribe(Conn& c, const std::string& payload)
+      TREELAB_REQUIRES(loop_role) {
     Subscribe s;
     if (!decode_subscribe(payload, s)) {
       ctr.bad_frames.fetch_add(1, std::memory_order_relaxed);
@@ -282,33 +296,29 @@ struct Server::Impl {
   /// is at the backpressure limit or it is caught up. Re-planned (cursor
   /// re-created, or full snapshot) whenever the journal was folded under
   /// the cursor.
-  void pump_subscriber(Conn& c) {
+  void pump_subscriber(Conn& c) TREELAB_REQUIRES(loop_role) {
     if (c.close_after_flush) return;
     // A checkpoint can race each re-plan; bound the retries per pump and
     // let the next loop tick continue.
     int replans = 8;
     while (pending(c) < opt.write_buffer_limit) {
       if (c.need_snapshot) {
-        std::string payload;
-        {
-          const std::lock_guard<std::mutex> lock(journal_mu);
-          c.chain = journal->chain();
-          payload = encode_snapshot(c.chain, journal->to_loaded());
-          // Taken under the same lock as the copy, this cursor starts at
-          // the exact epoch the snapshot captured.
-          c.tail = journal->tail_from(c.chain);
-        }
-        queue_frame(c, MsgType::kSnapshot, payload);
+        // One lock hold inside the journal: the copy and its chain are
+        // consistent. The cursor is planned after; if a fold lands in
+        // between, tail_from reports nullopt and the next iteration
+        // simply re-plans (same recovery as a kLost cursor).
+        const core::DeltaJournal::SnapshotPlan plan = journal->snapshot_plan();
+        c.chain = plan.chain;
+        queue_frame(c, MsgType::kSnapshot,
+                    encode_snapshot(plan.chain, plan.loaded));
+        c.tail = journal->tail_from(c.chain);
         ctr.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
         c.need_snapshot = false;
         c.sent_caught_up = false;
         continue;
       }
       if (!c.tail.has_value()) {
-        {
-          const std::lock_guard<std::mutex> lock(journal_mu);
-          c.tail = journal->tail_from(c.chain);
-        }
+        c.tail = journal->tail_from(c.chain);
         if (!c.tail.has_value()) {
           // The follower's epoch predates the journal (folded away, or
           // from another life): full snapshot catch-up.
@@ -354,15 +364,12 @@ struct Server::Impl {
   /// (worst records-behind across subscribers). A subscriber awaiting a
   /// snapshot, or without a planned cursor yet, conservatively counts as
   /// the whole journal behind.
-  void update_lag_gauges() {
+  void update_lag_gauges() TREELAB_REQUIRES(loop_role) {
     if constexpr (!obs::kEnabled) return;
     std::uint64_t subs = 0;
     std::uint64_t worst = 0;
     std::uint64_t records = 0;
-    if (journal != nullptr) {
-      const std::lock_guard<std::mutex> lock(journal_mu);
-      records = journal->record_count();
-    }
+    if (journal != nullptr) records = journal->record_count();
     for (const auto& [fd, c] : conns) {
       if (!c.subscriber) continue;
       ++subs;
@@ -377,7 +384,7 @@ struct Server::Impl {
     lag_gauge.set(worst);
   }
 
-  void process_frames(Conn& c) {
+  void process_frames(Conn& c) TREELAB_REQUIRES(loop_role) {
     Frame f;
     for (;;) {
       if (c.close_after_flush) return;
@@ -407,7 +414,8 @@ struct Server::Impl {
   }
 
   /// Reads what is available; returns false when the connection died.
-  bool handle_readable(Conn& c, Clock::time_point now) {
+  bool handle_readable(Conn& c, Clock::time_point now)
+      TREELAB_REQUIRES(loop_role) {
     char buf[64 * 1024];
     const IoResult r = read_some(c.fd, buf, sizeof(buf));
     switch (r.status) {
@@ -426,7 +434,7 @@ struct Server::Impl {
   }
 
   /// Flushes queued output; returns false when the connection died.
-  bool flush(Conn& c, Clock::time_point now) {
+  bool flush(Conn& c, Clock::time_point now) TREELAB_REQUIRES(loop_role) {
     while (c.out_pos < c.out.size()) {
       const IoResult r =
           write_some(c.fd, c.out.data() + c.out_pos, pending(c));
@@ -451,7 +459,7 @@ struct Server::Impl {
 
   /// Per-tick pass over every connection: flush, apply backpressure,
   /// update epoll interest, close what finished or died, reap deadbeats.
-  void finalize_conns(Clock::time_point now) {
+  void finalize_conns(Clock::time_point now) TREELAB_REQUIRES(loop_role) {
     std::vector<int> doomed;
     for (auto& [fd, c] : conns) {
       if (!flush(c, now)) {
@@ -497,6 +505,9 @@ struct Server::Impl {
   }
 
   void run_loop() {
+    // This thread IS the loop: assert the confinement capability for the
+    // whole run. Nothing else may construct a guard on loop_role.
+    const util::ThreadRoleGuard on_loop_thread(loop_role);
     std::vector<epoll_event> evs(64);
     for (;;) {
       const int n = ::epoll_wait(epoll_fd, evs.data(),
@@ -506,6 +517,8 @@ struct Server::Impl {
         const int fd = evs[i].data.fd;
         if (fd == wake_r) {
           char sink[256];
+          // lint: allow(io-failpoint): draining our own wake pipe — not a
+          // lint: allow(io-failpoint): fault-injectable I/O boundary
           while (::read(wake_r, sink, sizeof(sink)) > 0) {
           }
           continue;
@@ -631,10 +644,9 @@ void Server::replicate(const core::LabelDelta& d) {
   Impl& im = *impl_;
   if (im.journal == nullptr)
     throw std::logic_error("net::Server: no journal attached");
-  {
-    const std::lock_guard<std::mutex> lock(im.journal_mu);
-    im.journal->append(d);
-  }
+  // The journal's internal mutex serializes this append against the
+  // loop's snapshot builds; no server-side lock needed.
+  im.journal->append(d);
   im.wake();
 }
 

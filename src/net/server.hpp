@@ -37,17 +37,18 @@
 //
 // Threading: start() spawns the loop thread. replicate(), announce_end(),
 // stop(), request_stop() and stats() may be called from any thread; the
-// journal is guarded by an internal mutex (appends from replicate() vs
-// snapshot builds in the loop), while delta streaming reads the journal
-// file lock-free through the Tail cursor protocol.
+// journal serializes replicate() appends against the loop's snapshot
+// builds with its own internal mutex (DeltaJournal locks itself), while
+// delta streaming reads the journal file lock-free through the Tail
+// cursor protocol. Everything else — the connection table, drain state,
+// epoll bookkeeping — is confined to the loop thread, an invariant the
+// Impl encodes as a util::ThreadRole capability so Clang's thread-safety
+// analysis rejects off-thread access at compile time.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "core/delta_journal.hpp"
 #include "serve/forest_index.hpp"
