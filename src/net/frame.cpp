@@ -295,4 +295,35 @@ bool decode_snapshot_header(std::string_view payload, std::uint64_t& chain,
   return true;
 }
 
+const char* msg_type_name(MsgType t) noexcept {
+  // Full switch, no default: a new MsgType that reaches the wire without
+  // a codec branch here fails the build (-Werror=switch) and the
+  // msgtype-codec lint rule.
+  switch (t) {
+    case MsgType::kQueryBatch:
+      return "kQueryBatch";
+    case MsgType::kQueryReply:
+      return "kQueryReply";
+    case MsgType::kError:
+      return "kError";
+    case MsgType::kOverloaded:
+      return "kOverloaded";
+    case MsgType::kSubscribe:
+      return "kSubscribe";
+    case MsgType::kSnapshot:
+      return "kSnapshot";
+    case MsgType::kDelta:
+      return "kDelta";
+    case MsgType::kEnd:
+      return "kEnd";
+    case MsgType::kStats:
+      return "kStats";
+    case MsgType::kStatsReply:
+      return "kStatsReply";
+    case MsgType::kCaughtUp:
+      return "kCaughtUp";
+  }
+  return "kUnknown";  // out-of-enum value from a cast, not a real frame
+}
+
 }  // namespace treelab::net

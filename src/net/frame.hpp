@@ -58,6 +58,13 @@ enum class MsgType : std::uint32_t {
 /// Highest value a frame header may carry; FrameReader rejects beyond it.
 inline constexpr MsgType kMaxMsgType = MsgType::kCaughtUp;
 
+/// Wire name of a message type ("kQueryBatch", ...); "kUnknown" outside
+/// the enum. Deliberately a full switch with no default: adding a MsgType
+/// without extending it breaks the build under -Werror=switch, and
+/// tools/treelab_lint.py (msgtype-codec rule) additionally checks every
+/// enum value appears here and in tests/net_frame_test.cpp.
+[[nodiscard]] const char* msg_type_name(MsgType t) noexcept;
+
 struct Frame {
   MsgType type = MsgType::kError;
   std::string payload;

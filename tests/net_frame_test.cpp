@@ -51,6 +51,24 @@ TEST(NetFrame, RoundTripAllTypes) {
   }
 }
 
+TEST(NetFrame, MsgTypeNamesAreExhaustiveAndDistinct) {
+  // One case per enum value; a wire type whose name degrades to kUnknown
+  // would break log/debug output silently, so pin each mapping.
+  EXPECT_STREQ(net::msg_type_name(MsgType::kQueryBatch), "kQueryBatch");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kQueryReply), "kQueryReply");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kError), "kError");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kOverloaded), "kOverloaded");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kSubscribe), "kSubscribe");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kSnapshot), "kSnapshot");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kDelta), "kDelta");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kEnd), "kEnd");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kStats), "kStats");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kStatsReply), "kStatsReply");
+  EXPECT_STREQ(net::msg_type_name(MsgType::kCaughtUp), "kCaughtUp");
+  EXPECT_STREQ(net::msg_type_name(static_cast<MsgType>(0)), "kUnknown");
+  EXPECT_STREQ(net::msg_type_name(static_cast<MsgType>(999)), "kUnknown");
+}
+
 TEST(NetFrame, FragmentedDelivery) {
   // A stream of frames fed one byte at a time must decode identically.
   std::string stream;
