@@ -103,11 +103,15 @@ TEST(AttachedParity, KDistance) {
         const auto raw =
             core::KDistanceScheme::query(k, s.label(u), s.label(v));
         ASSERT_EQ(fast.within, raw.within) << "u=" << u << " v=" << v;
-        if (raw.within) ASSERT_EQ(fast.distance, raw.distance);
+        if (raw.within) {
+          ASSERT_EQ(fast.distance, raw.distance);
+        }
         const auto lin =
             core::KDistanceScheme::query_linear(k, att[u], att[v]);
         ASSERT_EQ(lin.within, raw.within);
-        if (raw.within) ASSERT_EQ(lin.distance, raw.distance);
+        if (raw.within) {
+          ASSERT_EQ(lin.distance, raw.distance);
+        }
       });
     }
   }

@@ -168,8 +168,11 @@ TEST(WordOps, SelectInWord) {
   for (int trial = 0; trial < 200; ++trial) {
     const std::uint64_t w = rng() & rng();  // varied density
     int k = 0;
-    for (int i = 0; i < 64; ++i)
-      if ((w >> i) & 1) EXPECT_EQ(select_in_word(w, k++), i) << w;
+    for (int i = 0; i < 64; ++i) {
+      if ((w >> i) & 1) {
+        EXPECT_EQ(select_in_word(w, k++), i) << w;
+      }
+    }
   }
   EXPECT_EQ(select_in_word(1, 0), 0);
   EXPECT_EQ(select_in_word(std::uint64_t{1} << 63, 0), 63);
@@ -256,7 +259,9 @@ TEST_P(MonotoneSeqParamTest, RoundtripAccessSuccessor) {
   }
   for (std::size_t i = 0; i < s; ++i) {
     EXPECT_EQ(seq.successor(xs[i]), naive_succ(xs[i]));
-    if (xs[i] > 0) EXPECT_EQ(seq.successor(xs[i] - 1), naive_succ(xs[i] - 1));
+    if (xs[i] > 0) {
+      EXPECT_EQ(seq.successor(xs[i] - 1), naive_succ(xs[i] - 1));
+    }
     EXPECT_EQ(seq.successor(xs[i] + 1), naive_succ(xs[i] + 1));
   }
 

@@ -94,7 +94,9 @@ void expect_correct(const Tree& t, TreeId id, NodeId u, NodeId v, Dist got) {
   switch (id) {
     case 2:  // kdistance: exact within k, refused beyond
       EXPECT_EQ(got.within, d <= kK) << "tree " << id;
-      if (got.within) EXPECT_EQ(got.value, d);
+      if (got.within) {
+        EXPECT_EQ(got.value, d);
+      }
       break;
     case 3:  // approx: (1+eps) band
       EXPECT_TRUE(got.within);

@@ -238,7 +238,7 @@ TEST(EditModel, DeleteLeafTombstonesAndStaysBitIdentical) {
 
 TEST(EditModel, DeleteValidation) {
   //      0
-  //     / \
+  //     / \.
   //    1   2
   //        |
   //        3
@@ -346,10 +346,11 @@ TEST(EditModel, WeightUpdateDirtiesExactlyTheSubtree) {
     r.set_edge_weight(v, w);
     ASSERT_NO_FATAL_FAILURE(expect_sparse_parity(r, "weight"));
     ASSERT_NO_THROW(r.check_state());
-    if (r.last_outcome() == RelabelOutcome::kIncremental)
+    if (r.last_outcome() == RelabelOutcome::kIncremental) {
       EXPECT_LE(r.last_dirty_count(),
                 static_cast<std::size_t>(
                     r.snapshot().subtree_size(v)));
+    }
   }
   EXPECT_THROW(r.set_edge_weight(0, 3), std::invalid_argument);  // root
   // Distances stay exact after reweighting.

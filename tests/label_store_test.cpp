@@ -120,7 +120,9 @@ TEST(LabelStoreSchemes, KDistanceRoundtripAndQueryParity) {
           core::KDistanceScheme::query(k, loaded.labels[u], loaded.labels[v]);
       const std::uint64_t d = oracle.distance(u, v);
       ASSERT_EQ(got.within, d <= k);
-      if (got.within) ASSERT_EQ(got.distance, d);
+      if (got.within) {
+        ASSERT_EQ(got.distance, d);
+      }
     }
 }
 

@@ -32,7 +32,9 @@ TEST(Histogram, BucketFloorIsExactInverse) {
   for (int b = 0; b < Histogram::kBucketCount; ++b) {
     const std::uint64_t floor = Histogram::bucket_floor(b);
     EXPECT_EQ(Histogram::bucket_of(floor), b) << "bucket " << b;
-    if (b > 0) EXPECT_GT(floor, prev) << "bucket " << b;
+    if (b > 0) {
+      EXPECT_GT(floor, prev) << "bucket " << b;
+    }
     prev = floor;
   }
 }

@@ -109,9 +109,11 @@ TEST(Generators, HmTreeStructure) {
     const Tree t = tree::hm_tree(h, 16, 3);
     EXPECT_EQ(t.size(), 3 * (1 << h) - 2) << h;
     // All leaves at the same weighted distance h*M from the root.
-    for (NodeId v = 0; v < t.size(); ++v)
-      if (t.is_leaf(v))
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (t.is_leaf(v)) {
         EXPECT_EQ(t.root_distance(v), static_cast<std::uint64_t>(h) * 16);
+      }
+    }
   }
 }
 
@@ -158,8 +160,9 @@ TEST(Generators, StretchMakesApproxRecoverable) {
   std::uint64_t prev = 0;
   bool first = true;
   for (std::uint64_t d : dists) {
-    if (!first)
+    if (!first) {
       EXPECT_GT(static_cast<double>(d), (1 + eps) * static_cast<double>(prev));
+    }
     prev = d;
     first = false;
   }
@@ -277,10 +280,13 @@ TEST(Hpd, PaperVariantHalfThreshold) {
   const tree::HeavyPathDecomposition hpd(t);
   for (std::int32_t p = 0; p < hpd.num_paths(); ++p) {
     const NodeId start_size = t.subtree_size(hpd.head(p));
-    for (NodeId w : hpd.path_nodes(p))
-      for (NodeId c : t.children(w))
-        if (c != hpd.heavy_child(w))
+    for (NodeId w : hpd.path_nodes(p)) {
+      for (NodeId c : t.children(w)) {
+        if (c != hpd.heavy_child(w)) {
           EXPECT_LT(2 * t.subtree_size(c), start_size);
+        }
+      }
+    }
   }
 }
 
@@ -322,9 +328,12 @@ TEST(Collapsed, DominationMatchesPaperObservations) {
       while (t.parent(cv) != w) cv = t.parent(cv);
       const bool u_light = hpd.heavy_child(w) != cu;
       const bool v_light = hpd.heavy_child(w) != cv;
-      if (u_light && !v_light)
+      if (u_light && !v_light) {
         EXPECT_TRUE(ct.dominates(u, v)) << u << " " << v;  // Observation (1)
-      if (!u_light && v_light) EXPECT_TRUE(ct.dominates(v, u));
+      }
+      if (!u_light && v_light) {
+        EXPECT_TRUE(ct.dominates(v, u));
+      }
       if (u_light && v_light) {
         // Observation (2): the exceptional side is dominated.
         const bool u_exc = ct.is_exceptional(ct.cnode_of(cu) == hpd.path_of(cu)
