@@ -48,8 +48,16 @@ int main() {
       }
     }
     const double lgN = bench::log2d(static_cast<double>(leaves_per));
-    row({"(" + std::to_string(h) + "," + std::to_string(d) + "," +
-             std::to_string(k) + ")",
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+    // misfires on `const char* + std::string&&` at -O2 (upstream 105329).
+    std::string cfg = "(";
+    cfg += std::to_string(h);
+    cfg += ',';
+    cfg += std::to_string(d);
+    cfg += ',';
+    cfg += std::to_string(k);
+    cfg += ')';
+    row({cfg,
          num(xs_list.size()), num(leaves_per), num(max_bits),
          num(distinct.size()), num(leaves_total),
          num(lgN + k * std::log2(static_cast<double>(h)), 1)});

@@ -171,7 +171,11 @@ TEST(LruCache, BudgetInvariantUnderChurn) {
   std::size_t last_cost = 0;
   for (int i = 0; i < 500; ++i) {
     last_cost = static_cast<std::size_t>((i * 7) % 40);
-    c.put(i % 17, "v" + std::to_string(i), last_cost);
+    // += rather than `"v" + std::to_string(i)`: GCC 12's -Wrestrict
+    // misfires on `const char* + std::string&&` at -O2 (upstream 105329).
+    std::string val = "v";
+    val += std::to_string(i);
+    c.put(i % 17, val, last_cost);
     EXPECT_LE(c.bytes(), std::max<std::size_t>(64, last_cost))
         << "after put " << i;
     EXPECT_GE(c.size(), 1u);
