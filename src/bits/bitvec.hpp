@@ -32,7 +32,8 @@ class BitVec;
 class BitSpan {
  public:
   constexpr BitSpan() = default;
-  BitSpan(const BitVec& v) noexcept;  // NOLINT: implicit view of a BitVec
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit view of a BitVec
+  BitSpan(const BitVec& v) noexcept;
   constexpr BitSpan(const std::uint64_t* words, std::size_t nbits) noexcept
       : words_(words), size_(nbits) {}
 
@@ -95,7 +96,9 @@ class BitVec {
   explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
 
   /// An owning copy of a view.
-  BitVec(BitSpan s)  // NOLINT: implicit, symmetric with BitVec -> BitSpan
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit, symmetric with
+  // the BitVec -> BitSpan view conversion above
+  BitVec(BitSpan s)
       : size_(s.size()), words_(s.data(), s.data() + s.word_count()) {}
 
   BitVec(const BitVec&) = default;
