@@ -1,0 +1,15 @@
+#include "net/frame.hpp"
+
+namespace demo {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+      return "kPing";
+    case MsgType::kPong:
+      return "kPong";
+  }
+  return "kUnknown";
+}
+
+}  // namespace demo

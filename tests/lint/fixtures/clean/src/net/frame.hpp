@@ -1,0 +1,11 @@
+#pragma once
+#include <cstdint>
+
+namespace demo {
+
+enum class MsgType : std::uint32_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+}  // namespace demo

@@ -1,0 +1,6 @@
+#include "net/frame.hpp"
+
+void test_all_types() {
+  (void)demo::MsgType::kPing;
+  (void)demo::MsgType::kPong;
+}

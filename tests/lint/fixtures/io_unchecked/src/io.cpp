@@ -1,0 +1,6 @@
+// Fixture: a raw read with no failpoint evaluation anywhere in reach.
+#include <unistd.h>
+
+long drain(int fd, char* buf, unsigned long n) {
+  return ::read(fd, buf, n);
+}

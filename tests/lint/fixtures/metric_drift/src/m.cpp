@@ -1,0 +1,9 @@
+// Fixture: `demo.requests` is registered but undocumented, and the README
+// catalogs `demo.ghost`, which no longer exists in src.
+struct Registry {
+  int& counter(const char*);
+};
+
+void register_metrics(Registry& reg) {
+  reg.counter("demo.requests");
+}

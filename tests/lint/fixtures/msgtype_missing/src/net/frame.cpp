@@ -1,0 +1,14 @@
+#include "net/frame.hpp"
+
+namespace demo {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+      return "kPing";
+    default:
+      return "kUnknown";
+  }
+}
+
+}  // namespace demo

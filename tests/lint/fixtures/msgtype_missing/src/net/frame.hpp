@@ -1,0 +1,12 @@
+// Fixture: kPong has no codec branch and no test case.
+#pragma once
+#include <cstdint>
+
+namespace demo {
+
+enum class MsgType : std::uint32_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+}  // namespace demo

@@ -1,0 +1,5 @@
+#include "net/frame.hpp"
+
+void test_ping() {
+  (void)demo::MsgType::kPing;
+}

@@ -1,0 +1,4 @@
+// Fixture: bare new with no ownership story and no justification.
+int* leak() {
+  return new int(42);
+}

@@ -1,0 +1,2 @@
+// Fixture: NOLINT with neither a named check nor a reason.
+int g = 0;  // NOLINT
