@@ -58,9 +58,23 @@ double measure_ms(F&& f) {
       .count();
 }
 
+/// Best-of-`reps` for the comparative rows (serial vs parallel, thread
+/// scaling): a single cold shot let allocator/page-cache state from the
+/// previous row masquerade as a parallelism regression — the published
+/// suite_shared_parallel once measured *slower* than serial on a 1-core
+/// box on ordering noise alone. The minimum of two runs is the honest
+/// "what this configuration costs" number.
+template <typename F>
+double measure_ms_best(F&& f, int reps = 2) {
+  double best = measure_ms(f);
+  for (int r = 1; r < reps; ++r) best = std::min(best, measure_ms(f));
+  return best;
+}
+
 struct Row {
   std::string name;
   double ms = 0;
+  int fanout = 0;  ///< thread fan-out the row actually ran (0 = serial row)
 };
 
 std::int64_t flag(int argc, char** argv, const char* name,
@@ -91,12 +105,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const int par = util::thread_count();
+  // Clamp the build fan-out by the hardware the same way serving's
+  // planned_fanout does: a TREELAB_THREADS (or scaling-row request) above
+  // hardware_concurrency would only time-slice one core and publish
+  // oversubscription as a parallel regression. Every row records the
+  // fan-out it actually ran, so a 1-core run shows `fanout: 1` instead of
+  // masquerading as a scaling measurement.
+  const auto clamp_threads = [hw](int threads) {
+    return hw > 0 ? std::min(threads, hw) : threads;
+  };
+  const int par = clamp_threads(util::thread_count());
 
   const tree::Tree t = tree::random_tree(n, seed);
   std::vector<Row> rows;
-  const auto add = [&](std::string name, double ms) {
-    rows.push_back({std::move(name), ms});
+  const auto add = [&](std::string name, double ms, int fanout = 0) {
+    rows.push_back({std::move(name), ms, fanout});
     std::printf("  %-34s %10.1f ms\n", rows.back().name.c_str(), ms);
   };
 
@@ -131,26 +154,29 @@ int main(int argc, char** argv) {
   double suite_own = 0;
   for (const Row& r : rows) suite_own += r.ms;
   add("suite_own_serial", suite_own);
-  const double suite_shared = measure_ms([&] {
+  const double suite_shared = measure_ms_best([&] {
     const core::TreeScaffold sc(t, 1);
     build_suite(sc);
   });
-  add("suite_shared_serial", suite_shared);
-  const double suite_par = measure_ms([&] {
+  add("suite_shared_serial", suite_shared, 1);
+  const double suite_par = measure_ms_best([&] {
     const core::TreeScaffold sc(t, par);
     build_suite(sc);
   });
-  add("suite_shared_parallel", suite_par);
+  add("suite_shared_parallel", suite_par, par);
 
-  // Thread scaling, FGNW.
+  // Thread scaling, FGNW. Requested thread counts are clamped by the
+  // hardware; on a 1-core box every row runs (and records) fanout 1.
   std::vector<Row> scaling;
   for (const int threads : {1, 2, 4}) {
-    const double ms = measure_ms([&] {
-      const core::TreeScaffold sc(t, threads);
+    const int fanout = clamp_threads(threads);
+    const double ms = measure_ms_best([&] {
+      const core::TreeScaffold sc(t, fanout);
       const core::FgnwScheme s(sc);
     });
-    scaling.push_back({"fgnw_t" + std::to_string(threads), ms});
-    std::printf("  %-34s %10.1f ms\n", scaling.back().name.c_str(), ms);
+    scaling.push_back({"fgnw_t" + std::to_string(threads), ms, fanout});
+    std::printf("  %-34s %10.1f ms (fanout %d)\n", scaling.back().name.c_str(),
+                ms, fanout);
   }
 
   // Thread scaling, SpanningOracle (4 landmark trees; the oracle reads
@@ -160,12 +186,14 @@ int main(int argc, char** argv) {
     const tree::Graph g =
         tree::Graph::random_connected(n_oracle, 2 * n_oracle, seed);
     for (const int threads : {1, 2, 4}) {
-      setenv("TREELAB_THREADS", std::to_string(threads).c_str(), 1);
+      const int fanout = clamp_threads(threads);
+      setenv("TREELAB_THREADS", std::to_string(fanout).c_str(), 1);
       const double ms =
-          measure_ms([&] { const core::SpanningOracle o(g, 4); });
-      scaling.push_back({"oracle4_t" + std::to_string(threads), ms});
-      std::printf("  %-34s %10.1f ms (n=%d)\n", scaling.back().name.c_str(),
-                  ms, static_cast<int>(n_oracle));
+          measure_ms_best([&] { const core::SpanningOracle o(g, 4); });
+      scaling.push_back({"oracle4_t" + std::to_string(threads), ms, fanout});
+      std::printf("  %-34s %10.1f ms (n=%d, fanout %d)\n",
+                  scaling.back().name.c_str(), ms, static_cast<int>(n_oracle),
+                  fanout);
     }
     unsetenv("TREELAB_THREADS");
   }
@@ -359,10 +387,17 @@ int main(int argc, char** argv) {
   const auto dump = [&](const char* key, const std::vector<Row>& rs,
                         bool last) {
     std::fprintf(f, "  \"%s\": [\n", key);
-    for (std::size_t i = 0; i < rs.size(); ++i)
-      std::fprintf(f, "    {\"case\": \"%s\", \"ms\": %.1f}%s\n",
-                   rs[i].name.c_str(), rs[i].ms,
-                   i + 1 < rs.size() ? "," : "");
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].fanout > 0)
+        std::fprintf(f,
+                     "    {\"case\": \"%s\", \"ms\": %.1f, \"fanout\": %d}%s\n",
+                     rs[i].name.c_str(), rs[i].ms, rs[i].fanout,
+                     i + 1 < rs.size() ? "," : "");
+      else
+        std::fprintf(f, "    {\"case\": \"%s\", \"ms\": %.1f}%s\n",
+                     rs[i].name.c_str(), rs[i].ms,
+                     i + 1 < rs.size() ? "," : "");
+    }
     std::fprintf(f, "  ]%s\n", last ? "" : ",");
   };
   std::fprintf(f, "{\n  \"bench\": \"build_time\",\n");

@@ -183,33 +183,65 @@ int main(int argc, char** argv) {
                    .value;
       }
       benchmark_sink = benchmark_sink + acc;
-    });
+    }, /*batch=*/4096, /*min_seconds=*/0.2, /*reps=*/3);
     add("raw_per_request", qps);
   }
 
   // Scaling: shards and threads grow together. The *total* cache budget is
   // held constant across configurations (split evenly over shards), so the
-  // curve measures fan-out, not aggregate cache capacity.
+  // curve measures fan-out, not aggregate cache capacity. Every row builds
+  // a FRESH index and runs the same fixed warm-up (two full passes over the
+  // request pool) before measurement, so adjacent rows are comparable: no
+  // row inherits another row's warmed caches, mapped pages, or branch
+  // history, and none starts colder than its neighbor. (The published
+  // armed-failpoint row once *beat* the disarmed one purely because it ran
+  // second against a pre-warmed process.)
   constexpr std::size_t kTotalCacheBytes = std::size_t{64} << 20;
-  const auto run_config = [&](std::size_t shards, int threads) {
+  const auto make_opt = [&](std::size_t shards, int threads, bool planner) {
     serve::ForestOptions opt;
     opt.shards = shards;
     opt.threads = threads;
     opt.cache_bytes_per_shard = kTotalCacheBytes / shards;
-    serve::ForestIndex index(opt);
+    opt.planner = planner;
+    return opt;
+  };
+  // Loads the forest and runs the fixed warm-up (two full passes over the
+  // request pool), so every measured index starts from the same warmed
+  // caches / mapped pages / branch history regardless of row order.
+  const auto prime = [&](serve::ForestIndex& index) {
     for (const auto& f : files) (void)index.add_file(f);
+    for (int pass = 0; pass < 2; ++pass)
+      for (std::size_t lo = 0; lo + batch <= pool.size(); lo += batch)
+        benchmark_sink =
+            benchmark_sink +
+            index.query_batch(std::span(pool).subspan(lo, batch))[0].value;
+  };
+  // One measurement window over a primed index.
+  const auto window_qps = [&](serve::ForestIndex& index) {
     std::size_t at = 0;
-    const double qps = bench::measure_qps(
+    return bench::measure_qps(
         [&](std::size_t m) {
           const std::size_t lo = (at++ * batch) % (pool.size() - m + 1);
-          const auto res = index.query_batch(
-              std::span(pool).subspan(lo, m));
+          const auto res =
+              index.query_batch(std::span(pool).subspan(lo, m));
           benchmark_sink = benchmark_sink + res[0].value;
         },
         batch);
+  };
+  // Window count per row / per pair side. This box's measured noise floor
+  // is large (identical configs spread ~25-30% across back-to-back runs),
+  // and the noise is one-sided slowdown: more best-of windows push both
+  // sides of a comparison toward the true ceiling.
+  constexpr int kReps = 5;
+  const auto run_config = [&](std::size_t shards, int threads,
+                              bool planner = true) {
+    serve::ForestIndex index(make_opt(shards, threads, planner));
+    prime(index);
+    double best = 0;
+    for (int r = 0; r < kReps; ++r) best = std::max(best, window_qps(index));
     last_stats = index.cache_stats();
     last_fanout = index.planned_fanout(batch);
-    return qps;
+    return best;
   };
   for (std::size_t s = 1; s <= 8; s *= 2) {
     const double qps = run_config(s, static_cast<int>(s));
@@ -219,6 +251,37 @@ int main(int argc, char** argv) {
   for (const int t : {1, 2}) {
     const double qps = run_config(4, t);
     add("batch_shards4_t" + std::to_string(t), qps, last_fanout);
+  }
+
+  // Planner A/B: the identical config with the batch query planner on
+  // (requests stable-sorted by tree within each shard, one entry lookup
+  // and one contiguous label walk per group, prefetch ahead) vs off
+  // (requests answered in arrival order within their shard). CI asserts
+  // on >= off within noise. Both sides get their own fresh primed index,
+  // and the measurement windows ALTERNATE between them: on a shared host
+  // the background load drifts on minute timescales, so back-to-back
+  // measurements hand whichever side runs second a different machine —
+  // interleaving shows both sides the same minutes.
+  {
+    serve::ForestIndex on_index(make_opt(4, 4, /*planner=*/true));
+    serve::ForestIndex off_index(make_opt(4, 4, /*planner=*/false));
+    prime(on_index);
+    prime(off_index);
+    double on = 0, off = 0;
+    for (int r = 0; r < kReps; ++r) {
+      // Alternate which side goes first: the second window of a pair runs
+      // against a slightly warmer process, and a fixed order hands that
+      // edge to the same side every rep.
+      if (r % 2 == 0) {
+        on = std::max(on, window_qps(on_index));
+        off = std::max(off, window_qps(off_index));
+      } else {
+        off = std::max(off, window_qps(off_index));
+        on = std::max(on, window_qps(on_index));
+      }
+    }
+    add("planner_on_shards4_t4", on, on_index.planned_fanout(batch));
+    add("planner_off_shards4_t4", off, off_index.planned_fanout(batch));
   }
 
   // Failpoint overhead. First the microcost of one disarmed check (the
@@ -239,16 +302,33 @@ int main(int argc, char** argv) {
     add("failpoint_check_disarmed", cps);
     std::printf("  (%.2f ns per disarmed check)\n", 1e9 / cps);
   }
+  // The off/armed pair shares ONE primed index (arming a failpoint is the
+  // only difference between the sides, so identical cache state is exactly
+  // right) and alternates disarmed/armed measurement windows, same
+  // reasoning as the planner A/B above. The published numbers once showed
+  // the armed row *beating* the disarmed one — pure measurement-order
+  // bias: the armed row ran second against a warmer, luckier process.
   {
-    const double qps = run_config(2, 2);
-    add("failpoint_off_shards2_t2", qps, last_fanout);
+    serve::ForestIndex index(make_opt(2, 2, /*planner=*/true));
+    prime(index);
+    double off = 0, armed = 0;
+    for (int r = 0; r < kReps; ++r) {
+      // Alternate sides per rep, same reasoning as the planner A/B.
+      for (const bool measure_armed : {r % 2 != 0, r % 2 == 0}) {
+        if (measure_armed) {
+          util::failpoint::arm("bench.unrelated.site", util::FailMode::kError);
+          armed = std::max(armed, window_qps(index));
+        } else {
+          util::failpoint::disarm_all();
+          off = std::max(off, window_qps(index));
+        }
+      }
+    }
+    util::failpoint::disarm_all();
+    add("failpoint_off_shards2_t2", off, index.planned_fanout(batch));
+    add("failpoint_armed_shards2_t2", armed, index.planned_fanout(batch));
+    last_stats = index.cache_stats();
   }
-  util::failpoint::arm("bench.unrelated.site", util::FailMode::kError);
-  {
-    const double qps = run_config(2, 2);
-    add("failpoint_armed_shards2_t2", qps, last_fanout);
-  }
-  util::failpoint::disarm_all();
 
   // Loopback: the identical batches through the batch-RPC front end —
   // what a remote client pays on top of the in-process numbers above.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "bits/kernels.hpp"
 #include "bits/wordops.hpp"
 
 namespace treelab::bits {
@@ -30,15 +31,10 @@ std::uint64_t BitReader::get_unary() {
 }
 
 std::size_t BitReader::find_one() const noexcept {
-  const std::size_t n = v_.size();
-  std::size_t p = pos_;
-  while (p < n) {
-    const int take = static_cast<int>(std::min<std::size_t>(64, n - p));
-    const std::uint64_t w = v_.read_bits(p, take);
-    if (w != 0) return p + static_cast<std::size_t>(lsb(w));
-    p += static_cast<std::size_t>(take);
-  }
-  return kNoPos;
+  // Dispatched unary-run scan over the span's words (BitSpan guarantees
+  // zero padding past the last bit, so whole-word reads are in bounds).
+  static_assert(kNoPos == kernels::kNpos);
+  return kernels::ops().find_first_one(v_.data(), v_.size(), pos_);
 }
 
 std::uint64_t BitReader::get_unary_unchecked() noexcept {

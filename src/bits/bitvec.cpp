@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "bits/kernels.hpp"
+
 namespace treelab::bits {
 
 void BitVec::append_bits(std::uint64_t value, int width) {
@@ -46,15 +48,15 @@ BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
 }
 
 std::size_t BitVec::popcount() const noexcept {
-  std::size_t c = 0;
-  for (std::size_t i = 0; i + 1 < words_.size(); ++i)
-    c += static_cast<std::size_t>(std::popcount(words_[i]));
-  if (!words_.empty()) {
-    std::uint64_t last = words_.back();
-    const int rem = static_cast<int>(size_ & 63);
-    if (rem != 0) last &= low_mask(rem);
-    c += static_cast<std::size_t>(std::popcount(last));
-  }
+  if (words_.empty()) return 0;
+  // Bulk-count the full words through the dispatched kernel; the last word
+  // is masked to the live bits and counted separately.
+  std::size_t c = static_cast<std::size_t>(
+      kernels::ops().popcount_words(words_.data(), words_.size() - 1));
+  std::uint64_t last = words_.back();
+  const int rem = static_cast<int>(size_ & 63);
+  if (rem != 0) last &= low_mask(rem);
+  c += static_cast<std::size_t>(std::popcount(last));
   return c;
 }
 

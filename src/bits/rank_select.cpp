@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "bits/kernels.hpp"
 #include "bits/wordops.hpp"
 
 namespace treelab::bits {
@@ -82,7 +83,7 @@ std::size_t RankSelect::select1(std::size_t k) const noexcept {
     ++j;
   rem -= block_rank_[base + j];
   const std::size_t wi = base + j;
-  return wi * 64 + static_cast<std::size_t>(select_in_word(
+  return wi * 64 + static_cast<std::size_t>(kernels::ops().select_in_word(
                        bits_.words()[wi], static_cast<int>(rem)));
 }
 
@@ -104,8 +105,8 @@ std::size_t RankSelect::select0(std::size_t k) const noexcept {
   const std::size_t word_base = wi * 64;
   const int take = static_cast<int>(std::min<std::size_t>(64, n - word_base));
   const std::uint64_t z = ~bits_.words()[wi] & low_mask(take);
-  return word_base +
-         static_cast<std::size_t>(select_in_word(z, static_cast<int>(rem)));
+  return word_base + static_cast<std::size_t>(kernels::ops().select_in_word(
+                         z, static_cast<int>(rem)));
 }
 
 }  // namespace treelab::bits

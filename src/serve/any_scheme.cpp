@@ -159,6 +159,14 @@ struct KDistanceDispatch {
   }
 };
 
+/// One address per scheme kind, the identity Attached::scheme_key()
+/// carries. All handles of the same kind share it (mixing across same-kind
+/// handles stays undetectable, as documented on AnyScheme).
+template <typename D>
+struct SchemeKeyTag {
+  static constexpr char tag = 0;
+};
+
 template <typename D>
 class SchemeImpl final : public AnyScheme::Impl {
  public:
@@ -167,7 +175,7 @@ class SchemeImpl final : public AnyScheme::Impl {
 
   struct Holder final : AnyScheme::Attached {
     Holder(typename D::Scheme::Attached l, std::size_t c)
-        : label(std::move(l)), cost(c) {}
+        : Attached(&SchemeKeyTag<D>::tag), label(std::move(l)), cost(c) {}
     typename D::Scheme::Attached label;
     std::size_t cost;
     [[nodiscard]] std::size_t cost_bytes() const noexcept override {
@@ -189,12 +197,12 @@ class SchemeImpl final : public AnyScheme::Impl {
   [[nodiscard]] Dist query_attached(const AnyScheme::Attached& lu,
                                     const AnyScheme::Attached& lv)
       const override {
-    const auto* hu = dynamic_cast<const Holder*>(&lu);
-    const auto* hv = dynamic_cast<const Holder*>(&lv);
-    if (hu == nullptr || hv == nullptr)
+    if (lu.scheme_key() != &SchemeKeyTag<D>::tag ||
+        lv.scheme_key() != &SchemeKeyTag<D>::tag)
       throw std::invalid_argument(
           "AnyScheme: attached label belongs to a different scheme");
-    return d_.query(hu->label, hv->label);
+    return d_.query(static_cast<const Holder&>(lu).label,
+                    static_cast<const Holder&>(lv).label);
   }
 
  private:

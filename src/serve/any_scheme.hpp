@@ -42,6 +42,17 @@ class AnyScheme {
     /// holder's own footprint plus a fixed expansion factor over the raw
     /// label bytes (attached forms decode length-proportional arrays).
     [[nodiscard]] virtual std::size_t cost_bytes() const noexcept = 0;
+    /// Opaque identity of the scheme kind that produced this attached
+    /// form. query() compares it against its own kind to reject
+    /// cross-scheme mixing — one pointer compare where a dynamic_cast per
+    /// label used to sit on the serving hot path.
+    [[nodiscard]] const void* scheme_key() const noexcept { return key_; }
+
+   protected:
+    explicit Attached(const void* scheme_key) noexcept : key_(scheme_key) {}
+
+   private:
+    const void* key_;
   };
   using AttachedPtr = std::shared_ptr<const Attached>;
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bits/kernels.hpp"
 #include "util/failpoint.hpp"
 #include "util/fs.hpp"
 #include "util/io_error.hpp"
@@ -29,21 +30,27 @@ void backoff_sleep(int base_ms, int attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
-// Latency/size histograms shared by every ForestIndex in the process;
+// Latency/size metrics shared by every ForestIndex in the process;
 // references resolved once so the batch hot path never touches the
-// registry map. The batch path pays exactly two clock reads per *batch*
-// (never per query): the per-query histogram is fed the batch's mean once
-// per batch, plus exact timings from the single-query path.
+// registry map. The single-query path times every query exactly; the
+// batch path records two clock reads per batch plus a *sampled* per-query
+// latency (every kLatencySampleEvery-th answered request) into the same
+// `serve.query.latency_ns` histogram, so the latency metric sees batch
+// traffic without paying two clock reads per query.
 struct ServeMetrics {
   obs::Histogram& query_ns;
   obs::Histogram& batch_ns;
   obs::Histogram& batch_size;
+  obs::Counter& planner_batches;
+  obs::Counter& planner_groups;
   static ServeMetrics& get() {
     static ServeMetrics m = [] {
       obs::Registry& r = obs::Registry::global();
       return ServeMetrics{r.histogram("serve.query.latency_ns"),
                           r.histogram("serve.batch.latency_ns"),
-                          r.histogram("serve.batch.size")};
+                          r.histogram("serve.batch.size"),
+                          r.counter("serve.planner.batches"),
+                          r.counter("serve.planner.groups")};
     }();
     return m;
   }
@@ -504,33 +511,49 @@ int ForestIndex::planned_fanout(std::size_t batch) const noexcept {
   return static_cast<int>(std::max<std::size_t>(t, 1));
 }
 
-AnyScheme::AttachedPtr ForestIndex::attached_locked(Shard& sh, TreeId tree,
-                                                    tree::NodeId u,
-                                                    tree::NodeId iu,
-                                                    const TreeEntry& e) const {
-  const std::uint64_t key = cache_key(tree, u);
-  if (AnyScheme::AttachedPtr* hit = sh.cache.get(key)) return *hit;
-  AnyScheme::AttachedPtr att = e.scheme.attach(e.labels.view(
-      static_cast<std::size_t>(iu)));
-  sh.cache.put(key, att, att->cost_bytes());
-  return att;
-}
-
 Dist ForestIndex::query_entry_locked(Shard& sh, const Request& r,
                                      const TreeEntry& e) const {
-  const tree::NodeId iu = resolve(e, r.u);
-  const tree::NodeId iv = resolve(e, r.v);
-  const AnyScheme::AttachedPtr au = attached_locked(sh, r.tree, r.u, iu, e);
-  const AnyScheme::AttachedPtr av = attached_locked(sh, r.tree, r.v, iv, e);
+  return query_resolved_locked(sh, r.tree, r, resolve(e, r.u),
+                               resolve(e, r.v), e);
+}
+
+Dist ForestIndex::query_resolved_locked(Shard& sh, TreeId tree,
+                                        const Request& r, tree::NodeId iu,
+                                        tree::NodeId iv,
+                                        const TreeEntry& e) const {
+  // Cache lookup-or-attach for both labels, used in place on hits — no
+  // shared_ptr refcount traffic on the all-hits fast path. The only
+  // mutation between the u lookup and the query is the v-side put(), whose
+  // eviction sweep may drop u's entry: pin u with a strong reference
+  // before that one insert (the entry just inserted — v itself — is never
+  // evicted by its own put).
+  const std::uint64_t ku = cache_key(tree, r.u);
+  const std::uint64_t kv = cache_key(tree, r.v);
+  AnyScheme::AttachedPtr hold_u;
+  AnyScheme::AttachedPtr hold_v;
+  const AnyScheme::Attached* au = nullptr;
+  AnyScheme::AttachedPtr* pu = sh.cache.get(ku);
+  if (pu != nullptr) {
+    au = pu->get();
+  } else {
+    hold_u = e.scheme.attach(e.labels.view(static_cast<std::size_t>(iu)));
+    au = hold_u.get();
+    sh.cache.put(ku, hold_u, hold_u->cost_bytes());
+  }
+  const AnyScheme::Attached* av = nullptr;
+  if (AnyScheme::AttachedPtr* pv = sh.cache.get(kv); pv != nullptr) {
+    av = pv->get();
+  } else {
+    hold_v = e.scheme.attach(e.labels.view(static_cast<std::size_t>(iv)));
+    av = hold_v.get();
+    if (pu != nullptr) hold_u = *pu;
+    sh.cache.put(kv, hold_v, hold_v->cost_bytes());
+  }
   return e.scheme.query(*au, *av);
 }
 
-Dist ForestIndex::query_entry_uncached(const Request& r,
-                                       const TreeEntry& e) const {
-  // Raw-label query path for entries that are no longer live (a batch
-  // snapshot overtaken by update()): correct against e, never cached.
-  const tree::NodeId iu = resolve(e, r.u);
-  const tree::NodeId iv = resolve(e, r.v);
+Dist ForestIndex::query_resolved_uncached(tree::NodeId iu, tree::NodeId iv,
+                                          const TreeEntry& e) const {
   return e.scheme.query(e.labels.view(static_cast<std::size_t>(iu)),
                         e.labels.view(static_cast<std::size_t>(iv)));
 }
@@ -553,71 +576,172 @@ Dist ForestIndex::query(const Request& r) const {
   return query_locked(sh, r);
 }
 
+ForestIndex::BatchPlan ForestIndex::plan_batch(std::span<const Request> reqs,
+                                               QueryResult* results) const {
+  BatchPlan plan;
+  // Throwing mode tracks the first offender in REQUEST order across both
+  // passes: a bad node at request 1 (found while resolving groups) must
+  // beat a bad tree at request 3 (found in the serial scan), exactly as
+  // the old request-ordered pre-pass reported it.
+  std::size_t first_err = reqs.size();
+  std::exception_ptr err;
+
+  // Pass 1 (request order): tree bound + quarantine, partition by shard.
+  std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& r = reqs[i];
+    if (r.tree >= trees_.size()) {
+      if (results != nullptr) {
+        results[i].status = QueryStatus::kBadTree;
+      } else if (i < first_err) {
+        first_err = i;
+        err = std::make_exception_ptr(
+            std::out_of_range("ForestIndex: tree id out of range"));
+      }
+      continue;
+    }
+    if (health_of(*trees_[r.tree]) == TreeHealth::kQuarantined) {
+      if (results != nullptr) {
+        results[i].status = QueryStatus::kQuarantined;
+      } else if (i < first_err) {
+        first_err = i;
+        err = std::make_exception_ptr(QuarantinedError(r.tree));
+      }
+      continue;
+    }
+    by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Pass 2 (grouped): sort each shard's requests by tree (the planner's
+  // locality move — off, they keep arrival order, the pre-planner
+  // behavior), then walk the tree runs loading ONE entry snapshot per
+  // distinct tree and resolving every node id exactly once. The snapshot
+  // is shared across a tree's runs, so a batch still sees one labeling
+  // per tree even when the planner is off and a tree's requests are
+  // scattered.
+  plan.order.reserve(reqs.size());
+  plan.iu.assign(reqs.size(), tree::kNoNode);
+  plan.iv.assign(reqs.size(), tree::kNoNode);
+  plan.shard_groups.assign(shards_.size() + 1, 0);
+  std::unordered_map<TreeId, EntryPtr> snap;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    plan.shard_groups[s] = static_cast<std::uint32_t>(plan.groups.size());
+    std::vector<std::uint32_t>& idxs = by_shard[s];
+    if (opt_.planner) {
+      std::stable_sort(idxs.begin(), idxs.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return reqs[a].tree < reqs[b].tree;
+                       });
+    }
+    for (std::size_t k = 0; k < idxs.size();) {
+      const TreeId tree = reqs[idxs[k]].tree;
+      EntryPtr& e = snap[tree];  // load each referenced slot once per batch
+      if (e == nullptr)
+        e = trees_[tree]->entry.load(std::memory_order_acquire);
+      BatchPlan::Group g;
+      g.begin = static_cast<std::uint32_t>(plan.order.size());
+      g.tree = tree;
+      g.entry = e.get();
+      for (; k < idxs.size() && reqs[idxs[k]].tree == tree; ++k) {
+        const std::uint32_t i = idxs[k];
+        try {
+          plan.iu[i] = resolve(*e, reqs[i].u);
+          plan.iv[i] = resolve(*e, reqs[i].v);
+        } catch (const std::out_of_range&) {
+          if (results != nullptr) {
+            results[i].status = QueryStatus::kBadNode;
+          } else if (i < first_err) {
+            first_err = i;
+            err = std::current_exception();
+          }
+          continue;
+        }
+        plan.order.push_back(i);
+      }
+      g.end = static_cast<std::uint32_t>(plan.order.size());
+      if (g.end > g.begin) plan.groups.push_back(g);
+    }
+  }
+  plan.shard_groups[shards_.size()] =
+      static_cast<std::uint32_t>(plan.groups.size());
+  if (results == nullptr && err != nullptr) std::rethrow_exception(err);
+  plan.snap.reserve(snap.size());
+  for (auto& [tree, e] : snap) plan.snap.push_back(std::move(e));
+  return plan;
+}
+
+template <typename Sink>
+void ForestIndex::execute_plan(const BatchPlan& plan,
+                               std::span<const Request> reqs,
+                               Sink&& sink) const {
+  util::parallel_for_chunks(
+      shards_.size(), shards_.size(), planned_fanout(reqs.size()),
+      [&](std::size_t s, std::size_t, std::size_t) {
+        const std::uint32_t gb = plan.shard_groups[s];
+        const std::uint32_t ge = plan.shard_groups[s + 1];
+        if (gb == ge) return;
+        Shard& sh = *shards_[s];
+        const util::MutexLock lock(sh.mu);
+        // Answers come from the planned snapshot entries, so the batch
+        // sees one labeling per tree. The shard cache may only be used
+        // while the snapshot still IS the live entry (checked per group,
+        // under the lock): if an update swapped the tree mid-batch,
+        // finish this batch's requests from the snapshot without touching
+        // the cache — caching attachments of a replaced labeling would
+        // undo the update's invalidation.
+        std::size_t answered = 0;
+        for (std::uint32_t gi = gb; gi < ge; ++gi) {
+          const BatchPlan::Group& g = plan.groups[gi];
+          const TreeEntry& e = *g.entry;
+          const bool cacheable =
+              trees_[g.tree]->entry.load(std::memory_order_acquire).get() ==
+              &e;
+          for (std::uint32_t k = g.begin; k < g.end; ++k) {
+            if (opt_.planner && k + kPrefetchAhead < g.end) {
+              // Pull the label words and cache slots of the request a few
+              // slots ahead — mapped pages especially benefit; by the time
+              // the decode cursor arrives the lines are in flight or
+              // resident.
+              const std::uint32_t j = plan.order[k + kPrefetchAhead];
+              bits::kernels::prefetch(e.labels.label_words(
+                  static_cast<std::size_t>(plan.iu[j])));
+              bits::kernels::prefetch(e.labels.label_words(
+                  static_cast<std::size_t>(plan.iv[j])));
+              sh.cache.prefetch(cache_key(g.tree, reqs[j].u));
+              sh.cache.prefetch(cache_key(g.tree, reqs[j].v));
+            }
+            const std::uint32_t i = plan.order[k];
+            const bool sampled =
+                obs::kEnabled && (answered++ % kLatencySampleEvery) == 0;
+            const std::uint64_t q0 = sampled ? obs::now_ns() : 0;
+            const Dist d =
+                cacheable
+                    ? query_resolved_locked(sh, g.tree, reqs[i], plan.iu[i],
+                                            plan.iv[i], e)
+                    : query_resolved_uncached(plan.iu[i], plan.iv[i], e);
+            if (sampled)
+              ServeMetrics::get().query_ns.record(obs::now_ns() - q0);
+            sink(i, d);
+          }
+        }
+      });
+}
+
 std::vector<Dist> ForestIndex::query_batch(
     std::span<const Request> reqs) const {
   const std::uint64_t t0 = obs::now_ns();
   std::vector<Dist> out(reqs.size());
-  // Serial pre-pass: validate tree AND node ids in request order (a bad
-  // request must fail deterministically, not from whichever parallel chunk
-  // reaches it first), while partitioning request indices by shard and
-  // snapshotting one entry per distinct tree. Node validation goes through
-  // resolve(), so tombstoned / compacted-away external ids are rejected
-  // here, deterministically, too. Within a shard, requests are then sorted
-  // by tree so one tree's arena (and its cached attachments) is walked
-  // contiguously.
-  std::unordered_map<TreeId, EntryPtr> snap;
-  std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const Request& r = reqs[i];
-    if (r.tree >= trees_.size())
-      throw std::out_of_range("ForestIndex: tree id out of range");
-    if (health_of(*trees_[r.tree]) == TreeHealth::kQuarantined)
-      throw QuarantinedError(r.tree);
-    EntryPtr& e = snap[r.tree];  // load each referenced slot once per batch
-    if (e == nullptr)
-      e = trees_[r.tree]->entry.load(std::memory_order_acquire);
-    (void)resolve(*e, r.u);
-    (void)resolve(*e, r.v);
-    by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
-  }
-  util::parallel_for_chunks(
-      shards_.size(), shards_.size(), planned_fanout(reqs.size()),
-      [&](std::size_t s, std::size_t, std::size_t) {
-        std::vector<std::uint32_t>& idxs = by_shard[s];
-        if (idxs.empty()) return;
-        std::stable_sort(idxs.begin(), idxs.end(),
-                         [&](std::uint32_t a, std::uint32_t b) {
-                           return reqs[a].tree < reqs[b].tree;
-                         });
-        Shard& sh = *shards_[s];
-        const util::MutexLock lock(sh.mu);
-        // Answers come from the validated snapshot entries, so a batch
-        // never throws past the pre-pass and sees one labeling per tree.
-        // The shard cache may only be used while the snapshot still IS the
-        // live entry (checked per tree run, under the lock): if an update
-        // swapped the tree mid-batch, finish this batch's requests from
-        // the snapshot without touching the cache — caching attachments
-        // of a replaced labeling would undo the update's invalidation.
-        TreeId cur = 0;
-        const TreeEntry* e = nullptr;
-        bool cacheable = false;
-        for (const std::uint32_t i : idxs) {
-          if (e == nullptr || reqs[i].tree != cur) {
-            cur = reqs[i].tree;
-            e = snap.find(cur)->second.get();
-            cacheable =
-                trees_[cur]->entry.load(std::memory_order_acquire).get() == e;
-          }
-          out[i] = cacheable ? query_entry_locked(sh, reqs[i], *e)
-                             : query_entry_uncached(reqs[i], *e);
-        }
-      });
+  // Plan serially (validation in request order — a bad request throws the
+  // first offender deterministically, before any query work), then fan the
+  // (shard, tree)-grouped plan out across shards.
+  const BatchPlan plan = plan_batch(reqs, nullptr);
+  execute_plan(plan, reqs, [&out](std::uint32_t i, Dist d) { out[i] = d; });
   if constexpr (obs::kEnabled) {
     ServeMetrics& m = ServeMetrics::get();
-    const std::uint64_t ns = obs::now_ns() - t0;
-    m.batch_ns.record(ns);
+    m.batch_ns.record(obs::now_ns() - t0);
     m.batch_size.record(reqs.size());
-    if (!reqs.empty()) m.query_ns.record(ns / reqs.size());
+    m.planner_batches.add(1);
+    m.planner_groups.add(plan.groups.size());
   }
   return out;
 }
@@ -626,67 +750,19 @@ std::vector<QueryResult> ForestIndex::query_batch_checked(
     std::span<const Request> reqs) const {
   const std::uint64_t t0 = obs::now_ns();
   std::vector<QueryResult> out(reqs.size());
-  // Same serial pre-pass as query_batch(), but a bad request is *recorded*
-  // (typed status, request order) instead of aborting the batch: one
-  // quarantined tree or one bad client id must not cost every other
-  // request its answer.
-  std::unordered_map<TreeId, EntryPtr> snap;
-  std::vector<std::vector<std::uint32_t>> by_shard(shards_.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const Request& r = reqs[i];
-    if (r.tree >= trees_.size()) {
-      out[i].status = QueryStatus::kBadTree;
-      continue;
-    }
-    if (health_of(*trees_[r.tree]) == TreeHealth::kQuarantined) {
-      out[i].status = QueryStatus::kQuarantined;
-      continue;
-    }
-    EntryPtr& e = snap[r.tree];
-    if (e == nullptr)
-      e = trees_[r.tree]->entry.load(std::memory_order_acquire);
-    try {
-      (void)resolve(*e, r.u);
-      (void)resolve(*e, r.v);
-    } catch (const std::out_of_range&) {
-      out[i].status = QueryStatus::kBadNode;
-      continue;
-    }
-    by_shard[shard_of(r.tree)].push_back(static_cast<std::uint32_t>(i));
-  }
-  // The answering fan-out is query_batch()'s, writing out[i].dist; the
-  // snapshot/caching rules (and their rationale) are documented there.
-  util::parallel_for_chunks(
-      shards_.size(), shards_.size(), planned_fanout(reqs.size()),
-      [&](std::size_t s, std::size_t, std::size_t) {
-        std::vector<std::uint32_t>& idxs = by_shard[s];
-        if (idxs.empty()) return;
-        std::stable_sort(idxs.begin(), idxs.end(),
-                         [&](std::uint32_t a, std::uint32_t b) {
-                           return reqs[a].tree < reqs[b].tree;
-                         });
-        Shard& sh = *shards_[s];
-        const util::MutexLock lock(sh.mu);
-        TreeId cur = 0;
-        const TreeEntry* e = nullptr;
-        bool cacheable = false;
-        for (const std::uint32_t i : idxs) {
-          if (e == nullptr || reqs[i].tree != cur) {
-            cur = reqs[i].tree;
-            e = snap.find(cur)->second.get();
-            cacheable =
-                trees_[cur]->entry.load(std::memory_order_acquire).get() == e;
-          }
-          out[i].dist = cacheable ? query_entry_locked(sh, reqs[i], *e)
-                                  : query_entry_uncached(reqs[i], *e);
-        }
-      });
+  // Same plan as query_batch(), but a bad request is *recorded* (typed
+  // status, request order) instead of aborting the batch: one quarantined
+  // tree or one bad client id must not cost every other request its
+  // answer.
+  const BatchPlan plan = plan_batch(reqs, out.data());
+  execute_plan(plan, reqs,
+               [&out](std::uint32_t i, Dist d) { out[i].dist = d; });
   if constexpr (obs::kEnabled) {
     ServeMetrics& m = ServeMetrics::get();
-    const std::uint64_t ns = obs::now_ns() - t0;
-    m.batch_ns.record(ns);
+    m.batch_ns.record(obs::now_ns() - t0);
     m.batch_size.record(reqs.size());
-    if (!reqs.empty()) m.query_ns.record(ns / reqs.size());
+    m.planner_batches.add(1);
+    m.planner_groups.add(plan.groups.size());
   }
   return out;
 }

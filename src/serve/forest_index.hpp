@@ -138,6 +138,14 @@ struct ForestOptions {
   /// chain) on one tree before it is quarantined. <= 0 quarantines on the
   /// first integrity failure.
   int quarantine_after = 3;
+  /// Batch query planner: stable-sort each shard's requests by tree before
+  /// fan-out (one entry lookup and one contiguous attachment/label walk per
+  /// tree group) and software-prefetch mapped label words a few queries
+  /// ahead. Off = requests keep arrival order within their shard (the
+  /// pre-planner behavior) — the A/B lever the bench rows and the CI
+  /// planner-on >= planner-off assert use. Answers and error reporting are
+  /// identical either way (pinned by tests).
+  bool planner = true;
 };
 
 class ForestIndex {
@@ -246,6 +254,16 @@ class ForestIndex {
 
   /// Below this many requests per thread, fan-out overhead beats the win.
   static constexpr std::size_t kFanoutBatchPerThread = 256;
+
+  /// The planner prefetches the mapped label words of the request this many
+  /// slots ahead inside each tree group — far enough to cover a memory
+  /// fetch, near enough to stay inside the group's working set.
+  static constexpr std::size_t kPrefetchAhead = 4;
+
+  /// The batch path records every this-many-th per-query latency into
+  /// `serve.query.latency_ns` (sampling keeps the clock off the per-query
+  /// hot path; the single-query API still records exactly).
+  static constexpr std::size_t kLatencySampleEvery = 64;
 
   /// The tree's current health. Throws std::out_of_range on a bad id.
   [[nodiscard]] TreeHealth health(TreeId tree) const;
@@ -380,20 +398,51 @@ class ForestIndex {
                            std::string_view params, bits::MappedArena labels,
                            const std::vector<tree::NodeId>* remap,
                            const std::uint64_t* chain = nullptr);
-  /// Cache lookup-or-attach for external id u resolved to internal iu; the
-  /// shard's mutex must be held.
-  [[nodiscard]] AnyScheme::AttachedPtr attached_locked(Shard& sh, TreeId tree,
-                                                       tree::NodeId u,
-                                                       tree::NodeId iu,
-                                                       const TreeEntry& e)
+  /// The batch planner's output: accepted request indices grouped
+  /// contiguously by (shard, tree) — sorted by tree within each shard when
+  /// opt_.planner is on, arrival order otherwise — with node ids resolved
+  /// to internal label indices exactly once. `snap` owns one entry
+  /// snapshot per referenced tree (the "one labeling per tree per batch"
+  /// guarantee); groups point into it.
+  struct BatchPlan {
+    struct Group {
+      std::uint32_t begin = 0;  ///< [begin, end) into `order`
+      std::uint32_t end = 0;
+      TreeId tree = 0;
+      const TreeEntry* entry = nullptr;  ///< owned by `snap`
+    };
+    std::vector<std::uint32_t> order;  ///< accepted request indices
+    std::vector<tree::NodeId> iu, iv;  ///< resolved ids, indexed by request
+    std::vector<Group> groups;
+    std::vector<std::uint32_t> shard_groups;  ///< per-shard range in groups
+    std::vector<EntryPtr> snap;               ///< keeps group entries alive
+  };
+  /// Shared planning pass of query_batch()/query_batch_checked(): validate
+  /// every request, group by (shard, tree), load one entry snapshot per
+  /// tree, resolve node ids once. `results` null = throwing mode: the
+  /// plan throws the FIRST offender in request order (exact pinned
+  /// exceptions), before any query work. `results` non-null = checked
+  /// mode: offenders get their typed status and drop out of the plan.
+  [[nodiscard]] BatchPlan plan_batch(std::span<const Request> reqs,
+                                     QueryResult* results) const;
+  /// Fans a plan out across shards (one lock per shard, groups walked
+  /// contiguously, prefetch ahead) and hands each answer to
+  /// `sink(request_index, dist)` — results land in request order because
+  /// the sink writes out[i].
+  template <typename Sink>
+  void execute_plan(const BatchPlan& plan, std::span<const Request> reqs,
+                    Sink&& sink) const;
+  /// query_entry_locked for ids already resolved by the planner.
+  [[nodiscard]] Dist query_resolved_locked(Shard& sh, TreeId tree,
+                                           const Request& r, tree::NodeId iu,
+                                           tree::NodeId iv, const TreeEntry& e)
       const TREELAB_REQUIRES(sh.mu);
+  [[nodiscard]] Dist query_resolved_uncached(tree::NodeId iu, tree::NodeId iv,
+                                             const TreeEntry& e) const;
+
   [[nodiscard]] Dist query_entry_locked(Shard& sh, const Request& r,
                                         const TreeEntry& e) const
       TREELAB_REQUIRES(sh.mu);
-  /// Cache-bypassing query against a snapshot entry that an update()
-  /// overtook mid-batch (node ids already validated by the pre-pass).
-  [[nodiscard]] Dist query_entry_uncached(const Request& r,
-                                          const TreeEntry& e) const;
   /// One query against the *current* entry of r.tree (re-loaded under the
   /// shard lock, so cached attachments always match the live labeling).
   [[nodiscard]] Dist query_locked(Shard& sh, const Request& r) const

@@ -7,13 +7,21 @@
 // a query for an oversized label still gets its attach-once benefit within
 // the batch that touched it.
 //
+// Internals are built for the serving hot path, where get() runs twice per
+// query: an open-addressing table (power-of-two, linear probing, tombstone
+// deletion) holding indices into a node slab, and an intrusive index-linked
+// recency list — one probe sequence and no pointer-chasing node
+// allocations, where the previous std::list + std::unordered_map layout
+// paid a bucket chase plus a list splice per hit.
+//
 // Not thread-safe: ForestIndex serializes access per shard.
 #pragma once
 
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
+#include <functional>
 #include <utility>
+#include <vector>
 
 namespace treelab::serve {
 
@@ -25,34 +33,48 @@ class LruCache {
   /// The value stored under `key`, refreshed to most-recently-used; nullptr
   /// on a miss. The pointer is valid until the next put().
   [[nodiscard]] V* get(const K& key) {
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
+    const std::uint32_t i = find(key);
+    if (i == kNil) {
       ++misses_;
       return nullptr;
     }
     ++hits_;
-    order_.splice(order_.begin(), order_, it->second.pos);
-    return &it->second.pos->second;
+    move_to_front(i);
+    return &nodes_[i].value;
+  }
+
+  /// Hints the table slot for `key` into cache ahead of a get() — the
+  /// serving layer issues this a few requests ahead while decoding the
+  /// current one.
+  void prefetch(const K& key) const {
+    if (!table_.empty())
+      __builtin_prefetch(&table_[home(key)], 0, 1);
   }
 
   /// Inserts (or replaces) `key` at the hot end, charging `cost` bytes, then
   /// evicts least-recently-used entries while over capacity.
   void put(const K& key, V value, std::size_t cost) {
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      bytes_ -= it->second.cost;
-      order_.erase(it->second.pos);
-      map_.erase(it);
+    maybe_rehash();
+    std::uint32_t i = find(key);
+    if (i != kNil) {
+      bytes_ -= nodes_[i].cost;
+      nodes_[i].value = std::move(value);
+      nodes_[i].cost = cost;
+      move_to_front(i);
+    } else {
+      i = alloc_node(key, std::move(value), cost);
+      place(key, i);
+      link_front(i);
+      ++size_;
     }
-    order_.emplace_front(key, std::move(value));
-    map_.emplace(key, Slot{order_.begin(), cost});
     bytes_ += cost;
-    while (bytes_ > capacity_ && order_.size() > 1) {
-      const auto last = std::prev(order_.end());
-      const auto victim = map_.find(last->first);
-      bytes_ -= victim->second.cost;
-      map_.erase(victim);
-      order_.erase(last);
+    while (bytes_ > capacity_ && size_ > 1) {
+      const std::uint32_t victim = tail_;
+      unplace(nodes_[victim].key);
+      bytes_ -= nodes_[victim].cost;
+      unlink(victim);
+      free_node(victim);
+      --size_;
       ++evictions_;
     }
   }
@@ -64,21 +86,22 @@ class LruCache {
   template <typename Pred>
   std::size_t erase_if(Pred&& pred) {
     std::size_t removed = 0;
-    for (auto it = order_.begin(); it != order_.end();) {
-      if (!pred(it->first)) {
-        ++it;
-        continue;
+    for (std::uint32_t i = head_; i != kNil;) {
+      const std::uint32_t next = nodes_[i].next;
+      if (pred(nodes_[i].key)) {
+        unplace(nodes_[i].key);
+        bytes_ -= nodes_[i].cost;
+        unlink(i);
+        free_node(i);
+        --size_;
+        ++removed;
       }
-      const auto victim = map_.find(it->first);
-      bytes_ -= victim->second.cost;
-      map_.erase(victim);
-      it = order_.erase(it);
-      ++removed;
+      i = next;
     }
     return removed;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
@@ -86,18 +109,134 @@ class LruCache {
   [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
 
  private:
-  struct Slot {
-    typename std::list<std::pair<K, V>>::iterator pos;
+  static constexpr std::uint32_t kNil = 0xffffffff;   // empty table slot
+  static constexpr std::uint32_t kTomb = 0xfffffffe;  // deleted table slot
+
+  struct Node {
+    K key;
+    V value;
     std::size_t cost;
+    std::uint32_t prev;
+    std::uint32_t next;
   };
+
+  /// Table index the probe sequence for `key` starts at. Finalizer-mixed:
+  /// cache keys are often near-sequential (tree id | node id), and linear
+  /// probing needs the high entropy spread across the low bits.
+  [[nodiscard]] std::size_t home(const K& key) const {
+    std::uint64_t x = Hash{}(key);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x) & (table_.size() - 1);
+  }
+
+  [[nodiscard]] std::uint32_t find(const K& key) const {
+    if (table_.empty()) return kNil;
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t s = home(key);; s = (s + 1) & mask) {
+      const std::uint32_t i = table_[s];
+      if (i == kNil) return kNil;
+      if (i != kTomb && nodes_[i].key == key) return i;
+    }
+  }
+
+  /// Stores node `i` under `key`; the key must not be present.
+  void place(const K& key, std::uint32_t i) {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t s = home(key);; s = (s + 1) & mask) {
+      if (table_[s] == kNil || table_[s] == kTomb) {
+        if (table_[s] == kTomb) --tombstones_;
+        table_[s] = i;
+        return;
+      }
+    }
+  }
+
+  /// Tombstones the slot holding `key`; the key must be present.
+  void unplace(const K& key) {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t s = home(key);; s = (s + 1) & mask) {
+      const std::uint32_t i = table_[s];
+      if (i != kNil && i != kTomb && nodes_[i].key == key) {
+        table_[s] = kTomb;
+        ++tombstones_;
+        return;
+      }
+    }
+  }
+
+  /// Grows (or rebuilds, clearing tombstones) when live + dead slots pass
+  /// 3/4 of the table, keeping probe runs short.
+  void maybe_rehash() {
+    if (!table_.empty() && (size_ + tombstones_ + 1) * 4 < table_.size() * 3)
+      return;
+    std::size_t cap = table_.empty() ? 16 : table_.size();
+    while ((size_ + 1) * 4 >= cap * 3) cap *= 2;
+    table_.assign(cap, kNil);
+    tombstones_ = 0;
+    for (std::uint32_t i = head_; i != kNil; i = nodes_[i].next)
+      place(nodes_[i].key, i);
+  }
+
+  std::uint32_t alloc_node(const K& key, V value, std::size_t cost) {
+    if (free_ != kNil) {
+      const std::uint32_t i = free_;
+      free_ = nodes_[i].next;
+      nodes_[i].key = key;
+      nodes_[i].value = std::move(value);
+      nodes_[i].cost = cost;
+      return i;
+    }
+    nodes_.push_back(Node{key, std::move(value), cost, kNil, kNil});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  void free_node(std::uint32_t i) {
+    nodes_[i].value = V{};  // release the payload now, not at reuse time
+    nodes_[i].next = free_;
+    free_ = i;
+  }
+
+  void link_front(std::uint32_t i) {
+    nodes_[i].prev = kNil;
+    nodes_[i].next = head_;
+    if (head_ != kNil) nodes_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kNil) tail_ = i;
+  }
+
+  void unlink(std::uint32_t i) {
+    if (nodes_[i].prev != kNil)
+      nodes_[nodes_[i].prev].next = nodes_[i].next;
+    else
+      head_ = nodes_[i].next;
+    if (nodes_[i].next != kNil)
+      nodes_[nodes_[i].next].prev = nodes_[i].prev;
+    else
+      tail_ = nodes_[i].prev;
+  }
+
+  void move_to_front(std::uint32_t i) {
+    if (head_ == i) return;
+    unlink(i);
+    link_front(i);
+  }
 
   std::size_t capacity_;
   std::size_t bytes_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
-  std::list<std::pair<K, V>> order_;  // front = most recently used
-  std::unordered_map<K, Slot, Hash> map_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::uint32_t free_ = kNil;  // node-slab free list, linked through next
+  std::vector<std::uint32_t> table_;  // open-addressing: node index per slot
+  std::vector<Node> nodes_;
 };
 
 }  // namespace treelab::serve

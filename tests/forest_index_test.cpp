@@ -22,6 +22,7 @@
 #include "core/kdistance_scheme.hpp"
 #include "core/label_store.hpp"
 #include "core/peleg_scheme.hpp"
+#include "obs/metrics.hpp"
 #include "serve/forest_index.hpp"
 #include "serve/lru_cache.hpp"
 #include "tree/generators.hpp"
@@ -256,6 +257,114 @@ TEST(ForestIndex, BatchValidatesNodeIdsInRequestOrder) {
   // The serial pre-pass rejected the batch before any query ran or any
   // label got attached.
   EXPECT_EQ(index.cache_stats().entries, 0u);
+  cleanup(files);
+}
+
+TEST(ForestIndex, PlannerOffMatchesPlannerOn) {
+  // The batch planner (sort by (shard, tree), resolve each group against
+  // one entry lookup) is a pure execution-order optimization: answers,
+  // their request-order placement, and checked statuses must be identical
+  // with it disabled. Requests deliberately interleave trees so the
+  // planner's stable sort actually reorders work.
+  std::vector<std::string> files_on;
+  std::vector<std::string> files_off;
+  ForestOptions on_opt;
+  on_opt.shards = 4;
+  on_opt.threads = 4;
+  ASSERT_TRUE(on_opt.planner);  // the default
+  ForestOptions off_opt = on_opt;
+  off_opt.planner = false;
+  ForestIndex on(on_opt);
+  ForestIndex off(off_opt);
+  build_forest(on, files_on);
+  build_forest(off, files_off);
+
+  std::mt19937_64 rng(12);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 400; ++i) {
+    const auto id = static_cast<TreeId>(i % 5);  // maximally interleaved
+    std::uniform_int_distribution<NodeId> pick(
+        0, static_cast<NodeId>(on.label_count(id)) - 1);
+    reqs.push_back({id, pick(rng), pick(rng)});
+  }
+  const std::vector<Dist> want = off.query_batch(reqs);
+  const std::vector<Dist> got = on.query_batch(reqs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << "req " << i;
+
+  // Checked path too, with per-request failures mixed in.
+  reqs[3] = {99, 0, 0};
+  reqs[7] = {1, NodeId{100000}, 0};
+  const auto want_checked = off.query_batch_checked(reqs);
+  const auto got_checked = on.query_batch_checked(reqs);
+  ASSERT_EQ(got_checked.size(), want_checked.size());
+  for (std::size_t i = 0; i < got_checked.size(); ++i) {
+    EXPECT_EQ(got_checked[i].status, want_checked[i].status) << "req " << i;
+    if (got_checked[i].status == serve::QueryStatus::kOk) {
+      EXPECT_EQ(got_checked[i].dist, want_checked[i].dist) << "req " << i;
+    }
+  }
+  cleanup(files_on);
+  cleanup(files_off);
+}
+
+TEST(ForestIndex, PlannerReorderingPreservesErrorOrder) {
+  // The planner validates tree ids in a serial pre-pass but discovers bad
+  // node ids while walking groups in *sorted* order. The thrown error must
+  // still be the first offender in REQUEST order, whichever pass found it.
+  ForestOptions opt;
+  opt.shards = 4;
+  opt.threads = 4;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  build_forest(index, files);
+
+  // Bad node (group pass) before bad tree (pre-pass): node error wins.
+  std::vector<Request> reqs{
+      {4, 0, 1}, {3, NodeId{100000}, 0}, {2, 0, 1}, {99, 0, 0}};
+  try {
+    (void)index.query_batch(reqs);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "ForestIndex: node id out of range");
+  }
+  EXPECT_EQ(index.cache_stats().entries, 0u);
+
+  // Bad tree before bad node: tree error wins.
+  std::swap(reqs[1], reqs[3]);
+  try {
+    (void)index.query_batch(reqs);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "ForestIndex: tree id out of range");
+  }
+  EXPECT_EQ(index.cache_stats().entries, 0u);
+  cleanup(files);
+}
+
+TEST(ForestIndex, BatchTrafficSamplesQueryLatency) {
+  // `serve.query.latency_ns` used to see only the single-query path, so an
+  // all-batch workload published an empty latency histogram. The batch
+  // path now records every kLatencySampleEvery-th answered request.
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "metrics compiled out";
+  }
+  ForestOptions opt;
+  opt.shards = 2;
+  ForestIndex index(opt);
+  std::vector<std::string> files;
+  build_forest(index, files);
+
+  auto& h = obs::Registry::global().histogram("serve.query.latency_ns");
+  const std::uint64_t before = h.snapshot().count();
+  std::vector<Request> reqs;
+  for (int i = 0; i < 4 * static_cast<int>(ForestIndex::kLatencySampleEvery);
+       ++i)
+    reqs.push_back({static_cast<TreeId>(i % 5), 0, 1});
+  (void)index.query_batch(reqs);
+  const std::uint64_t after = h.snapshot().count();
+  EXPECT_GE(after - before, reqs.size() / ForestIndex::kLatencySampleEvery);
   cleanup(files);
 }
 
